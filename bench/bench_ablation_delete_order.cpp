@@ -1,0 +1,87 @@
+// Ablation: the client-deletion order inside the Multiple heuristics.
+// Section 6.3 fixes largest-first for MTD and smallest-first for MBU ("we aim
+// at deleting many small clients rather than fewer demanding ones"); this
+// bench swaps the orders and measures success rate and relative cost.
+//
+//   $ ./bench_ablation_delete_order [--trees=N] [--smax=N]
+
+#include <array>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "formulation/lower_bound.hpp"
+#include "heuristics/ablation.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/table.hpp"
+#include "tree/generator.hpp"
+
+using namespace treeplace;
+using namespace treeplace::bench;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  std::optional<Placement> (*run)(const ProblemInstance&, bool);
+  bool largestFirst;
+};
+
+constexpr Variant kVariants[] = {
+    {"MTD largest-first (paper)", &runMTDVariant, true},
+    {"MTD smallest-first", &runMTDVariant, false},
+    {"MBU smallest-first (paper)", &runMBUVariant, false},
+    {"MBU largest-first", &runMBUVariant, true},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Scale scale = readScale(argc, argv);
+  std::cout << "=== Ablation: MTD/MBU delete order (Section 6.3) ===\n"
+            << "plan: " << scale.trees << " trees/lambda, size " << scale.minSize
+            << ".." << scale.maxSize << "\n\n";
+
+  TextTable t;
+  t.setHeader({"lambda", "variant", "success", "mean rcost"});
+  for (const double lambda : {0.2, 0.4, 0.6, 0.8, 0.9}) {
+    GeneratorConfig config;
+    config.minSize = scale.minSize;
+    config.maxSize = scale.maxSize;
+    config.lambda = lambda;
+    config.heterogeneous = true;
+    config.maxChildren = 2;  // same deep skeleton as the figure benches
+
+    std::array<int, 4> success{};
+    std::array<double, 4> rcostSum{};
+    int feasible = 0;
+    for (int i = 0; i < scale.trees; ++i) {
+      const ProblemInstance inst =
+          generateInstance(config, scale.seed, static_cast<std::uint64_t>(i));
+      const auto mb = runMixedBest(inst);
+      LowerBoundOptions lbo;
+      lbo.maxNodes = scale.lbNodes;
+      if (mb) lbo.knownUpperBound = mb->cost;
+      const LowerBoundResult lb = refinedLowerBound(inst, lbo);
+      if (!lb.lpFeasible) continue;
+      ++feasible;
+      for (std::size_t v = 0; v < 4; ++v) {
+        const auto placement = kVariants[v].run(inst, kVariants[v].largestFirst);
+        if (!placement) continue;
+        ++success[v];
+        rcostSum[v] += lb.bound / placement->storageCost(inst);
+      }
+    }
+    for (std::size_t v = 0; v < 4; ++v) {
+      t.addRow({formatDouble(lambda, 1), kVariants[v].name,
+                feasible > 0 ? formatPercent(static_cast<double>(success[v]) /
+                                             feasible)
+                             : "-",
+                feasible > 0 ? formatDouble(rcostSum[v] / feasible, 3) : "-"});
+    }
+    t.addSeparator();
+  }
+  std::cout << t.render(TextTable::Align::Left)
+            << "\nexpectation: the paper's orders match or beat the swapped "
+               "ones, most visibly for MBU at high load\n";
+  return 0;
+}

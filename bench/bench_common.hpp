@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "experiments/report.hpp"
+#include "experiments/runner.hpp"
+#include "support/cli.hpp"
+#include "support/thread_pool.hpp"
+
+namespace treeplace::bench {
+
+/// Experiment scale. Defaults are sized for a single-core CI box; set
+/// TREEPLACE_FULL=1 (or --full) to run the paper's full plan
+/// (30 trees per lambda, 15 <= s <= 400).
+struct Scale {
+  int trees = 10;
+  int minSize = 15;
+  int maxSize = 150;
+  long lbNodes = 60;
+  std::uint64_t seed = 0x5eedULL;
+  bool full = false;
+};
+
+inline Scale readScale(int argc, const char* const* argv) {
+  const Options options(argc, argv);
+  Scale scale;
+  scale.full = options.hasFlag("full");
+  if (scale.full) {
+    scale.trees = 30;
+    scale.maxSize = 400;
+    scale.lbNodes = 200;
+  }
+  scale.trees = static_cast<int>(options.getIntOr("trees", scale.trees));
+  scale.minSize = static_cast<int>(options.getIntOr("smin", scale.minSize));
+  scale.maxSize = static_cast<int>(options.getIntOr("smax", scale.maxSize));
+  scale.lbNodes = options.getIntOr("lb-nodes", scale.lbNodes);
+  scale.seed = static_cast<std::uint64_t>(options.getIntOr("seed", 0x5eed));
+  return scale;
+}
+
+inline ExperimentPlan makePlan(const Scale& scale, bool heterogeneous) {
+  ExperimentPlan plan;
+  plan.treesPerLambda = scale.trees;
+  plan.generator.minSize = scale.minSize;
+  plan.generator.maxSize = scale.maxSize;
+  plan.generator.heterogeneous = heterogeneous;
+  plan.generator.unitCosts = !heterogeneous;  // Replica Counting vs Replica Cost
+  // Distribution trees are deep rather than star-shaped; a fanout-2 internal
+  // skeleton gives the path capacity that keeps high-lambda instances
+  // feasible (see bench_ablation_tree_shape for the sensitivity study).
+  plan.generator.maxChildren = 2;
+  plan.lbMaxNodes = scale.lbNodes;
+  plan.seed = scale.seed;
+  return plan;
+}
+
+inline void banner(const std::string& title, const std::string& paperShape,
+                   const Scale& scale) {
+  std::cout << "=== " << title << " ===\n"
+            << "plan: " << scale.trees << " trees/lambda, size " << scale.minSize
+            << ".." << scale.maxSize << ", lambda 0.1..0.9"
+            << (scale.full ? " (paper scale)" : " (reduced; --full for paper scale)")
+            << "\npaper shape: " << paperShape << "\n\n";
+}
+
+inline void maybeWriteCsv(int argc, const char* const* argv,
+                          const std::string& defaultName,
+                          const ExperimentResult& result) {
+  const Options options(argc, argv);
+  const auto path = options.get("csv");
+  if (!path) return;
+  const std::string file = (*path == "1") ? defaultName : *path;
+  std::ofstream out(file);
+  writeCsv(out, result);
+  std::cout << "\nCSV written to " << file << '\n';
+}
+
+}  // namespace treeplace::bench

@@ -1,0 +1,74 @@
+// Extension experiment — Section 8.2's composite objective
+// (alpha*storage + beta*read + gamma*updates*write): how much the
+// local-search post-optimizer improves MixedBest placements across objective
+// mixes, and how the mixes shift the chosen placements.
+//
+//   $ ./bench_extension_objective [--trees=N] [--smax=N]
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "extensions/local_search.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "tree/generator.hpp"
+
+using namespace treeplace;
+using namespace treeplace::bench;
+
+int main(int argc, char** argv) {
+  const Scale scale = readScale(argc, argv);
+  std::cout << "=== Extension: composite objectives + local search (8.2) ===\n"
+            << "plan: " << scale.trees << " trees, size " << scale.minSize << ".."
+            << scale.maxSize << ", lambda 0.4, heterogeneous\n\n";
+
+  struct Mix {
+    const char* name;
+    CostModel model;
+  };
+  const Mix mixes[] = {
+      {"storage only (paper)", {1.0, 0.0, 0.0, 1.0}},
+      {"storage + read", {1.0, 0.5, 0.0, 1.0}},
+      {"storage + write", {1.0, 0.0, 0.5, 2.0}},
+      {"balanced", {1.0, 0.3, 0.3, 1.0}},
+  };
+
+  GeneratorConfig config;
+  config.minSize = scale.minSize;
+  config.maxSize = scale.maxSize;
+  config.lambda = 0.4;
+  config.heterogeneous = true;
+  config.maxChildren = 2;
+
+  TextTable t;
+  t.setHeader({"objective mix", "mean MB objective", "after local search",
+               "improvement", "mean rounds", "mean replicas before/after"});
+  for (const Mix& mix : mixes) {
+    OnlineStats before, after, rounds, replBefore, replAfter;
+    for (int i = 0; i < scale.trees; ++i) {
+      const ProblemInstance inst =
+          generateInstance(config, scale.seed + 4, static_cast<std::uint64_t>(i));
+      const auto mb = runMixedBest(inst);
+      if (!mb) continue;
+      const double objective = compositeObjective(inst, mb->placement, mix.model);
+      const LocalSearchResult r = improvePlacement(inst, mb->placement, mix.model);
+      before.add(objective);
+      after.add(r.objective);
+      rounds.add(r.rounds);
+      replBefore.add(static_cast<double>(mb->placement.replicaCount()));
+      replAfter.add(static_cast<double>(r.placement.replicaCount()));
+    }
+    const double gain =
+        before.mean() > 0 ? 1.0 - after.mean() / before.mean() : 0.0;
+    t.addRow({mix.name, formatDouble(before.mean(), 1), formatDouble(after.mean(), 1),
+              formatPercent(gain), formatDouble(rounds.mean(), 1),
+              formatDouble(replBefore.mean(), 1) + " / " +
+                  formatDouble(replAfter.mean(), 1)});
+  }
+  std::cout << t.render(TextTable::Align::Left)
+            << "\nexpectation: read-weighted mixes push replicas deeper (more "
+               "replicas after search), write-weighted mixes consolidate "
+               "(fewer); the search never degrades the objective\n";
+  return 0;
+}

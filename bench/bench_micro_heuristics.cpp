@@ -1,0 +1,112 @@
+// google-benchmark micro benchmarks: per-heuristic throughput as a function
+// of tree size, plus generator and validator costs. Confirms the heuristics'
+// polynomial (worst-case quadratic) complexity claim from Section 6.
+
+#include <benchmark/benchmark.h>
+
+#include "core/validate.hpp"
+#include "exact/closest_homogeneous.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "heuristics/heuristic.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace {
+namespace {
+
+ProblemInstance instanceOfSize(int size, bool heterogeneous) {
+  GeneratorConfig config;
+  config.minSize = config.maxSize = size;
+  config.lambda = 0.6;
+  config.maxChildren = 2;
+  config.heterogeneous = heterogeneous;
+  config.unitCosts = !heterogeneous;
+  return generateInstance(config, 99, static_cast<std::uint64_t>(size));
+}
+
+void BM_Generator(benchmark::State& state) {
+  GeneratorConfig config;
+  config.minSize = config.maxSize = static_cast<int>(state.range(0));
+  config.lambda = 0.6;
+  config.maxChildren = 2;
+  std::uint64_t index = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(generateInstance(config, 1, index++));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Generator)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+template <std::size_t Index>
+void BM_Heuristic(benchmark::State& state) {
+  const HeuristicInfo& h = allHeuristics()[Index];
+  const ProblemInstance inst =
+      instanceOfSize(static_cast<int>(state.range(0)), /*heterogeneous=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.run(inst));
+  }
+  state.SetLabel(std::string(h.shortName));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Heuristic<0>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // CTDA
+BENCHMARK(BM_Heuristic<1>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // CTDLF
+BENCHMARK(BM_Heuristic<2>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // CBU
+BENCHMARK(BM_Heuristic<3>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // UTD
+BENCHMARK(BM_Heuristic<4>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // UBCF
+BENCHMARK(BM_Heuristic<5>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // MTD
+BENCHMARK(BM_Heuristic<6>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // MBU
+BENCHMARK(BM_Heuristic<7>)->RangeMultiplier(2)->Range(32, 512)->Complexity();  // MG
+
+void BM_MixedBest(benchmark::State& state) {
+  const ProblemInstance inst =
+      instanceOfSize(static_cast<int>(state.range(0)), /*heterogeneous=*/true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runMixedBest(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MixedBest)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+void BM_OptimalMultipleHomogeneous(benchmark::State& state) {
+  const ProblemInstance inst =
+      instanceOfSize(static_cast<int>(state.range(0)), /*heterogeneous=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solveMultipleHomogeneous(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimalMultipleHomogeneous)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity();
+
+void BM_OptimalClosestHomogeneous(benchmark::State& state) {
+  const ProblemInstance inst =
+      instanceOfSize(static_cast<int>(state.range(0)), /*heterogeneous=*/false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solveClosestHomogeneous(inst));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OptimalClosestHomogeneous)
+    ->RangeMultiplier(2)
+    ->Range(32, 1024)
+    ->Complexity();
+
+void BM_Validator(benchmark::State& state) {
+  const ProblemInstance inst =
+      instanceOfSize(static_cast<int>(state.range(0)), /*heterogeneous=*/true);
+  const auto placement = runMG(inst);
+  if (!placement) {
+    state.SkipWithError("MG failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        validatePlacement(inst, *placement, Policy::Multiple));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Validator)->RangeMultiplier(2)->Range(32, 512)->Complexity();
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,156 @@
+// Table 1 — empirical companion to the complexity matrix:
+//
+//                  Homogeneous            Heterogeneous
+//   Closest        polynomial [2,9]       NP-complete
+//   Upwards        NP-complete            NP-complete
+//   Multiple       polynomial             NP-complete
+//
+// The two polynomial entries are demonstrated by timing the dedicated
+// algorithms across growing tree sizes (near-quadratic growth); the NP-hard
+// entries by the blow-up of exact search on the reduction families (Figures
+// 7/8) versus the constant-factor cost of the polynomial heuristics on the
+// same instances.
+//
+//   $ ./bench_table1_complexity [--sizes=200,400,800,1600] [--reduction-max=14]
+
+#include <chrono>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "exact/closest_homogeneous.hpp"
+#include "exact/exact_ilp.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "exact/upwards_exact.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/cli.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+#include "tree/generator.hpp"
+#include "tree/paper_instances.hpp"
+
+using namespace treeplace;
+
+namespace {
+
+double millis(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+std::vector<int> parseSizes(const std::string& text) {
+  std::vector<int> sizes;
+  std::stringstream in(text);
+  std::string token;
+  while (std::getline(in, token, ',')) sizes.push_back(std::stoi(token));
+  return sizes;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const std::vector<int> sizes =
+      parseSizes(options.getOr("sizes", "200,400,800,1600"));
+  const int reductionMax = static_cast<int>(options.getIntOr("reduction-max", 14));
+
+  std::cout << "=== Table 1: complexity of Replica Cost ===\n\n";
+  std::cout << "(a) Polynomial entries — optimal algorithms on random "
+               "homogeneous trees\n";
+  {
+    TextTable t;
+    t.setHeader({"s", "Multiple 3-pass (ms)", "Closest DP (ms)", "repl(M)", "repl(C)"});
+    for (const int s : sizes) {
+      GeneratorConfig config;
+      config.minSize = config.maxSize = s;
+      config.lambda = 0.55;
+      config.unitCosts = true;
+      const ProblemInstance inst = generateInstance(config, 17, static_cast<std::uint64_t>(s));
+
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto multiple = solveMultipleHomogeneous(inst);
+      const double multipleMs = millis(t0);
+
+      const auto t1 = std::chrono::steady_clock::now();
+      const auto closest = solveClosestHomogeneous(inst);
+      const double closestMs = millis(t1);
+
+      t.addRow({std::to_string(s), formatDouble(multipleMs, 2),
+                formatDouble(closestMs, 2),
+                multiple ? std::to_string(multiple->replicaCount()) : "-",
+                closest ? std::to_string(closest->replicaCount()) : "-"});
+    }
+    std::cout << t.render()
+              << "  expectation: time grows polynomially (~quadratic), no "
+                 "blow-up\n\n";
+  }
+
+  std::cout << "(b) NP-complete entries — exact search on the Theorem 2 "
+               "3-PARTITION family vs the polynomial heuristics\n";
+  {
+    TextTable t;
+    t.setHeader({"clients 3m", "exact steps", "exact (ms)", "feasible",
+                 "MG (ms)", "UBCF (ms)"});
+    for (int m = 2; 3 * m <= reductionMax * 3; m += 2) {
+      // Deterministic compliant NO-instances: B = 16, values from {5, 7}
+      // (both in (B/4, B/2)); with m/2 sevens the total is exactly mB, yet no
+      // triple over {5,7} sums to 16 — the search must exhaust the space.
+      const Requests B = 16;
+      std::vector<Requests> values(static_cast<std::size_t>(3 * m - m / 2), 5);
+      values.resize(static_cast<std::size_t>(3 * m), 7);
+      const ProblemInstance inst = fig7ThreePartition(values, B);
+
+      UpwardsExactOptions exactOptions;
+      exactOptions.maxSteps = 20'000'000;
+      const auto t0 = std::chrono::steady_clock::now();
+      const UpwardsExactResult exact = solveUpwardsExact(inst, exactOptions);
+      const double exactMs = millis(t0);
+
+      const auto t1 = std::chrono::steady_clock::now();
+      (void)runMG(inst);
+      const double mgMs = millis(t1);
+      const auto t2 = std::chrono::steady_clock::now();
+      (void)runUBCF(inst);
+      const double ubcfMs = millis(t2);
+
+      t.addRow({std::to_string(3 * m), std::to_string(exact.steps),
+                formatDouble(exactMs, 2),
+                exact.proven ? (exact.feasible() ? "yes" : "no") : "budget",
+                formatDouble(mgMs, 3), formatDouble(ubcfMs, 3)});
+      if (!exact.proven) break;  // exponential wall reached
+    }
+    std::cout << t.render()
+              << "  expectation: exact steps grow explosively with m while "
+                 "the heuristics stay in the microsecond range\n\n";
+  }
+
+  std::cout << "(c) Heterogeneous Multiple — branch-and-bound on the "
+               "Theorem 3 2-PARTITION family (exact ILP)\n";
+  {
+    // NO-instances: m-1 values of 4 plus one 6. The total S = 4m+2 is even
+    // but S/2 is odd while every value is even, so no subset reaches S/2 and
+    // the search has to refute an exponential number of near-ties.
+    TextTable t;
+    t.setHeader({"m", "B&B nodes", "ms", "optimal cost (> S+1)"});
+    for (int m = 6; m <= reductionMax; m += 4) {
+      std::vector<Requests> values(static_cast<std::size_t>(m - 1), 4);
+      values.push_back(6);
+      const ProblemInstance inst = fig8TwoPartition(values);
+      ExactIlpOptions exactOptions;
+      exactOptions.mip.maxNodes = 300000;
+      const auto t0 = std::chrono::steady_clock::now();
+      const ExactIlpResult exact = solveExactViaIlp(inst, Policy::Multiple, exactOptions);
+      const double ms = millis(t0);
+      t.addRow({std::to_string(m), std::to_string(exact.nodesExplored),
+                formatDouble(ms, 2),
+                exact.feasible() ? formatDouble(exact.cost, 0) : "-"});
+      if (!exact.proven || ms > 30000.0) break;
+    }
+    std::cout << t.render()
+              << "  expectation: B&B nodes grow ~15x per +4 in m (raise "
+                 "--reduction-max to watch the wall; m=18 already costs "
+                 "~200k nodes)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: build a small distribution tree, place replicas under each of
+// the three access policies, and inspect the resulting assignments.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+#include <iostream>
+
+#include "core/validate.hpp"
+#include "exact/closest_homogeneous.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "exact/upwards_exact.hpp"
+#include "heuristics/heuristic.hpp"
+#include "tree/builder.hpp"
+
+using namespace treeplace;
+
+int main() {
+  // A toy video-on-demand tree: one origin, two regional nodes, five client
+  // sites. Every internal node can serve 10 requests per time unit.
+  //
+  //            origin (W=10)
+  //            /           \
+  //      east (W=10)    west (W=10)
+  //      /   |   \        /    \
+  //   c:6   c:3  c:2    c:7    c:5
+  TreeBuilder builder;
+  const VertexId origin = builder.addRoot(10);
+  const VertexId east = builder.addInternal(origin, 10);
+  const VertexId west = builder.addInternal(origin, 10);
+  builder.addClient(east, 6);
+  builder.addClient(east, 3);
+  builder.addClient(east, 2);
+  builder.addClient(west, 7);
+  builder.addClient(west, 5);
+  builder.useUnitCosts();  // homogeneous: minimise the replica count
+  const ProblemInstance instance = builder.build();
+
+  std::cout << "Total demand: " << instance.totalRequests() << " requests, "
+            << "capacity " << instance.totalCapacity() << " (load "
+            << instance.load() << ")\n\n";
+
+  auto report = [&](const char* name, const Placement& placement, Policy policy) {
+    std::cout << name << ": " << placement.replicaCount() << " replicas at {";
+    bool first = true;
+    for (const VertexId r : placement.replicaList()) {
+      std::cout << (first ? "" : ", ") << r;
+      first = false;
+    }
+    std::cout << "}  [" << (isValidPlacement(instance, placement, policy)
+                                ? "valid"
+                                : "INVALID")
+              << "]\n";
+    for (const VertexId client : instance.tree.clients()) {
+      std::cout << "    client " << client << " (r=" << instance.requests[client]
+                << ") ->";
+      for (const ServedShare& share : placement.shares(client))
+        std::cout << " node " << share.server << " x" << share.amount;
+      std::cout << '\n';
+    }
+  };
+
+  // Exact optimum per policy (all polynomial or tiny here).
+  if (const auto closest = solveClosestHomogeneous(instance))
+    report("Closest  (optimal)", *closest, Policy::Closest);
+  else
+    std::cout << "Closest  (optimal): no solution\n";
+
+  const UpwardsExactResult upwards = solveUpwardsExact(instance);
+  if (upwards.feasible())
+    report("Upwards  (optimal)", *upwards.placement, Policy::Upwards);
+  else
+    std::cout << "Upwards  (optimal): no solution\n";
+
+  if (const auto multiple = solveMultipleHomogeneous(instance))
+    report("Multiple (optimal)", *multiple, Policy::Multiple);
+
+  // The polynomial heuristics used for the large-scale experiments:
+  std::cout << "\nHeuristics:\n";
+  for (const HeuristicInfo& h : allHeuristics()) {
+    const auto placement = h.run(instance);
+    if (placement) {
+      std::cout << "  " << h.shortName << " (" << toString(h.policy)
+                << "): cost " << placement->storageCost(instance) << '\n';
+    } else {
+      std::cout << "  " << h.shortName << ": failed\n";
+    }
+  }
+  if (const auto mb = runMixedBest(instance))
+    std::cout << "  MB picks " << mb->winner << " at cost " << mb->cost << '\n';
+  return 0;
+}

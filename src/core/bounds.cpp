@@ -1,0 +1,51 @@
+#include "core/bounds.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+Requests countingLowerBound(const ProblemInstance& instance) {
+  const Requests W = instance.homogeneousCapacity();
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Requests total = instance.totalRequests();
+  return (total + W - 1) / W;
+}
+
+double fractionalCoverLowerBound(const ProblemInstance& instance) {
+  Requests demand = instance.totalRequests();
+  if (demand == 0) return 0.0;
+  struct Entry {
+    double ratio;
+    Requests capacity;
+    double cost;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(instance.tree.internals().size());
+  for (const VertexId j : instance.tree.internals()) {
+    const auto i = static_cast<std::size_t>(j);
+    if (instance.capacity[i] <= 0) continue;
+    entries.push_back({instance.storageCost[i] / static_cast<double>(instance.capacity[i]),
+                       instance.capacity[i], instance.storageCost[i]});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.ratio < b.ratio; });
+  double bound = 0.0;
+  for (const Entry& e : entries) {
+    if (demand <= 0) break;
+    if (e.capacity >= demand) {
+      bound += e.ratio * static_cast<double>(demand);
+      demand = 0;
+    } else {
+      bound += e.cost;
+      demand -= e.capacity;
+    }
+  }
+  // demand > 0 here means the instance is infeasible for every policy; the
+  // partial sum is still a valid lower bound.
+  return bound;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// The obvious Replica Counting lower bound ceil(sum r_i / W) of Section 3.4.
+/// Requires a homogeneous instance with positive capacity.
+Requests countingLowerBound(const ProblemInstance& instance);
+
+/// Structure-free fractional lower bound on Replica Cost for heterogeneous
+/// nodes: replicas must jointly provide capacity for all requests, so the
+/// cheapest fractional cover (fill nodes by increasing cost/capacity ratio)
+/// bounds every policy from below. Much weaker than the LP bound; used as a
+/// sanity floor and a B&B seed.
+double fractionalCoverLowerBound(const ProblemInstance& instance);
+
+}  // namespace treeplace

@@ -1,0 +1,42 @@
+#include "core/flows.hpp"
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+FlowAnalysis analyzeCanonicalFlows(const ProblemInstance& instance, Requests W) {
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Tree& tree = instance.tree;
+  const std::size_t n = tree.vertexCount();
+  FlowAnalysis out;
+  out.tflow.assign(n, 0);
+  out.cflow.assign(n, 0);
+  out.nsn.assign(n, 0);
+  out.saturated.assign(n, 0);
+
+  for (const VertexId v : tree.postorder()) {
+    const auto i = static_cast<std::size_t>(v);
+    if (tree.isClient(v)) {
+      out.tflow[i] = instance.requests[i];
+      out.cflow[i] = instance.requests[i];
+      continue;
+    }
+    Requests incoming = 0;
+    for (const VertexId c : tree.children(v)) {
+      const auto ci = static_cast<std::size_t>(c);
+      out.tflow[i] += out.tflow[ci];
+      out.nsn[i] += out.nsn[ci];
+      incoming += out.cflow[ci];
+    }
+    if (incoming >= W) {
+      out.saturated[i] = 1;
+      out.cflow[i] = incoming - W;
+      out.nsn[i] += 1;
+    } else {
+      out.cflow[i] = incoming;
+    }
+  }
+  return out;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <vector>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// The flow quantities from the optimality proof of Section 4.1.3, computed
+/// for a homogeneous capacity W independently of any placement:
+///  - tflow_v : total requests issued in subtree(v);
+///  - cflow_v : canonical flow — requests left after every *saturated* node in
+///              subtree(v) absorbed exactly W;
+///  - nsn_v   : number of saturated nodes in subtree(v);
+///  - saturated: membership in SN (nodes whose incoming canonical flow >= W).
+/// Lemma 2 guarantees cflow_v == tflow_v - nsn_v * W.
+struct FlowAnalysis {
+  std::vector<Requests> tflow;
+  std::vector<Requests> cflow;
+  std::vector<int> nsn;
+  std::vector<char> saturated;
+};
+
+FlowAnalysis analyzeCanonicalFlows(const ProblemInstance& instance, Requests W);
+
+}  // namespace treeplace

@@ -1,0 +1,79 @@
+#include "core/placement.hpp"
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+Placement::Placement(std::size_t vertexCount)
+    : shares_(vertexCount), serverLoad_(vertexCount, 0), isReplica_(vertexCount, 0) {}
+
+void Placement::addReplica(VertexId node) {
+  TREEPLACE_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < shares_.size(),
+                    "replica id out of range");
+  auto& flag = isReplica_[static_cast<std::size_t>(node)];
+  if (!flag) {
+    flag = 1;
+    ++replicaCount_;
+  }
+}
+
+bool Placement::hasReplica(VertexId node) const {
+  TREEPLACE_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < shares_.size(),
+                    "replica id out of range");
+  return isReplica_[static_cast<std::size_t>(node)] != 0;
+}
+
+std::vector<VertexId> Placement::replicaList() const {
+  std::vector<VertexId> out;
+  out.reserve(replicaCount_);
+  for (std::size_t i = 0; i < isReplica_.size(); ++i)
+    if (isReplica_[i]) out.push_back(static_cast<VertexId>(i));
+  return out;
+}
+
+void Placement::assign(VertexId client, VertexId server, Requests amount) {
+  TREEPLACE_REQUIRE(client >= 0 && static_cast<std::size_t>(client) < shares_.size(),
+                    "client id out of range");
+  TREEPLACE_REQUIRE(server >= 0 && static_cast<std::size_t>(server) < shares_.size(),
+                    "server id out of range");
+  TREEPLACE_REQUIRE(amount > 0, "assignment amount must be positive");
+  auto& clientShares = shares_[static_cast<std::size_t>(client)];
+  for (auto& share : clientShares) {
+    if (share.server == server) {
+      share.amount += amount;
+      serverLoad_[static_cast<std::size_t>(server)] += amount;
+      return;
+    }
+  }
+  clientShares.push_back({server, amount});
+  serverLoad_[static_cast<std::size_t>(server)] += amount;
+}
+
+const std::vector<ServedShare>& Placement::shares(VertexId client) const {
+  TREEPLACE_REQUIRE(client >= 0 && static_cast<std::size_t>(client) < shares_.size(),
+                    "client id out of range");
+  return shares_[static_cast<std::size_t>(client)];
+}
+
+Requests Placement::serverLoad(VertexId server) const {
+  TREEPLACE_REQUIRE(server >= 0 && static_cast<std::size_t>(server) < shares_.size(),
+                    "server id out of range");
+  return serverLoad_[static_cast<std::size_t>(server)];
+}
+
+Requests Placement::assignedOf(VertexId client) const {
+  Requests total = 0;
+  for (const auto& share : shares(client)) total += share.amount;
+  return total;
+}
+
+double Placement::storageCost(const ProblemInstance& instance) const {
+  TREEPLACE_REQUIRE(instance.tree.vertexCount() == shares_.size(),
+                    "placement/instance size mismatch");
+  double total = 0.0;
+  for (std::size_t i = 0; i < isReplica_.size(); ++i)
+    if (isReplica_[i]) total += instance.storageCost[i];
+  return total;
+}
+
+}  // namespace treeplace

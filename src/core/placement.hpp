@@ -1,0 +1,61 @@
+#pragma once
+
+#include <vector>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// One slice of a client's requests handled by one server (r_{i,s} in the
+/// paper).
+struct ServedShare {
+  VertexId server = kNoVertex;
+  Requests amount = 0;
+
+  friend bool operator==(const ServedShare&, const ServedShare&) = default;
+};
+
+/// A replica placement plus the explicit request assignment. Heuristics and
+/// exact algorithms all produce complete Placements so the validator can check
+/// policy compliance, capacities, QoS and bandwidth without re-deriving an
+/// assignment.
+class Placement {
+ public:
+  /// vertexCount must match the instance the placement is for.
+  explicit Placement(std::size_t vertexCount);
+
+  std::size_t vertexCount() const { return shares_.size(); }
+
+  void addReplica(VertexId node);
+  bool hasReplica(VertexId node) const;
+  std::size_t replicaCount() const { return replicaCount_; }
+
+  /// Replica node ids in increasing order.
+  std::vector<VertexId> replicaList() const;
+
+  /// Record `amount` requests of `client` served by `server`; accumulates
+  /// when called twice with the same pair. Requires amount > 0.
+  void assign(VertexId client, VertexId server, Requests amount);
+
+  /// Shares of one client (unspecified order, servers unique).
+  const std::vector<ServedShare>& shares(VertexId client) const;
+
+  /// Total requests assigned to a server across all clients.
+  Requests serverLoad(VertexId server) const;
+
+  /// Total requests assigned for one client across all its servers.
+  Requests assignedOf(VertexId client) const;
+
+  /// Sum of storage costs of the replica set.
+  double storageCost(const ProblemInstance& instance) const;
+
+  friend bool operator==(const Placement&, const Placement&) = default;
+
+ private:
+  std::vector<std::vector<ServedShare>> shares_;  // per client vertex
+  std::vector<Requests> serverLoad_;
+  std::vector<char> isReplica_;
+  std::size_t replicaCount_ = 0;
+};
+
+}  // namespace treeplace

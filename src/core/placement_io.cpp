@@ -1,0 +1,108 @@
+#include "core/placement_io.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw PlacementParseError("placement parse error at line " + std::to_string(line) +
+                            ": " + message);
+}
+
+}  // namespace
+
+void writePlacement(std::ostream& out, const Placement& placement) {
+  out << "treeplace-placement v1\n";
+  out << "vertices " << placement.vertexCount() << "\n";
+  for (const VertexId r : placement.replicaList()) out << "replica " << r << "\n";
+  for (std::size_t c = 0; c < placement.vertexCount(); ++c) {
+    const auto client = static_cast<VertexId>(c);
+    for (const ServedShare& share : placement.shares(client))
+      out << "assign " << client << ' ' << share.server << ' ' << share.amount
+          << "\n";
+  }
+}
+
+std::string placementToString(const Placement& placement) {
+  std::ostringstream os;
+  writePlacement(os, placement);
+  return os.str();
+}
+
+Placement readPlacement(std::istream& in) {
+  std::string line;
+  std::size_t lineNo = 0;
+  auto nextTokens = [&](std::vector<std::string>& tokens) -> bool {
+    while (std::getline(in, line)) {
+      ++lineNo;
+      tokens.clear();
+      std::istringstream ls(line);
+      std::string token;
+      while (ls >> token) {
+        if (token.front() == '#') break;
+        tokens.push_back(token);
+      }
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> tokens;
+  if (!nextTokens(tokens) || tokens.size() != 2 ||
+      tokens[0] != "treeplace-placement" || tokens[1] != "v1")
+    fail(lineNo, "missing 'treeplace-placement v1' header");
+  if (!nextTokens(tokens) || tokens.size() != 2 || tokens[0] != "vertices")
+    fail(lineNo, "missing 'vertices <count>' line");
+  std::size_t count = 0;
+  try {
+    count = std::stoul(tokens[1]);
+  } catch (const std::exception&) {
+    fail(lineNo, "bad vertex count");
+  }
+  if (count == 0) fail(lineNo, "vertex count must be positive");
+
+  Placement placement(count);
+  auto checkedId = [&](const std::string& token) {
+    long long value = -1;
+    try {
+      value = std::stoll(token);
+    } catch (const std::exception&) {
+      fail(lineNo, "bad vertex id '" + token + "'");
+    }
+    if (value < 0 || value >= static_cast<long long>(count))
+      fail(lineNo, "vertex id out of range: " + token);
+    return static_cast<VertexId>(value);
+  };
+
+  while (nextTokens(tokens)) {
+    if (tokens[0] == "replica" && tokens.size() == 2) {
+      placement.addReplica(checkedId(tokens[1]));
+    } else if (tokens[0] == "assign" && tokens.size() == 4) {
+      const VertexId client = checkedId(tokens[1]);
+      const VertexId server = checkedId(tokens[2]);
+      long long amount = 0;
+      try {
+        amount = std::stoll(tokens[3]);
+      } catch (const std::exception&) {
+        fail(lineNo, "bad amount");
+      }
+      if (amount <= 0) fail(lineNo, "amount must be positive");
+      placement.assign(client, server, amount);
+    } else {
+      fail(lineNo, "expected 'replica <node>' or 'assign <c> <s> <amount>'");
+    }
+  }
+  return placement;
+}
+
+Placement placementFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readPlacement(in);
+}
+
+}  // namespace treeplace

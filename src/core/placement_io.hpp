@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/placement.hpp"
+
+namespace treeplace {
+
+/// Thrown on malformed placement text.
+class PlacementParseError final : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialise a placement to the line-oriented `treeplace-placement v1`
+/// format:
+///
+///   treeplace-placement v1
+///   vertices <count>
+///   replica <node>            (one line per replica, ascending)
+///   assign <client> <server> <amount>
+///
+/// `#` starts a comment. Deterministic output (replicas ascending, clients
+/// in id order, shares in insertion order).
+void writePlacement(std::ostream& out, const Placement& placement);
+std::string placementToString(const Placement& placement);
+
+/// Parse the format written by writePlacement. Throws PlacementParseError on
+/// malformed input. Structural consistency against an instance is the
+/// caller's job (use validatePlacement).
+Placement readPlacement(std::istream& in);
+Placement placementFromString(const std::string& text);
+
+}  // namespace treeplace

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <string_view>
+
+namespace treeplace {
+
+/// The three access policies compared by the paper (Section 3).
+enum class Policy {
+  Closest,   ///< single server: the first replica on the client's root path
+  Upwards,   ///< single server anywhere on the client's root path
+  Multiple,  ///< the client's requests may be split across path replicas
+};
+
+constexpr std::string_view toString(Policy policy) {
+  switch (policy) {
+    case Policy::Closest: return "Closest";
+    case Policy::Upwards: return "Upwards";
+    case Policy::Multiple: return "Multiple";
+  }
+  return "?";
+}
+
+/// All policies, in increasing order of permissiveness: a valid Closest
+/// placement is a valid Upwards placement, which is a valid Multiple one.
+inline constexpr Policy kAllPolicies[] = {Policy::Closest, Policy::Upwards,
+                                          Policy::Multiple};
+
+}  // namespace treeplace

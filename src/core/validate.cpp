@@ -1,0 +1,175 @@
+#include "core/validate.hpp"
+
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+std::string_view toString(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::UnservedRequests: return "UnservedRequests";
+    case ViolationKind::ServerNotInternal: return "ServerNotInternal";
+    case ViolationKind::ServerNotOnPath: return "ServerNotOnPath";
+    case ViolationKind::ServerWithoutReplica: return "ServerWithoutReplica";
+    case ViolationKind::CapacityExceeded: return "CapacityExceeded";
+    case ViolationKind::SingleServerViolated: return "SingleServerViolated";
+    case ViolationKind::ClosestViolated: return "ClosestViolated";
+    case ViolationKind::QosViolated: return "QosViolated";
+    case ViolationKind::BandwidthExceeded: return "BandwidthExceeded";
+    case ViolationKind::ReplicaOnClient: return "ReplicaOnClient";
+  }
+  return "?";
+}
+
+std::string ValidationResult::describe() const {
+  std::ostringstream os;
+  for (const auto& v : violations)
+    os << toString(v.kind) << " at vertex " << v.where << ": " << v.detail << '\n';
+  return os.str();
+}
+
+namespace {
+
+class Checker {
+ public:
+  Checker(const ProblemInstance& instance, const Placement& placement, Policy policy,
+          const ValidationOptions& options)
+      : instance_(instance), placement_(placement), policy_(policy), options_(options) {
+    TREEPLACE_REQUIRE(placement.vertexCount() == instance.tree.vertexCount(),
+                      "placement built for a different instance size");
+  }
+
+  ValidationResult run() {
+    checkReplicaHosts();
+    checkClients();
+    checkCapacities();
+    if (options_.checkBandwidth && instance_.hasBandwidthConstraints())
+      checkBandwidth();
+    return std::move(result_);
+  }
+
+ private:
+  void add(ViolationKind kind, VertexId where, std::string detail) {
+    result_.violations.push_back({kind, where, std::move(detail)});
+  }
+
+  void checkReplicaHosts() {
+    for (const VertexId node : placement_.replicaList()) {
+      if (instance_.tree.isClient(node))
+        add(ViolationKind::ReplicaOnClient, node, "replica hosted on a client leaf");
+    }
+  }
+
+  void checkClients() {
+    const Tree& tree = instance_.tree;
+    for (const VertexId client : tree.clients()) {
+      const auto ci = static_cast<std::size_t>(client);
+      const auto& shares = placement_.shares(client);
+      Requests served = 0;
+      for (const auto& share : shares) {
+        served += share.amount;
+        if (tree.isClient(share.server)) {
+          add(ViolationKind::ServerNotInternal, client,
+              "share assigned to client vertex " + std::to_string(share.server));
+          continue;
+        }
+        if (!tree.isAncestor(share.server, client)) {
+          add(ViolationKind::ServerNotOnPath, client,
+              "server " + std::to_string(share.server) + " is not an ancestor");
+          continue;
+        }
+        if (!placement_.hasReplica(share.server)) {
+          add(ViolationKind::ServerWithoutReplica, client,
+              "server " + std::to_string(share.server) + " hosts no replica");
+        }
+        if (options_.checkQos && instance_.qos[ci] != kNoQos) {
+          const double latency = instance_.qosLatency(client, share.server);
+          if (latency > instance_.qos[ci] + 1e-9) {
+            add(ViolationKind::QosViolated, client,
+                "latency " + std::to_string(latency) + " to server " +
+                    std::to_string(share.server) + " exceeds QoS " +
+                    std::to_string(instance_.qos[ci]));
+          }
+        }
+      }
+      if (served != instance_.requests[ci]) {
+        add(ViolationKind::UnservedRequests, client,
+            "served " + std::to_string(served) + " of " +
+                std::to_string(instance_.requests[ci]) + " requests");
+      }
+      if (policy_ != Policy::Multiple && shares.size() > 1) {
+        add(ViolationKind::SingleServerViolated, client,
+            std::to_string(shares.size()) + " servers under a single-server policy");
+      }
+      if (policy_ == Policy::Closest && shares.size() == 1) {
+        // The single server must be the first replica on the root path.
+        const VertexId server = shares.front().server;
+        for (VertexId hop = tree.parent(client); hop != kNoVertex && hop != server;
+             hop = tree.parent(hop)) {
+          if (placement_.hasReplica(hop)) {
+            add(ViolationKind::ClosestViolated, client,
+                "replica at " + std::to_string(hop) + " is traversed to reach " +
+                    std::to_string(server));
+            break;
+          }
+        }
+      }
+    }
+  }
+
+  void checkCapacities() {
+    for (const VertexId node : instance_.tree.internals()) {
+      const auto ni = static_cast<std::size_t>(node);
+      const Requests load = placement_.serverLoad(node);
+      if (load > instance_.capacity[ni]) {
+        add(ViolationKind::CapacityExceeded, node,
+            "load " + std::to_string(load) + " exceeds capacity " +
+                std::to_string(instance_.capacity[ni]));
+      }
+    }
+  }
+
+  void checkBandwidth() {
+    const Tree& tree = instance_.tree;
+    std::vector<Requests> linkFlow(tree.vertexCount(), 0);
+    for (const VertexId client : tree.clients()) {
+      for (const auto& share : placement_.shares(client)) {
+        if (!tree.isAncestor(share.server, client)) continue;  // reported already
+        for (VertexId hop = client; hop != share.server; hop = tree.parent(hop))
+          linkFlow[static_cast<std::size_t>(hop)] += share.amount;
+      }
+    }
+    for (std::size_t i = 0; i < linkFlow.size(); ++i) {
+      const auto v = static_cast<VertexId>(i);
+      if (v == tree.root()) continue;
+      if (instance_.bandwidth[i] != kUnlimitedBandwidth &&
+          linkFlow[i] > instance_.bandwidth[i]) {
+        add(ViolationKind::BandwidthExceeded, v,
+            "flow " + std::to_string(linkFlow[i]) + " exceeds bandwidth " +
+                std::to_string(instance_.bandwidth[i]) + " on link to parent");
+      }
+    }
+  }
+
+  const ProblemInstance& instance_;
+  const Placement& placement_;
+  Policy policy_;
+  ValidationOptions options_;
+  ValidationResult result_;
+};
+
+}  // namespace
+
+ValidationResult validatePlacement(const ProblemInstance& instance,
+                                   const Placement& placement, Policy policy,
+                                   const ValidationOptions& options) {
+  return Checker(instance, placement, policy, options).run();
+}
+
+bool isValidPlacement(const ProblemInstance& instance, const Placement& placement,
+                      Policy policy, const ValidationOptions& options) {
+  return validatePlacement(instance, placement, policy, options).ok();
+}
+
+}  // namespace treeplace

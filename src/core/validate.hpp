@@ -1,0 +1,58 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/policy.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+enum class ViolationKind {
+  UnservedRequests,      ///< client's shares do not sum to r_i
+  ServerNotInternal,     ///< a share points at a client vertex
+  ServerNotOnPath,       ///< server is not an ancestor of the client
+  ServerWithoutReplica,  ///< assignment to a node that hosts no replica
+  CapacityExceeded,      ///< server load above W_j
+  SingleServerViolated,  ///< Closest/Upwards client with several servers
+  ClosestViolated,       ///< a replica sits strictly between client and server
+  QosViolated,           ///< distance(client, server) > q_i
+  BandwidthExceeded,     ///< flow through a link above BW_l
+  ReplicaOnClient,       ///< replica placed on a client vertex
+};
+
+std::string_view toString(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind;
+  VertexId where;  ///< offending client / server / link lower endpoint
+  std::string detail;
+};
+
+struct ValidationResult {
+  std::vector<Violation> violations;
+
+  bool ok() const { return violations.empty(); }
+  /// Multi-line description, empty when ok().
+  std::string describe() const;
+};
+
+struct ValidationOptions {
+  bool checkQos = true;
+  bool checkBandwidth = true;
+};
+
+/// Check a placement against an instance under a policy: full coverage,
+/// servers on root paths with replicas, capacities, the single-server rule
+/// (Upwards/Closest), the first-replica rule (Closest), QoS distances and
+/// per-link bandwidth (flows recomputed from the assignment).
+ValidationResult validatePlacement(const ProblemInstance& instance,
+                                   const Placement& placement, Policy policy,
+                                   const ValidationOptions& options = {});
+
+/// Convenience wrapper: true iff validatePlacement(...).ok().
+bool isValidPlacement(const ProblemInstance& instance, const Placement& placement,
+                      Policy policy, const ValidationOptions& options = {});
+
+}  // namespace treeplace

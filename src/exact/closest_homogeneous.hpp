@@ -1,0 +1,26 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Optimal Replica Counting under the Closest policy on homogeneous nodes
+/// (the polynomial Table-1 entry, credited to [2,9] in the paper).
+///
+/// Dynamic program over the tree: the state of a subtree is the Pareto
+/// frontier of (replica count, residual unserved flow leaving the subtree).
+/// Under Closest, a replica at node v absorbs *all* residual flow of
+/// subtree(v) (clients may not traverse it), which is only allowed when that
+/// flow is at most W; this makes the residual flow the only coupling between
+/// a subtree and the rest of the tree, and frontier sizes are bounded by the
+/// subtree's internal-node count, giving an O(n^2) algorithm.
+///
+/// Returns the optimal placement (with each client assigned to the first
+/// replica on its root path), or std::nullopt when no Closest solution
+/// exists. Requires a homogeneous instance.
+std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance);
+
+}  // namespace treeplace

@@ -1,0 +1,174 @@
+#include "exact/closest_qos.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+constexpr double kInfiniteSlack = std::numeric_limits<double>::infinity();
+
+/// Pareto point of a subtree: `count` replicas inside, `flow` unserved
+/// requests leaving it, `slack` = min remaining QoS budget over those
+/// unserved clients (infinite when flow is 0 or every unserved client is
+/// unconstrained).
+struct Entry {
+  int count = 0;
+  Requests flow = 0;
+  double slack = kInfiniteSlack;
+  int combIndex = -1;
+  bool replicaHere = false;
+};
+
+struct CombEntry {
+  int count = 0;
+  Requests flow = 0;
+  double slack = kInfiniteSlack;
+  int prevIndex = -1;
+  int childIndex = -1;
+};
+
+/// Keep the 3-D Pareto frontier: an entry is dominated if another has
+/// count <=, flow <= and slack >= (with one strict). Sorting by (count, flow,
+/// -slack) lets a sweep with the best-slack-so-far per (count, flow) prefix
+/// filter dominated points; the frontier stays small because slack only
+/// matters through later place-decisions.
+template <typename E>
+void prune(std::vector<E>& entries) {
+  std::sort(entries.begin(), entries.end(), [](const E& a, const E& b) {
+    if (a.count != b.count) return a.count < b.count;
+    if (a.flow != b.flow) return a.flow < b.flow;
+    return a.slack > b.slack;
+  });
+  std::vector<E> kept;
+  for (const E& e : entries) {
+    bool dominated = false;
+    for (const E& k : kept) {
+      if (k.count <= e.count && k.flow <= e.flow && k.slack >= e.slack) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(e);
+  }
+  entries = std::move(kept);
+}
+
+}  // namespace
+
+std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance) {
+  instance.validate();
+  const Requests W = instance.homogeneousCapacity();
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Tree& tree = instance.tree;
+  const std::size_t n = tree.vertexCount();
+
+  struct NodeState {
+    std::vector<std::vector<CombEntry>> combos;
+    std::vector<Entry> frontier;
+  };
+  std::vector<NodeState> states(n);
+
+  for (const VertexId v : tree.postorder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    NodeState& state = states[vi];
+    if (tree.isClient(v)) {
+      // Slack measured at the client itself; its uplink comm is charged when
+      // the entry moves into the parent below.
+      const Requests r = instance.requests[vi];
+      state.frontier.push_back({0, r, r > 0 ? instance.qos[vi] : kInfiniteSlack,
+                                -1, false});
+      continue;
+    }
+
+    // Convolve children: each child's frontier first pays its uplink comm.
+    std::vector<CombEntry> acc{{0, 0, kInfiniteSlack, -1, -1}};
+    for (const VertexId child : tree.children(v)) {
+      const double uplink = instance.commTime[static_cast<std::size_t>(child)];
+      const auto& childFrontier = states[static_cast<std::size_t>(child)].frontier;
+      std::vector<CombEntry> next;
+      next.reserve(acc.size() * childFrontier.size());
+      for (std::size_t p = 0; p < acc.size(); ++p) {
+        for (std::size_t c = 0; c < childFrontier.size(); ++c) {
+          const double childSlack = childFrontier[c].flow > 0
+                                        ? childFrontier[c].slack - uplink
+                                        : kInfiniteSlack;
+          if (childSlack < -1e-9) continue;  // dead: client unreachable in time
+          next.push_back({acc[p].count + childFrontier[c].count,
+                          acc[p].flow + childFrontier[c].flow,
+                          std::min(acc[p].slack, childSlack), static_cast<int>(p),
+                          static_cast<int>(c)});
+        }
+      }
+      prune(next);
+      if (next.empty()) return std::nullopt;  // some child has no live state
+      state.combos.push_back(next);
+      acc = std::move(next);
+    }
+
+    std::vector<Entry> options;
+    const double comp = instance.compTime[vi];
+    for (std::size_t k = 0; k < acc.size(); ++k) {
+      options.push_back({acc[k].count, acc[k].flow, acc[k].slack,
+                         static_cast<int>(k), false});
+      if (acc[k].flow <= W && acc[k].slack >= comp - 1e-9)
+        options.push_back({acc[k].count + 1, 0, kInfiniteSlack,
+                           static_cast<int>(k), true});
+    }
+    prune(options);
+    state.frontier = std::move(options);
+  }
+
+  const auto rootIndex = static_cast<std::size_t>(tree.root());
+  const auto& rootFrontier = states[rootIndex].frontier;
+  int bestIdx = -1;
+  for (std::size_t k = 0; k < rootFrontier.size(); ++k) {
+    if (rootFrontier[k].flow == 0 &&
+        (bestIdx < 0 ||
+         rootFrontier[k].count < rootFrontier[static_cast<std::size_t>(bestIdx)].count))
+      bestIdx = static_cast<int>(k);
+  }
+  if (bestIdx < 0) return std::nullopt;
+
+  // Reconstruction, as in the QoS-free DP.
+  Placement placement(n);
+  struct Todo {
+    VertexId node;
+    int entryIndex;
+  };
+  std::vector<Todo> stack{{tree.root(), bestIdx}};
+  while (!stack.empty()) {
+    const Todo todo = stack.back();
+    stack.pop_back();
+    if (tree.isClient(todo.node)) continue;
+    const NodeState& state = states[static_cast<std::size_t>(todo.node)];
+    const Entry& entry = state.frontier[static_cast<std::size_t>(todo.entryIndex)];
+    if (entry.replicaHere) placement.addReplica(todo.node);
+    const auto children = tree.children(todo.node);
+    int combIdx = entry.combIndex;
+    for (std::size_t ci = children.size(); ci-- > 0;) {
+      const CombEntry& comb = state.combos[ci][static_cast<std::size_t>(combIdx)];
+      stack.push_back({children[ci], comb.childIndex});
+      combIdx = comb.prevIndex;
+    }
+  }
+
+  for (const VertexId client : tree.clients()) {
+    const auto ci = static_cast<std::size_t>(client);
+    if (instance.requests[ci] == 0) continue;
+    VertexId server = kNoVertex;
+    for (VertexId hop = tree.parent(client); hop != kNoVertex; hop = tree.parent(hop)) {
+      if (placement.hasReplica(hop)) {
+        server = hop;
+        break;
+      }
+    }
+    TREEPLACE_REQUIRE(server != kNoVertex, "QoS DP reconstruction lost a client");
+    placement.assign(client, server, instance.requests[ci]);
+  }
+  return placement;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Optimal Replica Counting under the Closest policy on homogeneous nodes
+/// *with QoS constraints* — the polynomial [9]-style entry behind Table 1's
+/// remark that Closest/homogeneous stays polynomial when QoS is added.
+///
+/// Extends the Pareto dynamic program of solveClosestHomogeneous with a
+/// third state dimension: the minimum remaining QoS slack over the subtree's
+/// unserved clients (slack of client i at node v is q_i minus the
+/// communication time already travelled). Moving up an edge shrinks every
+/// slack by the edge's comm time; placing a replica at v requires the
+/// incoming flow to fit in W *and* the minimum slack to cover v's
+/// computation time. States with negative slack are dead (no higher server
+/// can ever satisfy that client) and are pruned.
+///
+/// Dominance is three-dimensional (fewer replicas, less flow, more slack),
+/// so frontiers can be larger than in the QoS-free DP but remain polynomial
+/// for the hop-count QoS of the paper's experiments (slacks take O(depth)
+/// distinct values).
+///
+/// Returns the optimal placement or std::nullopt when no Closest solution
+/// satisfies capacities and QoS. Requires a homogeneous instance.
+std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance);
+
+}  // namespace treeplace

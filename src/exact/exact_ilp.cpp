@@ -1,0 +1,31 @@
+#include "exact/exact_ilp.hpp"
+
+#include "formulation/ilp.hpp"
+#include "support/require.hpp"
+
+namespace treeplace {
+
+ExactIlpResult solveExactViaIlp(const ProblemInstance& instance, Policy policy,
+                                const ExactIlpOptions& options) {
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::Exact;
+  fo.enforceQos = options.enforceQos;
+  fo.enforceBandwidth = options.enforceBandwidth;
+  const IlpFormulation formulation(instance, policy, fo);
+
+  lp::MipOptions mo = options.mip;
+  if (mo.maxNodes == 100000 && formulation.model().variableCount() > 2000)
+    mo.maxNodes = 20000;  // guard rail for accidentally large exact solves
+  const lp::MipResult mip = lp::solveMip(formulation.model(), mo);
+
+  ExactIlpResult result;
+  result.nodesExplored = mip.nodesExplored;
+  result.proven = mip.proven;
+  if (mip.hasIncumbent()) {
+    result.placement = formulation.decode(mip.values);
+    result.cost = result.placement->storageCost(instance);
+  }
+  return result;
+}
+
+}  // namespace treeplace

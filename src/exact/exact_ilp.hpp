@@ -1,0 +1,34 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "core/policy.hpp"
+#include "lp/branch_bound.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+struct ExactIlpOptions {
+  lp::MipOptions mip;
+  bool enforceQos = true;
+  bool enforceBandwidth = true;
+};
+
+struct ExactIlpResult {
+  bool proven = false;   ///< branch-and-bound closed the gap
+  double cost = 0.0;     ///< cost of `placement` when present
+  long nodesExplored = 0;
+  std::optional<Placement> placement;
+
+  bool feasible() const { return placement.has_value(); }
+};
+
+/// Solve Replica Placement to optimality for any policy through the
+/// Section 5 ILP and the branch-and-bound solver. Intended for small
+/// instances: all three policies are NP-hard in general (Table 1), and the
+/// Closest formulation carries O(s^3) constraints.
+ExactIlpResult solveExactViaIlp(const ProblemInstance& instance, Policy policy,
+                                const ExactIlpOptions& options = {});
+
+}  // namespace treeplace

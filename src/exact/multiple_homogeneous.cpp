@@ -1,0 +1,119 @@
+#include "exact/multiple_homogeneous.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+/// Pass 3: greedy bottom-up assignment. Every replica, taken in postorder,
+/// absorbs as much of its subtree's still-unassigned requests as fits
+/// (clients left to right, splitting the last one). On a laminar family this
+/// maximises the total served load, so it completes whenever passes 1-2
+/// succeeded.
+Placement assignRequests(const ProblemInstance& instance,
+                         const std::vector<char>& isReplica) {
+  const Tree& tree = instance.tree;
+  Placement placement(tree.vertexCount());
+  std::vector<Requests> remaining = instance.requests;
+  const Requests W = instance.homogeneousCapacity();
+
+  for (const VertexId s : tree.postorder()) {
+    if (!tree.isInternal(s) || !isReplica[static_cast<std::size_t>(s)]) continue;
+    placement.addReplica(s);
+    Requests budget = W;
+    for (const VertexId client : tree.clientsInSubtree(s)) {
+      if (budget == 0) break;
+      auto& rest = remaining[static_cast<std::size_t>(client)];
+      if (rest == 0) continue;
+      const Requests take = std::min(rest, budget);
+      placement.assign(client, s, take);
+      rest -= take;
+      budget -= take;
+    }
+  }
+  for (const VertexId client : tree.clients()) {
+    TREEPLACE_REQUIRE(remaining[static_cast<std::size_t>(client)] == 0,
+                      "pass 3 failed to assign all requests — flow bookkeeping bug");
+  }
+  return placement;
+}
+
+}  // namespace
+
+std::optional<Placement> solveMultipleHomogeneous(const ProblemInstance& instance,
+                                                  MultipleHomogeneousTrace* trace) {
+  instance.validate();
+  const Requests W = instance.homogeneousCapacity();
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Tree& tree = instance.tree;
+  const std::size_t n = tree.vertexCount();
+
+  std::vector<char> isReplica(n, 0);
+  std::vector<Requests> flow(n, 0);
+
+  // Pass 1: place a replica wherever the upward flow reaches W; such a
+  // server is fully used (it absorbs exactly W).
+  for (const VertexId v : tree.postorder()) {
+    const auto i = static_cast<std::size_t>(v);
+    if (tree.isClient(v)) {
+      flow[i] = instance.requests[i];
+      continue;
+    }
+    for (const VertexId c : tree.children(v)) flow[i] += flow[static_cast<std::size_t>(c)];
+    if (flow[i] >= W) {
+      flow[i] -= W;
+      isReplica[i] = 1;
+      if (trace) trace->pass1Replicas.push_back(v);
+    }
+  }
+  if (trace) trace->pass1Flow = flow;
+
+  const VertexId root = tree.root();
+  const auto ri = static_cast<std::size_t>(root);
+
+  if (flow[ri] != 0 && flow[ri] <= W && !isReplica[ri]) {
+    // The root can mop up the leftover on its own.
+    isReplica[ri] = 1;
+    if (trace) trace->pass2Replicas.push_back(root);
+    flow[ri] = 0;
+  }
+
+  // Pass 2: while requests still reach the root unserved, grant a replica to
+  // the free node with maximal useful flow (the minimum flow on its path to
+  // the root — that is how many extra requests it can really absorb).
+  std::vector<Requests> uflow(n, 0);
+  while (flow[ri] != 0) {
+    VertexId best = kNoVertex;
+    Requests bestFlow = 0;
+    for (const VertexId v : tree.preorder()) {
+      if (!tree.isInternal(v)) continue;
+      const auto i = static_cast<std::size_t>(v);
+      uflow[i] = (v == root) ? flow[i]
+                             : std::min(flow[i],
+                                        uflow[static_cast<std::size_t>(tree.parent(v))]);
+      // Preorder gives the depth-first tie-break from the optimality proof.
+      if (!isReplica[i] && uflow[i] > bestFlow) {
+        bestFlow = uflow[i];
+        best = v;
+      }
+    }
+    if (best == kNoVertex) return std::nullopt;  // no free node can still help
+    isReplica[static_cast<std::size_t>(best)] = 1;
+    if (trace) trace->pass2Replicas.push_back(best);
+    const Requests absorbed = std::min(bestFlow, W);
+    for (VertexId v = best; v != kNoVertex; v = tree.parent(v))
+      flow[static_cast<std::size_t>(v)] -= absorbed;
+  }
+
+  return assignRequests(instance, isReplica);
+}
+
+std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& instance) {
+  const auto placement = solveMultipleHomogeneous(instance);
+  if (!placement) return std::nullopt;
+  return placement->replicaCount();
+}
+
+}  // namespace treeplace

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Trace of the three passes, exposed for tests and the walkthrough example.
+struct MultipleHomogeneousTrace {
+  std::vector<VertexId> pass1Replicas;  ///< saturated nodes (flow >= W)
+  std::vector<VertexId> pass2Replicas;  ///< extra nodes by maximal useful flow
+  std::vector<Requests> pass1Flow;      ///< residual flow after pass 1, per vertex
+};
+
+/// The paper's polynomial-time optimal algorithm for Replica Counting with
+/// the Multiple strategy on homogeneous nodes (Section 4.1, Theorem 1):
+///   pass 1 places a replica wherever the upward flow reaches W (these
+///   servers are saturated), pass 2 repeatedly grants a replica to the free
+///   node of maximal useful flow, pass 3 assigns concrete requests bottom-up.
+/// Returns std::nullopt when the instance is infeasible (some requests cannot
+/// be served even using every node). Requires a homogeneous instance.
+std::optional<Placement> solveMultipleHomogeneous(
+    const ProblemInstance& instance, MultipleHomogeneousTrace* trace = nullptr);
+
+/// Minimal number of replicas, or nullopt if infeasible — convenience wrapper.
+std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& instance);
+
+}  // namespace treeplace

@@ -1,0 +1,184 @@
+#include "exact/upwards_exact.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+struct ClientInfo {
+  VertexId id;
+  Requests requests;
+  std::vector<VertexId> ancestors;  ///< bottom-up
+};
+
+class Search {
+ public:
+  Search(const ProblemInstance& instance, const UpwardsExactOptions& options)
+      : instance_(instance), options_(options) {
+    const Tree& tree = instance.tree;
+    for (const VertexId c : tree.clients()) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (instance.requests[ci] == 0) continue;
+      clients_.push_back({c, instance.requests[ci], tree.ancestors(c)});
+    }
+    std::sort(clients_.begin(), clients_.end(), [](const ClientInfo& a, const ClientInfo& b) {
+      if (a.requests != b.requests) return a.requests > b.requests;
+      return a.id < b.id;
+    });
+
+    residual_.assign(tree.vertexCount(), 0);
+    opened_.assign(tree.vertexCount(), 0);
+    for (const VertexId j : tree.internals())
+      residual_[static_cast<std::size_t>(j)] = instance.capacity[static_cast<std::size_t>(j)];
+
+    remainingDemand_ = 0;
+    for (const ClientInfo& c : clients_) remainingDemand_ += c.requests;
+
+    minUnopenedRatio_ = std::numeric_limits<double>::infinity();
+    for (const VertexId j : tree.internals()) {
+      const auto ji = static_cast<std::size_t>(j);
+      if (instance.capacity[ji] > 0)
+        minUnopenedRatio_ = std::min(
+            minUnopenedRatio_,
+            instance.storageCost[ji] / static_cast<double>(instance.capacity[ji]));
+    }
+    choice_.assign(clients_.size(), -1);
+  }
+
+  UpwardsExactResult run() {
+    seedIncumbent();
+    dfs(0, 0.0, 0);
+    UpwardsExactResult result;
+    result.steps = steps_;
+    result.proven = steps_ < options_.maxSteps;
+    if (bestCost_ < std::numeric_limits<double>::infinity())
+      result.placement = buildPlacement();
+    return result;
+  }
+
+ private:
+  /// Greedy best-fit-decreasing incumbent: pick, per client, the admissible
+  /// ancestor minimising the marginal cost (0 if already opened), preferring
+  /// the fullest opened server. Failure just means no initial bound.
+  void seedIncumbent() {
+    std::vector<Requests> residual = residual_;
+    std::vector<char> opened(residual.size(), 0);
+    std::vector<int> choice(clients_.size(), -1);
+    double cost = 0.0;
+    for (std::size_t k = 0; k < clients_.size(); ++k) {
+      const ClientInfo& client = clients_[k];
+      int best = -1;
+      double bestKey = std::numeric_limits<double>::infinity();
+      for (std::size_t a = 0; a < client.ancestors.size(); ++a) {
+        const auto ji = static_cast<std::size_t>(client.ancestors[a]);
+        if (residual[ji] < client.requests) continue;
+        const double key = opened[ji]
+                               ? static_cast<double>(residual[ji]) * 1e-9
+                               : instance_.storageCost[ji] + 1.0;
+        if (key < bestKey) {
+          bestKey = key;
+          best = static_cast<int>(a);
+        }
+      }
+      if (best < 0) return;  // greedy failed; search starts unbounded
+      const auto ji = static_cast<std::size_t>(client.ancestors[static_cast<std::size_t>(best)]);
+      if (!opened[ji]) {
+        opened[ji] = 1;
+        cost += instance_.storageCost[ji];
+      }
+      residual[ji] -= client.requests;
+      choice[k] = best;
+    }
+    bestCost_ = cost;
+    bestChoice_ = choice;
+  }
+
+  void dfs(std::size_t k, double cost, Requests openResidual) {
+    if (steps_ >= options_.maxSteps) return;
+    ++steps_;
+    if (k == clients_.size()) {
+      if (cost < bestCost_ - 1e-9) {
+        bestCost_ = cost;
+        bestChoice_ = choice_;
+      }
+      return;
+    }
+
+    // Fractional-cover pruning on the demand that cannot fit in opened nodes.
+    const Requests uncovered = remainingDemand_ - std::min(remainingDemand_, openResidual);
+    const double extra =
+        uncovered > 0 ? static_cast<double>(uncovered) * minUnopenedRatio_ : 0.0;
+    if (cost + extra >= bestCost_ - 1e-9) return;
+
+    const ClientInfo& client = clients_[k];
+    // Symmetry reduction: identical clients (same parent, same demand) are
+    // forced into non-decreasing ancestor index.
+    std::size_t firstAncestor = 0;
+    if (k > 0 && clients_[k - 1].requests == client.requests &&
+        instance_.tree.parent(clients_[k - 1].id) == instance_.tree.parent(client.id) &&
+        choice_[k - 1] >= 0)
+      firstAncestor = static_cast<std::size_t>(choice_[k - 1]);
+
+    for (std::size_t a = firstAncestor; a < client.ancestors.size(); ++a) {
+      const VertexId j = client.ancestors[a];
+      const auto ji = static_cast<std::size_t>(j);
+      if (residual_[ji] < client.requests) continue;
+
+      const bool newlyOpened = !opened_[ji];
+      const double addedCost = newlyOpened ? instance_.storageCost[ji] : 0.0;
+      if (cost + addedCost >= bestCost_ - 1e-9 && newlyOpened) continue;
+
+      opened_[ji] = 1;
+      residual_[ji] -= client.requests;
+      remainingDemand_ -= client.requests;
+      choice_[k] = static_cast<int>(a);
+      const Requests residualDelta =
+          newlyOpened ? instance_.capacity[ji] - client.requests : -client.requests;
+
+      dfs(k + 1, cost + addedCost, openResidual + residualDelta);
+
+      choice_[k] = -1;
+      remainingDemand_ += client.requests;
+      residual_[ji] += client.requests;
+      if (newlyOpened) opened_[ji] = 0;
+      if (steps_ >= options_.maxSteps) return;
+    }
+  }
+
+  Placement buildPlacement() const {
+    Placement placement(instance_.tree.vertexCount());
+    for (std::size_t k = 0; k < clients_.size(); ++k) {
+      const int a = bestChoice_[k];
+      TREEPLACE_REQUIRE(a >= 0, "incumbent with unassigned client");
+      const VertexId server = clients_[k].ancestors[static_cast<std::size_t>(a)];
+      placement.addReplica(server);
+      placement.assign(clients_[k].id, server, clients_[k].requests);
+    }
+    return placement;
+  }
+
+  const ProblemInstance& instance_;
+  const UpwardsExactOptions& options_;
+  std::vector<ClientInfo> clients_;
+  std::vector<Requests> residual_;
+  std::vector<char> opened_;
+  std::vector<int> choice_;
+  std::vector<int> bestChoice_;
+  Requests remainingDemand_ = 0;
+  double minUnopenedRatio_ = 0.0;
+  double bestCost_ = std::numeric_limits<double>::infinity();
+  long steps_ = 0;
+};
+
+}  // namespace
+
+UpwardsExactResult solveUpwardsExact(const ProblemInstance& instance,
+                                     const UpwardsExactOptions& options) {
+  instance.validate();
+  return Search(instance, options).run();
+}
+
+}  // namespace treeplace

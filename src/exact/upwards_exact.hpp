@@ -1,0 +1,33 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+struct UpwardsExactOptions {
+  long maxSteps = 5'000'000;  ///< DFS node budget
+};
+
+struct UpwardsExactResult {
+  bool proven = false;  ///< the search space was exhausted within the budget
+  long steps = 0;
+  std::optional<Placement> placement;  ///< best placement found (min cost)
+
+  bool feasible() const { return placement.has_value(); }
+};
+
+/// Exact combinatorial solver for Replica Cost under the Upwards policy —
+/// NP-hard (Theorem 2/3), so this is a depth-first branch-and-bound intended
+/// for small instances (tests, reductions, the Table 1 scaling bench).
+///
+/// Clients are assigned in decreasing request order to one ancestor each;
+/// pruning uses the fractional-cover bound on the remaining demand, and
+/// identical sibling clients are symmetry-reduced. Works for homogeneous and
+/// heterogeneous instances. Ignores QoS/bandwidth (Replica Cost problem).
+UpwardsExactResult solveUpwardsExact(const ProblemInstance& instance,
+                                     const UpwardsExactOptions& options = {});
+
+}  // namespace treeplace

@@ -1,0 +1,116 @@
+#include "experiments/runner.hpp"
+
+#include <algorithm>
+
+#include "core/validate.hpp"
+#include "formulation/lower_bound.hpp"
+#include "heuristics/heuristic.hpp"
+#include "support/require.hpp"
+
+namespace treeplace {
+
+std::array<std::string, kSeriesCount> seriesNames() {
+  std::array<std::string, kSeriesCount> names;
+  std::size_t k = 0;
+  for (const HeuristicInfo& h : allHeuristics()) names[k++] = std::string(h.shortName);
+  names[kMixedBestIndex] = "MB";
+  return names;
+}
+
+TreeOutcome evaluateInstance(const ProblemInstance& instance, long lbMaxNodes) {
+  TreeOutcome outcome;
+  outcome.vertices = static_cast<int>(instance.tree.vertexCount());
+  outcome.lambda = instance.load();
+
+  double bestCost = lp::kInfinity;
+  std::size_t k = 0;
+  for (const HeuristicInfo& h : allHeuristics()) {
+    auto placement = h.run(instance);
+    auto& slot = outcome.series[k++];
+    if (!placement) continue;
+    slot.success = true;
+    slot.cost = placement->storageCost(instance);
+    slot.valid = isValidPlacement(instance, *placement, h.policy);
+    bestCost = std::min(bestCost, slot.cost);
+  }
+
+  if (const auto mb = runMixedBest(instance)) {
+    auto& slot = outcome.series[kMixedBestIndex];
+    slot.success = true;
+    slot.cost = mb->cost;
+    slot.valid = isValidPlacement(instance, mb->placement, Policy::Multiple);
+    outcome.mbWinner = std::string(mb->winner);
+    bestCost = std::min(bestCost, slot.cost);
+  }
+
+  LowerBoundOptions lbo;
+  lbo.maxNodes = lbMaxNodes;
+  lbo.knownUpperBound = bestCost;
+  const LowerBoundResult lb = refinedLowerBound(instance, lbo);
+  outcome.lpFeasible = lb.lpFeasible;
+  outcome.lowerBound = lb.lpFeasible ? lb.bound : 0.0;
+  outcome.lbExact = lb.exact;
+  return outcome;
+}
+
+namespace {
+
+LambdaAggregate aggregate(double lambda, std::span<const TreeOutcome> outcomes) {
+  LambdaAggregate agg;
+  agg.lambda = lambda;
+  agg.trees = static_cast<int>(outcomes.size());
+  std::array<double, kSeriesCount> rcostSum{};
+  for (const TreeOutcome& o : outcomes) {
+    if (o.lpFeasible) ++agg.lpFeasibleCount;
+    for (std::size_t k = 0; k < kSeriesCount; ++k) {
+      const auto& s = o.series[k];
+      if (s.success) ++agg.successCount[k];
+      if (s.success && !s.valid) ++agg.invalidCount[k];
+      if (o.lpFeasible && s.success && s.cost > 0.0)
+        rcostSum[k] += o.lowerBound / s.cost;
+      // A failed heuristic contributes cost = +inf, i.e. ratio 0 (paper rule).
+    }
+    if (!o.mbWinner.empty()) ++agg.mbWinners[o.mbWinner];
+  }
+  for (std::size_t k = 0; k < kSeriesCount; ++k)
+    agg.relativeCost[k] =
+        agg.lpFeasibleCount > 0 ? rcostSum[k] / agg.lpFeasibleCount : 0.0;
+  return agg;
+}
+
+}  // namespace
+
+ExperimentResult runExperiment(const ExperimentPlan& plan, ThreadPool* pool) {
+  TREEPLACE_REQUIRE(plan.treesPerLambda > 0, "treesPerLambda must be positive");
+  const std::size_t lambdaCount = plan.lambdas.size();
+  const auto perLambda = static_cast<std::size_t>(plan.treesPerLambda);
+  const std::size_t total = lambdaCount * perLambda;
+
+  ExperimentResult result;
+  result.outcomes.resize(total);
+
+  const auto evaluateOne = [&](std::size_t flat) {
+    const std::size_t li = flat / perLambda;
+    GeneratorConfig config = plan.generator;
+    config.lambda = plan.lambdas[li];
+    const ProblemInstance instance = generateInstance(config, plan.seed, flat);
+    result.outcomes[flat] = evaluateInstance(instance, plan.lbMaxNodes);
+    result.outcomes[flat].lambda = plan.lambdas[li];  // report the target point
+  };
+
+  if (pool != nullptr && pool->threadCount() > 1) {
+    pool->parallelFor(0, total, evaluateOne);
+  } else {
+    for (std::size_t flat = 0; flat < total; ++flat) evaluateOne(flat);
+  }
+
+  result.perLambda.reserve(lambdaCount);
+  for (std::size_t li = 0; li < lambdaCount; ++li) {
+    result.perLambda.push_back(aggregate(
+        plan.lambdas[li],
+        {result.outcomes.data() + li * perLambda, perLambda}));
+  }
+  return result;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/thread_pool.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace {
+
+/// Number of reported series: the eight heuristics plus MixedBest.
+inline constexpr std::size_t kSeriesCount = 9;
+inline constexpr std::size_t kMixedBestIndex = 8;
+
+/// Column labels in the order used by every experiment table/CSV.
+std::array<std::string, kSeriesCount> seriesNames();
+
+/// The Section 7.2 experimental plan: a sweep over load factors lambda with
+/// `treesPerLambda` random instances per point.
+struct ExperimentPlan {
+  std::vector<double> lambdas = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9};
+  int treesPerLambda = 30;
+  GeneratorConfig generator;   ///< lambda is overwritten per sweep point
+  std::uint64_t seed = 0x5eedULL;
+  long lbMaxNodes = 400;       ///< branch-and-bound budget for the refined LB
+};
+
+/// Per-instance outcome.
+struct TreeOutcome {
+  double lambda = 0.0;
+  int vertices = 0;
+  bool lpFeasible = false;   ///< rational Multiple program has a solution
+  double lowerBound = 0.0;   ///< refined LB (Section 7.1)
+  bool lbExact = false;
+
+  struct PerSeries {
+    bool success = false;
+    bool valid = false;      ///< validator agreed with the claimed policy
+    double cost = 0.0;
+  };
+  std::array<PerSeries, kSeriesCount> series;
+  std::string mbWinner;      ///< winning heuristic inside MixedBest
+};
+
+/// Aggregate over the trees of one lambda (the paper's Figure 9-12 points).
+struct LambdaAggregate {
+  double lambda = 0.0;
+  int trees = 0;
+  int lpFeasibleCount = 0;
+  std::array<int, kSeriesCount> successCount{};
+  std::array<int, kSeriesCount> invalidCount{};
+  /// Mean over LP-feasible trees of lowerBound/cost (0 when the heuristic
+  /// failed), exactly the paper's relative cost.
+  std::array<double, kSeriesCount> relativeCost{};
+  std::map<std::string, int> mbWinners;
+};
+
+struct ExperimentResult {
+  std::vector<LambdaAggregate> perLambda;
+  std::vector<TreeOutcome> outcomes;  ///< all individual trees (row order:
+                                      ///< lambda-major, tree index minor)
+};
+
+/// Evaluate one instance: run the eight heuristics + MixedBest, validate all
+/// results, and compute the refined lower bound (seeded with the best
+/// heuristic cost).
+TreeOutcome evaluateInstance(const ProblemInstance& instance, long lbMaxNodes);
+
+/// Run the full sweep; instances are generated deterministically from
+/// (plan.seed, lambda index, tree index) and evaluated in parallel when a
+/// pool is supplied.
+ExperimentResult runExperiment(const ExperimentPlan& plan, ThreadPool* pool = nullptr);
+
+}  // namespace treeplace

@@ -1,0 +1,23 @@
+#include "extensions/bandwidth_aware.hpp"
+
+#include "core/validate.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace treeplace {
+
+std::optional<Placement> solveMultipleWithBandwidth(const ProblemInstance& instance) {
+  instance.validate();
+  auto placement = runMG(instance);
+  if (!placement) return std::nullopt;  // capacity-infeasible
+
+  // MG's link flows are pointwise minimal (see header), so a violation here
+  // proves bandwidth infeasibility.
+  ValidationOptions options;
+  options.checkQos = false;  // bandwidth-only concern; QoS is a separate axis
+  options.checkBandwidth = true;
+  if (!validatePlacement(instance, *placement, Policy::Multiple, options).ok())
+    return std::nullopt;
+  return placement;
+}
+
+}  // namespace treeplace

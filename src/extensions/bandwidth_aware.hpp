@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Bandwidth-constrained Multiple placement (the conclusion's "including
+/// bandwidth constraints" follow-up). Unlike QoS, bandwidth does not require
+/// a new heuristic at all:
+///
+/// On a complete assignment, the flow on link k->parent(k) equals
+/// demand(subtree(k)) minus the requests served *inside* subtree(k) — it does
+/// not depend on which clients were absorbed where. The bottom-up maximal
+/// absorption of Multiple-Greedy maximises the served-inside total of every
+/// subtree simultaneously (the laminar greedy property), hence minimises
+/// every link flow simultaneously. Therefore:
+///   - if MG's placement violates some link, every complete assignment does,
+///     and the instance is bandwidth-infeasible;
+///   - otherwise MG's placement is already bandwidth-valid.
+///
+/// This routine is thus an *exact* feasibility procedure for the Multiple
+/// policy with server capacities and link bandwidths (tests cross-check it
+/// against the bandwidth-enforcing ILP). Returns a placement that satisfies
+/// capacities and bandwidths, or std::nullopt iff none exists.
+std::optional<Placement> solveMultipleWithBandwidth(const ProblemInstance& instance);
+
+}  // namespace treeplace

@@ -1,0 +1,157 @@
+#include "extensions/local_search.hpp"
+
+#include <algorithm>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+/// Try to close server `victim`: redistribute each of its shares to other
+/// replicas on the owning client's root path with spare capacity. Returns
+/// the repaired placement, or nullopt if some share cannot be rehomed.
+std::optional<Placement> dropServer(const ProblemInstance& instance,
+                                    const Placement& placement, VertexId victim) {
+  const Tree& tree = instance.tree;
+  Placement next(tree.vertexCount());
+  for (const VertexId r : placement.replicaList())
+    if (r != victim) next.addReplica(r);
+
+  // Copy all assignments not owned by the victim.
+  for (const VertexId client : tree.clients()) {
+    for (const ServedShare& share : placement.shares(client))
+      if (share.server != victim) next.assign(client, share.server, share.amount);
+  }
+  // Rehome the victim's shares greedily, closest surviving replica first.
+  for (const VertexId client : tree.clients()) {
+    for (const ServedShare& share : placement.shares(client)) {
+      if (share.server != victim) continue;
+      Requests rest = share.amount;
+      for (VertexId hop = tree.parent(client); hop != kNoVertex && rest > 0;
+           hop = tree.parent(hop)) {
+        if (!next.hasReplica(hop)) continue;
+        const Requests spare =
+            instance.capacity[static_cast<std::size_t>(hop)] - next.serverLoad(hop);
+        if (spare <= 0) continue;
+        const Requests take = std::min(rest, spare);
+        next.assign(client, hop, take);
+        rest -= take;
+      }
+      if (rest > 0) return std::nullopt;  // victim is load-bearing
+    }
+  }
+  return next;
+}
+
+/// Retarget requests of subtree(candidate)'s clients onto `candidate`.
+/// `fromAbove` pulls load served strictly above it (cuts read distance);
+/// otherwise load served strictly below is pulled up (consolidates replicas,
+/// cutting storage/write cost once the sources drain empty).
+std::optional<Placement> retargetToServer(const ProblemInstance& instance,
+                                          const Placement& placement,
+                                          VertexId candidate, bool fromAbove) {
+  const Tree& tree = instance.tree;
+  Requests spare = instance.capacity[static_cast<std::size_t>(candidate)] -
+                   placement.serverLoad(candidate);
+  if (spare <= 0) return std::nullopt;
+
+  // Collect the moves first, then build a fresh placement (shares cannot be
+  // removed in place).
+  struct Move {
+    VertexId client;
+    VertexId from;
+    Requests amount;
+  };
+  std::vector<Move> moves;
+  for (const VertexId client : tree.clientsInSubtree(candidate)) {
+    for (const ServedShare& share : placement.shares(client)) {
+      if (spare == 0) break;
+      if (share.server == candidate) continue;
+      const bool servedAbove = tree.isAncestor(share.server, candidate);
+      if (servedAbove != fromAbove) continue;
+      const Requests take = std::min(share.amount, spare);
+      moves.push_back({client, share.server, take});
+      spare -= take;
+    }
+  }
+  if (moves.empty()) return std::nullopt;
+
+  Placement rebuilt(tree.vertexCount());
+  for (const VertexId r : placement.replicaList()) rebuilt.addReplica(r);
+  rebuilt.addReplica(candidate);
+  for (const VertexId client : tree.clients()) {
+    for (const ServedShare& share : placement.shares(client)) {
+      Requests amount = share.amount;
+      for (const Move& move : moves)
+        if (move.client == client && move.from == share.server) amount -= move.amount;
+      if (amount > 0) rebuilt.assign(client, share.server, amount);
+    }
+  }
+  for (const Move& move : moves) rebuilt.assign(move.client, candidate, move.amount);
+  return rebuilt;
+}
+
+/// Drop replicas that ended up with zero load (cost for nothing).
+void pruneUnused(const ProblemInstance& instance, Placement& placement) {
+  Placement cleaned(instance.tree.vertexCount());
+  for (const VertexId client : instance.tree.clients())
+    for (const ServedShare& share : placement.shares(client))
+      cleaned.assign(client, share.server, share.amount);
+  for (const VertexId r : placement.replicaList())
+    if (cleaned.serverLoad(r) > 0) cleaned.addReplica(r);
+  placement = std::move(cleaned);
+}
+
+}  // namespace
+
+LocalSearchResult improvePlacement(const ProblemInstance& instance, Placement start,
+                                   const CostModel& model,
+                                   const LocalSearchOptions& options) {
+  pruneUnused(instance, start);
+  LocalSearchResult result{std::move(start), 0.0, 0};
+  result.objective = compositeObjective(instance, result.placement, model);
+
+  for (int round = 0; round < options.maxRounds; ++round) {
+    bool improved = false;
+
+    if (options.allowDrop) {
+      for (const VertexId victim : result.placement.replicaList()) {
+        auto next = dropServer(instance, result.placement, victim);
+        if (!next) continue;
+        const double objective = compositeObjective(instance, *next, model);
+        if (objective < result.objective - 1e-9) {
+          result.placement = std::move(*next);
+          result.objective = objective;
+          improved = true;
+          break;  // first improvement; re-enumerate moves
+        }
+      }
+    }
+    if (!improved && options.allowOpen) {
+      // Both directions: pull from above (read savings) and from below
+      // (consolidation — the drained servers are pruned, saving storage and
+      // shrinking the update subtree).
+      for (const bool fromAbove : {true, false}) {
+        for (const VertexId candidate : instance.tree.internals()) {
+          if (fromAbove && result.placement.hasReplica(candidate)) continue;
+          auto next = retargetToServer(instance, result.placement, candidate, fromAbove);
+          if (!next) continue;
+          pruneUnused(instance, *next);
+          const double objective = compositeObjective(instance, *next, model);
+          if (objective < result.objective - 1e-9) {
+            result.placement = std::move(*next);
+            result.objective = objective;
+            improved = true;
+            break;
+          }
+        }
+        if (improved) break;
+      }
+    }
+    if (!improved) break;
+    ++result.rounds;
+  }
+  return result;
+}
+
+}  // namespace treeplace

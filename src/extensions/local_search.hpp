@@ -1,0 +1,37 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "core/policy.hpp"
+#include "extensions/objective.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+struct LocalSearchOptions {
+  int maxRounds = 100;   ///< improving rounds before giving up
+  bool allowOpen = true; ///< enable the open-server move (read-cost driven)
+  bool allowDrop = true; ///< enable the drop-server move (storage driven)
+};
+
+struct LocalSearchResult {
+  Placement placement;
+  double objective = 0.0;
+  int rounds = 0;        ///< improving rounds applied
+};
+
+/// First-improvement local search over Multiple-policy placements under the
+/// Section 8.2 composite objective (storage + read + write cost). Two move
+/// families:
+///  - drop(r): close a server and push its load to other replicas on each
+///    client's root path (storage/write savings vs read increase);
+///  - open(j): open a server and pull subtree requests currently served
+///    above it (read savings vs storage/write increase).
+/// The returned placement is always valid (capacities, coverage); the
+/// starting placement must be valid for the Multiple policy.
+LocalSearchResult improvePlacement(const ProblemInstance& instance,
+                                   Placement start, const CostModel& model,
+                                   const LocalSearchOptions& options = {});
+
+}  // namespace treeplace

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/policy.hpp"
+#include "lp/branch_bound.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Section 8.1: several object types share one tree and one per-node
+/// processing capacity; requests, QoS and storage costs are per object.
+/// Object k uses `objects[k].requests/qos` for clients and
+/// `objects[k].storageCost` for nodes; `capacity` (from `shared`) is the
+/// joint per-node budget across all objects.
+struct MultiObjectInstance {
+  ProblemInstance shared;  ///< tree, capacity, commTime, bandwidth (requests
+                           ///< and per-object fields of `shared` are unused)
+  struct ObjectData {
+    std::vector<Requests> requests;   ///< per vertex; clients only
+    std::vector<double> storageCost;  ///< per vertex; internal nodes only
+    std::vector<double> qos;          ///< per vertex; clients only
+  };
+  std::vector<ObjectData> objects;
+
+  std::size_t objectCount() const { return objects.size(); }
+  void validate() const;
+  Requests totalRequests() const;
+
+  /// View of one object as a single-object instance that keeps the shared
+  /// capacities (useful to reuse single-object machinery per type).
+  ProblemInstance objectView(std::size_t object) const;
+};
+
+/// One Placement per object; replicas of different types may share a node.
+struct MultiObjectPlacement {
+  std::vector<Placement> perObject;
+
+  double storageCost(const MultiObjectInstance& instance) const;
+  /// Joint load of a node across all objects.
+  Requests nodeLoad(VertexId node) const;
+};
+
+/// Validate every object against its own policy, plus the joint capacity
+/// constraint sum_k load_k(j) <= W_j.
+struct MultiObjectValidation {
+  bool ok = false;
+  std::string detail;  ///< first problem found, empty when ok
+};
+MultiObjectValidation validateMultiObject(const MultiObjectInstance& instance,
+                                          const MultiObjectPlacement& placement,
+                                          Policy policy, bool checkQos = true);
+
+/// Greedy heuristic: objects ordered by decreasing total demand, each solved
+/// by Multiple-Greedy-style absorption on the residual capacities (and, when
+/// QoS is present, restricted to QoS-admissible servers).
+std::optional<MultiObjectPlacement> runMultiObjectGreedy(
+    const MultiObjectInstance& instance);
+
+/// Exact (or bounded) multi-object solve via the extended Section 8.1 ILP:
+/// x_{j,k} placement indicators, per-object assignment variables, and the
+/// joint capacity rows. All three access policies are supported — the
+/// single-server rule and the Closest first-replica rule apply per object
+/// (a client may use different servers for different objects).
+struct MultiObjectExactResult {
+  bool proven = false;
+  double cost = 0.0;
+  std::optional<MultiObjectPlacement> placement;
+  double lowerBound = 0.0;
+};
+MultiObjectExactResult solveMultiObjectIlp(const MultiObjectInstance& instance,
+                                           const lp::MipOptions& options = {},
+                                           Policy policy = Policy::Multiple);
+
+}  // namespace treeplace

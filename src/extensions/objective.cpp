@@ -1,0 +1,68 @@
+#include "extensions/objective.hpp"
+
+#include <optional>
+#include <vector>
+
+#include "heuristics/heuristic.hpp"
+#include "support/require.hpp"
+
+namespace treeplace {
+
+double readCost(const ProblemInstance& instance, const Placement& placement) {
+  double total = 0.0;
+  for (const VertexId client : instance.tree.clients()) {
+    for (const ServedShare& share : placement.shares(client)) {
+      total += static_cast<double>(share.amount) * instance.distance(client, share.server);
+    }
+  }
+  return total;
+}
+
+double writeCost(const ProblemInstance& instance, const Placement& placement) {
+  const Tree& tree = instance.tree;
+  if (placement.replicaCount() <= 1) return 0.0;
+
+  // replicasBelow[v]: replicas inside subtree(v). The edge v->parent(v) lies
+  // on the minimal replica-spanning subtree iff both sides hold a replica.
+  std::vector<std::size_t> replicasBelow(tree.vertexCount(), 0);
+  for (const VertexId v : tree.postorder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (tree.isInternal(v) && placement.hasReplica(v)) replicasBelow[vi] += 1;
+    for (const VertexId c : tree.children(v))
+      replicasBelow[vi] += replicasBelow[static_cast<std::size_t>(c)];
+  }
+  const std::size_t all = replicasBelow[static_cast<std::size_t>(tree.root())];
+
+  double total = 0.0;
+  for (std::size_t vi = 0; vi < tree.vertexCount(); ++vi) {
+    const auto v = static_cast<VertexId>(vi);
+    if (v == tree.root()) continue;
+    if (replicasBelow[vi] > 0 && replicasBelow[vi] < all)
+      total += instance.commTime[vi];
+  }
+  return total;
+}
+
+double compositeObjective(const ProblemInstance& instance, const Placement& placement,
+                          const CostModel& model) {
+  double total = model.alpha * placement.storageCost(instance);
+  if (model.beta != 0.0) total += model.beta * readCost(instance, placement);
+  if (model.gamma != 0.0)
+    total += model.gamma * model.updatesPerTimeUnit * writeCost(instance, placement);
+  return total;
+}
+
+std::optional<ObjectiveBestResult> runObjectiveMixedBest(const ProblemInstance& instance,
+                                                         const CostModel& model) {
+  std::optional<ObjectiveBestResult> best;
+  for (const HeuristicInfo& h : allHeuristics()) {
+    auto placement = h.run(instance);
+    if (!placement) continue;
+    const double objective = compositeObjective(instance, *placement, model);
+    if (!best || objective < best->objective)
+      best = ObjectiveBestResult{std::move(*placement), objective, h.shortName};
+  }
+  return best;
+}
+
+}  // namespace treeplace

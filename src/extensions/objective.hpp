@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Section 8.2: a linear combination of replica (storage), read and write
+/// costs:
+///    alpha * sum storage  +  beta * sum read  +  gamma * updates * write
+/// where the read cost charges every request its client-to-server distance
+/// and the write cost is the total communication time of the minimal subtree
+/// spanning the replicas (updates are propagated along it, following [13]).
+struct CostModel {
+  double alpha = 1.0;   ///< weight of the replica/storage cost
+  double beta = 0.0;    ///< weight of the read (access) cost
+  double gamma = 0.0;   ///< weight of the write (update) cost
+  double updatesPerTimeUnit = 1.0;  ///< write frequency multiplying gamma
+};
+
+/// Sum over all assignments of amount * distance(client, server).
+double readCost(const ProblemInstance& instance, const Placement& placement);
+
+/// Total comm time of the minimal subtree connecting all replicas
+/// (0 for zero or one replica). An edge belongs to that Steiner subtree iff
+/// it separates two non-empty groups of replicas.
+double writeCost(const ProblemInstance& instance, const Placement& placement);
+
+/// The Section 8.2 composite objective for a placement.
+double compositeObjective(const ProblemInstance& instance, const Placement& placement,
+                          const CostModel& model);
+
+/// Re-rank the eight Section 6 heuristics under a composite objective instead
+/// of pure storage cost; returns the winning placement, or nullopt when every
+/// heuristic fails. This is the "MixedBest under a general objective"
+/// extension the paper sketches.
+struct ObjectiveBestResult {
+  Placement placement;
+  double objective = 0.0;
+  std::string_view winner;
+};
+std::optional<ObjectiveBestResult> runObjectiveMixedBest(const ProblemInstance& instance,
+                                                         const CostModel& model);
+
+}  // namespace treeplace

@@ -1,0 +1,137 @@
+#include "extensions/qos_aware.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "heuristics/detail.hpp"
+
+namespace treeplace {
+namespace {
+
+using detail::RequestTracker;
+
+bool withinQos(const ProblemInstance& instance, VertexId client, VertexId server) {
+  const double qos = instance.qos[static_cast<std::size_t>(client)];
+  return qos == kNoQos || instance.qosLatency(client, server) <= qos + 1e-9;
+}
+
+/// Remaining QoS slack of a client at node s: how much further up the tree
+/// its requests may still travel. Negative means s itself is already too far.
+double qosSlack(const ProblemInstance& instance, VertexId client, VertexId s) {
+  const double qos = instance.qos[static_cast<std::size_t>(client)];
+  if (qos == kNoQos) return std::numeric_limits<double>::infinity();
+  return qos - instance.qosLatency(client, s);
+}
+
+}  // namespace
+
+std::optional<Placement> runQosAwareUBCF(const ProblemInstance& instance) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+  std::vector<Requests> residual = instance.capacity;
+
+  for (const VertexId client : tracker.unservedClientsSorted(tree.root(),
+                                                             /*descending=*/true)) {
+    const Requests r = tracker.remaining(client);
+    VertexId best = kNoVertex;
+    Requests bestResidual = std::numeric_limits<Requests>::max();
+    for (const VertexId a : tree.ancestors(client)) {
+      // No early exit: with per-server computation times the latency is not
+      // monotone along the path.
+      if (!withinQos(instance, client, a)) continue;
+      const Requests free = residual[static_cast<std::size_t>(a)];
+      if (free >= r && free < bestResidual) {
+        bestResidual = free;
+        best = a;
+      }
+    }
+    if (best == kNoVertex) return std::nullopt;
+    placement.addReplica(best);
+    residual[static_cast<std::size_t>(best)] -= r;
+    tracker.serveWhole(client, best, placement);
+  }
+  return placement;
+}
+
+std::optional<Placement> runQosAwareMG(const ProblemInstance& instance) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  for (const VertexId s : tree.postorder()) {
+    if (!tree.isInternal(s)) continue;
+    Requests budget = instance.capacity[static_cast<std::size_t>(s)];
+
+    // Admissible unserved clients, most urgent (smallest remaining QoS
+    // slack at s) first — they have the fewest servers left above.
+    std::vector<VertexId> candidates;
+    for (const VertexId c : tree.clientsInSubtree(s)) {
+      if (tracker.remaining(c) == 0) continue;
+      if (!withinQos(instance, c, s)) continue;
+      candidates.push_back(c);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(), [&](VertexId a, VertexId b) {
+      return qosSlack(instance, a, s) < qosSlack(instance, b, s);
+    });
+
+    bool used = false;
+    for (const VertexId client : candidates) {
+      if (budget == 0) break;
+      const Requests take = std::min(tracker.remaining(client), budget);
+      if (!used) {
+        placement.addReplica(s);
+        used = true;
+      }
+      tracker.serve(client, s, take, placement);
+      budget -= take;
+    }
+
+    // Feasibility cut-off: any client whose QoS expires at s (no admissible
+    // server strictly above — checked against every ancestor, since latency
+    // is not monotone once computation times differ) must be served by now.
+    for (const VertexId client : tree.clientsInSubtree(s)) {
+      if (tracker.remaining(client) == 0) continue;
+      bool admissibleAbove = false;
+      for (VertexId a = tree.parent(s); a != kNoVertex; a = tree.parent(a)) {
+        if (withinQos(instance, client, a)) {
+          admissibleAbove = true;
+          break;
+        }
+      }
+      if (!admissibleAbove) return std::nullopt;
+    }
+  }
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+std::optional<Placement> runQosAwareCBU(const ProblemInstance& instance) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  for (const VertexId s : tree.postorder()) {
+    if (!tree.isInternal(s)) continue;
+    const Requests inreq = tracker.unserved(s);
+    if (inreq == 0 || instance.capacity[static_cast<std::size_t>(s)] < inreq) continue;
+    bool qosOk = true;
+    for (const VertexId client : tracker.unservedClients(s)) {
+      if (!withinQos(instance, client, s)) {
+        qosOk = false;
+        break;
+      }
+    }
+    if (!qosOk) continue;
+    placement.addReplica(s);
+    for (const VertexId client : tracker.unservedClients(s))
+      tracker.serveWhole(client, s, placement);
+  }
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+}  // namespace treeplace

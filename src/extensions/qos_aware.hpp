@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// QoS-aware heuristic variants (the follow-up work announced in the paper's
+/// conclusion: "designing efficient heuristics ... taking QoS constraints
+/// into account"). Each honours per-client QoS distances in addition to the
+/// capacity constraints; returned placements pass the validator with QoS
+/// checking enabled.
+
+/// Upwards, QoS-aware UBCF: clients by non-increasing requests, admissible
+/// ancestors restricted to those within the client's QoS distance.
+std::optional<Placement> runQosAwareUBCF(const ProblemInstance& instance);
+
+/// Multiple, QoS-aware greedy: bottom-up absorption that must serve a
+/// client's remaining requests no later than the last QoS-admissible node on
+/// its root path; within a node, clients whose QoS window closes soonest are
+/// absorbed first.
+std::optional<Placement> runQosAwareMG(const ProblemInstance& instance);
+
+/// Closest, QoS-aware bottom-up: a node may cover its remaining subtree only
+/// if it also satisfies every remaining client's QoS.
+std::optional<Placement> runQosAwareCBU(const ProblemInstance& instance);
+
+}  // namespace treeplace

@@ -1,0 +1,180 @@
+#include "formulation/ilp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+using lp::Sense;
+using lp::Term;
+using lp::VarType;
+
+IlpFormulation::IlpFormulation(const ProblemInstance& instance, Policy policy,
+                               const FormulationOptions& options)
+    : instance_(instance), policy_(policy), integrality_(options.integrality) {
+  instance.validate();
+  build(options);
+}
+
+int IlpFormulation::placementVar(VertexId node) const {
+  return xVar_.at(static_cast<std::size_t>(node));
+}
+
+int IlpFormulation::assignmentVar(VertexId client, VertexId server) const {
+  const auto& servers = yServer_.at(static_cast<std::size_t>(client));
+  for (std::size_t k = 0; k < servers.size(); ++k)
+    if (servers[k] == server) return yVar_[static_cast<std::size_t>(client)][k];
+  return -1;
+}
+
+void IlpFormulation::build(const FormulationOptions& options) {
+  const Tree& tree = instance_.tree;
+  const bool singleServer = policy_ != Policy::Multiple;
+  const bool integerX = integrality_ != FormulationOptions::Integrality::Relaxed;
+  const bool integerY = integrality_ == FormulationOptions::Integrality::Exact;
+
+  xVar_.assign(tree.vertexCount(), -1);
+  yVar_.assign(tree.vertexCount(), {});
+  yServer_.assign(tree.vertexCount(), {});
+
+  // x_j: one placement indicator per internal node.
+  for (const VertexId j : tree.internals()) {
+    xVar_[static_cast<std::size_t>(j)] = model_.addVariable(
+        0.0, 1.0, instance_.storageCost[static_cast<std::size_t>(j)],
+        integerX ? VarType::Integer : VarType::Continuous,
+        "x_" + std::to_string(j));
+  }
+
+  // y_{i,j}: per client, one variable per QoS-admissible ancestor.
+  for (const VertexId i : tree.clients()) {
+    const auto ii = static_cast<std::size_t>(i);
+    if (instance_.requests[ii] == 0) continue;
+    for (const VertexId j : tree.ancestors(i)) {
+      if (options.enforceQos && instance_.qos[ii] != kNoQos &&
+          instance_.qosLatency(i, j) > instance_.qos[ii] + 1e-9)
+        continue;
+      const double upper =
+          singleServer ? 1.0 : static_cast<double>(instance_.requests[ii]);
+      yServer_[ii].push_back(j);
+      yVar_[ii].push_back(model_.addVariable(
+          0.0, upper, 0.0, integerY ? VarType::Integer : VarType::Continuous,
+          "y_" + std::to_string(i) + "_" + std::to_string(j)));
+    }
+  }
+
+  // Every client is fully assigned: sum_j y_{i,j} = 1 (single server) or r_i.
+  for (const VertexId i : tree.clients()) {
+    const auto ii = static_cast<std::size_t>(i);
+    if (instance_.requests[ii] == 0) continue;
+    std::vector<Term> terms;
+    terms.reserve(yVar_[ii].size());
+    for (const int var : yVar_[ii]) terms.push_back({var, 1.0});
+    const double rhs =
+        singleServer ? 1.0 : static_cast<double>(instance_.requests[ii]);
+    model_.addConstraint(Sense::Equal, rhs, terms, "assign_" + std::to_string(i));
+  }
+
+  // Capacity: sum_i (r_i) y_{i,j} <= W_j x_j.
+  {
+    std::vector<std::vector<Term>> capacityTerms(tree.vertexCount());
+    for (const VertexId i : tree.clients()) {
+      const auto ii = static_cast<std::size_t>(i);
+      const double mult =
+          singleServer ? static_cast<double>(instance_.requests[ii]) : 1.0;
+      for (std::size_t k = 0; k < yServer_[ii].size(); ++k)
+        capacityTerms[static_cast<std::size_t>(yServer_[ii][k])].push_back(
+            {yVar_[ii][k], mult});
+    }
+    for (const VertexId j : tree.internals()) {
+      auto& terms = capacityTerms[static_cast<std::size_t>(j)];
+      terms.push_back({xVar_[static_cast<std::size_t>(j)],
+                       -static_cast<double>(instance_.capacity[static_cast<std::size_t>(j)])});
+      model_.addConstraint(Sense::LessEqual, 0.0, terms, "cap_" + std::to_string(j));
+    }
+  }
+
+  // Bandwidth: flow through link k->parent(k) is
+  //   sum_{i in subtree(k)} (r_i - sum_{j on path(i..k)} r_i-or-1 * y_{i,j})
+  // which must stay within BW_k; rewritten as a >= row on the y variables.
+  if (options.enforceBandwidth) {
+    for (std::size_t ki = 0; ki < tree.vertexCount(); ++ki) {
+      const auto k = static_cast<VertexId>(ki);
+      if (k == tree.root() || instance_.bandwidth[ki] == kUnlimitedBandwidth) continue;
+      std::vector<Term> terms;
+      Requests demand = 0;
+      const auto subtreeClients =
+          tree.isClient(k) ? std::span<const VertexId>(&k, 1) : tree.clientsInSubtree(k);
+      for (const VertexId i : subtreeClients) {
+        const auto ii = static_cast<std::size_t>(i);
+        demand += instance_.requests[ii];
+        const double mult =
+            singleServer ? static_cast<double>(instance_.requests[ii]) : 1.0;
+        for (std::size_t c = 0; c < yServer_[ii].size(); ++c) {
+          const VertexId j = yServer_[ii][c];
+          if (j != i && tree.inSubtree(j, k)) terms.push_back({yVar_[ii][c], mult});
+        }
+      }
+      const double rhs = static_cast<double>(demand - instance_.bandwidth[ki]);
+      if (rhs <= 0.0 && terms.empty()) continue;  // trivially satisfied
+      model_.addConstraint(Sense::GreaterEqual, rhs, terms, "bw_" + std::to_string(k));
+    }
+  }
+
+  // Closest: a client served at j forces every client below j to be served at
+  // or below j:  y_{i,j} <= sum_{j' on path(i'..j)} y_{i',j'}.
+  if (policy_ == Policy::Closest) {
+    for (const VertexId i : tree.clients()) {
+      const auto ii = static_cast<std::size_t>(i);
+      for (std::size_t c = 0; c < yServer_[ii].size(); ++c) {
+        const VertexId j = yServer_[ii][c];
+        if (j == tree.root()) continue;  // nothing can be served above the root
+        for (const VertexId other : tree.clientsInSubtree(j)) {
+          if (other == i) continue;
+          const auto oi = static_cast<std::size_t>(other);
+          if (instance_.requests[oi] == 0) continue;
+          std::vector<Term> terms;
+          terms.push_back({yVar_[ii][c], -1.0});
+          for (std::size_t d = 0; d < yServer_[oi].size(); ++d) {
+            if (tree.inSubtree(yServer_[oi][d], j))
+              terms.push_back({yVar_[oi][d], 1.0});
+          }
+          model_.addConstraint(Sense::GreaterEqual, 0.0, terms,
+                               "closest_" + std::to_string(i) + "_" + std::to_string(j) +
+                                   "_" + std::to_string(other));
+        }
+      }
+    }
+  }
+}
+
+Placement IlpFormulation::decode(std::span<const double> values) const {
+  TREEPLACE_REQUIRE(integrality_ == FormulationOptions::Integrality::Exact,
+                    "decode requires an integral formulation");
+  TREEPLACE_REQUIRE(static_cast<int>(values.size()) == model_.variableCount(),
+                    "solution vector size mismatch");
+  const Tree& tree = instance_.tree;
+  Placement placement(tree.vertexCount());
+  const bool singleServer = policy_ != Policy::Multiple;
+
+  for (const VertexId i : tree.clients()) {
+    const auto ii = static_cast<std::size_t>(i);
+    for (std::size_t k = 0; k < yServer_[ii].size(); ++k) {
+      const double y = values[static_cast<std::size_t>(yVar_[ii][k])];
+      const Requests amount =
+          singleServer
+              ? (y > 0.5 ? instance_.requests[ii] : 0)
+              : static_cast<Requests>(std::llround(y));
+      if (amount > 0) placement.assign(i, yServer_[ii][k], amount);
+    }
+  }
+  // Only loaded nodes become replicas: dropping unused x_j == 1 nodes keeps
+  // every policy valid (Closest in particular) and never increases cost.
+  for (const VertexId j : tree.internals())
+    if (placement.serverLoad(j) > 0) placement.addReplica(j);
+  return placement;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "core/policy.hpp"
+#include "lp/model.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Variants of the Section 5 linear programs.
+struct FormulationOptions {
+  /// Integrality of the variables:
+  ///  - Exact      : x and y integral (the true ILP);
+  ///  - PlacementOnly : x integral, y rational (the paper's refined lower
+  ///                    bound of Section 7.1);
+  ///  - Relaxed    : everything rational (the pure LP bound of Section 5.3).
+  enum class Integrality { Exact, PlacementOnly, Relaxed };
+  Integrality integrality = Integrality::Exact;
+
+  bool enforceQos = true;        ///< drop client/server pairs beyond q_i
+  bool enforceBandwidth = true;  ///< emit per-link flow rows for finite BW_l
+};
+
+/// A built program plus the variable maps needed to decode solutions.
+/// The link variables z_{i,l} of the paper are eliminated through the path
+/// identity z = r_i - sum of y below the link, so the model only carries
+/// x_j (placement) and y_{i,j} (assignment) variables.
+class IlpFormulation {
+ public:
+  IlpFormulation(const ProblemInstance& instance, Policy policy,
+                 const FormulationOptions& options);
+
+  const lp::Model& model() const { return model_; }
+  lp::Model& mutableModel() { return model_; }
+  Policy policy() const { return policy_; }
+
+  /// Column of x_j; -1 if `node` is not internal.
+  int placementVar(VertexId node) const;
+
+  /// Column of y_{i,j}; -1 when the pair is not allowed (not an ancestor, or
+  /// QoS-excluded).
+  int assignmentVar(VertexId client, VertexId server) const;
+
+  /// Turn an integral solution vector into a Placement (replicas that serve
+  /// no requests are dropped, which preserves validity and never increases
+  /// cost). Requires the solve to have used Integrality::Exact.
+  Placement decode(std::span<const double> values) const;
+
+ private:
+  void build(const FormulationOptions& options);
+
+  const ProblemInstance& instance_;
+  Policy policy_;
+  FormulationOptions::Integrality integrality_;
+  lp::Model model_;
+  std::vector<int> xVar_;                 // per vertex
+  std::vector<std::vector<int>> yVar_;    // per client vertex: parallel to ancestor list
+  std::vector<std::vector<VertexId>> yServer_;  // ancestor ids per client
+};
+
+}  // namespace treeplace

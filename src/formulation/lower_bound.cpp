@@ -1,0 +1,84 @@
+#include "formulation/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/bounds.hpp"
+#include "formulation/ilp.hpp"
+
+namespace treeplace {
+namespace {
+
+bool allCostsIntegral(const ProblemInstance& instance) {
+  for (const VertexId j : instance.tree.internals()) {
+    const double s = instance.storageCost[static_cast<std::size_t>(j)];
+    if (s != std::floor(s)) return false;
+  }
+  return true;
+}
+
+/// Round a bound up to the next integer when the objective is integral.
+double tighten(const ProblemInstance& instance, double bound) {
+  if (bound == -lp::kInfinity || bound == lp::kInfinity) return bound;
+  if (allCostsIntegral(instance)) return std::ceil(bound - 1e-6);
+  return bound;
+}
+
+}  // namespace
+
+LowerBoundResult refinedLowerBound(const ProblemInstance& instance,
+                                   const LowerBoundOptions& options) {
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::PlacementOnly;
+  fo.enforceQos = options.enforceQos;
+  fo.enforceBandwidth = options.enforceBandwidth;
+  const IlpFormulation formulation(instance, Policy::Multiple, fo);
+
+  lp::MipOptions mo;
+  mo.lp = options.lp;
+  mo.maxNodes = options.maxNodes;
+  mo.initialUpperBound = options.knownUpperBound;
+  if (allCostsIntegral(instance)) mo.objectiveGranularity = 1.0;
+  const lp::MipResult mip = lp::solveMip(formulation.model(), mo);
+
+  LowerBoundResult result;
+  result.nodesExplored = mip.nodesExplored;
+  if (mip.status == lp::SolveStatus::Infeasible) {
+    result.lpFeasible = false;
+    result.bound = lp::kInfinity;
+    result.exact = mip.proven;
+    return result;
+  }
+  result.lpFeasible = true;
+  // Never report below the structure-free floor (also shields against a
+  // -infinity bound if the node budget was exhausted at the root).
+  result.bound = tighten(
+      instance, std::max(mip.lowerBound, fractionalCoverLowerBound(instance)));
+  result.exact = mip.proven;
+  return result;
+}
+
+LowerBoundResult rationalLowerBound(const ProblemInstance& instance,
+                                    const LowerBoundOptions& options) {
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::Relaxed;
+  fo.enforceQos = options.enforceQos;
+  fo.enforceBandwidth = options.enforceBandwidth;
+  const IlpFormulation formulation(instance, Policy::Multiple, fo);
+  const lp::LpSolution lps = lp::solveLp(formulation.model(), options.lp);
+
+  LowerBoundResult result;
+  result.nodesExplored = 0;
+  if (lps.status == lp::SolveStatus::Infeasible) {
+    result.lpFeasible = false;
+    result.bound = lp::kInfinity;
+    result.exact = true;
+    return result;
+  }
+  result.lpFeasible = lps.optimal();
+  result.bound = lps.optimal() ? lps.objective : 0.0;
+  result.exact = false;  // the rational bound is rarely attainable
+  return result;
+}
+
+}  // namespace treeplace

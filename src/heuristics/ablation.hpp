@@ -1,0 +1,19 @@
+#pragma once
+
+#include <optional>
+
+#include "core/placement.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Ablation hooks: the Multiple heuristics with their client-deletion order
+/// swapped. The paper fixes largest-first for MTD and smallest-first for MBU
+/// (Section 6.3); these variants quantify that design choice
+/// (bench_ablation_delete_order).
+std::optional<Placement> runMTDVariant(const ProblemInstance& instance,
+                                       bool largestFirst);
+std::optional<Placement> runMBUVariant(const ProblemInstance& instance,
+                                       bool largestFirst);
+
+}  // namespace treeplace

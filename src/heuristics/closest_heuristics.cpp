@@ -1,0 +1,94 @@
+#include <deque>
+
+#include "heuristics/detail.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace treeplace {
+namespace {
+
+using detail::RequestTracker;
+
+/// Serve every unserved client of subtree(s) at s — the Closest move. The
+/// caller guarantees capacity (unserved(s) <= W_s).
+void coverSubtree(RequestTracker& tracker, VertexId s, Placement& placement) {
+  placement.addReplica(s);
+  for (const VertexId client : tracker.unservedClients(s))
+    tracker.serveWhole(client, s, placement);
+}
+
+/// Shared driver for CTDA and CTDLF. A breadth-first sweep from the root
+/// turns a node into a server when it can process all remaining requests of
+/// its subtree; replicas block descent (requests may not traverse them under
+/// Closest). Sweeps repeat because a node that was too loaded early can
+/// become coverable after deeper replicas absorbed part of its subtree.
+std::optional<Placement> closestTopDown(const ProblemInstance& instance,
+                                        bool largestFirst) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  bool placedAny = true;
+  while (placedAny) {
+    placedAny = false;
+    std::deque<VertexId> fifo{tree.root()};
+    while (!fifo.empty()) {
+      const VertexId s = fifo.front();
+      fifo.pop_front();
+      if (placement.hasReplica(s)) continue;  // subtree is sealed under Closest
+
+      const Requests inreq = tracker.unserved(s);
+      if (inreq > 0 && instance.capacity[static_cast<std::size_t>(s)] >= inreq) {
+        coverSubtree(tracker, s, placement);
+        placedAny = true;
+        if (largestFirst) {
+          fifo.clear();  // CTDLF: restart the sweep after each server
+          break;
+        }
+        continue;  // CTDA: keep sweeping, do not descend below the new server
+      }
+
+      std::vector<VertexId> kids;
+      for (const VertexId c : tree.children(s))
+        if (tree.isInternal(c)) kids.push_back(c);
+      if (largestFirst) {
+        std::stable_sort(kids.begin(), kids.end(), [&](VertexId a, VertexId b) {
+          return tracker.unserved(a) > tracker.unserved(b);
+        });
+      }
+      for (const VertexId c : kids) fifo.push_back(c);
+    }
+  }
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+}  // namespace
+
+std::optional<Placement> runCTDA(const ProblemInstance& instance) {
+  return closestTopDown(instance, /*largestFirst=*/false);
+}
+
+std::optional<Placement> runCTDLF(const ProblemInstance& instance) {
+  return closestTopDown(instance, /*largestFirst=*/true);
+}
+
+std::optional<Placement> runCBU(const ProblemInstance& instance) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  // Postorder: each internal node sees its subtree already handled as deep as
+  // possible and becomes a server if it can absorb the rest.
+  for (const VertexId s : tree.postorder()) {
+    if (!tree.isInternal(s)) continue;
+    const Requests inreq = tracker.unserved(s);
+    if (inreq > 0 && instance.capacity[static_cast<std::size_t>(s)] >= inreq)
+      coverSubtree(tracker, s, placement);
+  }
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+}  // namespace treeplace

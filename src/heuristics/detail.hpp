@@ -1,0 +1,74 @@
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "support/require.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace::detail {
+
+/// Book-keeping shared by the Section 6 heuristics: tracks how many requests
+/// of each client are still unserved ("inreq" in the paper is derived from it
+/// on demand) and records assignments into the placement.
+class RequestTracker {
+ public:
+  explicit RequestTracker(const ProblemInstance& instance)
+      : instance_(instance), remaining_(instance.requests) {}
+
+  Requests remaining(VertexId client) const {
+    return remaining_[static_cast<std::size_t>(client)];
+  }
+
+  /// inreq_v: unserved requests issued in subtree(v).
+  Requests unserved(VertexId v) const {
+    Requests total = 0;
+    for (const VertexId c : instance_.tree.clientsInSubtree(v))
+      total += remaining_[static_cast<std::size_t>(c)];
+    return total;
+  }
+
+  /// Unserved clients of subtree(v), preorder.
+  std::vector<VertexId> unservedClients(VertexId v) const {
+    std::vector<VertexId> out;
+    for (const VertexId c : instance_.tree.clientsInSubtree(v))
+      if (remaining_[static_cast<std::size_t>(c)] > 0) out.push_back(c);
+    return out;
+  }
+
+  /// Unserved clients of subtree(v) sorted by remaining requests;
+  /// `descending` selects the UTD/MTD order, otherwise the MBU order.
+  /// Ties break towards the smaller vertex id for determinism.
+  std::vector<VertexId> unservedClientsSorted(VertexId v, bool descending) const {
+    std::vector<VertexId> out = unservedClients(v);
+    std::stable_sort(out.begin(), out.end(), [&](VertexId a, VertexId b) {
+      const Requests ra = remaining_[static_cast<std::size_t>(a)];
+      const Requests rb = remaining_[static_cast<std::size_t>(b)];
+      if (ra != rb) return descending ? ra > rb : ra < rb;
+      return a < b;
+    });
+    return out;
+  }
+
+  /// Assign `amount` (<= remaining) of `client` to `server`.
+  void serve(VertexId client, VertexId server, Requests amount, Placement& placement) {
+    auto& rest = remaining_[static_cast<std::size_t>(client)];
+    TREEPLACE_REQUIRE(amount > 0 && amount <= rest, "over-serving a client");
+    rest -= amount;
+    placement.assign(client, server, amount);
+  }
+
+  /// Assign everything that is left of `client` to `server`.
+  void serveWhole(VertexId client, VertexId server, Placement& placement) {
+    serve(client, server, remaining(client), placement);
+  }
+
+  const ProblemInstance& instance() const { return instance_; }
+
+ private:
+  const ProblemInstance& instance_;
+  std::vector<Requests> remaining_;
+};
+
+}  // namespace treeplace::detail

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "core/placement.hpp"
+#include "core/policy.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Section 6 heuristics for the Replica Cost problem (no QoS / bandwidth).
+/// Each returns a complete placement — replicas plus request assignment —
+/// or std::nullopt when it fails to serve every request. A returned placement
+/// always satisfies the heuristic's own access policy and all capacities.
+
+/// Closest Top Down All: breadth-first sweeps from the root, turning every
+/// node able to process its whole remaining subtree into a server; repeats
+/// until a sweep adds no server.
+std::optional<Placement> runCTDA(const ProblemInstance& instance);
+
+/// Closest Top Down Largest First: like CTDA but explores heavier subtrees
+/// first and restarts the sweep after every server placed.
+std::optional<Placement> runCTDLF(const ProblemInstance& instance);
+
+/// Closest Bottom Up: postorder sweep placing a server at the deepest node
+/// able to process its whole remaining subtree.
+std::optional<Placement> runCBU(const ProblemInstance& instance);
+
+/// Upwards Top Down: first pass turns every exhausted node (inreq >= W) into
+/// a server, detaching the largest whole clients that fit; a second top-down
+/// pass opens extra (non-exhausted) servers for the leftovers.
+std::optional<Placement> runUTD(const ProblemInstance& instance);
+
+/// Upwards Big Client First: clients by non-increasing requests, each sent to
+/// the admissible ancestor of minimal residual capacity.
+std::optional<Placement> runUBCF(const ProblemInstance& instance);
+
+/// Multiple Top Down: UTD with split deletions — a server may take a slice of
+/// the largest remaining client to fill up completely.
+std::optional<Placement> runMTD(const ProblemInstance& instance);
+
+/// Multiple Bottom Up: exhausted servers chosen bottom-up, deleting the
+/// smallest clients first (splitting the first that does not fit wholly);
+/// a second top-down pass completes the leftovers.
+std::optional<Placement> runMBU(const ProblemInstance& instance);
+
+/// Multiple Greedy: pass-3-style bottom-up absorption — every node takes as
+/// many remaining subtree requests as it can and becomes a server when it
+/// absorbed any. Never fails on a feasible instance, but may be expensive.
+std::optional<Placement> runMG(const ProblemInstance& instance);
+
+using HeuristicFn = std::optional<Placement> (*)(const ProblemInstance&);
+
+struct HeuristicInfo {
+  std::string_view name;       ///< paper name, e.g. "ClosestTopDownAll"
+  std::string_view shortName;  ///< e.g. "CTDA"
+  Policy policy;
+  HeuristicFn run;
+};
+
+/// The eight Section 6 heuristics, in the paper's presentation order.
+std::span<const HeuristicInfo> allHeuristics();
+
+/// Lookup by short name ("CTDA", ..., "MG"); nullptr when unknown.
+const HeuristicInfo* findHeuristic(std::string_view shortName);
+
+/// MixedBest (MB): the cheapest valid result among all eight heuristics,
+/// interpreted as a Multiple-policy solution (Section 7.3).
+struct MixedBestResult {
+  Placement placement;
+  std::string_view winner;  ///< short name of the winning heuristic
+  double cost = 0.0;
+};
+std::optional<MixedBestResult> runMixedBest(const ProblemInstance& instance);
+
+}  // namespace treeplace

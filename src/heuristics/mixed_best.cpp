@@ -1,0 +1,18 @@
+#include "heuristics/heuristic.hpp"
+
+namespace treeplace {
+
+std::optional<MixedBestResult> runMixedBest(const ProblemInstance& instance) {
+  std::optional<MixedBestResult> best;
+  for (const HeuristicInfo& h : allHeuristics()) {
+    auto placement = h.run(instance);
+    if (!placement) continue;
+    const double cost = placement->storageCost(instance);
+    if (!best || cost < best->cost) {
+      best = MixedBestResult{std::move(*placement), h.shortName, cost};
+    }
+  }
+  return best;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,143 @@
+#include "heuristics/ablation.hpp"
+#include "heuristics/detail.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace treeplace {
+namespace {
+
+using detail::RequestTracker;
+
+/// The MTD/MBU delete procedure (paper Algorithm 10): walk the unserved
+/// clients of subtree(s) — largest first for MTD, smallest first for MBU —
+/// detaching whole clients that fit; the first client that does not fit
+/// wholly is split so the server is filled exactly (the Multiple policy
+/// allows slicing a client across servers).
+///
+/// Note: the paper's pseudo-code subtracts the *new* r_i from the ancestors'
+/// inreq in the split branch; that is a typo (the flow removed is the slice,
+/// numToDelete), and we implement the corrected bookkeeping.
+void deleteWithSplit(RequestTracker& tracker, VertexId s, Requests budget,
+                     bool largestFirst, Placement& placement) {
+  for (const VertexId client : tracker.unservedClientsSorted(s, largestFirst)) {
+    if (budget == 0) return;
+    const Requests r = tracker.remaining(client);
+    if (r <= budget) {
+      tracker.serveWhole(client, s, placement);
+      budget -= r;
+    } else {
+      tracker.serve(client, s, budget, placement);
+      return;
+    }
+  }
+}
+
+void firstPassTopDown(const ProblemInstance& instance, RequestTracker& tracker,
+                      Placement& placement, VertexId s, bool largestFirst) {
+  const Requests inreq = tracker.unserved(s);
+  const Requests capacity = instance.capacity[static_cast<std::size_t>(s)];
+  if (inreq >= capacity && inreq > 0 && capacity > 0) {
+    placement.addReplica(s);
+    deleteWithSplit(tracker, s, capacity, largestFirst, placement);
+  }
+  for (const VertexId c : instance.tree.children(s))
+    if (instance.tree.isInternal(c))
+      firstPassTopDown(instance, tracker, placement, c, largestFirst);
+}
+
+void secondPassTopDown(const ProblemInstance& instance, RequestTracker& tracker,
+                       Placement& placement, VertexId s, bool largestFirst) {
+  const Requests inreq = tracker.unserved(s);
+  if (inreq == 0) return;
+  const Requests capacity = instance.capacity[static_cast<std::size_t>(s)];
+  // Every non-server node here satisfies inreq < W (pass 1 exhausted the
+  // others), so it can absorb its subtree's whole leftover.
+  if (!placement.hasReplica(s) && inreq <= capacity) {
+    placement.addReplica(s);
+    deleteWithSplit(tracker, s, inreq, largestFirst, placement);
+    return;
+  }
+  for (const VertexId c : instance.tree.children(s))
+    if (instance.tree.isInternal(c))
+      secondPassTopDown(instance, tracker, placement, c, largestFirst);
+}
+
+}  // namespace
+
+std::optional<Placement> runMTDVariant(const ProblemInstance& instance,
+                                       bool largestFirst) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  firstPassTopDown(instance, tracker, placement, tree.root(), largestFirst);
+  if (tracker.unserved(tree.root()) != 0)
+    secondPassTopDown(instance, tracker, placement, tree.root(), largestFirst);
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+std::optional<Placement> runMTD(const ProblemInstance& instance) {
+  return runMTDVariant(instance, /*largestFirst=*/true);
+}
+
+std::optional<Placement> runMBUVariant(const ProblemInstance& instance,
+                                       bool largestFirst) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  // First pass: bottom-up, exhausted nodes become servers; the paper deletes
+  // the smallest clients first (many small detachments rather than few big
+  // ones) — largestFirst flips that for the ablation bench.
+  for (const VertexId s : tree.postorder()) {
+    if (!tree.isInternal(s)) continue;
+    const Requests inreq = tracker.unserved(s);
+    const Requests capacity = instance.capacity[static_cast<std::size_t>(s)];
+    if (inreq >= capacity && inreq > 0 && capacity > 0) {
+      placement.addReplica(s);
+      deleteWithSplit(tracker, s, capacity, largestFirst, placement);
+    }
+  }
+  if (tracker.unserved(tree.root()) != 0)
+    secondPassTopDown(instance, tracker, placement, tree.root(), largestFirst);
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+std::optional<Placement> runMBU(const ProblemInstance& instance) {
+  return runMBUVariant(instance, /*largestFirst=*/false);
+}
+
+std::optional<Placement> runMG(const ProblemInstance& instance) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  // Pass-3-style greedy absorption (Section 4.1 Algorithm 3): bottom-up,
+  // every node takes as much of its subtree's leftover as it can. Maximal on
+  // a laminar family, so it finds a solution whenever one exists.
+  for (const VertexId s : tree.postorder()) {
+    if (!tree.isInternal(s)) continue;
+    Requests budget = instance.capacity[static_cast<std::size_t>(s)];
+    bool used = false;
+    for (const VertexId client : tree.clientsInSubtree(s)) {
+      if (budget == 0) break;
+      const Requests r = tracker.remaining(client);
+      if (r == 0) continue;
+      const Requests take = std::min(r, budget);
+      if (!used) {
+        placement.addReplica(s);
+        used = true;
+      }
+      tracker.serve(client, s, take, placement);
+      budget -= take;
+    }
+  }
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+}  // namespace treeplace

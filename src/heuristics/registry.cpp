@@ -1,0 +1,27 @@
+#include "heuristics/heuristic.hpp"
+
+namespace treeplace {
+namespace {
+
+constexpr HeuristicInfo kHeuristics[] = {
+    {"ClosestTopDownAll", "CTDA", Policy::Closest, &runCTDA},
+    {"ClosestTopDownLargestFirst", "CTDLF", Policy::Closest, &runCTDLF},
+    {"ClosestBottomUp", "CBU", Policy::Closest, &runCBU},
+    {"UpwardsTopDown", "UTD", Policy::Upwards, &runUTD},
+    {"UpwardsBigClientFirst", "UBCF", Policy::Upwards, &runUBCF},
+    {"MultipleTopDown", "MTD", Policy::Multiple, &runMTD},
+    {"MultipleBottomUp", "MBU", Policy::Multiple, &runMBU},
+    {"MultipleGreedy", "MG", Policy::Multiple, &runMG},
+};
+
+}  // namespace
+
+std::span<const HeuristicInfo> allHeuristics() { return kHeuristics; }
+
+const HeuristicInfo* findHeuristic(std::string_view shortName) {
+  for (const HeuristicInfo& h : kHeuristics)
+    if (h.shortName == shortName) return &h;
+  return nullptr;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,101 @@
+#include <limits>
+
+#include "heuristics/detail.hpp"
+#include "heuristics/heuristic.hpp"
+
+namespace treeplace {
+namespace {
+
+using detail::RequestTracker;
+
+/// UTD's delete procedure: detach whole clients of subtree(s), largest
+/// remaining first, as long as they fit in the budget (single-server policy —
+/// no splitting). Returns the budget actually consumed.
+Requests deleteWholeRequests(RequestTracker& tracker, VertexId s, Requests budget,
+                             Placement& placement) {
+  Requests used = 0;
+  for (const VertexId client : tracker.unservedClientsSorted(s, /*descending=*/true)) {
+    const Requests r = tracker.remaining(client);
+    if (r > budget) continue;  // too big; try the next (smaller) client
+    tracker.serveWhole(client, s, placement);
+    budget -= r;
+    used += r;
+    if (budget == 0) break;
+  }
+  return used;
+}
+
+void utdFirstPass(const ProblemInstance& instance, RequestTracker& tracker,
+                  Placement& placement, VertexId s) {
+  const Requests inreq = tracker.unserved(s);
+  const Requests capacity = instance.capacity[static_cast<std::size_t>(s)];
+  if (inreq >= capacity && inreq > 0 && capacity > 0) {
+    placement.addReplica(s);
+    deleteWholeRequests(tracker, s, capacity, placement);
+  }
+  for (const VertexId c : instance.tree.children(s))
+    if (instance.tree.isInternal(c)) utdFirstPass(instance, tracker, placement, c);
+}
+
+void utdSecondPass(const ProblemInstance& instance, RequestTracker& tracker,
+                   Placement& placement, VertexId s) {
+  const Requests inreq = tracker.unserved(s);
+  if (inreq == 0) return;
+  const Requests capacity = instance.capacity[static_cast<std::size_t>(s)];
+  // Non-servers seen here are never exhausted (pass 1 took every node with
+  // inreq >= W), so the whole leftover of the subtree fits.
+  if (!placement.hasReplica(s) && inreq <= capacity) {
+    placement.addReplica(s);
+    deleteWholeRequests(tracker, s, inreq, placement);
+    return;
+  }
+  for (const VertexId c : instance.tree.children(s))
+    if (instance.tree.isInternal(c)) utdSecondPass(instance, tracker, placement, c);
+}
+
+}  // namespace
+
+std::optional<Placement> runUTD(const ProblemInstance& instance) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  utdFirstPass(instance, tracker, placement, tree.root());
+  if (tracker.unserved(tree.root()) != 0)
+    utdSecondPass(instance, tracker, placement, tree.root());
+
+  if (tracker.unserved(tree.root()) != 0) return std::nullopt;
+  return placement;
+}
+
+std::optional<Placement> runUBCF(const ProblemInstance& instance) {
+  const Tree& tree = instance.tree;
+  RequestTracker tracker(instance);
+  Placement placement(tree.vertexCount());
+
+  // Residual capacities shrink as clients are committed.
+  std::vector<Requests> residual = instance.capacity;
+
+  for (const VertexId client : tracker.unservedClientsSorted(tree.root(),
+                                                             /*descending=*/true)) {
+    const Requests r = tracker.remaining(client);
+    // Admissible ancestor of minimal residual capacity; ties go to the
+    // ancestor closest to the client.
+    VertexId best = kNoVertex;
+    Requests bestResidual = std::numeric_limits<Requests>::max();
+    for (const VertexId a : tree.ancestors(client)) {
+      const Requests free = residual[static_cast<std::size_t>(a)];
+      if (free >= r && free < bestResidual) {
+        bestResidual = free;
+        best = a;
+      }
+    }
+    if (best == kNoVertex) return std::nullopt;  // this client cannot be served
+    placement.addReplica(best);
+    residual[static_cast<std::size_t>(best)] -= r;
+    tracker.serveWhole(client, best, placement);
+  }
+  return placement;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,167 @@
+#include "lp/branch_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "support/require.hpp"
+
+namespace treeplace::lp {
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound;  ///< inherited dual bound (parent LP objective)
+
+  bool operator<(const Node& other) const {
+    return bound > other.bound;  // min-heap via priority_queue
+  }
+};
+
+double fractionality(double v) {
+  const double f = v - std::floor(v);
+  return std::min(f, 1.0 - f);
+}
+
+}  // namespace
+
+MipResult solveMip(const Model& model, const MipOptions& options) {
+  MipResult result;
+  result.objective = options.initialUpperBound;
+
+  const std::vector<int> integers = model.integerVariables();
+  Model working = model;
+
+  auto solveNodeLp = [&](const Node& node) {
+    for (int j = 0; j < working.variableCount(); ++j)
+      working.setBounds(j, node.lower[static_cast<std::size_t>(j)],
+                        node.upper[static_cast<std::size_t>(j)]);
+    return solveLp(working, options.lp);
+  };
+
+  Node root;
+  root.lower.resize(static_cast<std::size_t>(model.variableCount()));
+  root.upper.resize(static_cast<std::size_t>(model.variableCount()));
+  for (int j = 0; j < model.variableCount(); ++j) {
+    root.lower[static_cast<std::size_t>(j)] = model.lower(j);
+    root.upper[static_cast<std::size_t>(j)] = model.upper(j);
+  }
+  root.bound = -kInfinity;
+
+  std::priority_queue<Node> open;
+  open.push(std::move(root));
+
+  double minClosedBound = kInfinity;  // min final bound over closed leaves
+  bool sawIterationLimit = false;
+
+  while (!open.empty()) {
+    if (result.nodesExplored >= options.maxNodes) break;
+    Node node = open.top();
+    open.pop();
+    ++result.nodesExplored;
+
+    if (node.bound >= result.objective - options.absoluteGap) {
+      // Best-first order: every remaining node is at least as bad.
+      minClosedBound = std::min(minClosedBound, node.bound);
+      while (!open.empty()) {
+        minClosedBound = std::min(minClosedBound, open.top().bound);
+        open.pop();
+      }
+      break;
+    }
+
+    const LpSolution relax = solveNodeLp(node);
+    if (relax.status == SolveStatus::Infeasible) continue;  // closed: no solutions
+    if (relax.status == SolveStatus::Unbounded) {
+      result.status = SolveStatus::Unbounded;
+      result.lowerBound = -kInfinity;
+      return result;
+    }
+    if (relax.status == SolveStatus::IterationLimit) {
+      // Numerical bail-out: the subtree keeps only its inherited bound.
+      sawIterationLimit = true;
+      minClosedBound = std::min(minClosedBound, node.bound);
+      continue;
+    }
+
+    double lpBound = relax.objective;
+    if (options.objectiveGranularity > 0.0) {
+      // All feasible objectives are multiples of the granularity, so the
+      // subtree bound may be rounded up to the next one.
+      lpBound = std::ceil(lpBound / options.objectiveGranularity - 1e-6) *
+                options.objectiveGranularity;
+    }
+    const double nodeBound = std::max(node.bound, lpBound);
+    if (nodeBound >= result.objective - options.absoluteGap) {
+      minClosedBound = std::min(minClosedBound, nodeBound);
+      continue;
+    }
+
+    // Most fractional integer variable.
+    int branchVar = -1;
+    double worst = options.integralityTol;
+    for (const int j : integers) {
+      const double f = fractionality(relax.values[static_cast<std::size_t>(j)]);
+      if (f > worst) {
+        worst = f;
+        branchVar = j;
+      }
+    }
+
+    if (branchVar < 0) {
+      // Integral: new incumbent.
+      if (relax.objective < result.objective - options.absoluteGap) {
+        result.objective = relax.objective;
+        result.values = relax.values;
+        // Round integer values exactly for downstream decoding.
+        for (const int j : integers)
+          result.values[static_cast<std::size_t>(j)] =
+              std::round(result.values[static_cast<std::size_t>(j)]);
+      }
+      minClosedBound = std::min(minClosedBound, relax.objective);
+      continue;
+    }
+
+    const double value = relax.values[static_cast<std::size_t>(branchVar)];
+    Node down = node;
+    down.upper[static_cast<std::size_t>(branchVar)] = std::floor(value);
+    down.bound = nodeBound;
+    if (down.lower[static_cast<std::size_t>(branchVar)] <=
+        down.upper[static_cast<std::size_t>(branchVar)])
+      open.push(std::move(down));
+
+    Node up = std::move(node);
+    up.lower[static_cast<std::size_t>(branchVar)] = std::ceil(value);
+    up.bound = nodeBound;
+    if (up.lower[static_cast<std::size_t>(branchVar)] <=
+        up.upper[static_cast<std::size_t>(branchVar)])
+      open.push(std::move(up));
+  }
+
+  // Global dual bound: open nodes still count.
+  double bound = minClosedBound;
+  while (!open.empty()) {
+    bound = std::min(bound, open.top().bound);
+    open.pop();
+  }
+  if (bound == kInfinity) {
+    // Every leaf was infeasible and no incumbent exists: the MIP is
+    // infeasible — unless an external upper bound was supplied, in which case
+    // that solution (not visible to us) is optimal.
+    if (result.objective == kInfinity) {
+      result.status = SolveStatus::Infeasible;
+      result.proven = !sawIterationLimit;
+      result.lowerBound = kInfinity;
+      return result;
+    }
+    bound = result.objective;
+  }
+  result.lowerBound = std::min(bound, result.objective);
+  result.proven = result.nodesExplored < options.maxNodes && !sawIterationLimit &&
+                  result.lowerBound >= result.objective - options.absoluteGap * 2;
+  result.status = SolveStatus::Optimal;
+  return result;
+}
+
+}  // namespace treeplace::lp

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace treeplace::lp {
+
+struct MipOptions {
+  SimplexOptions lp;
+  double integralityTol = 1e-6;
+  long maxNodes = 100000;         ///< branch-and-bound node budget
+  double initialUpperBound = kInfinity;  ///< objective of a known feasible point
+  double absoluteGap = 1e-6;      ///< prune/stop tolerance on the objective
+  /// When every feasible objective is known to be a multiple of this value
+  /// (e.g. 1 for integral costs), node bounds are rounded up to the next
+  /// multiple, which closes gaps dramatically faster. 0 disables rounding.
+  double objectiveGranularity = 0.0;
+};
+
+/// Outcome of a branch-and-bound run. `lowerBound` is a valid global dual
+/// bound on the MIP optimum even when the node budget was exhausted — this is
+/// what the Section 7 experiments use as the "refined lower bound" when the
+/// tree is too large to solve to proven optimality.
+struct MipResult {
+  SolveStatus status = SolveStatus::Infeasible;
+  bool proven = false;            ///< search space exhausted or gap closed
+  double objective = kInfinity;   ///< best feasible objective known (may stem
+                                  ///< from options.initialUpperBound)
+  std::vector<double> values;     ///< incumbent point; empty if only the
+                                  ///< external upper bound is known
+  double lowerBound = -kInfinity;
+  long nodesExplored = 0;
+
+  bool hasIncumbent() const { return !values.empty(); }
+};
+
+/// Best-first branch-and-bound over the integer variables of `model`,
+/// branching on the most fractional variable, with LP relaxations solved by
+/// the dense simplex. Minimisation.
+MipResult solveMip(const Model& model, const MipOptions& options = {});
+
+}  // namespace treeplace::lp

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace treeplace::lp {
+
+enum class SolveStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+};
+
+std::string_view toString(SolveStatus status);
+
+struct SimplexOptions {
+  double pivotTol = 1e-9;    ///< entries below this are treated as zero
+  double feasTol = 1e-7;     ///< phase-1 objective above this means infeasible
+  long maxIterations = 200000;
+  long stallLimit = 256;     ///< degenerate pivots before switching to Bland's rule
+};
+
+struct LpSolution {
+  SolveStatus status = SolveStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> values;  ///< per model variable; filled only when Optimal
+
+  bool optimal() const { return status == SolveStatus::Optimal; }
+};
+
+/// Solve the continuous relaxation of `model` (integrality ignored) with a
+/// dense two-phase primal simplex. Handles general bounds: variables are
+/// shifted by finite lower bounds, mirrored when only the upper bound is
+/// finite, and split into positive parts when free; finite ranges become
+/// explicit upper-bound rows.
+LpSolution solveLp(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace treeplace::lp

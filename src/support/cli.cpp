@@ -1,0 +1,64 @@
+#include "support/cli.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+Options::Options(int argc, const char* const* argv, std::string envPrefix)
+    : envPrefix_(std::move(envPrefix)) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positionals_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "1";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool Options::hasFlag(const std::string& name) const {
+  const auto v = get(name);
+  return v.has_value() && *v != "0" && *v != "false";
+}
+
+std::optional<std::string> Options::get(const std::string& name) const {
+  if (const auto it = values_.find(name); it != values_.end()) return it->second;
+  return fromEnv(name);
+}
+
+std::string Options::getOr(const std::string& name, const std::string& fallback) const {
+  return get(name).value_or(fallback);
+}
+
+std::int64_t Options::getIntOr(const std::string& name, std::int64_t fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::stoll(*v);
+}
+
+double Options::getDoubleOr(const std::string& name, double fallback) const {
+  const auto v = get(name);
+  if (!v) return fallback;
+  return std::stod(*v);
+}
+
+std::optional<std::string> Options::fromEnv(const std::string& name) const {
+  std::string key = envPrefix_;
+  for (char c : name) {
+    key += (c == '-') ? '_' : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  if (const char* value = std::getenv(key.c_str())) return std::string(value);
+  return std::nullopt;
+}
+
+}  // namespace treeplace

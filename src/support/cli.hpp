@@ -1,0 +1,36 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace treeplace {
+
+/// Tiny command-line/environment option reader used by examples and benches.
+/// Accepts --name=value and --flag forms; anything else is a positional.
+/// Environment variables (upper-cased, prefixed) override defaults but lose
+/// to explicit command-line options.
+class Options {
+ public:
+  /// envPrefix example: "TREEPLACE_" makes --trees readable from TREEPLACE_TREES.
+  Options(int argc, const char* const* argv, std::string envPrefix = "TREEPLACE_");
+
+  bool hasFlag(const std::string& name) const;
+  std::optional<std::string> get(const std::string& name) const;
+  std::string getOr(const std::string& name, const std::string& fallback) const;
+  std::int64_t getIntOr(const std::string& name, std::int64_t fallback) const;
+  double getDoubleOr(const std::string& name, double fallback) const;
+
+  const std::vector<std::string>& positionals() const { return positionals_; }
+
+ private:
+  std::optional<std::string> fromEnv(const std::string& name) const;
+
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positionals_;
+  std::string envPrefix_;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,48 @@
+#include "support/csv.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace treeplace {
+
+CsvWriter::CsvWriter(std::ostream& out, char separator)
+    : out_(out), separator_(separator) {}
+
+void CsvWriter::writeRow(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << separator_;
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+std::string CsvWriter::toCell(double v) {
+  std::ostringstream os;
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    os.precision(10);
+    os << v;
+  }
+  return os.str();
+}
+
+std::string CsvWriter::toCell(long long v) { return std::to_string(v); }
+
+std::string CsvWriter::toCell(unsigned long long v) { return std::to_string(v); }
+
+std::string CsvWriter::escape(const std::string& cell) const {
+  const bool needsQuoting =
+      cell.find(separator_) != std::string::npos ||
+      cell.find('"') != std::string::npos || cell.find('\n') != std::string::npos;
+  if (!needsQuoting) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace treeplace

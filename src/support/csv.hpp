@@ -1,0 +1,44 @@
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace treeplace {
+
+/// Minimal RFC-4180-ish CSV writer. Values containing separators, quotes or
+/// newlines are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char separator = ',');
+
+  /// Write one row from already-stringified cells.
+  void writeRow(const std::vector<std::string>& cells);
+
+  /// Convenience: heterogeneous row, each cell stringified via toCell().
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> v;
+    v.reserve(sizeof...(cells));
+    (v.push_back(toCell(cells)), ...);
+    writeRow(v);
+  }
+
+  static std::string toCell(const std::string& s) { return s; }
+  static std::string toCell(const char* s) { return s; }
+  static std::string toCell(double v);
+  static std::string toCell(long long v);
+  static std::string toCell(unsigned long long v);
+  static std::string toCell(int v) { return toCell(static_cast<long long>(v)); }
+  static std::string toCell(long v) { return toCell(static_cast<long long>(v)); }
+  static std::string toCell(unsigned v) { return toCell(static_cast<unsigned long long>(v)); }
+  static std::string toCell(std::size_t v) { return toCell(static_cast<unsigned long long>(v)); }
+
+ private:
+  std::string escape(const std::string& cell) const;
+
+  std::ostream& out_;
+  char separator_;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,68 @@
+#include "support/prng.hpp"
+
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Prng::Prng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : state_) s = splitmix64(sm);
+}
+
+std::uint64_t Prng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::int64_t Prng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  TREEPLACE_REQUIRE(lo <= hi, "uniformInt requires lo <= hi");
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full 64-bit range
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+  std::uint64_t draw = next();
+  while (draw >= limit) draw = next();
+  return lo + static_cast<std::int64_t>(draw % span);
+}
+
+double Prng::uniformReal() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Prng::uniformReal(double lo, double hi) {
+  TREEPLACE_REQUIRE(lo <= hi, "uniformReal requires lo <= hi");
+  return lo + (hi - lo) * uniformReal();
+}
+
+bool Prng::bernoulli(double p) { return uniformReal() < p; }
+
+Prng Prng::split(std::uint64_t stream) const {
+  // Mix the original seed with the stream id through SplitMix64 so that
+  // child streams are decorrelated regardless of how many draws were made.
+  std::uint64_t x = seed_ ^ (0x632be59bd9b4e019ULL * (stream + 1));
+  return Prng(splitmix64(x));
+}
+
+}  // namespace treeplace

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace treeplace {
+
+/// Deterministic, seedable pseudo-random generator (xoshiro256** seeded via
+/// SplitMix64). Used instead of std::mt19937 so that every experiment in the
+/// repository reproduces bit-identically across standard library versions.
+class Prng {
+ public:
+  explicit Prng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniformReal();
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniformReal(double lo, double hi);
+
+  /// Bernoulli draw with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Derive an independent child generator; stable under reordering of draws
+  /// from this generator (used to give each experiment tree its own stream).
+  Prng split(std::uint64_t stream) const;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+ private:
+  std::uint64_t state_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace treeplace {
+
+/// Thrown when a library precondition is violated. These indicate programming
+/// errors in the caller (bad indices, inconsistent instances), not runtime
+/// conditions such as infeasible placement problems.
+class PreconditionError final : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void requireFailed(const char* expr, const char* file, int line,
+                                       const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw PreconditionError(os.str());
+}
+}  // namespace detail
+
+}  // namespace treeplace
+
+/// Precondition check that survives NDEBUG: library invariants must hold in
+/// release builds too, and tests exercise the failure paths.
+#define TREEPLACE_REQUIRE(expr, message)                                              \
+  do {                                                                                \
+    if (!(expr)) ::treeplace::detail::requireFailed(#expr, __FILE__, __LINE__, (message)); \
+  } while (false)

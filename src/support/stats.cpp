@@ -1,0 +1,62 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double OnlineStats::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const { return min_; }
+
+double OnlineStats::max() const { return max_; }
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  OnlineStats acc;
+  for (double v : values) acc.add(v);
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.median = percentile(values, 50.0);
+  return s;
+}
+
+double percentile(std::span<const double> values, double p) {
+  TREEPLACE_REQUIRE(!values.empty(), "percentile of empty sample");
+  TREEPLACE_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace treeplace {
+
+/// Welford online accumulator for mean / variance without storing samples.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a finished sample set (sorts a copy internally).
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double median = 0.0;
+  double max = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+/// Linear-interpolated percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::span<const double> values, double p);
+
+}  // namespace treeplace

@@ -1,0 +1,78 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+void TextTable::setHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  TREEPLACE_REQUIRE(header_.empty() || row.size() == header_.size(),
+                    "row width must match header width");
+  TREEPLACE_REQUIRE(!row.empty(), "rows must be non-empty (use addSeparator)");
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::addSeparator() { rows_.emplace_back(); }
+
+std::string TextTable::render(Align numbers) const {
+  std::size_t columns = header_.size();
+  for (const auto& row : rows_) columns = std::max(columns, row.size());
+  std::vector<std::size_t> width(columns, 0);
+  auto measure = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+  };
+  if (!header_.empty()) measure(header_);
+  for (const auto& row : rows_)
+    if (!row.empty()) measure(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row, Align align) {
+    for (std::size_t c = 0; c < columns; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      const std::size_t pad = width[c] - cell.size();
+      if (c != 0) os << "  ";
+      if (align == Align::Right && c != 0) {
+        os << std::string(pad, ' ') << cell;
+      } else {
+        os << cell << std::string(pad, ' ');
+      }
+    }
+    os << '\n';
+  };
+  auto separator = [&] {
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < columns; ++c) total += width[c] + (c != 0 ? 2 : 0);
+    os << std::string(total, '-') << '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_, Align::Left);
+    separator();
+  }
+  for (const auto& row : rows_) {
+    if (row.empty()) separator();
+    else emit(row, numbers);
+  }
+  return os.str();
+}
+
+std::string formatDouble(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string formatPercent(double fraction, int precision) {
+  return formatDouble(fraction * 100.0, precision) + "%";
+}
+
+}  // namespace treeplace

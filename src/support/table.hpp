@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace treeplace {
+
+/// Fixed-width ASCII table used by the benchmark harnesses to print the
+/// paper-figure series in a readable form.
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  /// Define columns; call before adding rows.
+  void setHeader(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> row);
+
+  /// Insert a horizontal separator row after the last added row.
+  void addSeparator();
+
+  /// Render with single-space-padded columns sized to the widest cell.
+  std::string render(Align numbers = Align::Right) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+/// Format helpers shared by benches/examples.
+std::string formatDouble(double v, int precision);
+std::string formatPercent(double fraction, int precision = 1);
+
+}  // namespace treeplace

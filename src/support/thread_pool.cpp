@@ -1,0 +1,105 @@
+#include "support/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+    if (threads == 0) threads = 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  TREEPLACE_REQUIRE(static_cast<bool>(task), "cannot submit empty task");
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    TREEPLACE_REQUIRE(!stopping_, "submit after shutdown");
+    queue_.push(std::move(task));
+    ++inFlight_;
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  std::atomic<std::size_t> nextIndex{begin};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMutex;
+
+  const std::size_t lanes = std::min(workers_.size(), end - begin);
+  std::atomic<std::size_t> lanesDone{0};
+  std::mutex doneMutex;
+  std::condition_variable doneCv;
+
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    submit([&] {
+      for (;;) {
+        const std::size_t i = nextIndex.fetch_add(1);
+        if (i >= end || failed.load()) break;
+        try {
+          fn(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(errorMutex);
+          if (!firstError) firstError = std::current_exception();
+          failed.store(true);
+        }
+      }
+      if (lanesDone.fetch_add(1) + 1 == lanes) {
+        const std::lock_guard<std::mutex> lock(doneMutex);
+        doneCv.notify_all();
+      }
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(doneMutex);
+  doneCv.wait(lock, [&] { return lanesDone.load() == lanes; });
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace treeplace

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace treeplace {
+
+/// Fixed-size worker pool. Tasks are arbitrary closures; parallelFor slices an
+/// index range across workers. Workers never share mutable state implicitly —
+/// callers are expected to write results into per-index slots.
+class ThreadPool {
+ public:
+  /// threads == 0 selects std::thread::hardware_concurrency() (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t threadCount() const { return workers_.size(); }
+
+  /// Enqueue a task; returns immediately. Pair with waitIdle().
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void waitIdle();
+
+  /// Run fn(i) for i in [begin, end) across the pool and wait for completion.
+  /// Exceptions thrown by fn propagate out of parallelFor (first one wins).
+  void parallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::size_t inFlight_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace treeplace

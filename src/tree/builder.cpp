@@ -1,0 +1,103 @@
+#include "tree/builder.hpp"
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+VertexId TreeBuilder::addRoot(Requests capacity) {
+  TREEPLACE_REQUIRE(parents_.empty(), "root must be the first vertex");
+  const VertexId v = add(kNoVertex, VertexKind::Internal);
+  capacity_[static_cast<std::size_t>(v)] = capacity;
+  storageCost_[static_cast<std::size_t>(v)] = static_cast<double>(capacity);
+  return v;
+}
+
+VertexId TreeBuilder::addInternal(VertexId parent, Requests capacity) {
+  const VertexId v = add(parent, VertexKind::Internal);
+  capacity_[static_cast<std::size_t>(v)] = capacity;
+  storageCost_[static_cast<std::size_t>(v)] = static_cast<double>(capacity);
+  return v;
+}
+
+VertexId TreeBuilder::addClient(VertexId parent, Requests requests, double qos) {
+  const VertexId v = add(parent, VertexKind::Client);
+  requests_[static_cast<std::size_t>(v)] = requests;
+  qos_[static_cast<std::size_t>(v)] = qos;
+  return v;
+}
+
+TreeBuilder& TreeBuilder::setStorageCost(VertexId node, double cost) {
+  TREEPLACE_REQUIRE(kinds_.at(static_cast<std::size_t>(node)) == VertexKind::Internal,
+                    "storage cost applies to internal nodes");
+  storageCost_[static_cast<std::size_t>(node)] = cost;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::setCommTime(VertexId vertex, double time) {
+  commTime_.at(static_cast<std::size_t>(vertex)) = time;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::setBandwidth(VertexId vertex, Requests bw) {
+  bandwidth_.at(static_cast<std::size_t>(vertex)) = bw;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::setQos(VertexId client, double qos) {
+  TREEPLACE_REQUIRE(kinds_.at(static_cast<std::size_t>(client)) == VertexKind::Client,
+                    "QoS applies to clients");
+  qos_[static_cast<std::size_t>(client)] = qos;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::setCompTime(VertexId node, double time) {
+  TREEPLACE_REQUIRE(kinds_.at(static_cast<std::size_t>(node)) == VertexKind::Internal,
+                    "computation time applies to internal nodes");
+  compTime_[static_cast<std::size_t>(node)] = time;
+  return *this;
+}
+
+TreeBuilder& TreeBuilder::useUnitCosts() {
+  unitCosts_ = true;
+  return *this;
+}
+
+ProblemInstance TreeBuilder::build() const {
+  ProblemInstance instance;
+  instance.tree = Tree::fromParents(parents_, kinds_);
+  instance.requests = requests_;
+  instance.capacity = capacity_;
+  instance.storageCost = storageCost_;
+  if (unitCosts_) {
+    for (std::size_t i = 0; i < kinds_.size(); ++i)
+      if (kinds_[i] == VertexKind::Internal) instance.storageCost[i] = 1.0;
+  }
+  instance.commTime = commTime_;
+  instance.bandwidth = bandwidth_;
+  instance.qos = qos_;
+  instance.compTime = compTime_;
+  instance.validate();
+  return instance;
+}
+
+VertexId TreeBuilder::add(VertexId parent, VertexKind kind) {
+  if (parent != kNoVertex) {
+    TREEPLACE_REQUIRE(parent >= 0 && static_cast<std::size_t>(parent) < parents_.size(),
+                      "unknown parent vertex");
+    TREEPLACE_REQUIRE(kinds_[static_cast<std::size_t>(parent)] == VertexKind::Internal,
+                      "parent must be an internal node");
+  }
+  const auto v = static_cast<VertexId>(parents_.size());
+  parents_.push_back(parent);
+  kinds_.push_back(kind);
+  requests_.push_back(0);
+  capacity_.push_back(0);
+  storageCost_.push_back(0.0);
+  commTime_.push_back(parent == kNoVertex ? 0.0 : 1.0);
+  bandwidth_.push_back(kUnlimitedBandwidth);
+  qos_.push_back(kNoQos);
+  compTime_.push_back(0.0);
+  return v;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,57 @@
+#pragma once
+
+#include <vector>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Incremental construction of ProblemInstance objects for tests, examples and
+/// the paper-figure factories.
+///
+///   TreeBuilder b;
+///   const auto root = b.addRoot(/*capacity*/ 10);
+///   const auto n1 = b.addInternal(root, 10);
+///   b.addClient(n1, /*requests*/ 3);
+///   auto instance = b.build();
+///
+/// Storage cost defaults to the node capacity (the paper's s_j = W_j
+/// convention); communication time defaults to 1 per link (so QoS in time
+/// units coincides with QoS in hops); bandwidth defaults to unlimited and QoS
+/// to unconstrained.
+class TreeBuilder {
+ public:
+  VertexId addRoot(Requests capacity);
+  VertexId addInternal(VertexId parent, Requests capacity);
+  VertexId addClient(VertexId parent, Requests requests, double qos = kNoQos);
+
+  TreeBuilder& setStorageCost(VertexId node, double cost);
+  TreeBuilder& setCommTime(VertexId vertex, double time);
+  TreeBuilder& setBandwidth(VertexId vertex, Requests bw);
+  TreeBuilder& setQos(VertexId client, double qos);
+  /// Per-request computation time at a server (enters the QoS latency).
+  TreeBuilder& setCompTime(VertexId node, double time);
+
+  /// Set every internal node's storage cost to 1 (Replica Counting).
+  TreeBuilder& useUnitCosts();
+
+  /// Validate and assemble the instance. The builder may be reused afterwards
+  /// (build() does not mutate state).
+  ProblemInstance build() const;
+
+ private:
+  VertexId add(VertexId parent, VertexKind kind);
+
+  std::vector<VertexId> parents_;
+  std::vector<VertexKind> kinds_;
+  std::vector<Requests> requests_;
+  std::vector<Requests> capacity_;
+  std::vector<double> storageCost_;
+  std::vector<double> commTime_;
+  std::vector<Requests> bandwidth_;
+  std::vector<double> qos_;
+  std::vector<double> compTime_;
+  bool unitCosts_ = false;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,138 @@
+#include "tree/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/require.hpp"
+#include "tree/builder.hpp"
+
+namespace treeplace {
+namespace {
+
+/// Shape of a drawn instance before capacities are attached.
+struct Shape {
+  int internals = 0;
+  std::vector<int> internalParent;  ///< parent index among internals; -1 for root
+  std::vector<int> clientHost;      ///< hosting internal index per client
+  std::vector<Requests> clientRequests;
+};
+
+Shape drawShape(const GeneratorConfig& config, Prng& rng) {
+  const auto size = static_cast<int>(rng.uniformInt(config.minSize, config.maxSize));
+  int internals = static_cast<int>(
+      std::lround(static_cast<double>(size) * (1.0 - config.clientFraction)));
+  internals = std::clamp(internals, 1, size - 1);
+  int clientCount = size - internals;
+
+  Shape shape;
+  shape.internals = internals;
+  shape.internalParent.assign(static_cast<std::size_t>(internals), -1);
+  std::vector<int> fanout(static_cast<std::size_t>(internals), 0);
+  for (int i = 1; i < internals; ++i) {
+    int parent;
+    do {
+      parent = static_cast<int>(rng.uniformInt(0, i - 1));
+    } while (config.maxChildren > 0 &&
+             fanout[static_cast<std::size_t>(parent)] >= config.maxChildren);
+    ++fanout[static_cast<std::size_t>(parent)];
+    shape.internalParent[static_cast<std::size_t>(i)] = parent;
+  }
+
+  // Childless internal nodes must receive a client (internal leaves are
+  // disallowed). If there are more of them than clients, convert the surplus
+  // requirement by growing the client count — the instance gets slightly
+  // larger than drawn, which the experiments tolerate.
+  std::vector<int> edgeNodes;  // internals without internal children
+  for (int i = 0; i < internals; ++i)
+    if (fanout[static_cast<std::size_t>(i)] == 0) edgeNodes.push_back(i);
+  clientCount = std::max(clientCount, static_cast<int>(edgeNodes.size()));
+
+  shape.clientHost = edgeNodes;  // one mandatory client per edge node
+  std::vector<int> hostLoad(static_cast<std::size_t>(internals), 0);
+  for (const int host : shape.clientHost) ++hostLoad[static_cast<std::size_t>(host)];
+  while (static_cast<int>(shape.clientHost.size()) < clientCount) {
+    int host;
+    if (!edgeNodes.empty() && rng.bernoulli(config.leafClientBias)) {
+      // Balanced two-choice draw among edge nodes: spreads client demand so
+      // no single edge subtree concentrates an unservable pocket.
+      const auto limit = static_cast<std::int64_t>(edgeNodes.size()) - 1;
+      const int a = edgeNodes[static_cast<std::size_t>(rng.uniformInt(0, limit))];
+      const int b = edgeNodes[static_cast<std::size_t>(rng.uniformInt(0, limit))];
+      host = hostLoad[static_cast<std::size_t>(a)] <= hostLoad[static_cast<std::size_t>(b)]
+                 ? a
+                 : b;
+    } else {
+      host = static_cast<int>(rng.uniformInt(0, internals - 1));
+    }
+    ++hostLoad[static_cast<std::size_t>(host)];
+    shape.clientHost.push_back(host);
+  }
+  rng.shuffle(shape.clientHost);
+
+  shape.clientRequests.reserve(shape.clientHost.size());
+  for (std::size_t i = 0; i < shape.clientHost.size(); ++i)
+    shape.clientRequests.push_back(
+        rng.uniformInt(config.minRequests, config.maxRequests));
+  return shape;
+}
+
+}  // namespace
+
+ProblemInstance generateInstance(const GeneratorConfig& config, Prng& rng) {
+  TREEPLACE_REQUIRE(config.minSize >= 3, "need at least root + node/client pair");
+  TREEPLACE_REQUIRE(config.maxSize >= config.minSize, "maxSize < minSize");
+  TREEPLACE_REQUIRE(config.clientFraction > 0.0 && config.clientFraction < 1.0,
+                    "clientFraction must be in (0,1)");
+  TREEPLACE_REQUIRE(config.lambda > 0.0, "lambda must be positive");
+  TREEPLACE_REQUIRE(config.minRequests >= 1 && config.maxRequests >= config.minRequests,
+                    "invalid request range");
+  TREEPLACE_REQUIRE(config.qosMinHops >= 1 && config.qosMaxHops >= config.qosMinHops,
+                    "invalid QoS hop range");
+
+  const Shape shape = drawShape(config, rng);
+  Requests totalRequests = 0;
+  for (const Requests r : shape.clientRequests) totalRequests += r;
+
+  // Capacities scaled so that sum(W) ~= sum(r) / lambda.
+  const double meanCapacity =
+      static_cast<double>(totalRequests) /
+      (config.lambda * static_cast<double>(shape.internals));
+  std::vector<Requests> caps(static_cast<std::size_t>(shape.internals));
+  if (config.heterogeneous) {
+    const double lo = std::max(1.0, (1.0 - config.spread) * meanCapacity);
+    const double hi = std::max(lo + 1.0, (1.0 + config.spread) * meanCapacity);
+    for (auto& w : caps)
+      w = std::max<Requests>(1, static_cast<Requests>(std::llround(rng.uniformReal(lo, hi))));
+  } else {
+    const auto w =
+        std::max<Requests>(1, static_cast<Requests>(std::llround(meanCapacity)));
+    std::fill(caps.begin(), caps.end(), w);
+  }
+
+  TreeBuilder builder;
+  std::vector<VertexId> internalIds(static_cast<std::size_t>(shape.internals));
+  internalIds[0] = builder.addRoot(caps[0]);
+  for (int i = 1; i < shape.internals; ++i) {
+    const int parent = shape.internalParent[static_cast<std::size_t>(i)];
+    internalIds[static_cast<std::size_t>(i)] = builder.addInternal(
+        internalIds[static_cast<std::size_t>(parent)], caps[static_cast<std::size_t>(i)]);
+  }
+  for (std::size_t c = 0; c < shape.clientHost.size(); ++c) {
+    const VertexId host =
+        internalIds[static_cast<std::size_t>(shape.clientHost[c])];
+    double qos = kNoQos;
+    if (config.qosFraction > 0.0 && rng.bernoulli(config.qosFraction))
+      qos = static_cast<double>(rng.uniformInt(config.qosMinHops, config.qosMaxHops));
+    builder.addClient(host, shape.clientRequests[c], qos);
+  }
+  if (config.unitCosts) builder.useUnitCosts();
+  return builder.build();
+}
+
+ProblemInstance generateInstance(const GeneratorConfig& config, std::uint64_t seed,
+                                 std::uint64_t index) {
+  Prng rng = Prng(seed).split(index);
+  return generateInstance(config, rng);
+}
+
+}  // namespace treeplace

@@ -1,0 +1,42 @@
+#pragma once
+
+#include "support/prng.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Parameters of the random-instance generator used by the Section 7
+/// experiments. The paper specifies random trees with 15 <= s <= 400 vertices
+/// and a target load lambda = sum(r)/sum(W); the remaining knobs are exposed
+/// so the tree-shape ablation bench can vary them.
+struct GeneratorConfig {
+  int minSize = 15;             ///< minimum s = |C| + |N|
+  int maxSize = 400;            ///< maximum s
+  double clientFraction = 0.5;  ///< expected fraction of vertices that are clients
+  int maxChildren = 0;          ///< cap on internal-node fanout (0 = none)
+  /// Probability that a client attaches to an edge node (an internal node
+  /// without internal children) rather than anywhere in the tree; edge
+  /// attachment uses a balanced two-choice draw so demand spreads evenly.
+  /// Distribution trees serve clients at the edge, so the default is high.
+  double leafClientBias = 0.85;
+  Requests minRequests = 1;     ///< r_i lower bound
+  Requests maxRequests = 10;    ///< r_i upper bound
+  double lambda = 0.5;          ///< target load factor
+  bool heterogeneous = false;   ///< homogeneous W vs W_j drawn around the mean
+  double spread = 0.9;          ///< heterogeneity: W_j ~ U[(1-spread)m, (1+spread)m]
+  bool unitCosts = false;       ///< Replica Counting: s_j = 1 (else s_j = W_j)
+  double qosFraction = 0.0;     ///< fraction of clients given a finite QoS
+  int qosMinHops = 2;           ///< finite QoS drawn uniformly from this range,
+  int qosMaxHops = 5;           ///< expressed in hops (comm time is 1 per link)
+};
+
+/// Draw one instance. All randomness comes from `rng`; equal seeds give
+/// equal instances. The achieved load is close to, but not exactly,
+/// config.lambda because capacities are integral.
+ProblemInstance generateInstance(const GeneratorConfig& config, Prng& rng);
+
+/// Convenience: instance number `index` of a reproducible family.
+ProblemInstance generateInstance(const GeneratorConfig& config, std::uint64_t seed,
+                                 std::uint64_t index);
+
+}  // namespace treeplace

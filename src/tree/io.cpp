@@ -1,0 +1,185 @@
+#include "tree/io.hpp"
+
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw ParseError("instance parse error at line " + std::to_string(line) + ": " +
+                   message);
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) {
+    if (token.front() == '#') break;  // comment to end of line
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Splits "key=value" tokens into a map; bare tokens are rejected.
+std::map<std::string, std::string> keyValues(const std::vector<std::string>& tokens,
+                                             std::size_t from, std::size_t line) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = from; i < tokens.size(); ++i) {
+    const auto eq = tokens[i].find('=');
+    if (eq == std::string::npos) fail(line, "expected key=value, got '" + tokens[i] + "'");
+    out[tokens[i].substr(0, eq)] = tokens[i].substr(eq + 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+void writeInstance(std::ostream& out, const ProblemInstance& instance) {
+  instance.validate();
+  const auto n = instance.tree.vertexCount();
+  out << "treeplace-instance v1\n";
+  out << "vertices " << n << "\n";
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<VertexId>(i);
+    out << v << ' ';
+    if (instance.tree.isInternal(v)) {
+      out << "internal " << instance.tree.parent(v) << " cap=" << instance.capacity[i]
+          << " cost=" << instance.storageCost[i];
+      if (instance.compTime[i] != 0.0) out << " compt=" << instance.compTime[i];
+    } else {
+      out << "client " << instance.tree.parent(v) << " req=" << instance.requests[i];
+    }
+    if (instance.tree.parent(v) != kNoVertex && instance.commTime[i] != 1.0)
+      out << " comm=" << instance.commTime[i];
+    if (instance.bandwidth[i] != kUnlimitedBandwidth)
+      out << " bw=" << instance.bandwidth[i];
+    if (instance.tree.isClient(v) && instance.qos[i] != kNoQos)
+      out << " qos=" << instance.qos[i];
+    out << '\n';
+  }
+}
+
+std::string instanceToString(const ProblemInstance& instance) {
+  std::ostringstream os;
+  writeInstance(os, instance);
+  return os.str();
+}
+
+ProblemInstance readInstance(std::istream& in) {
+  std::string line;
+  std::size_t lineNo = 0;
+
+  auto nextTokens = [&](std::vector<std::string>& tokens) -> bool {
+    while (std::getline(in, line)) {
+      ++lineNo;
+      tokens = tokenize(line);
+      if (!tokens.empty()) return true;
+    }
+    return false;
+  };
+
+  std::vector<std::string> tokens;
+  if (!nextTokens(tokens) || tokens.size() != 2 || tokens[0] != "treeplace-instance" ||
+      tokens[1] != "v1")
+    fail(lineNo, "missing 'treeplace-instance v1' header");
+  if (!nextTokens(tokens) || tokens.size() != 2 || tokens[0] != "vertices")
+    fail(lineNo, "missing 'vertices <count>' line");
+  std::size_t count = 0;
+  try {
+    count = std::stoul(tokens[1]);
+  } catch (const std::exception&) {
+    fail(lineNo, "bad vertex count '" + tokens[1] + "'");
+  }
+  if (count == 0) fail(lineNo, "vertex count must be positive");
+
+  ProblemInstance instance;
+  std::vector<VertexId> parents(count, kNoVertex);
+  std::vector<VertexKind> kinds(count, VertexKind::Internal);
+  instance.requests.assign(count, 0);
+  instance.capacity.assign(count, 0);
+  instance.storageCost.assign(count, 0.0);
+  instance.commTime.assign(count, 1.0);
+  instance.bandwidth.assign(count, kUnlimitedBandwidth);
+  instance.qos.assign(count, kNoQos);
+  instance.compTime.assign(count, 0.0);
+  std::vector<bool> seen(count, false);
+
+  for (std::size_t row = 0; row < count; ++row) {
+    if (!nextTokens(tokens)) fail(lineNo, "unexpected end of input");
+    if (tokens.size() < 3) fail(lineNo, "expected '<id> <kind> <parent> ...'");
+    std::size_t id = 0;
+    long long parent = 0;
+    try {
+      id = std::stoul(tokens[0]);
+      parent = std::stoll(tokens[2]);
+    } catch (const std::exception&) {
+      fail(lineNo, "bad id or parent");
+    }
+    if (id >= count) fail(lineNo, "vertex id out of range");
+    if (seen[id]) fail(lineNo, "duplicate vertex id " + std::to_string(id));
+    seen[id] = true;
+    if (parent < -1 || parent >= static_cast<long long>(count))
+      fail(lineNo, "parent out of range");
+    parents[id] = static_cast<VertexId>(parent);
+
+    const auto kv = keyValues(tokens, 3, lineNo);
+    auto getDouble = [&](const char* key, double fallback) {
+      const auto it = kv.find(key);
+      if (it == kv.end()) return fallback;
+      try {
+        return std::stod(it->second);
+      } catch (const std::exception&) {
+        fail(lineNo, std::string("bad value for ") + key);
+      }
+    };
+    auto getInt = [&](const char* key, Requests fallback) {
+      const auto it = kv.find(key);
+      if (it == kv.end()) return fallback;
+      try {
+        return static_cast<Requests>(std::stoll(it->second));
+      } catch (const std::exception&) {
+        fail(lineNo, std::string("bad value for ") + key);
+      }
+    };
+
+    if (tokens[1] == "internal") {
+      kinds[id] = VertexKind::Internal;
+      instance.capacity[id] = getInt("cap", 0);
+      instance.storageCost[id] =
+          getDouble("cost", static_cast<double>(instance.capacity[id]));
+      instance.compTime[id] = getDouble("compt", 0.0);
+    } else if (tokens[1] == "client") {
+      kinds[id] = VertexKind::Client;
+      instance.requests[id] = getInt("req", 0);
+      instance.qos[id] = getDouble("qos", kNoQos);
+    } else {
+      fail(lineNo, "unknown vertex kind '" + tokens[1] + "'");
+    }
+    instance.commTime[id] = getDouble("comm", 1.0);
+    instance.bandwidth[id] = getInt("bw", kUnlimitedBandwidth);
+    if (parents[id] == kNoVertex) instance.commTime[id] = 0.0;
+  }
+
+  try {
+    instance.tree = Tree::fromParents(std::move(parents), std::move(kinds));
+    instance.validate();
+  } catch (const PreconditionError& e) {
+    throw ParseError(std::string("inconsistent instance: ") + e.what());
+  }
+  return instance;
+}
+
+ProblemInstance instanceFromString(const std::string& text) {
+  std::istringstream in(text);
+  return readInstance(in);
+}
+
+}  // namespace treeplace

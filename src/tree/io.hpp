@@ -1,0 +1,35 @@
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Thrown on malformed instance text.
+class ParseError final : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Serialise an instance to the line-oriented `treeplace-instance v1` format:
+///
+///   treeplace-instance v1
+///   vertices <count>
+///   <id> internal <parent> cap=<W> cost=<s> [comm=<t>] [bw=<B>]
+///   <id> client   <parent> req=<r>          [comm=<t>] [bw=<B>] [qos=<q>]
+///
+/// Vertices appear in id order; optional fields are omitted at defaults
+/// (comm=1 for non-root links, bw unlimited, qos unconstrained). `#` starts a
+/// comment.
+void writeInstance(std::ostream& out, const ProblemInstance& instance);
+std::string instanceToString(const ProblemInstance& instance);
+
+/// Parse the format written by writeInstance. Throws ParseError with a
+/// line-numbered message on malformed input.
+ProblemInstance readInstance(std::istream& in);
+ProblemInstance instanceFromString(const std::string& text);
+
+}  // namespace treeplace

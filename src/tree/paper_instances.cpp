@@ -1,0 +1,147 @@
+#include "tree/paper_instances.hpp"
+
+#include <numeric>
+
+#include "support/require.hpp"
+#include "tree/builder.hpp"
+
+namespace treeplace {
+
+ProblemInstance fig1AccessPolicies(char variant) {
+  TreeBuilder b;
+  const VertexId s2 = b.addRoot(1);
+  const VertexId s1 = b.addInternal(s2, 1);
+  switch (variant) {
+    case 'a':
+      b.addClient(s1, 1);
+      break;
+    case 'b':
+      b.addClient(s1, 1);
+      b.addClient(s1, 1);
+      break;
+    case 'c':
+      b.addClient(s1, 2);
+      break;
+    default:
+      TREEPLACE_REQUIRE(false, "fig1 variant must be 'a', 'b' or 'c'");
+  }
+  b.useUnitCosts();
+  return b.build();
+}
+
+ProblemInstance fig2UpwardsVsClosest(int n) {
+  TREEPLACE_REQUIRE(n >= 1, "fig2 requires n >= 1");
+  TreeBuilder b;
+  const VertexId top = b.addRoot(n);        // s_{2n+2}
+  b.addClient(top, 1);                      // the root's own client
+  const VertexId mid = b.addInternal(top, n);  // s_{2n+1}
+  for (int k = 1; k <= 2 * n; ++k) {
+    const VertexId sk = b.addInternal(mid, n);  // s_k
+    b.addClient(sk, 1);
+  }
+  b.useUnitCosts();
+  return b.build();
+}
+
+ProblemInstance fig3MultipleVsUpwardsHomogeneous(int n) {
+  TREEPLACE_REQUIRE(n >= 1, "fig3 requires n >= 1");
+  const Requests W = 2 * static_cast<Requests>(n);
+  TreeBuilder b;
+  const VertexId root = b.addRoot(W);
+  b.addClient(root, n);
+  for (int j = 1; j <= n; ++j) {
+    const VertexId sj = b.addInternal(root, W);
+    const VertexId vj = b.addInternal(sj, W);
+    b.addClient(vj, n);
+    const VertexId wj = b.addInternal(sj, W);
+    b.addClient(wj, n + 1);
+  }
+  b.useUnitCosts();
+  return b.build();
+}
+
+ProblemInstance fig4MultipleVsUpwardsHeterogeneous(int n, int K) {
+  TREEPLACE_REQUIRE(n >= 2, "fig4 requires n >= 2");
+  TREEPLACE_REQUIRE(K >= 2, "fig4 requires K >= 2");
+  TreeBuilder b;
+  const VertexId s3 = b.addRoot(static_cast<Requests>(K) * n);
+  const VertexId s2 = b.addInternal(s3, n);
+  const VertexId s1 = b.addInternal(s2, n);
+  b.addClient(s1, static_cast<Requests>(n) + 1);
+  b.addClient(s1, static_cast<Requests>(n) - 1);
+  return b.build();  // Replica Cost: storage cost defaults to capacity
+}
+
+ProblemInstance fig5LowerBoundGap(int n, Requests capacity) {
+  TREEPLACE_REQUIRE(n >= 1, "fig5 requires n >= 1");
+  TREEPLACE_REQUIRE(capacity % n == 0, "fig5 requires W divisible by n");
+  TreeBuilder b;
+  const VertexId root = b.addRoot(capacity);
+  b.addClient(root, capacity);
+  for (int j = 1; j <= n; ++j) {
+    const VertexId sj = b.addInternal(root, capacity);
+    b.addClient(sj, capacity / n);
+  }
+  b.useUnitCosts();
+  return b.build();
+}
+
+ProblemInstance walkthroughExample() {
+  // Eleven internal nodes, W = 10, request multiset {2,2,12,1,1,9,7} = 34.
+  // Shaped like the Figure 6 walkthrough: a heavy branch whose flow exceeds W
+  // twice in pass 1, a light middle branch, and a mid-weight branch that
+  // pass 2 must complete.
+  TreeBuilder b;
+  const VertexId n1 = b.addRoot(10);
+  const VertexId n2 = b.addInternal(n1, 10);
+  const VertexId n3 = b.addInternal(n1, 10);
+  const VertexId n4 = b.addInternal(n1, 10);
+  const VertexId n5 = b.addInternal(n2, 10);
+  b.addClient(n5, 2);
+  b.addClient(n5, 2);
+  const VertexId n6 = b.addInternal(n2, 10);
+  const VertexId n10 = b.addInternal(n6, 10);
+  b.addClient(n10, 12);
+  const VertexId n7 = b.addInternal(n3, 10);
+  b.addClient(n7, 1);
+  const VertexId n8 = b.addInternal(n3, 10);
+  b.addClient(n8, 1);
+  const VertexId n9 = b.addInternal(n4, 10);
+  const VertexId n11 = b.addInternal(n9, 10);
+  b.addClient(n11, 9);
+  b.addClient(n9, 7);
+  b.useUnitCosts();
+  return b.build();
+}
+
+ProblemInstance fig7ThreePartition(std::span<const Requests> values, Requests B) {
+  TREEPLACE_REQUIRE(values.size() % 3 == 0, "3-PARTITION needs 3m values");
+  TREEPLACE_REQUIRE(!values.empty(), "3-PARTITION needs at least one triple");
+  const auto m = static_cast<int>(values.size() / 3);
+  const Requests total = std::accumulate(values.begin(), values.end(), Requests{0});
+  TREEPLACE_REQUIRE(total == B * m, "3-PARTITION values must sum to m*B");
+
+  TreeBuilder b;
+  // Chain n_m (root) -> n_{m-1} -> ... -> n_1; clients under n_1.
+  VertexId node = b.addRoot(B);
+  for (int j = m - 1; j >= 1; --j) node = b.addInternal(node, B);
+  for (const Requests a : values) b.addClient(node, a);
+  b.useUnitCosts();
+  return b.build();
+}
+
+ProblemInstance fig8TwoPartition(std::span<const Requests> values) {
+  TREEPLACE_REQUIRE(!values.empty(), "2-PARTITION needs values");
+  const Requests S = std::accumulate(values.begin(), values.end(), Requests{0});
+  TREEPLACE_REQUIRE(S % 2 == 0, "2-PARTITION total must be even to be solvable");
+  TreeBuilder b;
+  const VertexId root = b.addRoot(S / 2 + 1);
+  for (const Requests a : values) {
+    const VertexId nj = b.addInternal(root, a);
+    b.addClient(nj, a);
+  }
+  b.addClient(root, 1);
+  return b.build();  // Replica Cost: storage cost = capacity
+}
+
+}  // namespace treeplace

@@ -1,0 +1,64 @@
+#pragma once
+
+#include <span>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Factories for the exact problem instances used in the paper's figures.
+/// Vertex ids are deterministic (construction order) and documented per
+/// factory so tests can reference specific nodes.
+
+/// Figure 1 — impact of the access policy on existence (Replica Counting,
+/// W = 1, unit costs). Chain root s2 (id 0) -> s1 (id 1), clients under s1.
+///   variant 'a': one client with 1 request  (all policies feasible)
+///   variant 'b': two clients with 1 request (Upwards/Multiple only)
+///   variant 'c': one client with 2 requests (Multiple only)
+ProblemInstance fig1AccessPolicies(char variant);
+
+/// Figure 2 — Upwards arbitrarily better than Closest (Replica Counting,
+/// W = n, unit costs). Root s_{2n+2} (id 0) has a unit client (id 1) and
+/// child s_{2n+1} (id 2); s_{2n+1} has children s_1..s_{2n}
+/// (ids 3,5,...,2n+1 oddly interleaved with their unit clients: node k is
+/// id 1+2k, its client id 2+2k). Upwards optimum is 3; Closest optimum n+2.
+ProblemInstance fig2UpwardsVsClosest(int n);
+
+/// Figure 3 — Multiple twice better than Upwards, homogeneous (Replica
+/// Counting, W = 2n, unit costs). Root r (id 0) has client(n) (id 1) and
+/// children s_j; each s_j has v_j (client n below) and w_j (client n+1
+/// below). Multiple optimum n+1; Upwards optimum 2n.
+ProblemInstance fig3MultipleVsUpwardsHomogeneous(int n);
+
+/// Figure 4 — Multiple arbitrarily better than Upwards, heterogeneous
+/// (Replica Cost, s_j = W_j). Chain s3 (root, id 0, W=K*n) -> s2 (id 1, W=n)
+/// -> s1 (id 2, W=n); s1 has clients n+1 (id 3) and n-1 (id 4).
+/// Multiple optimum 2n; Upwards/Closest optimum K*n.
+ProblemInstance fig4MultipleVsUpwardsHeterogeneous(int n, int K);
+
+/// Figure 5 — the counting lower bound cannot be approximated (Replica
+/// Counting, capacity W divisible by n, unit costs). Root r (id 0) has
+/// client(W) (id 1) and children s_1..s_n (id 2j) each with one client W/n
+/// (id 2j+1). Lower bound ceil(2W/W) = 2; every policy needs n+1 replicas.
+ProblemInstance fig5LowerBoundGap(int n, Requests capacity);
+
+/// Figure 6-flavoured walkthrough tree for the Multiple/homogeneous optimal
+/// algorithm: W = 10, client loads {2,2,12,1,1,9,7} spread over a three-level
+/// tree of 11 internal nodes. Used to exercise pass 1 / pass 2 / pass 3.
+ProblemInstance walkthroughExample();
+
+/// Figure 7 — the 3-PARTITION reduction for Upwards/homogeneous
+/// (Theorem 2). Chain n_m (root, id 0) -> ... -> n_1 (id m-1), all with
+/// capacity B and unit storage cost; the 3m clients (ids m..m+3m-1) hang
+/// under n_1 with requests `values`. A solution of cost m exists iff the
+/// values admit a 3-partition into triples of sum B.
+ProblemInstance fig7ThreePartition(std::span<const Requests> values, Requests B);
+
+/// Figure 8 — the 2-PARTITION reduction for heterogeneous Closest/Multiple
+/// (Theorem 3). Root r (id 0, W = S/2 + 1, cost W) has children n_j
+/// (id 2j-1, W = cost = a_j) each with client a_j (id 2j), plus one direct
+/// client with 1 request (last id). A solution of cost S+1 exists iff the
+/// values admit a 2-partition.
+ProblemInstance fig8TwoPartition(std::span<const Requests> values);
+
+}  // namespace treeplace

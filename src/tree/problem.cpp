@@ -1,0 +1,120 @@
+#include "tree/problem.hpp"
+
+#include <string>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+void ProblemInstance::validate() const {
+  const std::size_t n = tree.vertexCount();
+  TREEPLACE_REQUIRE(requests.size() == n, "requests size mismatch");
+  TREEPLACE_REQUIRE(capacity.size() == n, "capacity size mismatch");
+  TREEPLACE_REQUIRE(storageCost.size() == n, "storageCost size mismatch");
+  TREEPLACE_REQUIRE(commTime.size() == n, "commTime size mismatch");
+  TREEPLACE_REQUIRE(bandwidth.size() == n, "bandwidth size mismatch");
+  TREEPLACE_REQUIRE(qos.size() == n, "qos size mismatch");
+  TREEPLACE_REQUIRE(compTime.size() == n, "compTime size mismatch");
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<VertexId>(i);
+    if (tree.isClient(v)) {
+      TREEPLACE_REQUIRE(requests[i] >= 0, "negative requests at client " + std::to_string(v));
+      TREEPLACE_REQUIRE(capacity[i] == 0, "client " + std::to_string(v) + " has capacity");
+      TREEPLACE_REQUIRE(storageCost[i] == 0.0,
+                        "client " + std::to_string(v) + " has storage cost");
+      TREEPLACE_REQUIRE(qos[i] > 0.0, "non-positive QoS at client " + std::to_string(v));
+    } else {
+      TREEPLACE_REQUIRE(requests[i] == 0, "internal node " + std::to_string(v) + " has requests");
+      TREEPLACE_REQUIRE(capacity[i] >= 0, "negative capacity at node " + std::to_string(v));
+      TREEPLACE_REQUIRE(storageCost[i] >= 0.0,
+                        "negative storage cost at node " + std::to_string(v));
+    }
+    TREEPLACE_REQUIRE(commTime[i] >= 0.0, "negative comm time on link " + std::to_string(v));
+    TREEPLACE_REQUIRE(bandwidth[i] >= 0 || bandwidth[i] == kUnlimitedBandwidth,
+                      "invalid bandwidth on link " + std::to_string(v));
+    TREEPLACE_REQUIRE(compTime[i] >= 0.0, "negative comp time at " + std::to_string(v));
+    TREEPLACE_REQUIRE(compTime[i] == 0.0 || tree.isInternal(v),
+                      "computation time applies to internal nodes");
+  }
+}
+
+Requests ProblemInstance::totalRequests() const {
+  Requests total = 0;
+  for (const VertexId c : tree.clients()) total += requests[static_cast<std::size_t>(c)];
+  return total;
+}
+
+Requests ProblemInstance::totalCapacity() const {
+  Requests total = 0;
+  for (const VertexId j : tree.internals()) total += capacity[static_cast<std::size_t>(j)];
+  return total;
+}
+
+double ProblemInstance::load() const {
+  const Requests cap = totalCapacity();
+  TREEPLACE_REQUIRE(cap > 0, "load undefined with zero total capacity");
+  return static_cast<double>(totalRequests()) / static_cast<double>(cap);
+}
+
+bool ProblemInstance::isHomogeneous() const {
+  const auto& internals = tree.internals();
+  for (const VertexId j : internals) {
+    if (capacity[static_cast<std::size_t>(j)] !=
+        capacity[static_cast<std::size_t>(internals.front())])
+      return false;
+  }
+  return true;
+}
+
+Requests ProblemInstance::homogeneousCapacity() const {
+  TREEPLACE_REQUIRE(isHomogeneous(), "heterogeneous instance");
+  return capacity[static_cast<std::size_t>(tree.internals().front())];
+}
+
+double ProblemInstance::distance(VertexId v, VertexId anc) const {
+  TREEPLACE_REQUIRE(v == anc || tree.isAncestor(anc, v), "distance requires an ancestor");
+  double total = 0.0;
+  for (VertexId k = v; k != anc; k = tree.parent(k))
+    total += commTime[static_cast<std::size_t>(k)];
+  return total;
+}
+
+double ProblemInstance::qosLatency(VertexId client, VertexId server) const {
+  return distance(client, server) + compTime[static_cast<std::size_t>(server)];
+}
+
+Requests ProblemInstance::subtreeRequests(VertexId v) const {
+  Requests total = 0;
+  for (const VertexId c : tree.clientsInSubtree(v))
+    total += requests[static_cast<std::size_t>(c)];
+  return total;
+}
+
+std::vector<Requests> ProblemInstance::allSubtreeRequests() const {
+  std::vector<Requests> sums(tree.vertexCount(), 0);
+  for (const VertexId v : tree.postorder()) {
+    const auto i = static_cast<std::size_t>(v);
+    if (tree.isClient(v)) {
+      sums[i] = requests[i];
+    } else {
+      for (const VertexId c : tree.children(v)) sums[i] += sums[static_cast<std::size_t>(c)];
+    }
+  }
+  return sums;
+}
+
+bool ProblemInstance::hasQosConstraints() const {
+  for (const VertexId c : tree.clients())
+    if (qos[static_cast<std::size_t>(c)] != kNoQos) return true;
+  return false;
+}
+
+bool ProblemInstance::hasBandwidthConstraints() const {
+  for (std::size_t i = 0; i < bandwidth.size(); ++i)
+    if (bandwidth[i] != kUnlimitedBandwidth &&
+        static_cast<VertexId>(i) != tree.root())
+      return true;
+  return false;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "tree/tree.hpp"
+
+namespace treeplace {
+
+/// Request count type. Requests, capacities and bandwidths are integral
+/// throughout the paper.
+using Requests = std::int64_t;
+
+/// Sentinel for "no bandwidth limit" on a link.
+inline constexpr Requests kUnlimitedBandwidth = -1;
+
+/// Sentinel for "no QoS bound" on a client.
+inline constexpr double kNoQos = std::numeric_limits<double>::infinity();
+
+/// A full Replica Placement problem instance (Section 2 of the paper):
+/// the tree, per-client request rates r_i and QoS bounds q_i, per-node
+/// capacities W_j and storage costs s_j, and per-link communication times
+/// comm_l and bandwidths BW_l. Links are identified by their lower endpoint
+/// (the link from v to parent(v) is stored at index v; the root entry is
+/// unused).
+struct ProblemInstance {
+  Tree tree;
+  std::vector<Requests> requests;    ///< r_i; zero for internal nodes
+  std::vector<Requests> capacity;    ///< W_j; zero for clients
+  std::vector<double> storageCost;   ///< s_j; zero for clients
+  std::vector<double> commTime;      ///< comm on link v->parent; 0 at root
+  std::vector<Requests> bandwidth;   ///< BW on link v->parent; -1 = unlimited
+  std::vector<double> qos;           ///< q_i; kNoQos = unconstrained
+  /// comp_j: per-request computation time at a server (Section 2.2.1's QoS
+  /// refinement — a request observes dist(i,j) + comp_j). Zero by default.
+  std::vector<double> compTime;
+
+  /// Throws PreconditionError if array sizes or value signs are inconsistent
+  /// with the tree (e.g. a client with capacity, negative requests).
+  void validate() const;
+
+  Requests totalRequests() const;
+  Requests totalCapacity() const;
+
+  /// Load factor lambda = sum(r) / sum(W) (Section 7.2).
+  double load() const;
+
+  /// True when all internal nodes share one capacity value.
+  bool isHomogeneous() const;
+
+  /// The common capacity; requires isHomogeneous().
+  Requests homogeneousCapacity() const;
+
+  /// Sum of commTime over the path v -> anc (anc == v gives 0).
+  double distance(VertexId v, VertexId anc) const;
+
+  /// The QoS-relevant latency: distance plus the server's computation time.
+  double qosLatency(VertexId client, VertexId server) const;
+
+  /// Requests issued inside subtree(v): sum of r_i over clientsInSubtree(v).
+  Requests subtreeRequests(VertexId v) const;
+
+  /// Per-vertex subtree request sums in one postorder pass.
+  std::vector<Requests> allSubtreeRequests() const;
+
+  /// True if any client carries a finite QoS bound.
+  bool hasQosConstraints() const;
+
+  /// True if any link carries a finite bandwidth.
+  bool hasBandwidthConstraints() const;
+};
+
+}  // namespace treeplace

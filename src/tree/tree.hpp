@@ -1,0 +1,105 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace treeplace {
+
+/// Index of a vertex (client or internal node) inside a Tree.
+using VertexId = std::int32_t;
+
+/// Sentinel for "no vertex" (parent of the root).
+inline constexpr VertexId kNoVertex = -1;
+
+enum class VertexKind : std::uint8_t {
+  Internal,  ///< may host a replica (set N in the paper)
+  Client,    ///< leaf issuing requests (set C in the paper)
+};
+
+/// Immutable rooted tree with two vertex kinds. Clients are leaves; every
+/// internal node has at least one child. Construction validates the shape and
+/// precomputes depths, preorder intervals (for O(1) ancestry tests) and the
+/// list of clients per subtree (contiguous in preorder).
+class Tree {
+ public:
+  /// Build from a parent array. parents[v] == kNoVertex exactly for the root.
+  /// Throws PreconditionError on malformed input (several roots, cycles,
+  /// client with children, internal leaf, parent being a client).
+  static Tree fromParents(std::vector<VertexId> parents,
+                          std::vector<VertexKind> kinds);
+
+  std::size_t vertexCount() const { return parents_.size(); }
+  VertexId root() const { return root_; }
+
+  VertexKind kind(VertexId v) const {
+    return kinds_[static_cast<std::size_t>(checked(v))];
+  }
+  bool isClient(VertexId v) const { return kind(v) == VertexKind::Client; }
+  bool isInternal(VertexId v) const { return kind(v) == VertexKind::Internal; }
+
+  /// kNoVertex for the root.
+  VertexId parent(VertexId v) const {
+    return parents_[static_cast<std::size_t>(checked(v))];
+  }
+
+  std::span<const VertexId> children(VertexId v) const;
+  bool isLeaf(VertexId v) const { return children(v).empty(); }
+
+  /// Hop depth; 0 for the root.
+  int depth(VertexId v) const {
+    return depths_[static_cast<std::size_t>(checked(v))];
+  }
+
+  /// True iff a is a *proper* ancestor of d (a != d and d in subtree(a)).
+  bool isAncestor(VertexId a, VertexId d) const;
+
+  /// True iff d lies in subtree(a) (a included).
+  bool inSubtree(VertexId d, VertexId a) const;
+
+  /// Ancestors of v, bottom-up, excluding v and including the root.
+  std::vector<VertexId> ancestors(VertexId v) const;
+
+  /// All clients / internal nodes, ordered by preorder index.
+  const std::vector<VertexId>& clients() const { return clients_; }
+  const std::vector<VertexId>& internals() const { return internals_; }
+
+  /// Clients whose root path passes through v (v included), i.e. the clients
+  /// of subtree(v). Contiguous view — no allocation.
+  std::span<const VertexId> clientsInSubtree(VertexId v) const;
+
+  /// Vertices in preorder (root first, children in id order).
+  const std::vector<VertexId>& preorder() const { return preorder_; }
+
+  /// Vertices in postorder (children before parents).
+  const std::vector<VertexId>& postorder() const { return postorder_; }
+
+  /// Number of vertices in subtree(v), v included.
+  std::size_t subtreeSize(VertexId v) const;
+
+  /// Number of tree edges between a client (or node) and an ancestor.
+  /// Requires anc == v or anc an ancestor of v.
+  int hops(VertexId v, VertexId anc) const;
+
+  /// An empty tree; only useful as a target for assignment (ProblemInstance
+  /// members are filled in after default construction).
+  Tree() = default;
+
+ private:
+  VertexId checked(VertexId v) const;
+
+  std::vector<VertexId> parents_;
+  std::vector<VertexKind> kinds_;
+  std::vector<std::int32_t> childStart_;  // CSR offsets into childList_
+  std::vector<VertexId> childList_;
+  std::vector<int> depths_;
+  std::vector<std::int32_t> preIndex_;    // position in preorder
+  std::vector<std::int32_t> subtreeEnd_;  // preorder interval [preIndex, subtreeEnd)
+  std::vector<VertexId> preorder_;
+  std::vector<VertexId> postorder_;
+  std::vector<VertexId> clients_;    // sorted by preorder index
+  std::vector<VertexId> internals_;  // sorted by preorder index
+  VertexId root_ = kNoVertex;
+};
+
+}  // namespace treeplace

@@ -1,0 +1,66 @@
+#include "heuristics/ablation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "heuristics/heuristic.hpp"
+#include "test_util.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(AblationVariants, DefaultOrdersMatchRegistryHeuristics) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ProblemInstance inst =
+        testutil::smallRandomInstance(seed * 41, 0.6, /*hetero=*/true, false, 10, 30);
+    const auto mtd = runMTD(inst);
+    const auto mtdVariant = runMTDVariant(inst, /*largestFirst=*/true);
+    ASSERT_EQ(mtd.has_value(), mtdVariant.has_value());
+    if (mtd) { EXPECT_EQ(*mtd, *mtdVariant); }
+    const auto mbu = runMBU(inst);
+    const auto mbuVariant = runMBUVariant(inst, /*largestFirst=*/false);
+    ASSERT_EQ(mbu.has_value(), mbuVariant.has_value());
+    if (mbu) { EXPECT_EQ(*mbu, *mbuVariant); }
+  }
+}
+
+class VariantSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(VariantSweep, SwappedOrdersStillProduceValidPlacements) {
+  for (const double lambda : {0.3, 0.7}) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        GetParam() * 43 + static_cast<std::uint64_t>(lambda * 10), lambda,
+        /*hetero=*/false, /*unit=*/true, 10, 40);
+    for (const bool largestFirst : {false, true}) {
+      if (const auto p = runMTDVariant(inst, largestFirst)) {
+        EXPECT_TRUE(testutil::placementValid(inst, *p, Policy::Multiple))
+            << "MTD largestFirst=" << largestFirst;
+      }
+      if (const auto p = runMBUVariant(inst, largestFirst)) {
+        EXPECT_TRUE(testutil::placementValid(inst, *p, Policy::Multiple))
+            << "MBU largestFirst=" << largestFirst;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VariantSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(AblationVariants, OrdersCanDiffer) {
+  // A case where the split client differs: exhausted node with {2, 9}.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  b.addClient(mid, 2);
+  b.addClient(mid, 9);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  const auto largest = runMBUVariant(inst, /*largestFirst=*/true);
+  const auto smallest = runMBUVariant(inst, /*largestFirst=*/false);
+  ASSERT_TRUE(largest && smallest);
+  EXPECT_NE(*largest, *smallest);
+}
+
+}  // namespace
+}  // namespace treeplace

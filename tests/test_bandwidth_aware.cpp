@@ -1,0 +1,108 @@
+#include "extensions/bandwidth_aware.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "exact/exact_ilp.hpp"
+#include "heuristics/heuristic.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(BandwidthMultiple, MatchesMgWithoutBandwidthLimits) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ProblemInstance inst =
+        testutil::smallRandomInstance(seed * 19, 0.6, true, false, 10, 30);
+    const auto plain = runMG(inst);
+    const auto constrained = solveMultipleWithBandwidth(inst);
+    ASSERT_EQ(plain.has_value(), constrained.has_value()) << seed;
+    if (plain) EXPECT_EQ(*plain, *constrained) << seed;
+  }
+}
+
+TEST(BandwidthMultiple, RoutesAroundThinLink) {
+  // Client 5 under mid(W=3); uplink carries only 3: 3 served locally and
+  // exactly 2 cross the link.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 3);
+  const VertexId client = b.addClient(mid, 5);
+  b.setBandwidth(mid, 3);
+  const ProblemInstance inst = b.build();
+  const auto placement = solveMultipleWithBandwidth(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(testutil::placementValid(inst, *placement, Policy::Multiple));
+  EXPECT_EQ(placement->serverLoad(mid), 3);
+  EXPECT_EQ(placement->serverLoad(root), 2);
+  (void)client;
+}
+
+TEST(BandwidthMultiple, DetectsBandwidthInfeasibility) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 2);
+  b.addClient(mid, 5);
+  b.setBandwidth(mid, 1);  // 2 locally + 1 upstream < 5
+  const ProblemInstance inst = b.build();
+  EXPECT_FALSE(solveMultipleWithBandwidth(inst).has_value());
+  EXPECT_FALSE(solveExactViaIlp(inst, Policy::Multiple).feasible());
+  // Without the bandwidth cap the same tree is fine.
+  ProblemInstance relaxed = inst;
+  relaxed.bandwidth[1] = kUnlimitedBandwidth;
+  EXPECT_TRUE(solveMultipleWithBandwidth(relaxed).has_value());
+  (void)root;
+}
+
+TEST(BandwidthMultiple, ClientUplinkLimitRespected) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId client = b.addClient(root, 5);
+  b.setBandwidth(client, 4);  // the access link is the bottleneck
+  const ProblemInstance inst = b.build();
+  EXPECT_FALSE(solveMultipleWithBandwidth(inst).has_value());
+  EXPECT_FALSE(solveExactViaIlp(inst, Policy::Multiple).feasible());
+  (void)client;
+}
+
+/// The exactness theorem (see bandwidth_aware.hpp): MG's flows are pointwise
+/// minimal, so MG + bandwidth check decides feasibility. Cross-checked
+/// against the bandwidth-enforcing ILP on random instances with random link
+/// caps around the structural flow levels.
+class BandwidthExactness : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BandwidthExactness, AgreesWithIlp) {
+  GeneratorConfig config;
+  config.minSize = 8;
+  config.maxSize = 18;
+  config.lambda = 0.7;
+  config.maxChildren = 2;
+  config.unitCosts = true;
+  Prng rng(GetParam());
+  ProblemInstance inst = generateInstance(config, rng);
+  const auto sums = inst.allSubtreeRequests();
+  for (std::size_t i = 0; i < inst.tree.vertexCount(); ++i) {
+    if (static_cast<VertexId>(i) == inst.tree.root()) continue;
+    if (rng.bernoulli(0.6)) {
+      // Caps straddling the structural minimum flow: some bind, some do not.
+      inst.bandwidth[i] = std::max<Requests>(
+          0, sums[i] - rng.uniformInt(0, std::max<Requests>(1, sums[i])));
+    }
+  }
+  const auto mg = solveMultipleWithBandwidth(inst);
+  ExactIlpOptions options;
+  options.enforceQos = false;
+  const ExactIlpResult ilp = solveExactViaIlp(inst, Policy::Multiple, options);
+  ASSERT_TRUE(ilp.proven);
+  EXPECT_EQ(mg.has_value(), ilp.feasible()) << "seed " << GetParam();
+  if (mg) { EXPECT_TRUE(testutil::placementValid(inst, *mg, Policy::Multiple)); }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BandwidthExactness,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u, 13u, 14u, 15u));
+
+}  // namespace
+}  // namespace treeplace

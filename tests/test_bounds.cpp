@@ -1,0 +1,55 @@
+#include "core/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_util.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(Bounds, CountingBoundBasics) {
+  EXPECT_EQ(countingLowerBound(testutil::chainInstance(5, 5, {4, 2})), 2);  // ceil(6/5)
+  EXPECT_EQ(countingLowerBound(testutil::chainInstance(5, 5, {5})), 1);
+  EXPECT_EQ(countingLowerBound(testutil::chainInstance(5, 5, {0})), 0);
+}
+
+TEST(Bounds, Figure5GapInstance) {
+  // Section 3.4: the bound is 2, every policy needs n+1 replicas.
+  const ProblemInstance inst = fig5LowerBoundGap(/*n=*/4, /*capacity=*/8);
+  EXPECT_EQ(countingLowerBound(inst), 2);
+}
+
+TEST(Bounds, FractionalCoverUnitRatio) {
+  // s_j = W_j means the best fractional cover costs exactly the demand.
+  const ProblemInstance inst =
+      testutil::chainInstance(10, 6, {4, 2}, /*unitCosts=*/false);
+  EXPECT_DOUBLE_EQ(fractionalCoverLowerBound(inst), 6.0);
+}
+
+TEST(Bounds, FractionalCoverPrefersCheapRatio) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  b.setStorageCost(root, 20.0);          // ratio 2.0
+  const VertexId mid = b.addInternal(root, 10);
+  b.setStorageCost(mid, 5.0);            // ratio 0.5
+  b.addClient(mid, 15);
+  const ProblemInstance inst = b.build();
+  // 10 requests at ratio 0.5 (cost 5) + 5 requests at ratio 2.0 (cost 10).
+  EXPECT_DOUBLE_EQ(fractionalCoverLowerBound(inst), 15.0);
+}
+
+TEST(Bounds, FractionalCoverZeroDemand) {
+  const ProblemInstance inst = testutil::chainInstance(5, 5, {0});
+  EXPECT_DOUBLE_EQ(fractionalCoverLowerBound(inst), 0.0);
+}
+
+TEST(Bounds, FractionalCoverInfeasibleStillBounded) {
+  // Demand exceeds total capacity; the bound is the full capacity cost.
+  const ProblemInstance inst =
+      testutil::chainInstance(3, 3, {10}, /*unitCosts=*/false);
+  EXPECT_DOUBLE_EQ(fractionalCoverLowerBound(inst), 6.0);
+}
+
+}  // namespace
+}  // namespace treeplace

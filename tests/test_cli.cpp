@@ -1,0 +1,62 @@
+#include "support/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+namespace treeplace {
+namespace {
+
+Options makeOptions(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Options(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ParsesKeyValue) {
+  const auto o = makeOptions({"--trees=12", "--mode=full"});
+  EXPECT_EQ(o.getIntOr("trees", 0), 12);
+  EXPECT_EQ(o.getOr("mode", ""), "full");
+}
+
+TEST(Cli, ParsesBareFlag) {
+  const auto o = makeOptions({"--verbose"});
+  EXPECT_TRUE(o.hasFlag("verbose"));
+  EXPECT_FALSE(o.hasFlag("quiet"));
+}
+
+TEST(Cli, FalseyFlagValues) {
+  const auto o = makeOptions({"--verbose=0"});
+  EXPECT_FALSE(o.hasFlag("verbose"));
+}
+
+TEST(Cli, Positionals) {
+  const auto o = makeOptions({"input.txt", "--x=1", "more"});
+  ASSERT_EQ(o.positionals().size(), 2u);
+  EXPECT_EQ(o.positionals()[0], "input.txt");
+  EXPECT_EQ(o.positionals()[1], "more");
+}
+
+TEST(Cli, DefaultsWhenMissing) {
+  const auto o = makeOptions({});
+  EXPECT_EQ(o.getIntOr("trees", 30), 30);
+  EXPECT_DOUBLE_EQ(o.getDoubleOr("lambda", 0.5), 0.5);
+  EXPECT_FALSE(o.get("anything").has_value());
+}
+
+TEST(Cli, EnvironmentFallback) {
+  ::setenv("TREEPLACE_FROM_ENV", "77", 1);
+  const auto o = makeOptions({});
+  EXPECT_EQ(o.getIntOr("from-env", 0), 77);
+  ::unsetenv("TREEPLACE_FROM_ENV");
+}
+
+TEST(Cli, CommandLineBeatsEnvironment) {
+  ::setenv("TREEPLACE_TREES", "5", 1);
+  const auto o = makeOptions({"--trees=9"});
+  EXPECT_EQ(o.getIntOr("trees", 0), 9);
+  ::unsetenv("TREEPLACE_TREES");
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,82 @@
+#include "exact/closest_homogeneous.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+
+#include "core/validate.hpp"
+#include "exact/exact_ilp.hpp"
+#include "test_util.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(ClosestHomogeneous, TrivialSingleClient) {
+  const ProblemInstance inst = testutil::chainInstance(5, 5, {3});
+  const auto placement = solveClosestHomogeneous(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->replicaCount(), 1u);
+  EXPECT_TRUE(testutil::placementValid(inst, *placement, Policy::Closest));
+}
+
+TEST(ClosestHomogeneous, InfeasibleFigure1b) {
+  EXPECT_FALSE(solveClosestHomogeneous(fig1AccessPolicies('b')).has_value());
+}
+
+TEST(ClosestHomogeneous, InfeasibleFigure1c) {
+  EXPECT_FALSE(solveClosestHomogeneous(fig1AccessPolicies('c')).has_value());
+}
+
+TEST(ClosestHomogeneous, FeasibleFigure1a) {
+  const auto placement = solveClosestHomogeneous(fig1AccessPolicies('a'));
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->replicaCount(), 1u);
+}
+
+TEST(ClosestHomogeneous, Figure2NeedsNPlusTwo) {
+  for (const int n : {1, 2, 4}) {
+    const ProblemInstance inst = fig2UpwardsVsClosest(n);
+    const auto placement = solveClosestHomogeneous(inst);
+    ASSERT_TRUE(placement.has_value()) << "n=" << n;
+    EXPECT_EQ(placement->replicaCount(), static_cast<std::size_t>(n + 2)) << "n=" << n;
+    EXPECT_TRUE(testutil::placementValid(inst, *placement, Policy::Closest));
+  }
+}
+
+TEST(ClosestHomogeneous, Figure5NeedsNPlusOne) {
+  const ProblemInstance inst = fig5LowerBoundGap(/*n=*/3, /*capacity=*/9);
+  const auto placement = solveClosestHomogeneous(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->replicaCount(), 4u);
+}
+
+TEST(ClosestHomogeneous, RequiresHomogeneous) {
+  const ProblemInstance inst = testutil::chainInstance(10, 6, {4});
+  EXPECT_THROW(solveClosestHomogeneous(inst), PreconditionError);
+}
+
+/// DP optimum == ILP optimum on random homogeneous instances.
+class ClosestVsIlp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosestVsIlp, CountsMatch) {
+  for (const double lambda : {0.3, 0.6, 0.9}) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        GetParam() * 311 + static_cast<std::uint64_t>(lambda * 10), lambda,
+        /*hetero=*/false, /*unit=*/true);
+    const auto dp = solveClosestHomogeneous(inst);
+    const ExactIlpResult ilp = solveExactViaIlp(inst, Policy::Closest);
+    ASSERT_TRUE(ilp.proven);
+    ASSERT_EQ(dp.has_value(), ilp.feasible())
+        << "feasibility disagreement, lambda=" << lambda;
+    if (!dp) continue;
+    EXPECT_TRUE(testutil::placementValid(inst, *dp, Policy::Closest));
+    EXPECT_DOUBLE_EQ(dp->storageCost(inst), ilp.cost) << "lambda=" << lambda;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosestVsIlp,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,127 @@
+#include "exact/closest_qos.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "exact/closest_homogeneous.hpp"
+#include "exact/exact_ilp.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(ClosestQos, MatchesQosFreeDpWithoutConstraints) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        seed * 97, 0.6, /*hetero=*/false, /*unit=*/true, 8, 25);
+    const auto plain = solveClosestHomogeneous(inst);
+    const auto qos = solveClosestHomogeneousQos(inst);
+    ASSERT_EQ(plain.has_value(), qos.has_value()) << seed;
+    if (plain)
+      EXPECT_EQ(plain->replicaCount(), qos->replicaCount()) << seed;
+  }
+}
+
+TEST(ClosestQos, QosForcesDeeperReplica) {
+  // Without QoS, the root covers everything (1 replica); with a 1-hop bound
+  // on the deep client, the mid node must host too.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  const VertexId deep = b.addClient(mid, 3, /*qos=*/1.0);
+  b.addClient(root, 2);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+
+  const auto unconstrained = solveClosestHomogeneous(inst);
+  ASSERT_TRUE(unconstrained.has_value());
+  EXPECT_EQ(unconstrained->replicaCount(), 1u);
+
+  const auto constrained = solveClosestHomogeneousQos(inst);
+  ASSERT_TRUE(constrained.has_value());
+  EXPECT_EQ(constrained->replicaCount(), 2u);
+  EXPECT_TRUE(testutil::placementValid(inst, *constrained, Policy::Closest));
+  EXPECT_EQ(constrained->shares(deep).front().server, mid);
+}
+
+TEST(ClosestQos, DetectsQosInfeasibility) {
+  // The deep client cannot be served within one hop because mid is too small
+  // under Closest (it would have to take both clients).
+  TreeBuilder b;
+  const VertexId root = b.addRoot(4);
+  const VertexId mid = b.addInternal(root, 4);
+  b.addClient(mid, 3, /*qos=*/1.0);
+  b.addClient(mid, 3);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  // Closest: a replica at mid must serve both (6 > 4); serving the bounded
+  // client at root violates QoS.
+  EXPECT_FALSE(solveClosestHomogeneousQos(inst).has_value());
+  EXPECT_FALSE(solveExactViaIlp(inst, Policy::Closest).feasible());
+  (void)root;
+}
+
+TEST(ClosestQos, CompTimeEntersTheBudget) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  b.addClient(mid, 3, /*qos=*/1.5);
+  b.setCompTime(mid, 1.0);  // 1 hop + 1.0 comp = 2.0 > 1.5
+  b.setCompTime(root, 0.0);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  EXPECT_FALSE(solveClosestHomogeneousQos(inst).has_value());
+  ProblemInstance fast = inst;
+  fast.compTime[1] = 0.5;  // now 1.5 <= 1.5
+  const auto placement = solveClosestHomogeneousQos(fast);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(testutil::placementValid(fast, *placement, Policy::Closest));
+}
+
+TEST(ClosestQos, CommTimesAccumulate) {
+  // Two hops of comm 0.8 each: budget 1.0 only reaches the parent.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  const VertexId client = b.addClient(mid, 2, /*qos=*/1.0);
+  b.setCommTime(mid, 0.8);
+  b.setCommTime(client, 0.8);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  const auto placement = solveClosestHomogeneousQos(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(placement->hasReplica(mid));
+  EXPECT_TRUE(testutil::placementValid(inst, *placement, Policy::Closest));
+}
+
+/// The core optimality cross-check against the QoS-enforcing exact ILP.
+class ClosestQosVsIlp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClosestQosVsIlp, CountsMatch) {
+  GeneratorConfig config;
+  config.minSize = 8;
+  config.maxSize = 16;
+  config.lambda = 0.45;
+  config.unitCosts = true;
+  config.qosFraction = 0.6;
+  config.qosMinHops = 1;
+  config.qosMaxHops = 3;
+  config.maxChildren = 2;
+  const ProblemInstance inst = generateInstance(config, GetParam() * 131, 0);
+  const auto dp = solveClosestHomogeneousQos(inst);
+  const ExactIlpResult ilp = solveExactViaIlp(inst, Policy::Closest);
+  ASSERT_TRUE(ilp.proven);
+  ASSERT_EQ(dp.has_value(), ilp.feasible()) << "seed " << GetParam();
+  if (!dp) return;
+  EXPECT_TRUE(testutil::placementValid(inst, *dp, Policy::Closest));
+  EXPECT_DOUBLE_EQ(dp->storageCost(inst), ilp.cost) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClosestQosVsIlp,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u,
+                                           11u, 12u));
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,59 @@
+#include "support/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace treeplace {
+namespace {
+
+TEST(Csv, PlainRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, QuotesSeparator) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"a,b", "c"});
+  EXPECT_EQ(os.str(), "\"a,b\",c\n");
+}
+
+TEST(Csv, EscapesQuotes) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"say \"hi\""});
+  EXPECT_EQ(os.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.writeRow({"two\nlines"});
+  EXPECT_EQ(os.str(), "\"two\nlines\"\n");
+}
+
+TEST(Csv, HeterogeneousRow) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.row("x", 3, 2.5, std::size_t{7});
+  EXPECT_EQ(os.str(), "x,3,2.5,7\n");
+}
+
+TEST(Csv, IntegralDoublesRenderWithoutDot) {
+  EXPECT_EQ(CsvWriter::toCell(3.0), "3");
+  EXPECT_EQ(CsvWriter::toCell(-12.0), "-12");
+  EXPECT_EQ(CsvWriter::toCell(0.5), "0.5");
+}
+
+TEST(Csv, CustomSeparator) {
+  std::ostringstream os;
+  CsvWriter csv(os, ';');
+  csv.writeRow({"a;b", "c"});
+  EXPECT_EQ(os.str(), "\"a;b\";c\n");
+}
+
+}  // namespace
+}  // namespace treeplace

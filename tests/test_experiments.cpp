@@ -1,0 +1,129 @@
+#include "experiments/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "experiments/report.hpp"
+#include "test_util.hpp"
+
+namespace treeplace {
+namespace {
+
+ExperimentPlan tinyPlan(bool heterogeneous) {
+  ExperimentPlan plan;
+  plan.lambdas = {0.3, 0.8};
+  plan.treesPerLambda = 4;
+  plan.generator.minSize = 12;
+  plan.generator.maxSize = 24;
+  plan.generator.heterogeneous = heterogeneous;
+  plan.generator.unitCosts = !heterogeneous;
+  plan.lbMaxNodes = 60;
+  plan.seed = 4242;
+  return plan;
+}
+
+TEST(Experiments, EvaluateInstanceShape) {
+  const ProblemInstance inst = testutil::chainInstance(10, 10, {3, 2});
+  const TreeOutcome outcome = evaluateInstance(inst, 50);
+  EXPECT_TRUE(outcome.lpFeasible);
+  EXPECT_GT(outcome.lowerBound, 0.0);
+  for (const auto& s : outcome.series) {
+    EXPECT_TRUE(s.success);
+    EXPECT_TRUE(s.valid);
+    EXPECT_GE(s.cost, outcome.lowerBound - 1e-9);
+  }
+  EXPECT_FALSE(outcome.mbWinner.empty());
+}
+
+TEST(Experiments, RunSweepDeterministic) {
+  const ExperimentPlan plan = tinyPlan(false);
+  const ExperimentResult a = runExperiment(plan);
+  const ExperimentResult b = runExperiment(plan);
+  ASSERT_EQ(a.perLambda.size(), 2u);
+  for (std::size_t i = 0; i < a.perLambda.size(); ++i) {
+    EXPECT_EQ(a.perLambda[i].successCount, b.perLambda[i].successCount);
+    for (std::size_t k = 0; k < kSeriesCount; ++k)
+      EXPECT_DOUBLE_EQ(a.perLambda[i].relativeCost[k], b.perLambda[i].relativeCost[k]);
+  }
+}
+
+TEST(Experiments, ParallelMatchesSerial) {
+  const ExperimentPlan plan = tinyPlan(true);
+  ThreadPool pool(3);
+  const ExperimentResult parallel = runExperiment(plan, &pool);
+  const ExperimentResult serial = runExperiment(plan);
+  ASSERT_EQ(parallel.outcomes.size(), serial.outcomes.size());
+  for (std::size_t i = 0; i < parallel.outcomes.size(); ++i) {
+    EXPECT_EQ(parallel.outcomes[i].lpFeasible, serial.outcomes[i].lpFeasible);
+    EXPECT_DOUBLE_EQ(parallel.outcomes[i].lowerBound, serial.outcomes[i].lowerBound);
+  }
+}
+
+TEST(Experiments, AllReturnedPlacementsWereValid) {
+  for (const bool hetero : {false, true}) {
+    const ExperimentResult r = runExperiment(tinyPlan(hetero));
+    for (const LambdaAggregate& agg : r.perLambda)
+      for (std::size_t k = 0; k < kSeriesCount; ++k)
+        EXPECT_EQ(agg.invalidCount[k], 0)
+            << seriesNames()[k] << " produced an invalid placement (hetero="
+            << hetero << ", lambda=" << agg.lambda << ")";
+  }
+}
+
+TEST(Experiments, MgAndMbMatchLpFeasibility) {
+  // MG (and therefore MB) succeeds exactly on LP-feasible trees.
+  const ExperimentResult r = runExperiment(tinyPlan(false));
+  const std::size_t mg = 7;  // registry order: MG is last of the eight
+  for (const LambdaAggregate& agg : r.perLambda) {
+    EXPECT_EQ(agg.successCount[mg], agg.lpFeasibleCount) << agg.lambda;
+    EXPECT_EQ(agg.successCount[kMixedBestIndex], agg.lpFeasibleCount) << agg.lambda;
+  }
+}
+
+TEST(Experiments, RelativeCostWithinUnitInterval) {
+  const ExperimentResult r = runExperiment(tinyPlan(true));
+  for (const LambdaAggregate& agg : r.perLambda) {
+    for (std::size_t k = 0; k < kSeriesCount; ++k) {
+      EXPECT_GE(agg.relativeCost[k], 0.0);
+      EXPECT_LE(agg.relativeCost[k], 1.0 + 1e-9);
+    }
+    // MB dominates every single heuristic.
+    for (std::size_t k = 0; k < kSeriesCount; ++k)
+      EXPECT_GE(agg.relativeCost[kMixedBestIndex] + 1e-12, agg.relativeCost[k])
+          << seriesNames()[k];
+  }
+}
+
+TEST(Experiments, ReportRendering) {
+  const ExperimentResult r = runExperiment(tinyPlan(false));
+  const std::string success = renderSuccessTable(r);
+  EXPECT_NE(success.find("lambda"), std::string::npos);
+  EXPECT_NE(success.find("CTDA"), std::string::npos);
+  EXPECT_NE(success.find("LP"), std::string::npos);
+  const std::string rcost = renderRelativeCostTable(r);
+  EXPECT_NE(rcost.find("MB"), std::string::npos);
+  const std::string winners = renderMixedBestWinners(r);
+  EXPECT_NE(winners.find("lambda"), std::string::npos);
+}
+
+TEST(Experiments, CsvSchema) {
+  const ExperimentResult r = runExperiment(tinyPlan(false));
+  std::ostringstream os;
+  writeCsv(os, r);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("kind,lambda,CTDA"), std::string::npos);
+  EXPECT_NE(csv.find("success,"), std::string::npos);
+  EXPECT_NE(csv.find("rcost,"), std::string::npos);
+  // Header + 2 kinds x 2 lambdas = 5 lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(Experiments, SeriesNamesStable) {
+  const auto names = seriesNames();
+  EXPECT_EQ(names.front(), "CTDA");
+  EXPECT_EQ(names[kMixedBestIndex], "MB");
+}
+
+}  // namespace
+}  // namespace treeplace

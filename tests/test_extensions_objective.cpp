@@ -1,0 +1,130 @@
+#include "extensions/objective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "heuristics/heuristic.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+
+namespace treeplace {
+namespace {
+
+// root(0) -> a(1) -> b(2) -> client 3 (r=4); comm times 1 per link.
+ProblemInstance chain3() {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId a = b.addInternal(root, 10);
+  const VertexId bb = b.addInternal(a, 10);
+  b.addClient(bb, 4);
+  return b.build();
+}
+
+TEST(Objective, ReadCostCountsDistance) {
+  const ProblemInstance inst = chain3();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(0);
+  p.assign(3, 0, 4);  // three hops
+  EXPECT_DOUBLE_EQ(readCost(inst, p), 12.0);
+  Placement q(inst.tree.vertexCount());
+  q.addReplica(2);
+  q.assign(3, 2, 4);  // one hop
+  EXPECT_DOUBLE_EQ(readCost(inst, q), 4.0);
+}
+
+TEST(Objective, ReadCostSplitsAcrossServers) {
+  const ProblemInstance inst = chain3();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(0);
+  p.addReplica(2);
+  p.assign(3, 2, 3);
+  p.assign(3, 0, 1);
+  EXPECT_DOUBLE_EQ(readCost(inst, p), 3.0 * 1 + 1.0 * 3);
+}
+
+TEST(Objective, WriteCostZeroForOneReplica) {
+  const ProblemInstance inst = chain3();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(1);
+  p.assign(3, 1, 4);
+  EXPECT_DOUBLE_EQ(writeCost(inst, p), 0.0);
+  const Placement empty(inst.tree.vertexCount());
+  EXPECT_DOUBLE_EQ(writeCost(inst, empty), 0.0);
+}
+
+TEST(Objective, WriteCostIsSteinerSubtree) {
+  const ProblemInstance inst = chain3();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(0);
+  p.addReplica(2);
+  p.assign(3, 2, 4);
+  // Path 0..2 uses links a->root and b->a: total comm 2.
+  EXPECT_DOUBLE_EQ(writeCost(inst, p), 2.0);
+}
+
+TEST(Objective, WriteCostOnBranchingTree) {
+  // root with two internal children, replicas at both children: the Steiner
+  // subtree is the two edges through the root.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId left = b.addInternal(root, 10);
+  const VertexId right = b.addInternal(root, 10);
+  b.addClient(left, 1);
+  b.addClient(right, 1);
+  b.setCommTime(left, 2.0);
+  b.setCommTime(right, 3.0);
+  const ProblemInstance inst = b.build();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(left);
+  p.addReplica(right);
+  p.assign(3, left, 1);
+  p.assign(4, right, 1);
+  EXPECT_DOUBLE_EQ(writeCost(inst, p), 5.0);
+  // Adding the root itself does not add edges.
+  p.addReplica(root);
+  EXPECT_DOUBLE_EQ(writeCost(inst, p), 5.0);
+}
+
+TEST(Objective, CompositeCombines) {
+  const ProblemInstance inst = chain3();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(0);
+  p.addReplica(2);
+  p.assign(3, 2, 4);
+  CostModel model;
+  model.alpha = 1.0;
+  model.beta = 0.5;
+  model.gamma = 2.0;
+  model.updatesPerTimeUnit = 3.0;
+  const double expected = 1.0 * 20.0    // storage: W 10 + 10
+                          + 0.5 * 4.0   // read: 4 requests x 1 hop
+                          + 2.0 * 3.0 * 2.0;  // writes over 2 links
+  EXPECT_DOUBLE_EQ(compositeObjective(inst, p, model), expected);
+}
+
+TEST(Objective, MixedBestUnderReadWeightPrefersDeepServers) {
+  // With a strong read weight, the winner must serve near the client; with
+  // pure storage weight any minimal-cost placement wins.
+  const ProblemInstance inst = chain3();
+  CostModel readHeavy;
+  readHeavy.alpha = 0.0;
+  readHeavy.beta = 1.0;
+  const auto best = runObjectiveMixedBest(inst, readHeavy);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_DOUBLE_EQ(readCost(inst, best->placement), 4.0);  // served at depth 2
+}
+
+TEST(Objective, MixedBestFailsOnInfeasible) {
+  const ProblemInstance inst = testutil::chainInstance(3, 3, {10});
+  EXPECT_FALSE(runObjectiveMixedBest(inst, CostModel{}).has_value());
+}
+
+TEST(Objective, DefaultModelMatchesStorageMixedBest) {
+  const ProblemInstance inst = chain3();
+  const auto best = runObjectiveMixedBest(inst, CostModel{});
+  const auto mb = runMixedBest(inst);
+  ASSERT_TRUE(best && mb);
+  EXPECT_DOUBLE_EQ(best->objective, mb->cost);
+}
+
+}  // namespace
+}  // namespace treeplace

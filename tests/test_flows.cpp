@@ -1,0 +1,67 @@
+#include "core/flows.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+#include "test_util.hpp"
+#include "tree/generator.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(Flows, SimpleChain) {
+  // root(W) <- mid(W) <- clients {4, 2}; W = 5 makes mid saturated.
+  const ProblemInstance inst = testutil::chainInstance(5, 5, {4, 2});
+  const FlowAnalysis fa = analyzeCanonicalFlows(inst, 5);
+  EXPECT_EQ(fa.tflow[0], 6);
+  EXPECT_EQ(fa.tflow[1], 6);
+  EXPECT_TRUE(fa.saturated[1]);   // inflow 6 >= 5
+  EXPECT_EQ(fa.cflow[1], 1);      // 6 - 5
+  EXPECT_FALSE(fa.saturated[0]);  // inflow 1 < 5
+  EXPECT_EQ(fa.cflow[0], 1);
+  EXPECT_EQ(fa.nsn[0], 1);
+}
+
+TEST(Flows, RejectsNonPositiveCapacity) {
+  const ProblemInstance inst = testutil::chainInstance(5, 5, {1});
+  EXPECT_THROW(analyzeCanonicalFlows(inst, 0), PreconditionError);
+}
+
+class FlowLemmas : public ::testing::TestWithParam<std::uint64_t> {};
+
+/// Lemma 2: cflow_v == tflow_v - nsn_v * W, and Proposition 1: non-saturated
+/// nodes carry canonical flow < W. Checked on random trees.
+TEST_P(FlowLemmas, HoldOnRandomTrees) {
+  GeneratorConfig config;
+  config.minSize = 15;
+  config.maxSize = 80;
+  config.unitCosts = true;
+  const ProblemInstance inst = generateInstance(config, GetParam(), 0);
+  const Requests W = inst.homogeneousCapacity();
+  const FlowAnalysis fa = analyzeCanonicalFlows(inst, W);
+  const auto tflow = inst.allSubtreeRequests();
+  for (std::size_t v = 0; v < inst.tree.vertexCount(); ++v) {
+    EXPECT_EQ(fa.tflow[v], tflow[v]);
+    EXPECT_EQ(fa.cflow[v], fa.tflow[v] - static_cast<Requests>(fa.nsn[v]) * W)
+        << "Lemma 2 at vertex " << v;
+    if (inst.tree.isInternal(static_cast<VertexId>(v)) && !fa.saturated[v])
+      EXPECT_LT(fa.cflow[v], W) << "Proposition 1 at vertex " << v;
+    EXPECT_GE(fa.cflow[v], 0) << "canonical flow must stay non-negative";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomTrees, FlowLemmas,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+TEST(Flows, WalkthroughExampleSaturation) {
+  const ProblemInstance inst = walkthroughExample();
+  const FlowAnalysis fa = analyzeCanonicalFlows(inst, 10);
+  // Total requests 34 with W = 10: at most 3 saturated nodes.
+  EXPECT_EQ(fa.tflow[static_cast<std::size_t>(inst.tree.root())], 34);
+  EXPECT_LE(fa.nsn[static_cast<std::size_t>(inst.tree.root())], 3);
+  EXPECT_GE(fa.nsn[static_cast<std::size_t>(inst.tree.root())], 2);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,175 @@
+#include "formulation/ilp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "formulation/lower_bound.hpp"
+#include "lp/branch_bound.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+lp::MipResult solveExactModel(const ProblemInstance& inst, Policy policy) {
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::Exact;
+  const IlpFormulation f(inst, policy, fo);
+  return lp::solveMip(f.model());
+}
+
+TEST(Formulation, TinyInstanceAllPolicies) {
+  // root(10) -> mid(6) -> clients {4,2}: one replica at mid suffices, cost 1.
+  const ProblemInstance inst = testutil::chainInstance(10, 6, {4, 2});
+  for (const Policy policy : kAllPolicies) {
+    const auto r = solveExactModel(inst, policy);
+    ASSERT_TRUE(r.hasIncumbent()) << toString(policy);
+    EXPECT_NEAR(r.objective, 1.0, 1e-6) << toString(policy);
+  }
+}
+
+TEST(Formulation, DecodeProducesValidPlacement) {
+  const ProblemInstance inst = testutil::chainInstance(4, 4, {3, 3});
+  for (const Policy policy : kAllPolicies) {
+    FormulationOptions fo;
+    fo.integrality = FormulationOptions::Integrality::Exact;
+    const IlpFormulation f(inst, policy, fo);
+    const auto r = lp::solveMip(f.model());
+    if (!r.hasIncumbent()) continue;  // Closest is infeasible here
+    const Placement p = f.decode(r.values);
+    EXPECT_TRUE(testutil::placementValid(inst, p, policy)) << toString(policy);
+    EXPECT_NEAR(p.storageCost(inst), r.objective, 1e-6);
+  }
+}
+
+TEST(Formulation, ClosestInfeasibleWhereUpwardsWorks) {
+  // Figure 1(b): two unit clients under W=1 nodes.
+  const ProblemInstance inst = fig1AccessPolicies('b');
+  EXPECT_FALSE(solveExactModel(inst, Policy::Closest).hasIncumbent());
+  ASSERT_TRUE(solveExactModel(inst, Policy::Upwards).hasIncumbent());
+  EXPECT_NEAR(solveExactModel(inst, Policy::Upwards).objective, 2.0, 1e-6);
+}
+
+TEST(Formulation, MultipleOnlyInstance) {
+  // Figure 1(c): a client with 2 requests, nodes of capacity 1.
+  const ProblemInstance inst = fig1AccessPolicies('c');
+  EXPECT_FALSE(solveExactModel(inst, Policy::Closest).hasIncumbent());
+  EXPECT_FALSE(solveExactModel(inst, Policy::Upwards).hasIncumbent());
+  const auto r = solveExactModel(inst, Policy::Multiple);
+  ASSERT_TRUE(r.hasIncumbent());
+  EXPECT_NEAR(r.objective, 2.0, 1e-6);
+}
+
+TEST(Formulation, QosExclusionMakesInfeasible) {
+  // The only admissible server is too far away.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 0);  // useless middle node
+  b.addClient(mid, 2, /*qos=*/1.0);             // can only reach mid
+  const ProblemInstance inst = b.build();
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::Exact;
+  const IlpFormulation f(inst, Policy::Multiple, fo);
+  EXPECT_FALSE(lp::solveMip(f.model()).hasIncumbent());
+  // Without QoS enforcement the root can serve it.
+  FormulationOptions noQos = fo;
+  noQos.enforceQos = false;
+  const IlpFormulation f2(inst, Policy::Multiple, noQos);
+  EXPECT_TRUE(lp::solveMip(f2.model()).hasIncumbent());
+}
+
+TEST(Formulation, BandwidthRowsBindFlow) {
+  // Client r=5 under mid (capacity 3); the link mid->root only carries 3.
+  // The root alone would need to pull 5 > 3 through the link, so mid must
+  // open and absorb at least 2 requests locally.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  b.setStorageCost(root, 1.0);
+  const VertexId mid = b.addInternal(root, 3);
+  b.setStorageCost(mid, 3.0);
+  const VertexId client = b.addClient(mid, 5);
+  b.setBandwidth(mid, 3);
+  const ProblemInstance inst = b.build();
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::Exact;
+  const IlpFormulation f(inst, Policy::Multiple, fo);
+  const auto r = lp::solveMip(f.model());
+  ASSERT_TRUE(r.hasIncumbent());
+  EXPECT_NEAR(r.objective, 4.0, 1e-6);  // both nodes must open
+  const Placement p = f.decode(r.values);
+  EXPECT_TRUE(testutil::placementValid(inst, p, Policy::Multiple));
+  EXPECT_GE(p.serverLoad(mid), 2);
+  (void)client;
+}
+
+TEST(Formulation, BandwidthCanKillFeasibility) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 2);  // mid too small
+  b.addClient(mid, 5);
+  b.setBandwidth(mid, 1);  // and the uplink too thin
+  const ProblemInstance inst = b.build();
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::Exact;
+  const IlpFormulation f(inst, Policy::Multiple, fo);
+  EXPECT_FALSE(lp::solveMip(f.model()).hasIncumbent());
+}
+
+TEST(Formulation, VariableAccessors) {
+  const ProblemInstance inst = testutil::chainInstance(10, 6, {4});
+  FormulationOptions fo;
+  const IlpFormulation f(inst, Policy::Multiple, fo);
+  EXPECT_GE(f.placementVar(0), 0);
+  EXPECT_GE(f.placementVar(1), 0);
+  EXPECT_GE(f.assignmentVar(2, 0), 0);
+  EXPECT_GE(f.assignmentVar(2, 1), 0);
+  EXPECT_EQ(f.assignmentVar(2, 2), -1);
+}
+
+TEST(LowerBound, RefinedAtLeastRational) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ProblemInstance inst =
+        testutil::smallRandomInstance(seed, 0.6, /*hetero=*/true, /*unit=*/false);
+    const LowerBoundResult refined = refinedLowerBound(inst);
+    const LowerBoundResult rational = rationalLowerBound(inst);
+    if (!refined.lpFeasible) {
+      EXPECT_FALSE(rational.lpFeasible);
+      continue;
+    }
+    EXPECT_GE(refined.bound, rational.bound - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, BelowTrueOptimum) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ProblemInstance inst =
+        testutil::smallRandomInstance(seed, 0.5, /*hetero=*/true, /*unit=*/false);
+    const LowerBoundResult lb = refinedLowerBound(inst);
+    const auto exact = solveExactModel(inst, Policy::Multiple);
+    if (!exact.hasIncumbent()) {
+      EXPECT_FALSE(lb.lpFeasible) << "seed " << seed;
+      continue;
+    }
+    ASSERT_TRUE(lb.lpFeasible);
+    EXPECT_LE(lb.bound, exact.objective + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, ExactOnEasyInstance) {
+  const ProblemInstance inst = testutil::chainInstance(10, 6, {4, 2});
+  const LowerBoundResult lb = refinedLowerBound(inst);
+  EXPECT_TRUE(lb.lpFeasible);
+  EXPECT_TRUE(lb.exact);
+  EXPECT_NEAR(lb.bound, 1.0, 1e-9);  // cost ceil'ed to the unit cost of mid
+}
+
+TEST(LowerBound, InfeasibleInstanceReported) {
+  // Total demand above total capacity.
+  const ProblemInstance inst = testutil::chainInstance(3, 3, {10});
+  const LowerBoundResult lb = refinedLowerBound(inst);
+  EXPECT_FALSE(lb.lpFeasible);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,176 @@
+#include "tree/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+#include "tree/io.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(Generator, ProducesValidInstances) {
+  GeneratorConfig config;
+  config.minSize = 15;
+  config.maxSize = 60;
+  Prng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const ProblemInstance inst = generateInstance(config, rng);
+    EXPECT_NO_THROW(inst.validate());
+    EXPECT_GE(static_cast<int>(inst.tree.vertexCount()), config.minSize);
+  }
+}
+
+TEST(Generator, DeterministicBySeed) {
+  GeneratorConfig config;
+  config.minSize = 20;
+  config.maxSize = 40;
+  const ProblemInstance a = generateInstance(config, 7, 3);
+  const ProblemInstance b = generateInstance(config, 7, 3);
+  EXPECT_EQ(instanceToString(a), instanceToString(b));
+}
+
+TEST(Generator, DifferentIndicesDiffer) {
+  GeneratorConfig config;
+  config.minSize = 20;
+  config.maxSize = 40;
+  const ProblemInstance a = generateInstance(config, 7, 0);
+  const ProblemInstance b = generateInstance(config, 7, 1);
+  EXPECT_NE(instanceToString(a), instanceToString(b));
+}
+
+TEST(Generator, HitsTargetLoadApproximately) {
+  GeneratorConfig config;
+  config.minSize = 100;
+  config.maxSize = 150;
+  for (const double lambda : {0.2, 0.5, 0.8}) {
+    config.lambda = lambda;
+    Prng rng(5);
+    for (int i = 0; i < 5; ++i) {
+      const ProblemInstance inst = generateInstance(config, rng);
+      EXPECT_NEAR(inst.load(), lambda, lambda * 0.25) << "lambda=" << lambda;
+    }
+  }
+}
+
+TEST(Generator, HomogeneousCapacities) {
+  GeneratorConfig config;
+  config.minSize = 30;
+  config.maxSize = 50;
+  config.heterogeneous = false;
+  Prng rng(9);
+  const ProblemInstance inst = generateInstance(config, rng);
+  EXPECT_TRUE(inst.isHomogeneous());
+}
+
+TEST(Generator, HeterogeneousCapacitiesVary) {
+  GeneratorConfig config;
+  config.minSize = 60;
+  config.maxSize = 80;
+  config.heterogeneous = true;
+  Prng rng(9);
+  const ProblemInstance inst = generateInstance(config, rng);
+  EXPECT_FALSE(inst.isHomogeneous());
+}
+
+TEST(Generator, UnitCostsApplied) {
+  GeneratorConfig config;
+  config.minSize = 20;
+  config.maxSize = 30;
+  config.unitCosts = true;
+  Prng rng(11);
+  const ProblemInstance inst = generateInstance(config, rng);
+  for (const VertexId j : inst.tree.internals())
+    EXPECT_DOUBLE_EQ(inst.storageCost[static_cast<std::size_t>(j)], 1.0);
+}
+
+TEST(Generator, CostEqualsCapacityOtherwise) {
+  GeneratorConfig config;
+  config.minSize = 20;
+  config.maxSize = 30;
+  config.heterogeneous = true;
+  Prng rng(11);
+  const ProblemInstance inst = generateInstance(config, rng);
+  for (const VertexId j : inst.tree.internals())
+    EXPECT_DOUBLE_EQ(inst.storageCost[static_cast<std::size_t>(j)],
+                     static_cast<double>(inst.capacity[static_cast<std::size_t>(j)]));
+}
+
+TEST(Generator, RequestsWithinRange) {
+  GeneratorConfig config;
+  config.minSize = 40;
+  config.maxSize = 60;
+  config.minRequests = 3;
+  config.maxRequests = 6;
+  Prng rng(13);
+  const ProblemInstance inst = generateInstance(config, rng);
+  for (const VertexId c : inst.tree.clients()) {
+    EXPECT_GE(inst.requests[static_cast<std::size_t>(c)], 3);
+    EXPECT_LE(inst.requests[static_cast<std::size_t>(c)], 6);
+  }
+}
+
+TEST(Generator, FanoutCapRespected) {
+  GeneratorConfig config;
+  config.minSize = 50;
+  config.maxSize = 80;
+  config.maxChildren = 3;
+  config.clientFraction = 0.4;
+  Prng rng(17);
+  const ProblemInstance inst = generateInstance(config, rng);
+  // Internal fanout counts only internal children (clients attach freely).
+  for (const VertexId j : inst.tree.internals()) {
+    int internalKids = 0;
+    for (const VertexId c : inst.tree.children(j))
+      if (inst.tree.isInternal(c)) ++internalKids;
+    EXPECT_LE(internalKids, 3);
+  }
+}
+
+TEST(Generator, QosFractionProducesFiniteQos) {
+  GeneratorConfig config;
+  config.minSize = 60;
+  config.maxSize = 80;
+  config.qosFraction = 1.0;
+  config.qosMinHops = 2;
+  config.qosMaxHops = 4;
+  Prng rng(19);
+  const ProblemInstance inst = generateInstance(config, rng);
+  for (const VertexId c : inst.tree.clients()) {
+    const double q = inst.qos[static_cast<std::size_t>(c)];
+    EXPECT_NE(q, kNoQos);
+    EXPECT_GE(q, 2.0);
+    EXPECT_LE(q, 4.0);
+  }
+}
+
+TEST(Generator, RejectsBadConfig) {
+  Prng rng(1);
+  GeneratorConfig bad;
+  bad.minSize = 2;
+  EXPECT_THROW(generateInstance(bad, rng), PreconditionError);
+  bad = GeneratorConfig{};
+  bad.lambda = 0.0;
+  EXPECT_THROW(generateInstance(bad, rng), PreconditionError);
+  bad = GeneratorConfig{};
+  bad.clientFraction = 1.0;
+  EXPECT_THROW(generateInstance(bad, rng), PreconditionError);
+  bad = GeneratorConfig{};
+  bad.minRequests = 5;
+  bad.maxRequests = 2;
+  EXPECT_THROW(generateInstance(bad, rng), PreconditionError);
+}
+
+TEST(Generator, SizeSweepAllValid) {
+  for (int size = 15; size <= 120; size += 15) {
+    GeneratorConfig config;
+    config.minSize = size;
+    config.maxSize = size;
+    Prng rng(static_cast<std::uint64_t>(size));
+    const ProblemInstance inst = generateInstance(config, rng);
+    EXPECT_NO_THROW(inst.validate());
+    EXPECT_GE(static_cast<int>(inst.tree.vertexCount()), size);
+  }
+}
+
+}  // namespace
+}  // namespace treeplace

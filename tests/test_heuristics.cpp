@@ -1,0 +1,202 @@
+#include "heuristics/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "formulation/lower_bound.hpp"
+#include "test_util.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(Heuristics, RegistryShape) {
+  const auto all = allHeuristics();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all[0].shortName, "CTDA");
+  EXPECT_EQ(all[7].shortName, "MG");
+  EXPECT_EQ(findHeuristic("UBCF")->policy, Policy::Upwards);
+  EXPECT_EQ(findHeuristic("nope"), nullptr);
+}
+
+TEST(Heuristics, AllSolveEasyInstance) {
+  // Plenty of slack: every heuristic must find a solution.
+  const ProblemInstance inst = testutil::chainInstance(10, 10, {3, 2});
+  for (const HeuristicInfo& h : allHeuristics()) {
+    const auto placement = h.run(inst);
+    ASSERT_TRUE(placement.has_value()) << h.name;
+    EXPECT_TRUE(testutil::placementValid(inst, *placement, h.policy)) << h.name;
+  }
+}
+
+TEST(Heuristics, ClosestFamilyFailsOnFigure1b) {
+  const ProblemInstance inst = fig1AccessPolicies('b');
+  EXPECT_FALSE(runCTDA(inst).has_value());
+  EXPECT_FALSE(runCTDLF(inst).has_value());
+  EXPECT_FALSE(runCBU(inst).has_value());
+  // The Upwards/Multiple heuristics succeed.
+  EXPECT_TRUE(runUBCF(inst).has_value());
+  EXPECT_TRUE(runMG(inst).has_value());
+}
+
+TEST(Heuristics, OnlyMultipleFamilySolvesFigure1c) {
+  const ProblemInstance inst = fig1AccessPolicies('c');
+  EXPECT_FALSE(runCTDA(inst).has_value());
+  EXPECT_FALSE(runUTD(inst).has_value());
+  EXPECT_FALSE(runUBCF(inst).has_value());
+  EXPECT_TRUE(runMG(inst).has_value());
+  EXPECT_TRUE(runMTD(inst).has_value());
+  EXPECT_TRUE(runMBU(inst).has_value());
+}
+
+TEST(Heuristics, MgMatchesFeasibilityOfOptimal) {
+  // MG never fails when the (Multiple) instance is feasible.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    for (const double lambda : {0.4, 0.8, 1.1}) {
+      const ProblemInstance inst = testutil::smallRandomInstance(
+          seed * 37 + static_cast<std::uint64_t>(lambda * 10), lambda,
+          /*hetero=*/false, /*unit=*/true, 8, 25);
+      const bool optimalFeasible = solveMultipleHomogeneous(inst).has_value();
+      EXPECT_EQ(runMG(inst).has_value(), optimalFeasible)
+          << "seed=" << seed << " lambda=" << lambda;
+    }
+  }
+}
+
+TEST(Heuristics, CtdaCoversAfterDeepPlacement) {
+  // Root client 6 + deep subtree: the root can only cover its own client
+  // after a deeper server absorbed the heavy subtree (needs a second sweep).
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  b.addClient(root, 6);
+  const VertexId mid = b.addInternal(root, 10);
+  b.addClient(mid, 9);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  const auto placement = runCTDA(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->replicaCount(), 2u);
+  EXPECT_TRUE(testutil::placementValid(inst, *placement, Policy::Closest));
+}
+
+TEST(Heuristics, UtdPlacesExhaustedServersFirst) {
+  // Both root and mid see inreq = 15 >= W = 10. Pass 1 is top-down, so the
+  // root becomes a server first and detaches the largest whole client (9);
+  // mid then holds 6 < 10 and is left for pass 2, which opens it for the
+  // remaining client.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  b.addClient(mid, 9);
+  b.addClient(mid, 6);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  const auto placement = runUTD(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(testutil::placementValid(inst, *placement, Policy::Upwards));
+  EXPECT_EQ(placement->replicaCount(), 2u);
+  EXPECT_EQ(placement->shares(2).front().server, root);  // big client, pass 1
+  EXPECT_EQ(placement->shares(3).front().server, mid);   // leftover, pass 2
+}
+
+TEST(Heuristics, UbcfPicksTightestServer) {
+  // Ancestors with residuals 5 and 4: the client (r=4) goes to the tighter.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(5);
+  const VertexId mid = b.addInternal(root, 4);
+  const VertexId client = b.addClient(mid, 4);
+  const ProblemInstance inst = b.build();
+  const auto placement = runUBCF(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->shares(client).front().server, mid);
+  EXPECT_EQ(placement->replicaCount(), 1u);
+}
+
+TEST(Heuristics, MtdSplitsClients) {
+  // One client of 15 under W=10 nodes: MTD must split it across two servers.
+  const ProblemInstance inst = testutil::chainInstance(10, 10, {15});
+  const auto placement = runMTD(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_TRUE(testutil::placementValid(inst, *placement, Policy::Multiple));
+  EXPECT_EQ(placement->shares(2).size(), 2u);
+}
+
+TEST(Heuristics, MbuPrefersSmallClientsFirst) {
+  // Exhausted node with clients {2, 9}: MBU detaches 2 first then splits 9
+  // (8 on the node, 1 upward); MTD detaches 9 then splits 2 (1 up).
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  const VertexId small = b.addClient(mid, 2);
+  const VertexId big = b.addClient(mid, 9);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+
+  const auto mbu = runMBU(inst);
+  ASSERT_TRUE(mbu.has_value());
+  EXPECT_EQ(mbu->shares(small).size(), 1u);
+  EXPECT_EQ(mbu->shares(small).front().server, mid);
+  ASSERT_EQ(mbu->shares(big).size(), 2u);  // split 8 + 1
+
+  const auto mtd = runMTD(inst);
+  ASSERT_TRUE(mtd.has_value());
+  EXPECT_EQ(mtd->shares(big).size(), 1u);  // 9 fits wholly first
+  ASSERT_EQ(mtd->shares(small).size(), 2u);
+  (void)root;
+}
+
+/// Any placement returned by any heuristic is valid for its policy, across a
+/// sweep of random instances (homogeneous and heterogeneous, light and
+/// overloaded).
+struct SweepParam {
+  std::uint64_t seed;
+  double lambda;
+  bool heterogeneous;
+};
+
+class HeuristicSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(HeuristicSweep, ReturnedPlacementsAreValid) {
+  const SweepParam param = GetParam();
+  const ProblemInstance inst = testutil::smallRandomInstance(
+      param.seed, param.lambda, param.heterogeneous, !param.heterogeneous, 10, 40);
+  for (const HeuristicInfo& h : allHeuristics()) {
+    const auto placement = h.run(inst);
+    if (!placement) continue;
+    EXPECT_TRUE(testutil::placementValid(inst, *placement, h.policy))
+        << h.name << " seed=" << param.seed << " lambda=" << param.lambda
+        << " hetero=" << param.heterogeneous;
+  }
+}
+
+TEST_P(HeuristicSweep, CostsRespectLowerBound) {
+  const SweepParam param = GetParam();
+  const ProblemInstance inst = testutil::smallRandomInstance(
+      param.seed, param.lambda, param.heterogeneous, !param.heterogeneous, 10, 40);
+  const LowerBoundResult lb = refinedLowerBound(inst);
+  if (!lb.lpFeasible) return;
+  for (const HeuristicInfo& h : allHeuristics()) {
+    const auto placement = h.run(inst);
+    if (!placement) continue;
+    EXPECT_GE(placement->storageCost(inst), lb.bound - 1e-6)
+        << h.name << " beat the lower bound (seed=" << param.seed << ")";
+  }
+}
+
+std::vector<SweepParam> sweepParams() {
+  std::vector<SweepParam> params;
+  std::uint64_t seed = 1;
+  for (const double lambda : {0.2, 0.5, 0.8, 1.05}) {
+    for (const bool hetero : {false, true}) {
+      for (int rep = 0; rep < 3; ++rep)
+        params.push_back({seed++ * 7919u, lambda, hetero});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, HeuristicSweep, ::testing::ValuesIn(sweepParams()));
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,68 @@
+// The instance files shipped under instances/ parse, validate, and are
+// solvable by the documented workflows.
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/validate.hpp"
+#include "formulation/lower_bound.hpp"
+#include "heuristics/heuristic.hpp"
+#include "test_util.hpp"
+#include "tree/io.hpp"
+
+#ifndef TREEPLACE_INSTANCES_DIR
+#define TREEPLACE_INSTANCES_DIR "instances"
+#endif
+
+namespace treeplace {
+namespace {
+
+ProblemInstance load(const std::string& name) {
+  const std::string path = std::string(TREEPLACE_INSTANCES_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  return readInstance(in);
+}
+
+TEST(InstanceFiles, VodSmallParsesAndSolves) {
+  const ProblemInstance inst = load("vod_small.tp");
+  EXPECT_EQ(inst.tree.vertexCount(), 8u);
+  EXPECT_EQ(inst.totalRequests(), 23);
+  EXPECT_TRUE(inst.isHomogeneous());
+  const auto mb = runMixedBest(inst);
+  ASSERT_TRUE(mb.has_value());
+  EXPECT_TRUE(testutil::placementValid(inst, mb->placement, Policy::Multiple));
+  const LowerBoundResult lb = refinedLowerBound(inst);
+  EXPECT_TRUE(lb.lpFeasible);
+  EXPECT_LE(lb.bound, mb->cost + 1e-9);
+}
+
+TEST(InstanceFiles, IspHeteroParsesWithAllFields) {
+  const ProblemInstance inst = load("isp_hetero.tp");
+  EXPECT_EQ(inst.tree.vertexCount(), 13u);
+  EXPECT_FALSE(inst.isHomogeneous());
+  EXPECT_TRUE(inst.hasQosConstraints());
+  EXPECT_TRUE(inst.hasBandwidthConstraints());
+  EXPECT_DOUBLE_EQ(inst.commTime[1], 2.0);
+  EXPECT_EQ(inst.bandwidth[2], 50);
+  // The Replica Cost heuristics ignore QoS/bandwidth; their placements are
+  // still capacity-valid.
+  const auto mg = runMG(inst);
+  ASSERT_TRUE(mg.has_value());
+  ValidationOptions vo;
+  vo.checkQos = false;
+  vo.checkBandwidth = false;
+  EXPECT_TRUE(validatePlacement(inst, *mg, Policy::Multiple, vo).ok());
+}
+
+TEST(InstanceFiles, RoundTripStable) {
+  for (const char* name : {"vod_small.tp", "isp_hetero.tp"}) {
+    const ProblemInstance inst = load(name);
+    const ProblemInstance reparsed = instanceFromString(instanceToString(inst));
+    EXPECT_EQ(instanceToString(reparsed), instanceToString(inst)) << name;
+  }
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,135 @@
+#include "extensions/local_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "heuristics/heuristic.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace {
+namespace {
+
+// root(0) -> a(1) -> b(2) -> client 3 (r=4), all capacities 10.
+ProblemInstance chain3() {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId a = b.addInternal(root, 10);
+  const VertexId bb = b.addInternal(a, 10);
+  b.addClient(bb, 4);
+  return b.build();
+}
+
+TEST(LocalSearch, DropsRedundantServers) {
+  const ProblemInstance inst = chain3();
+  Placement bloated(inst.tree.vertexCount());
+  bloated.addReplica(0);
+  bloated.addReplica(1);
+  bloated.addReplica(2);
+  bloated.assign(3, 0, 2);
+  bloated.assign(3, 1, 1);
+  bloated.assign(3, 2, 1);
+  CostModel storageOnly;  // alpha = 1, beta = gamma = 0
+  const LocalSearchResult r = improvePlacement(inst, bloated, storageOnly);
+  EXPECT_TRUE(testutil::placementValid(inst, r.placement, Policy::Multiple));
+  EXPECT_EQ(r.placement.replicaCount(), 1u);
+  EXPECT_DOUBLE_EQ(r.objective, 10.0);
+  EXPECT_GE(r.rounds, 1);
+}
+
+TEST(LocalSearch, OpensDeepServerUnderReadWeight) {
+  const ProblemInstance inst = chain3();
+  Placement rootOnly(inst.tree.vertexCount());
+  rootOnly.addReplica(0);
+  rootOnly.assign(3, 0, 4);  // read cost 12
+  CostModel readHeavy;
+  readHeavy.alpha = 0.1;
+  readHeavy.beta = 1.0;
+  const LocalSearchResult r = improvePlacement(inst, rootOnly, readHeavy);
+  EXPECT_TRUE(testutil::placementValid(inst, r.placement, Policy::Multiple));
+  // Serving at node 2 costs 0.1*10 + 4 = 5 < 0.1*10 + 12.
+  EXPECT_TRUE(r.placement.hasReplica(2));
+  EXPECT_DOUBLE_EQ(readCost(inst, r.placement), 4.0);
+}
+
+TEST(LocalSearch, WriteWeightConsolidatesReplicas) {
+  // Two replicas spread over a fork; with a huge write weight the search
+  // should collapse to a single server if capacity allows.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(20);
+  const VertexId left = b.addInternal(root, 10);
+  const VertexId right = b.addInternal(root, 10);
+  const VertexId cl = b.addClient(left, 4);
+  const VertexId cr = b.addClient(right, 4);
+  const ProblemInstance inst = b.build();
+  Placement spread(inst.tree.vertexCount());
+  spread.addReplica(left);
+  spread.addReplica(right);
+  spread.assign(cl, left, 4);
+  spread.assign(cr, right, 4);
+  CostModel writeHeavy;
+  writeHeavy.alpha = 0.0;
+  writeHeavy.beta = 0.0;
+  writeHeavy.gamma = 100.0;
+  const LocalSearchResult r = improvePlacement(inst, spread, writeHeavy);
+  EXPECT_TRUE(testutil::placementValid(inst, r.placement, Policy::Multiple));
+  EXPECT_EQ(r.placement.replicaCount(), 1u);
+  EXPECT_DOUBLE_EQ(writeCost(inst, r.placement), 0.0);
+}
+
+TEST(LocalSearch, RespectsCapacityWhenDropBlocked) {
+  // Both servers full: neither can absorb the other's load, so nothing drops.
+  const ProblemInstance inst = testutil::chainInstance(5, 5, {10}, false);
+  Placement placement(inst.tree.vertexCount());
+  placement.addReplica(0);
+  placement.addReplica(1);
+  placement.assign(2, 0, 5);
+  placement.assign(2, 1, 5);
+  const LocalSearchResult r = improvePlacement(inst, placement, CostModel{});
+  EXPECT_EQ(r.placement.replicaCount(), 2u);
+  EXPECT_EQ(r.rounds, 0);
+}
+
+TEST(LocalSearch, PrunesUnusedReplicasImmediately) {
+  const ProblemInstance inst = chain3();
+  Placement withDead(inst.tree.vertexCount());
+  withDead.addReplica(0);
+  withDead.addReplica(1);  // no load
+  withDead.assign(3, 0, 4);
+  const LocalSearchResult r = improvePlacement(inst, withDead, CostModel{});
+  EXPECT_FALSE(r.placement.hasReplica(1));
+}
+
+class LocalSearchSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LocalSearchSweep, NeverWorseAlwaysValid) {
+  GeneratorConfig config;
+  config.minSize = 15;
+  config.maxSize = 50;
+  config.lambda = 0.5;
+  config.heterogeneous = true;
+  config.maxChildren = 2;
+  const ProblemInstance inst = generateInstance(config, GetParam(), 0);
+  const auto mb = runMixedBest(inst);
+  if (!mb) return;
+  for (const double beta : {0.0, 0.3}) {
+    for (const double gamma : {0.0, 0.5}) {
+      CostModel model;
+      model.beta = beta;
+      model.gamma = gamma;
+      const double before = compositeObjective(inst, mb->placement, model);
+      const LocalSearchResult r = improvePlacement(inst, mb->placement, model);
+      EXPECT_LE(r.objective, before + 1e-9);
+      EXPECT_TRUE(testutil::placementValid(inst, r.placement, Policy::Multiple))
+          << "beta=" << beta << " gamma=" << gamma;
+      EXPECT_NEAR(r.objective, compositeObjective(inst, r.placement, model), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LocalSearchSweep,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,54 @@
+#include "heuristics/heuristic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "test_util.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(MixedBest, PicksCheapestHeuristic) {
+  const ProblemInstance inst = testutil::chainInstance(10, 10, {3, 2});
+  const auto mb = runMixedBest(inst);
+  ASSERT_TRUE(mb.has_value());
+  // MB can never cost more than any individual heuristic.
+  for (const HeuristicInfo& h : allHeuristics()) {
+    const auto placement = h.run(inst);
+    if (!placement) continue;
+    EXPECT_LE(mb->cost, placement->storageCost(inst)) << h.name;
+  }
+  EXPECT_TRUE(testutil::placementValid(inst, mb->placement, Policy::Multiple));
+}
+
+TEST(MixedBest, SucceedsWheneverMgDoes) {
+  for (std::uint64_t seed = 1; seed <= 15; ++seed) {
+    const ProblemInstance inst =
+        testutil::smallRandomInstance(seed * 13, 0.9, /*hetero=*/true, false, 10, 30);
+    EXPECT_EQ(runMixedBest(inst).has_value(), runMG(inst).has_value())
+        << "seed " << seed;
+  }
+}
+
+TEST(MixedBest, FailsOnInfeasible) {
+  const ProblemInstance inst = testutil::chainInstance(3, 3, {10});
+  EXPECT_FALSE(runMixedBest(inst).has_value());
+}
+
+TEST(MixedBest, WinnerNameIsARealHeuristic) {
+  const ProblemInstance inst = fig3MultipleVsUpwardsHomogeneous(3);
+  const auto mb = runMixedBest(inst);
+  ASSERT_TRUE(mb.has_value());
+  EXPECT_NE(findHeuristic(mb->winner), nullptr);
+}
+
+TEST(MixedBest, CostMatchesPlacement) {
+  const ProblemInstance inst = fig2UpwardsVsClosest(3);
+  const auto mb = runMixedBest(inst);
+  ASSERT_TRUE(mb.has_value());
+  EXPECT_DOUBLE_EQ(mb->cost, mb->placement.storageCost(inst));
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,133 @@
+// End-to-end checks of every separation example in Section 3: each figure's
+// claimed existence result and cost gap is verified with the exact solvers.
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+
+#include "core/bounds.hpp"
+#include "exact/closest_homogeneous.hpp"
+#include "exact/exact_ilp.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "exact/upwards_exact.hpp"
+#include "test_util.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(Figure1, VariantA_AllPoliciesFeasible) {
+  const ProblemInstance inst = fig1AccessPolicies('a');
+  EXPECT_TRUE(solveClosestHomogeneous(inst).has_value());
+  EXPECT_TRUE(solveUpwardsExact(inst).feasible());
+  EXPECT_TRUE(solveMultipleHomogeneous(inst).has_value());
+  // One replica suffices everywhere.
+  EXPECT_EQ(solveClosestHomogeneous(inst)->replicaCount(), 1u);
+  EXPECT_EQ(solveMultipleHomogeneous(inst)->replicaCount(), 1u);
+}
+
+TEST(Figure1, VariantB_ClosestFailsOthersNeedTwo) {
+  const ProblemInstance inst = fig1AccessPolicies('b');
+  EXPECT_FALSE(solveClosestHomogeneous(inst).has_value());
+  const UpwardsExactResult up = solveUpwardsExact(inst);
+  ASSERT_TRUE(up.feasible());
+  EXPECT_EQ(up.placement->replicaCount(), 2u);
+  const auto multiple = solveMultipleHomogeneous(inst);
+  ASSERT_TRUE(multiple.has_value());
+  EXPECT_EQ(multiple->replicaCount(), 2u);
+}
+
+TEST(Figure1, VariantC_OnlyMultipleFeasible) {
+  const ProblemInstance inst = fig1AccessPolicies('c');
+  EXPECT_FALSE(solveClosestHomogeneous(inst).has_value());
+  EXPECT_FALSE(solveUpwardsExact(inst).feasible());
+  const auto multiple = solveMultipleHomogeneous(inst);
+  ASSERT_TRUE(multiple.has_value());
+  EXPECT_EQ(multiple->replicaCount(), 2u);
+}
+
+TEST(Figure2, UpwardsArbitrarilyBetterThanClosest) {
+  for (const int n : {2, 3, 5}) {
+    const ProblemInstance inst = fig2UpwardsVsClosest(n);
+    const auto closest = solveClosestHomogeneous(inst);
+    ASSERT_TRUE(closest.has_value()) << "n=" << n;
+    EXPECT_EQ(closest->replicaCount(), static_cast<std::size_t>(n + 2));
+    const UpwardsExactResult up = solveUpwardsExact(inst);
+    ASSERT_TRUE(up.feasible());
+    EXPECT_EQ(up.placement->replicaCount(), 3u);
+    // The gap (n+2)/3 grows without bound in n.
+    EXPECT_GT(closest->replicaCount(), up.placement->replicaCount());
+  }
+}
+
+TEST(Figure3, MultipleTwiceBetterThanUpwardsHomogeneous) {
+  for (const int n : {2, 3, 4}) {
+    const ProblemInstance inst = fig3MultipleVsUpwardsHomogeneous(n);
+    const auto multiple = solveMultipleHomogeneous(inst);
+    ASSERT_TRUE(multiple.has_value()) << "n=" << n;
+    EXPECT_EQ(multiple->replicaCount(), static_cast<std::size_t>(n + 1));
+    const UpwardsExactResult up = solveUpwardsExact(inst);
+    ASSERT_TRUE(up.feasible()) << "n=" << n;
+    EXPECT_EQ(up.placement->replicaCount(), static_cast<std::size_t>(2 * n));
+    // Performance factor 2n/(n+1) -> 2.
+    const double factor = static_cast<double>(up.placement->replicaCount()) /
+                          static_cast<double>(multiple->replicaCount());
+    EXPECT_GT(factor, 1.3);
+    EXPECT_LE(factor, 2.0);
+  }
+}
+
+TEST(Figure4, MultipleArbitrarilyBetterThanUpwardsHeterogeneous) {
+  const int n = 3;
+  for (const int K : {2, 5, 10}) {
+    const ProblemInstance inst = fig4MultipleVsUpwardsHeterogeneous(n, K);
+    const ExactIlpResult multiple = solveExactViaIlp(inst, Policy::Multiple);
+    ASSERT_TRUE(multiple.feasible()) << "K=" << K;
+    EXPECT_DOUBLE_EQ(multiple.cost, 2.0 * n);
+    const UpwardsExactResult up = solveUpwardsExact(inst);
+    ASSERT_TRUE(up.feasible()) << "K=" << K;
+    EXPECT_DOUBLE_EQ(up.placement->storageCost(inst), static_cast<double>(K * n));
+    // The ratio K/2 is unbounded in K.
+    EXPECT_GE(up.placement->storageCost(inst) / multiple.cost,
+              static_cast<double>(K) / 2.0);
+  }
+}
+
+TEST(Figure5, CountingBoundNotApproximable) {
+  for (const int n : {2, 4, 8}) {
+    const ProblemInstance inst = fig5LowerBoundGap(n, /*capacity=*/8 * n);
+    EXPECT_EQ(countingLowerBound(inst), 2) << "n=" << n;
+    const auto multiple = solveMultipleHomogeneous(inst);
+    ASSERT_TRUE(multiple.has_value());
+    EXPECT_EQ(multiple->replicaCount(), static_cast<std::size_t>(n + 1));
+    const auto closest = solveClosestHomogeneous(inst);
+    ASSERT_TRUE(closest.has_value());
+    EXPECT_EQ(closest->replicaCount(), static_cast<std::size_t>(n + 1));
+    // Even the most flexible policy sits at (n+1)/2 times the bound.
+  }
+}
+
+TEST(PaperInstances, FactoriesRejectBadParameters) {
+  EXPECT_THROW(fig1AccessPolicies('z'), PreconditionError);
+  EXPECT_THROW(fig2UpwardsVsClosest(0), PreconditionError);
+  EXPECT_THROW(fig3MultipleVsUpwardsHomogeneous(0), PreconditionError);
+  EXPECT_THROW(fig4MultipleVsUpwardsHeterogeneous(1, 5), PreconditionError);
+  EXPECT_THROW(fig5LowerBoundGap(3, 10), PreconditionError);  // 10 % 3 != 0
+}
+
+TEST(PaperInstances, PolicyDominanceOnFigures) {
+  // Wherever several policies are feasible, optimal costs are ordered
+  // Multiple <= Upwards <= Closest.
+  for (const int n : {2, 3}) {
+    const ProblemInstance inst = fig2UpwardsVsClosest(n);
+    const auto closest = solveClosestHomogeneous(inst);
+    const auto upwards = solveUpwardsExact(inst);
+    const auto multiple = solveMultipleHomogeneous(inst);
+    ASSERT_TRUE(closest && upwards.feasible() && multiple);
+    EXPECT_LE(multiple->replicaCount(), upwards.placement->replicaCount());
+    EXPECT_LE(upwards.placement->replicaCount(), closest->replicaCount());
+  }
+}
+
+}  // namespace
+}  // namespace treeplace

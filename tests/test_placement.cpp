@@ -1,0 +1,84 @@
+#include "core/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+#include "test_util.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(Placement, StartsEmpty) {
+  const Placement p(5);
+  EXPECT_EQ(p.replicaCount(), 0u);
+  EXPECT_TRUE(p.replicaList().empty());
+  EXPECT_FALSE(p.hasReplica(2));
+  EXPECT_EQ(p.serverLoad(2), 0);
+}
+
+TEST(Placement, AddReplicaIdempotent) {
+  Placement p(5);
+  p.addReplica(1);
+  p.addReplica(1);
+  EXPECT_EQ(p.replicaCount(), 1u);
+  EXPECT_TRUE(p.hasReplica(1));
+}
+
+TEST(Placement, ReplicaListSorted) {
+  Placement p(5);
+  p.addReplica(4);
+  p.addReplica(0);
+  p.addReplica(2);
+  const auto list = p.replicaList();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], 0);
+  EXPECT_EQ(list[1], 2);
+  EXPECT_EQ(list[2], 4);
+}
+
+TEST(Placement, AssignAccumulates) {
+  Placement p(5);
+  p.assign(3, 1, 4);
+  p.assign(3, 1, 2);
+  p.assign(3, 0, 1);
+  ASSERT_EQ(p.shares(3).size(), 2u);
+  EXPECT_EQ(p.assignedOf(3), 7);
+  EXPECT_EQ(p.serverLoad(1), 6);
+  EXPECT_EQ(p.serverLoad(0), 1);
+}
+
+TEST(Placement, RejectsBadAssignments) {
+  Placement p(5);
+  EXPECT_THROW(p.assign(3, 1, 0), PreconditionError);
+  EXPECT_THROW(p.assign(9, 1, 1), PreconditionError);
+  EXPECT_THROW(p.assign(3, -1, 1), PreconditionError);
+  EXPECT_THROW(p.addReplica(5), PreconditionError);
+}
+
+TEST(Placement, StorageCost) {
+  const ProblemInstance inst = testutil::chainInstance(10, 6, {4, 2}, /*unitCosts=*/false);
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(0);
+  p.addReplica(1);
+  EXPECT_DOUBLE_EQ(p.storageCost(inst), 16.0);
+}
+
+TEST(Placement, StorageCostSizeMismatchThrows) {
+  const ProblemInstance inst = testutil::chainInstance(10, 6, {4, 2});
+  const Placement p(3);
+  EXPECT_THROW(p.storageCost(inst), PreconditionError);
+}
+
+TEST(Placement, Equality) {
+  Placement a(4), b(4);
+  a.addReplica(1);
+  b.addReplica(1);
+  a.assign(2, 1, 3);
+  b.assign(2, 1, 3);
+  EXPECT_EQ(a, b);
+  b.assign(3, 1, 1);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,85 @@
+// Property suite for the policy hierarchy (Section 3): on every instance,
+// optimal costs satisfy Multiple <= Upwards <= Closest, and feasibility is
+// monotone in the same direction.
+
+#include <gtest/gtest.h>
+
+#include "exact/closest_homogeneous.hpp"
+#include "exact/exact_ilp.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "exact/upwards_exact.hpp"
+#include "test_util.hpp"
+
+namespace treeplace {
+namespace {
+
+struct Optima {
+  bool closestFeasible = false, upwardsFeasible = false, multipleFeasible = false;
+  double closest = 0.0, upwards = 0.0, multiple = 0.0;
+};
+
+Optima solveAll(const ProblemInstance& inst) {
+  Optima o;
+  const ExactIlpResult c = solveExactViaIlp(inst, Policy::Closest);
+  const ExactIlpResult u = solveExactViaIlp(inst, Policy::Upwards);
+  const ExactIlpResult m = solveExactViaIlp(inst, Policy::Multiple);
+  EXPECT_TRUE(c.proven && u.proven && m.proven);
+  o.closestFeasible = c.feasible();
+  o.upwardsFeasible = u.feasible();
+  o.multipleFeasible = m.feasible();
+  if (c.feasible()) o.closest = c.cost;
+  if (u.feasible()) o.upwards = u.cost;
+  if (m.feasible()) o.multiple = m.cost;
+  return o;
+}
+
+class Dominance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Dominance, HomogeneousHierarchy) {
+  const ProblemInstance inst = testutil::smallRandomInstance(
+      GetParam() * 53, 0.75, /*hetero=*/false, /*unit=*/true);
+  const Optima o = solveAll(inst);
+  if (o.closestFeasible) { EXPECT_TRUE(o.upwardsFeasible); }
+  if (o.upwardsFeasible) { EXPECT_TRUE(o.multipleFeasible); }
+  if (o.closestFeasible && o.upwardsFeasible)
+    EXPECT_LE(o.upwards, o.closest + 1e-9);
+  if (o.upwardsFeasible && o.multipleFeasible)
+    EXPECT_LE(o.multiple, o.upwards + 1e-9);
+}
+
+TEST_P(Dominance, HeterogeneousHierarchy) {
+  const ProblemInstance inst = testutil::smallRandomInstance(
+      GetParam() * 59 + 1, 0.75, /*hetero=*/true, /*unit=*/false);
+  const Optima o = solveAll(inst);
+  if (o.closestFeasible) { EXPECT_TRUE(o.upwardsFeasible); }
+  if (o.upwardsFeasible) { EXPECT_TRUE(o.multipleFeasible); }
+  if (o.closestFeasible && o.upwardsFeasible)
+    EXPECT_LE(o.upwards, o.closest + 1e-9);
+  if (o.upwardsFeasible && o.multipleFeasible)
+    EXPECT_LE(o.multiple, o.upwards + 1e-9);
+}
+
+TEST_P(Dominance, DedicatedSolversAgreeWithIlp) {
+  const ProblemInstance inst = testutil::smallRandomInstance(
+      GetParam() * 61 + 2, 0.8, /*hetero=*/false, /*unit=*/true);
+  const Optima o = solveAll(inst);
+
+  const auto closestDp = solveClosestHomogeneous(inst);
+  EXPECT_EQ(closestDp.has_value(), o.closestFeasible);
+  if (closestDp) { EXPECT_DOUBLE_EQ(closestDp->storageCost(inst), o.closest); }
+
+  const UpwardsExactResult upwards = solveUpwardsExact(inst);
+  EXPECT_EQ(upwards.feasible(), o.upwardsFeasible);
+  if (upwards.feasible())
+    EXPECT_DOUBLE_EQ(upwards.placement->storageCost(inst), o.upwards);
+
+  const auto multiple = solveMultipleHomogeneous(inst);
+  EXPECT_EQ(multiple.has_value(), o.multipleFeasible);
+  if (multiple) { EXPECT_DOUBLE_EQ(multiple->storageCost(inst), o.multiple); }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Dominance,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 10u));
+
+}  // namespace
+}  // namespace treeplace

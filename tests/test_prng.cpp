@@ -1,0 +1,129 @@
+#include "support/prng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(Prng, DeterministicForEqualSeeds) {
+  Prng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Prng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, UniformIntInRange) {
+  Prng rng(7);
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Prng, UniformIntDegenerateRange) {
+  Prng rng(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniformInt(3, 3), 3);
+}
+
+TEST(Prng, UniformIntRejectsCrossedBounds) {
+  Prng rng(7);
+  EXPECT_THROW(rng.uniformInt(4, 3), PreconditionError);
+}
+
+TEST(Prng, UniformIntCoversAllValues) {
+  Prng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniformInt(0, 9));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(Prng, UniformIntRoughlyUniform) {
+  Prng rng(13);
+  std::vector<int> counts(8, 0);
+  const int draws = 80000;
+  for (int i = 0; i < draws; ++i)
+    ++counts[static_cast<std::size_t>(rng.uniformInt(0, 7))];
+  for (const int c : counts) {
+    EXPECT_GT(c, draws / 8 * 0.9);
+    EXPECT_LT(c, draws / 8 * 1.1);
+  }
+}
+
+TEST(Prng, UniformRealInUnitInterval) {
+  Prng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const double v = rng.uniformReal();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Prng, UniformRealRange) {
+  Prng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    const double v = rng.uniformReal(2.5, 3.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Prng, BernoulliExtremes) {
+  Prng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Prng, SplitIsStableRegardlessOfDraws) {
+  Prng a(99);
+  Prng b(99);
+  (void)b.next();  // consuming from the parent must not affect children
+  (void)b.next();
+  Prng childA = a.split(5);
+  Prng childB = b.split(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(childA.next(), childB.next());
+}
+
+TEST(Prng, SplitStreamsAreIndependent) {
+  Prng parent(99);
+  Prng c0 = parent.split(0);
+  Prng c1 = parent.split(1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (c0.next() == c1.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, ShufflePreservesMultiset) {
+  Prng rng(17);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Prng, ShuffleActuallyPermutes) {
+  Prng rng(17);
+  std::vector<int> v(50);
+  for (int i = 0; i < 50; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto original = v;
+  rng.shuffle(v);
+  EXPECT_NE(v, original);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,152 @@
+#include "tree/problem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+
+namespace treeplace {
+namespace {
+
+ProblemInstance sampleInstance() {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 6);
+  b.addClient(mid, 4);
+  b.addClient(mid, 2);
+  b.addClient(root, 5);
+  return b.build();
+}
+
+TEST(Problem, Totals) {
+  const ProblemInstance inst = sampleInstance();
+  EXPECT_EQ(inst.totalRequests(), 11);
+  EXPECT_EQ(inst.totalCapacity(), 16);
+  EXPECT_NEAR(inst.load(), 11.0 / 16.0, 1e-12);
+}
+
+TEST(Problem, Homogeneity) {
+  const ProblemInstance inst = sampleInstance();
+  EXPECT_FALSE(inst.isHomogeneous());
+  EXPECT_THROW(inst.homogeneousCapacity(), PreconditionError);
+
+  const ProblemInstance homog = testutil::chainInstance(5, 5, {1, 2});
+  EXPECT_TRUE(homog.isHomogeneous());
+  EXPECT_EQ(homog.homogeneousCapacity(), 5);
+}
+
+TEST(Problem, SubtreeRequests) {
+  const ProblemInstance inst = sampleInstance();
+  EXPECT_EQ(inst.subtreeRequests(0), 11);
+  EXPECT_EQ(inst.subtreeRequests(1), 6);
+  const auto sums = inst.allSubtreeRequests();
+  EXPECT_EQ(sums[0], 11);
+  EXPECT_EQ(sums[1], 6);
+  EXPECT_EQ(sums[2], 4);  // a client's subtree is itself
+}
+
+TEST(Problem, DistanceUsesCommTimes) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  const VertexId client = b.addClient(mid, 1);
+  b.setCommTime(mid, 2.5);
+  b.setCommTime(client, 0.5);
+  const ProblemInstance inst = b.build();
+  EXPECT_DOUBLE_EQ(inst.distance(client, mid), 0.5);
+  EXPECT_DOUBLE_EQ(inst.distance(client, root), 3.0);
+  EXPECT_DOUBLE_EQ(inst.distance(mid, mid), 0.0);
+  EXPECT_THROW(inst.distance(mid, client), PreconditionError);
+}
+
+TEST(Problem, ConstraintFlags) {
+  ProblemInstance inst = sampleInstance();
+  EXPECT_FALSE(inst.hasQosConstraints());
+  EXPECT_FALSE(inst.hasBandwidthConstraints());
+  inst.qos[2] = 2.0;
+  EXPECT_TRUE(inst.hasQosConstraints());
+  inst.bandwidth[1] = 100;
+  EXPECT_TRUE(inst.hasBandwidthConstraints());
+}
+
+TEST(Problem, ValidateCatchesClientCapacity) {
+  ProblemInstance inst = sampleInstance();
+  inst.capacity[2] = 5;  // vertex 2 is a client
+  EXPECT_THROW(inst.validate(), PreconditionError);
+}
+
+TEST(Problem, ValidateCatchesInternalRequests) {
+  ProblemInstance inst = sampleInstance();
+  inst.requests[1] = 5;  // vertex 1 is internal
+  EXPECT_THROW(inst.validate(), PreconditionError);
+}
+
+TEST(Problem, ValidateCatchesNegativeValues) {
+  ProblemInstance inst = sampleInstance();
+  inst.requests[2] = -1;
+  EXPECT_THROW(inst.validate(), PreconditionError);
+}
+
+TEST(Problem, ValidateCatchesSizeMismatch) {
+  ProblemInstance inst = sampleInstance();
+  inst.qos.pop_back();
+  EXPECT_THROW(inst.validate(), PreconditionError);
+}
+
+TEST(Builder, DefaultsAreSane) {
+  const ProblemInstance inst = sampleInstance();
+  // Storage cost defaults to capacity (Replica Cost convention).
+  EXPECT_DOUBLE_EQ(inst.storageCost[0], 10.0);
+  EXPECT_DOUBLE_EQ(inst.storageCost[1], 6.0);
+  // Comm time defaults to 1 per non-root link.
+  EXPECT_DOUBLE_EQ(inst.commTime[0], 0.0);
+  EXPECT_DOUBLE_EQ(inst.commTime[1], 1.0);
+  EXPECT_EQ(inst.bandwidth[1], kUnlimitedBandwidth);
+}
+
+TEST(Builder, UnitCosts) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  b.addClient(root, 1);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  EXPECT_DOUBLE_EQ(inst.storageCost[0], 1.0);
+}
+
+TEST(Builder, RejectsClientParent) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(5);
+  const VertexId c = b.addClient(root, 1);
+  EXPECT_THROW(b.addClient(c, 1), PreconditionError);
+}
+
+TEST(Builder, RejectsSecondRoot) {
+  TreeBuilder b;
+  b.addRoot(5);
+  EXPECT_THROW(b.addRoot(5), PreconditionError);
+}
+
+TEST(Builder, SettersApply) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(5);
+  const VertexId client = b.addClient(root, 3);
+  b.setStorageCost(root, 9.0).setCommTime(client, 4.0).setBandwidth(client, 8)
+      .setQos(client, 2.0);
+  const ProblemInstance inst = b.build();
+  EXPECT_DOUBLE_EQ(inst.storageCost[0], 9.0);
+  EXPECT_DOUBLE_EQ(inst.commTime[1], 4.0);
+  EXPECT_EQ(inst.bandwidth[1], 8);
+  EXPECT_DOUBLE_EQ(inst.qos[1], 2.0);
+}
+
+TEST(Builder, SetterTypeChecks) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(5);
+  const VertexId client = b.addClient(root, 3);
+  EXPECT_THROW(b.setStorageCost(client, 1.0), PreconditionError);
+  EXPECT_THROW(b.setQos(root, 2.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,116 @@
+// The NP-completeness reductions of Section 4 as executable artefacts:
+// solving the constructed instances decides the source problems.
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+
+#include <numeric>
+#include <vector>
+
+#include "exact/exact_ilp.hpp"
+#include "exact/upwards_exact.hpp"
+#include "test_util.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+// ---------- Theorem 2: 3-PARTITION -> Upwards/homogeneous ----------
+
+TEST(ThreePartition, YesInstanceSolvesWithMReplicas) {
+  // m=2, B=12: {4,4,4} + {5,4,3} — partitionable.
+  const std::vector<Requests> values{4, 4, 4, 5, 4, 3};
+  const ProblemInstance inst = fig7ThreePartition(values, 12);
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_TRUE(r.proven);
+  EXPECT_EQ(r.placement->replicaCount(), 2u);  // total cost mB <=> m replicas
+  EXPECT_TRUE(testutil::placementValid(inst, *r.placement, Policy::Upwards));
+}
+
+TEST(ThreePartition, AnotherYesInstance) {
+  // m=3, B=15: {5,5,5},{7,5,3},{6,5,4}.
+  const std::vector<Requests> values{5, 5, 5, 7, 5, 3, 6, 5, 4};
+  const ProblemInstance inst = fig7ThreePartition(values, 15);
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_EQ(r.placement->replicaCount(), 3u);
+}
+
+TEST(ThreePartition, NoInstanceIsInfeasible) {
+  // m=2, B=12 but values {6,6,6,2,2,2} cannot form two triples of sum 12:
+  // any triple with two 6s already reaches 12+2; {6,2,2} sums to 10.
+  const std::vector<Requests> values{6, 6, 6, 2, 2, 2};
+  const ProblemInstance inst = fig7ThreePartition(values, 12);
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  EXPECT_TRUE(r.proven);
+  // Total = 2B exactly fills both nodes, so *any* valid solution would be a
+  // 3-partition... except that triples are not enforced by capacity alone —
+  // a node may serve 2 or 4 clients. {6,6} + {6,2,2,2} both sum to 12, so a
+  // solution with 2 replicas exists here and the instance IS feasible.
+  // B/4 < a_i < B/2 is what forces triples; 6 and 2 violate it. Use a
+  // compliant no-instance below instead; this one must be feasible.
+  ASSERT_TRUE(r.feasible());
+  EXPECT_EQ(r.placement->replicaCount(), 2u);
+}
+
+TEST(ThreePartition, CompliantNoInstance) {
+  // B = 16, m = 2, values in (4, 8): {5, 5, 5, 5, 5, 7} sums to 32 = 2B but
+  // no triple sums to 16 (5+5+5=15, 5+5+7=17).
+  const std::vector<Requests> values{5, 5, 5, 5, 5, 7};
+  const ProblemInstance inst = fig7ThreePartition(values, 16);
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  EXPECT_TRUE(r.proven);
+  EXPECT_FALSE(r.feasible());
+}
+
+TEST(ThreePartition, MultiplePolicyUnaffectedByPartitioning) {
+  // Under Multiple the same no-instance is solvable (requests split freely).
+  const std::vector<Requests> values{5, 5, 5, 5, 5, 7};
+  const ProblemInstance inst = fig7ThreePartition(values, 16);
+  const ExactIlpResult r = solveExactViaIlp(inst, Policy::Multiple);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_NEAR(r.cost, 2.0, 1e-9);  // unit costs: both nodes
+}
+
+// ---------- Theorem 3: 2-PARTITION -> Closest/Multiple heterogeneous ------
+
+TEST(TwoPartition, YesInstanceReachesSPlusOne) {
+  // {3, 5, 2, 4}: S = 14, partition {3,4} vs {5,2}.
+  const std::vector<Requests> values{3, 5, 2, 4};
+  const ProblemInstance inst = fig8TwoPartition(values);
+  const Requests S = std::accumulate(values.begin(), values.end(), Requests{0});
+  for (const Policy policy : {Policy::Closest, Policy::Multiple}) {
+    const ExactIlpResult r = solveExactViaIlp(inst, policy);
+    ASSERT_TRUE(r.feasible()) << toString(policy);
+    EXPECT_NEAR(r.cost, static_cast<double>(S + 1), 1e-6) << toString(policy);
+  }
+}
+
+TEST(TwoPartition, NoInstanceCostsMore) {
+  // {1, 1, 4}: S = 6, no subset sums to 3 -> optimal cost must exceed S+1.
+  const std::vector<Requests> values{1, 1, 4};
+  const ProblemInstance inst = fig8TwoPartition(values);
+  for (const Policy policy : {Policy::Closest, Policy::Multiple}) {
+    const ExactIlpResult r = solveExactViaIlp(inst, policy);
+    ASSERT_TRUE(r.feasible()) << toString(policy);
+    EXPECT_GT(r.cost, 7.0 + 1e-9) << toString(policy);
+  }
+}
+
+TEST(TwoPartition, UpwardsAgrees) {
+  const std::vector<Requests> values{3, 5, 2, 4};
+  const ProblemInstance inst = fig8TwoPartition(values);
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_NEAR(r.placement->storageCost(inst), 15.0, 1e-6);
+}
+
+TEST(TwoPartition, FactoryRejectsOddTotal) {
+  const std::vector<Requests> values{1, 2};  // S = 3
+  EXPECT_THROW(fig8TwoPartition(values), PreconditionError);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,59 @@
+#include "support/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t;
+  t.setHeader({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addRow({"longer", "23"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  // All lines share the same width.
+  std::size_t firstLineLen = out.find('\n');
+  ASSERT_NE(firstLineLen, std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t;
+  t.setHeader({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, SeparatorRendersDashes) {
+  TextTable t;
+  t.setHeader({"name", "value"});
+  t.addRow({"x", "1"});
+  t.addSeparator();
+  t.addRow({"y", "2"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  // Header separator plus the explicit one.
+  std::size_t first = out.find("-----");
+  EXPECT_NE(out.find("-----", first + 1), std::string::npos);
+}
+
+TEST(TextTable, WorksWithoutHeader) {
+  TextTable t;
+  t.addRow({"a", "b"});
+  EXPECT_EQ(t.render(), "a  b\n");
+}
+
+TEST(FormatHelpers, Double) {
+  EXPECT_EQ(formatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(formatDouble(2.0, 3), "2.000");
+}
+
+TEST(FormatHelpers, Percent) {
+  EXPECT_EQ(formatPercent(0.5), "50.0%");
+  EXPECT_EQ(formatPercent(1.0, 0), "100%");
+}
+
+}  // namespace
+}  // namespace treeplace

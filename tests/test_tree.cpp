@@ -1,0 +1,171 @@
+#include "tree/tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+// A hand tree:        0 (root)
+//                    /  .
+//                   1    2
+//                  / .    .
+//                 3   4    5
+// 3, 4, 5 clients; 0, 1, 2 internal.
+Tree sampleTree() {
+  return Tree::fromParents(
+      {kNoVertex, 0, 0, 1, 1, 2},
+      {VertexKind::Internal, VertexKind::Internal, VertexKind::Internal,
+       VertexKind::Client, VertexKind::Client, VertexKind::Client});
+}
+
+TEST(Tree, BasicShape) {
+  const Tree t = sampleTree();
+  EXPECT_EQ(t.vertexCount(), 6u);
+  EXPECT_EQ(t.root(), 0);
+  EXPECT_TRUE(t.isInternal(0));
+  EXPECT_TRUE(t.isClient(3));
+  EXPECT_EQ(t.parent(0), kNoVertex);
+  EXPECT_EQ(t.parent(5), 2);
+}
+
+TEST(Tree, ChildrenLists) {
+  const Tree t = sampleTree();
+  const auto kidsRoot = t.children(0);
+  ASSERT_EQ(kidsRoot.size(), 2u);
+  EXPECT_EQ(kidsRoot[0], 1);
+  EXPECT_EQ(kidsRoot[1], 2);
+  EXPECT_TRUE(t.children(3).empty());
+  EXPECT_TRUE(t.isLeaf(5));
+  EXPECT_FALSE(t.isLeaf(1));
+}
+
+TEST(Tree, Depths) {
+  const Tree t = sampleTree();
+  EXPECT_EQ(t.depth(0), 0);
+  EXPECT_EQ(t.depth(1), 1);
+  EXPECT_EQ(t.depth(4), 2);
+}
+
+TEST(Tree, Ancestry) {
+  const Tree t = sampleTree();
+  EXPECT_TRUE(t.isAncestor(0, 3));
+  EXPECT_TRUE(t.isAncestor(1, 4));
+  EXPECT_FALSE(t.isAncestor(1, 5));
+  EXPECT_FALSE(t.isAncestor(3, 3));  // proper ancestry
+  EXPECT_TRUE(t.inSubtree(3, 3));
+  EXPECT_TRUE(t.inSubtree(3, 0));
+  EXPECT_FALSE(t.inSubtree(0, 3));
+}
+
+TEST(Tree, AncestorList) {
+  const Tree t = sampleTree();
+  const auto a = t.ancestors(4);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(a[1], 0);
+  EXPECT_TRUE(t.ancestors(0).empty());
+}
+
+TEST(Tree, ClientAndInternalLists) {
+  const Tree t = sampleTree();
+  EXPECT_EQ(t.clients().size(), 3u);
+  EXPECT_EQ(t.internals().size(), 3u);
+}
+
+TEST(Tree, ClientsInSubtree) {
+  const Tree t = sampleTree();
+  const auto c1 = t.clientsInSubtree(1);
+  ASSERT_EQ(c1.size(), 2u);
+  EXPECT_EQ(c1[0], 3);
+  EXPECT_EQ(c1[1], 4);
+  const auto c2 = t.clientsInSubtree(2);
+  ASSERT_EQ(c2.size(), 1u);
+  EXPECT_EQ(c2[0], 5);
+  EXPECT_EQ(t.clientsInSubtree(0).size(), 3u);
+  // A client's own subtree is itself.
+  const auto c3 = t.clientsInSubtree(3);
+  ASSERT_EQ(c3.size(), 1u);
+  EXPECT_EQ(c3[0], 3);
+}
+
+TEST(Tree, Orders) {
+  const Tree t = sampleTree();
+  EXPECT_EQ(t.preorder().front(), 0);
+  EXPECT_EQ(t.postorder().back(), 0);
+  EXPECT_EQ(t.preorder().size(), 6u);
+  EXPECT_EQ(t.postorder().size(), 6u);
+  // Postorder: children before parents.
+  std::vector<int> position(6);
+  for (std::size_t k = 0; k < t.postorder().size(); ++k)
+    position[static_cast<std::size_t>(t.postorder()[k])] = static_cast<int>(k);
+  for (VertexId v = 1; v < 6; ++v)
+    EXPECT_LT(position[static_cast<std::size_t>(v)],
+              position[static_cast<std::size_t>(t.parent(v))]);
+}
+
+TEST(Tree, SubtreeSizeAndHops) {
+  const Tree t = sampleTree();
+  EXPECT_EQ(t.subtreeSize(0), 6u);
+  EXPECT_EQ(t.subtreeSize(1), 3u);
+  EXPECT_EQ(t.subtreeSize(5), 1u);
+  EXPECT_EQ(t.hops(4, 0), 2);
+  EXPECT_EQ(t.hops(4, 1), 1);
+  EXPECT_EQ(t.hops(1, 1), 0);
+  EXPECT_THROW(t.hops(4, 2), PreconditionError);
+}
+
+TEST(Tree, RejectsMultipleRoots) {
+  EXPECT_THROW(Tree::fromParents({kNoVertex, kNoVertex},
+                                 {VertexKind::Internal, VertexKind::Internal}),
+               PreconditionError);
+}
+
+TEST(Tree, RejectsMissingRoot) {
+  EXPECT_THROW(
+      Tree::fromParents({1, 0}, {VertexKind::Internal, VertexKind::Internal}),
+      PreconditionError);
+}
+
+TEST(Tree, RejectsCycle) {
+  // 1 -> 2 -> 1 with root 0 detached from them.
+  EXPECT_THROW(Tree::fromParents({kNoVertex, 2, 1, 0},
+                                 {VertexKind::Internal, VertexKind::Internal,
+                                  VertexKind::Internal, VertexKind::Client}),
+               PreconditionError);
+}
+
+TEST(Tree, RejectsClientWithChildren) {
+  EXPECT_THROW(Tree::fromParents({kNoVertex, 0, 1},
+                                 {VertexKind::Internal, VertexKind::Client,
+                                  VertexKind::Client}),
+               PreconditionError);
+}
+
+TEST(Tree, RejectsInternalLeaf) {
+  EXPECT_THROW(Tree::fromParents({kNoVertex, 0, 0},
+                                 {VertexKind::Internal, VertexKind::Internal,
+                                  VertexKind::Client}),
+               PreconditionError);
+}
+
+TEST(Tree, RejectsClientRoot) {
+  EXPECT_THROW(Tree::fromParents({kNoVertex}, {VertexKind::Client}),
+               PreconditionError);
+}
+
+TEST(Tree, RejectsOutOfRangeParent) {
+  EXPECT_THROW(Tree::fromParents({kNoVertex, 9},
+                                 {VertexKind::Internal, VertexKind::Client}),
+               PreconditionError);
+}
+
+TEST(Tree, RejectsOutOfRangeQueries) {
+  const Tree t = sampleTree();
+  EXPECT_THROW(t.parent(-2), PreconditionError);
+  EXPECT_THROW(t.kind(6), PreconditionError);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,92 @@
+#include "exact/upwards_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+
+#include "core/validate.hpp"
+#include "exact/exact_ilp.hpp"
+#include "test_util.hpp"
+#include "tree/paper_instances.hpp"
+
+namespace treeplace {
+namespace {
+
+TEST(UpwardsExact, TrivialSingleClient) {
+  const ProblemInstance inst = testutil::chainInstance(5, 5, {3});
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_TRUE(r.proven);
+  EXPECT_EQ(r.placement->replicaCount(), 1u);
+  EXPECT_TRUE(testutil::placementValid(inst, *r.placement, Policy::Upwards));
+}
+
+TEST(UpwardsExact, Figure1bFeasibleWithTwo) {
+  const UpwardsExactResult r = solveUpwardsExact(fig1AccessPolicies('b'));
+  ASSERT_TRUE(r.feasible());
+  EXPECT_EQ(r.placement->replicaCount(), 2u);
+}
+
+TEST(UpwardsExact, Figure1cInfeasible) {
+  const UpwardsExactResult r = solveUpwardsExact(fig1AccessPolicies('c'));
+  EXPECT_TRUE(r.proven);
+  EXPECT_FALSE(r.feasible());
+}
+
+TEST(UpwardsExact, Figure2OptimumIsThree) {
+  for (const int n : {1, 2, 3}) {
+    const ProblemInstance inst = fig2UpwardsVsClosest(n);
+    const UpwardsExactResult r = solveUpwardsExact(inst);
+    ASSERT_TRUE(r.feasible()) << "n=" << n;
+    EXPECT_TRUE(r.proven);
+    // ceil((2n+1)/n) = 3 replicas are necessary, and the paper's solution
+    // {s_2n, s_2n+1, s_2n+2} shows 3 suffice.
+    EXPECT_EQ(r.placement->replicaCount(), 3u) << "n=" << n;
+    EXPECT_TRUE(testutil::placementValid(inst, *r.placement, Policy::Upwards));
+  }
+}
+
+TEST(UpwardsExact, Figure4CostIsKn) {
+  const int n = 4, K = 5;
+  const ProblemInstance inst = fig4MultipleVsUpwardsHeterogeneous(n, K);
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_TRUE(r.proven);
+  // Optimal Upwards: both clients on s3 (capacity K*n), cost K*n — far above
+  // Multiple's 2n.
+  EXPECT_DOUBLE_EQ(r.placement->storageCost(inst), static_cast<double>(K * n));
+}
+
+/// Exact search == exact ILP on random instances (both feasibility and cost).
+class UpwardsVsIlp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(UpwardsVsIlp, CostsMatch) {
+  for (const bool hetero : {false, true}) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        GetParam() * 733 + (hetero ? 7 : 0), 0.6, hetero, /*unit=*/!hetero,
+        /*minSize=*/6, /*maxSize=*/12);
+    const UpwardsExactResult search = solveUpwardsExact(inst);
+    const ExactIlpResult ilp = solveExactViaIlp(inst, Policy::Upwards);
+    ASSERT_TRUE(search.proven);
+    ASSERT_TRUE(ilp.proven);
+    ASSERT_EQ(search.feasible(), ilp.feasible()) << "hetero=" << hetero;
+    if (!search.feasible()) continue;
+    EXPECT_TRUE(testutil::placementValid(inst, *search.placement, Policy::Upwards));
+    EXPECT_NEAR(search.placement->storageCost(inst), ilp.cost, 1e-6)
+        << "hetero=" << hetero;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UpwardsVsIlp,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(UpwardsExact, StepBudgetReportsUnproven) {
+  const ProblemInstance inst = fig3MultipleVsUpwardsHomogeneous(4);
+  UpwardsExactOptions options;
+  options.maxSteps = 3;
+  const UpwardsExactResult r = solveUpwardsExact(inst, options);
+  EXPECT_FALSE(r.proven);
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include "core/validate.hpp"
+#include "tree/builder.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace::testutil {
+
+/// Small random instance suitable for exact cross-checks.
+inline ProblemInstance smallRandomInstance(std::uint64_t seed, double lambda,
+                                           bool heterogeneous, bool unitCosts,
+                                           int minSize = 6, int maxSize = 14) {
+  GeneratorConfig config;
+  config.minSize = minSize;
+  config.maxSize = maxSize;
+  config.clientFraction = 0.55;
+  config.maxRequests = 8;
+  config.lambda = lambda;
+  config.heterogeneous = heterogeneous;
+  config.unitCosts = unitCosts;
+  Prng rng(seed);
+  return generateInstance(config, rng);
+}
+
+/// gtest-friendly validity assertion with a readable failure message.
+inline ::testing::AssertionResult placementValid(const ProblemInstance& instance,
+                                                 const Placement& placement,
+                                                 Policy policy) {
+  const ValidationResult r = validatePlacement(instance, placement, policy);
+  if (r.ok()) return ::testing::AssertionSuccess();
+  return ::testing::AssertionFailure() << "invalid placement under "
+                                       << toString(policy) << ":\n"
+                                       << r.describe();
+}
+
+/// The two-level tree of Figure 1 variants / quick hand tests:
+/// root(capacity=rootCap) -> mid(capacity=midCap) -> clients with `requests`.
+inline ProblemInstance chainInstance(Requests rootCap, Requests midCap,
+                                     std::initializer_list<Requests> requests,
+                                     bool unitCosts = true) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(rootCap);
+  const VertexId mid = b.addInternal(root, midCap);
+  for (const Requests r : requests) b.addClient(mid, r);
+  if (unitCosts) b.useUnitCosts();
+  return b.build();
+}
+
+}  // namespace treeplace::testutil

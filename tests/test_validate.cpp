@@ -1,0 +1,190 @@
+#include "core/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/require.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+
+namespace treeplace {
+namespace {
+
+// Tree: 0=root(W=10) -> 1(W=6) -> clients 2 (r=4), 3 (r=2).
+ProblemInstance instance() { return testutil::chainInstance(10, 6, {4, 2}); }
+
+bool hasViolation(const ValidationResult& r, ViolationKind kind) {
+  for (const auto& v : r.violations)
+    if (v.kind == kind) return true;
+  return false;
+}
+
+TEST(Validate, AcceptsCompleteSingleServer) {
+  const ProblemInstance inst = instance();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(1);
+  p.assign(2, 1, 4);
+  p.assign(3, 1, 2);
+  for (const Policy policy : kAllPolicies)
+    EXPECT_TRUE(testutil::placementValid(inst, p, policy)) << toString(policy);
+}
+
+TEST(Validate, DetectsUnserved) {
+  const ProblemInstance inst = instance();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(1);
+  p.assign(2, 1, 3);  // one request short
+  p.assign(3, 1, 2);
+  const auto r = validatePlacement(inst, p, Policy::Multiple);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(hasViolation(r, ViolationKind::UnservedRequests));
+}
+
+TEST(Validate, DetectsOverserved) {
+  const ProblemInstance inst = instance();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(1);
+  p.assign(2, 1, 5);  // one too many
+  p.assign(3, 1, 2);
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Multiple),
+                           ViolationKind::UnservedRequests));
+}
+
+TEST(Validate, DetectsCapacityOverflow) {
+  const ProblemInstance inst = testutil::chainInstance(10, 3, {4, 2});
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(1);
+  p.assign(2, 1, 4);  // node 1 has capacity 3
+  p.assign(3, 1, 2);
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Multiple),
+                           ViolationKind::CapacityExceeded));
+}
+
+TEST(Validate, DetectsServerWithoutReplica) {
+  const ProblemInstance inst = instance();
+  Placement p(inst.tree.vertexCount());
+  p.assign(2, 1, 4);
+  p.assign(3, 1, 2);
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Multiple),
+                           ViolationKind::ServerWithoutReplica));
+}
+
+TEST(Validate, DetectsServerOffPath) {
+  // Two siblings under the root; client under one cannot use the other.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId left = b.addInternal(root, 10);
+  const VertexId right = b.addInternal(root, 10);
+  const VertexId cl = b.addClient(left, 2);
+  b.addClient(right, 1);
+  const ProblemInstance inst = b.build();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(right);
+  p.assign(cl, right, 2);
+  p.assign(4, right, 1);
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Multiple),
+                           ViolationKind::ServerNotOnPath));
+}
+
+TEST(Validate, DetectsReplicaOnClient) {
+  const ProblemInstance inst = instance();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(2);  // client vertex
+  p.addReplica(1);
+  p.assign(2, 1, 4);
+  p.assign(3, 1, 2);
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Multiple),
+                           ViolationKind::ReplicaOnClient));
+}
+
+TEST(Validate, SingleServerRule) {
+  const ProblemInstance inst = instance();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(0);
+  p.addReplica(1);
+  p.assign(2, 1, 2);
+  p.assign(2, 0, 2);  // split client 2
+  p.assign(3, 1, 2);
+  EXPECT_TRUE(testutil::placementValid(inst, p, Policy::Multiple));
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Upwards),
+                           ViolationKind::SingleServerViolated));
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Closest),
+                           ViolationKind::SingleServerViolated));
+}
+
+TEST(Validate, ClosestFirstReplicaRule) {
+  const ProblemInstance inst = instance();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(0);
+  p.addReplica(1);
+  p.assign(2, 0, 4);  // traverses the replica at node 1
+  p.assign(3, 1, 2);
+  EXPECT_TRUE(testutil::placementValid(inst, p, Policy::Upwards));
+  EXPECT_TRUE(hasViolation(validatePlacement(inst, p, Policy::Closest),
+                           ViolationKind::ClosestViolated));
+}
+
+TEST(Validate, QosViolation) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  const VertexId client = b.addClient(mid, 2, /*qos=*/1.0);  // one hop max
+  const ProblemInstance inst = b.build();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(root);
+  p.assign(client, root, 2);  // two hops away
+  const auto r = validatePlacement(inst, p, Policy::Multiple);
+  EXPECT_TRUE(hasViolation(r, ViolationKind::QosViolated));
+  // QoS checking can be disabled.
+  ValidationOptions vo;
+  vo.checkQos = false;
+  EXPECT_TRUE(validatePlacement(inst, p, Policy::Multiple, vo).ok());
+  // Serving at the parent is fine.
+  Placement ok(inst.tree.vertexCount());
+  ok.addReplica(mid);
+  ok.assign(client, mid, 2);
+  EXPECT_TRUE(testutil::placementValid(inst, ok, Policy::Multiple));
+}
+
+TEST(Validate, BandwidthViolation) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId mid = b.addInternal(root, 10);
+  const VertexId client = b.addClient(mid, 5);
+  b.setBandwidth(mid, 3);  // link mid->root carries at most 3
+  const ProblemInstance inst = b.build();
+  Placement p(inst.tree.vertexCount());
+  p.addReplica(root);
+  p.assign(client, root, 5);  // pushes 5 through the mid->root link
+  const auto r = validatePlacement(inst, p, Policy::Multiple);
+  EXPECT_TRUE(hasViolation(r, ViolationKind::BandwidthExceeded));
+  // Splitting below the bottleneck fixes it.
+  Placement ok(inst.tree.vertexCount());
+  ok.addReplica(root);
+  ok.addReplica(mid);
+  ok.assign(client, mid, 2);
+  ok.assign(client, root, 3);
+  EXPECT_TRUE(testutil::placementValid(inst, ok, Policy::Multiple));
+}
+
+TEST(Validate, ZeroRequestClientNeedsNothing) {
+  const ProblemInstance inst = testutil::chainInstance(10, 6, {0});
+  const Placement p(inst.tree.vertexCount());
+  EXPECT_TRUE(testutil::placementValid(inst, p, Policy::Closest));
+}
+
+TEST(Validate, DescribeMentionsKind) {
+  const ProblemInstance inst = instance();
+  const Placement p(inst.tree.vertexCount());
+  const auto r = validatePlacement(inst, p, Policy::Multiple);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.describe().find("UnservedRequests"), std::string::npos);
+}
+
+TEST(Validate, SizeMismatchThrows) {
+  const ProblemInstance inst = instance();
+  const Placement p(2);
+  EXPECT_THROW(validatePlacement(inst, p, Policy::Multiple), PreconditionError);
+}
+
+}  // namespace
+}  // namespace treeplace
