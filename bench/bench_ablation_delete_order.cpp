@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
             << "plan: " << scale.trees << " trees/lambda, size " << scale.minSize
             << ".." << scale.maxSize << "\n\n";
 
+  ThreadPool pool;
   TextTable t;
   t.setHeader({"lambda", "variant", "success", "mean rcost"});
   for (const double lambda : {0.2, 0.4, 0.6, 0.8, 0.9}) {
@@ -51,10 +52,15 @@ int main(int argc, char** argv) {
     config.heterogeneous = true;
     config.maxChildren = 2;  // same deep skeleton as the figure benches
 
-    std::array<int, 4> success{};
-    std::array<double, 4> rcostSum{};
-    int feasible = 0;
-    for (int i = 0; i < scale.trees; ++i) {
+    // Per-instance work (MixedBest + refined LB + four variants) runs on the
+    // pool into per-index slots; the reduction stays sequential.
+    struct Slot {
+      bool feasible = false;
+      std::array<bool, 4> success{};
+      std::array<double, 4> rcost{};
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(scale.trees));
+    pool.parallelFor(0, slots.size(), [&](std::size_t i) {
       const ProblemInstance inst =
           generateInstance(config, scale.seed, static_cast<std::uint64_t>(i));
       const auto mb = runMixedBest(inst);
@@ -62,13 +68,26 @@ int main(int argc, char** argv) {
       lbo.maxNodes = scale.lbNodes;
       if (mb) lbo.knownUpperBound = mb->cost;
       const LowerBoundResult lb = refinedLowerBound(inst, lbo);
-      if (!lb.lpFeasible) continue;
-      ++feasible;
+      if (!lb.lpFeasible) return;
+      slots[i].feasible = true;
       for (std::size_t v = 0; v < 4; ++v) {
         const auto placement = kVariants[v].run(inst, kVariants[v].largestFirst);
         if (!placement) continue;
+        slots[i].success[v] = true;
+        slots[i].rcost[v] = lb.bound / placement->storageCost(inst);
+      }
+    });
+
+    std::array<int, 4> success{};
+    std::array<double, 4> rcostSum{};
+    int feasible = 0;
+    for (const Slot& slot : slots) {
+      if (!slot.feasible) continue;
+      ++feasible;
+      for (std::size_t v = 0; v < 4; ++v) {
+        if (!slot.success[v]) continue;
         ++success[v];
-        rcostSum[v] += lb.bound / placement->storageCost(inst);
+        rcostSum[v] += slot.rcost[v];
       }
     }
     for (std::size_t v = 0; v < 4; ++v) {

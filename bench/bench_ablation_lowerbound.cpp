@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
             << "plan: " << scale.trees << " trees/lambda, size " << scale.minSize
             << ".." << scale.maxSize << ", heterogeneous\n\n";
 
+  ThreadPool pool;
   TextTable t;
   t.setHeader({"lambda", "mean rational LB", "mean refined LB", "refined/rational",
                "refined proven"});
@@ -33,9 +34,16 @@ int main(int argc, char** argv) {
     config.heterogeneous = true;
     config.maxChildren = 2;  // same deep skeleton as the figure benches
 
-    OnlineStats rational, refined, ratio;
-    int proven = 0, feasible = 0;
-    for (int i = 0; i < scale.trees; ++i) {
+    // Instances are independent: evaluate them on the pool into per-index
+    // slots, then reduce sequentially so the stats stay deterministic.
+    struct Slot {
+      bool feasible = false;
+      bool exact = false;
+      double rational = 0.0;
+      double refined = 0.0;
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(scale.trees));
+    pool.parallelFor(0, slots.size(), [&](std::size_t i) {
       const ProblemInstance inst =
           generateInstance(config, scale.seed + 1, static_cast<std::uint64_t>(i));
       const auto mb = runMixedBest(inst);
@@ -44,12 +52,19 @@ int main(int argc, char** argv) {
       if (mb) lbo.knownUpperBound = mb->cost;
       const LowerBoundResult re = refinedLowerBound(inst, lbo);
       const LowerBoundResult ra = rationalLowerBound(inst);
-      if (!re.lpFeasible || !ra.lpFeasible) continue;
+      if (!re.lpFeasible || !ra.lpFeasible) return;
+      slots[i] = {true, re.exact, ra.bound, re.bound};
+    });
+
+    OnlineStats rational, refined, ratio;
+    int proven = 0, feasible = 0;
+    for (const Slot& slot : slots) {
+      if (!slot.feasible) continue;
       ++feasible;
-      rational.add(ra.bound);
-      refined.add(re.bound);
-      if (ra.bound > 0) ratio.add(re.bound / ra.bound);
-      if (re.exact) ++proven;
+      rational.add(slot.rational);
+      refined.add(slot.refined);
+      if (slot.rational > 0) ratio.add(slot.refined / slot.rational);
+      if (slot.exact) ++proven;
     }
     t.addRow({formatDouble(lambda, 1), formatDouble(rational.mean(), 1),
               formatDouble(refined.mean(), 1), formatDouble(ratio.mean(), 4),

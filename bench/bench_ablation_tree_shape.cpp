@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
             << "plan: " << scale.trees << " trees per cell, size " << scale.minSize
             << ".." << scale.maxSize << "\n\n";
 
+  ThreadPool pool;
   TextTable t;
   t.setHeader({"clientFrac", "fanout", "CBU (Closest)", "UBCF (Upwards)",
                "MG (Multiple)", "mean depth"});
@@ -39,18 +40,29 @@ int main(int argc, char** argv) {
       config.heterogeneous = false;
       config.unitCosts = true;
 
-      int cbu = 0, ubcf = 0, mg = 0;
-      double depthSum = 0.0;
-      for (int i = 0; i < scale.trees; ++i) {
+      struct Slot {
+        bool cbu = false, ubcf = false, mg = false;
+        int depth = 0;
+      };
+      std::vector<Slot> slots(static_cast<std::size_t>(scale.trees));
+      pool.parallelFor(0, slots.size(), [&](std::size_t i) {
         const ProblemInstance inst =
             generateInstance(config, scale.seed + 2, static_cast<std::uint64_t>(i));
-        if (runCBU(inst)) ++cbu;
-        if (runUBCF(inst)) ++ubcf;
-        if (runMG(inst)) ++mg;
-        int maxDepth = 0;
+        Slot& slot = slots[i];
+        slot.cbu = runCBU(inst).has_value();
+        slot.ubcf = runUBCF(inst).has_value();
+        slot.mg = runMG(inst).has_value();
         for (const VertexId c : inst.tree.clients())
-          maxDepth = std::max(maxDepth, inst.tree.depth(c));
-        depthSum += maxDepth;
+          slot.depth = std::max(slot.depth, inst.tree.depth(c));
+      });
+
+      int cbu = 0, ubcf = 0, mg = 0;
+      double depthSum = 0.0;
+      for (const Slot& slot : slots) {
+        cbu += slot.cbu;
+        ubcf += slot.ubcf;
+        mg += slot.mg;
+        depthSum += slot.depth;
       }
       const auto pct = [&](int count) {
         return formatPercent(static_cast<double>(count) / scale.trees);

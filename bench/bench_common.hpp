@@ -78,4 +78,30 @@ inline void maybeWriteCsv(int argc, const char* const* argv,
   std::cout << "\nCSV written to " << file << '\n';
 }
 
+/// Resolve a --json=<path> request (--json / --json=1 pick `defaultName`);
+/// returns the empty string when no JSON output was asked for.
+inline std::string jsonPath(int argc, const char* const* argv,
+                            const std::string& defaultName) {
+  const Options options(argc, argv);
+  const auto path = options.get("json");
+  if (!path) return {};
+  return (*path == "1" || *path == "true") ? defaultName : *path;
+}
+
+/// Write the experiment series as machine-readable JSON when --json is given,
+/// so the perf/quality trajectory can be tracked across PRs.
+inline void maybeWriteJson(int argc, const char* const* argv,
+                           const std::string& defaultName,
+                           const ExperimentResult& result) {
+  const std::string file = jsonPath(argc, argv, defaultName);
+  if (file.empty()) return;
+  std::ofstream out(file);
+  if (!out) {
+    std::cerr << "\ncannot open " << file << " for writing\n";
+    return;
+  }
+  writeJson(out, result);
+  std::cout << "\nJSON written to " << file << '\n';
+}
+
 }  // namespace treeplace::bench

@@ -41,23 +41,36 @@ int main(int argc, char** argv) {
   config.heterogeneous = true;
   config.maxChildren = 2;
 
+  ThreadPool pool;
   TextTable t;
   t.setHeader({"objective mix", "mean MB objective", "after local search",
                "improvement", "mean rounds", "mean replicas before/after"});
   for (const Mix& mix : mixes) {
-    OnlineStats before, after, rounds, replBefore, replAfter;
-    for (int i = 0; i < scale.trees; ++i) {
+    struct Slot {
+      bool ok = false;
+      double before = 0.0, after = 0.0;
+      int rounds = 0;
+      std::size_t replBefore = 0, replAfter = 0;
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(scale.trees));
+    pool.parallelFor(0, slots.size(), [&](std::size_t i) {
       const ProblemInstance inst =
           generateInstance(config, scale.seed + 4, static_cast<std::uint64_t>(i));
       const auto mb = runMixedBest(inst);
-      if (!mb) continue;
-      const double objective = compositeObjective(inst, mb->placement, mix.model);
+      if (!mb) return;
       const LocalSearchResult r = improvePlacement(inst, mb->placement, mix.model);
-      before.add(objective);
-      after.add(r.objective);
-      rounds.add(r.rounds);
-      replBefore.add(static_cast<double>(mb->placement.replicaCount()));
-      replAfter.add(static_cast<double>(r.placement.replicaCount()));
+      slots[i] = {true, compositeObjective(inst, mb->placement, mix.model),
+                  r.objective, r.rounds, mb->placement.replicaCount(),
+                  r.placement.replicaCount()};
+    });
+    OnlineStats before, after, rounds, replBefore, replAfter;
+    for (const Slot& slot : slots) {
+      if (!slot.ok) continue;
+      before.add(slot.before);
+      after.add(slot.after);
+      rounds.add(slot.rounds);
+      replBefore.add(static_cast<double>(slot.replBefore));
+      replAfter.add(static_cast<double>(slot.replAfter));
     }
     const double gain =
         before.mean() > 0 ? 1.0 - after.mean() / before.mean() : 0.0;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
             << "question (paper conclusion): does Multiple > Upwards > Closest "
                "survive QoS?\n\n";
 
+  ThreadPool pool;
   TextTable t;
   t.setHeader({"lambda", "QoS-CBU (Closest)", "Closest-opt (DP)",
                "QoS-UBCF (Upwards)", "QoS-MG (Multiple)", "LP (QoS)"});
@@ -47,18 +48,30 @@ int main(int argc, char** argv) {
     config.qosMaxHops = 4;
     config.unitCosts = true;
 
-    int cbu = 0, closestOpt = 0, ubcf = 0, mg = 0, lp = 0;
-    for (int i = 0; i < scale.trees; ++i) {
+    struct Slot {
+      bool cbu = false, closestOpt = false, ubcf = false, mg = false, lp = false;
+    };
+    std::vector<Slot> slots(static_cast<std::size_t>(scale.trees));
+    pool.parallelFor(0, slots.size(), [&](std::size_t i) {
       const ProblemInstance inst =
           generateInstance(config, scale.seed + 3, static_cast<std::uint64_t>(i));
-      if (runQosAwareCBU(inst)) ++cbu;
+      Slot& slot = slots[i];
+      slot.cbu = runQosAwareCBU(inst).has_value();
       // The [9]-style exact DP marks Closest's *fundamental* feasibility.
-      if (solveClosestHomogeneousQos(inst)) ++closestOpt;
-      if (runQosAwareUBCF(inst)) ++ubcf;
-      if (runQosAwareMG(inst)) ++mg;
+      slot.closestOpt = solveClosestHomogeneousQos(inst).has_value();
+      slot.ubcf = runQosAwareUBCF(inst).has_value();
+      slot.mg = runQosAwareMG(inst).has_value();
       LowerBoundOptions lbo;
       lbo.maxNodes = 1;  // feasibility only
-      if (refinedLowerBound(inst, lbo).lpFeasible) ++lp;
+      slot.lp = refinedLowerBound(inst, lbo).lpFeasible;
+    });
+    int cbu = 0, closestOpt = 0, ubcf = 0, mg = 0, lp = 0;
+    for (const Slot& slot : slots) {
+      cbu += slot.cbu;
+      closestOpt += slot.closestOpt;
+      ubcf += slot.ubcf;
+      mg += slot.mg;
+      lp += slot.lp;
     }
     const auto pct = [&](int count) {
       return formatPercent(static_cast<double>(count) / scale.trees);

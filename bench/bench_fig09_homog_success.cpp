@@ -24,5 +24,6 @@ int main(int argc, char** argv) {
   const ExperimentResult result = runExperiment(plan, &pool);
   std::cout << renderSuccessTable(result);
   maybeWriteCsv(argc, argv, "fig09_homog_success.csv", result);
+  maybeWriteJson(argc, argv, "fig09_homog_success.json", result);
   return 0;
 }

@@ -23,5 +23,6 @@ int main(int argc, char** argv) {
   std::cout << "\nMixedBest winners per lambda:\n"
             << renderMixedBestWinners(result);
   maybeWriteCsv(argc, argv, "fig10_homog_cost.csv", result);
+  maybeWriteJson(argc, argv, "fig10_homog_cost.json", result);
   return 0;
 }

@@ -22,5 +22,6 @@ int main(int argc, char** argv) {
   const ExperimentResult result = runExperiment(plan, &pool);
   std::cout << renderSuccessTable(result);
   maybeWriteCsv(argc, argv, "fig11_hetero_success.csv", result);
+  maybeWriteJson(argc, argv, "fig11_hetero_success.json", result);
   return 0;
 }

@@ -21,5 +21,6 @@ int main(int argc, char** argv) {
   std::cout << "\nMixedBest winners per lambda:\n"
             << renderMixedBestWinners(result);
   maybeWriteCsv(argc, argv, "fig12_hetero_cost.csv", result);
+  maybeWriteJson(argc, argv, "fig12_hetero_cost.json", result);
   return 0;
 }

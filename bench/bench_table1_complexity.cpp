@@ -12,20 +12,33 @@
 // same instances.
 //
 //   $ ./bench_table1_complexity [--sizes=200,400,800,1600] [--reduction-max=14]
+//                               [--repeats=5] [--threads=0] [--json[=path]]
+//
+// Part (a)'s per-instance generation and evaluation run on the ThreadPool
+// (--threads=0 picks the hardware concurrency); the timed solves then run
+// sequentially — minima over --repeats runs with the machine otherwise idle,
+// so the numbers stay comparable across PRs. --json writes machine-readable
+// results (default BENCH_table1.json) for cross-PR tracking.
 
+#include <algorithm>
 #include <chrono>
+#include <fstream>
 #include <iostream>
 #include <sstream>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "exact/closest_homogeneous.hpp"
 #include "exact/exact_ilp.hpp"
 #include "exact/multiple_homogeneous.hpp"
 #include "exact/upwards_exact.hpp"
+#include "experiments/report.hpp"
 #include "heuristics/heuristic.hpp"
 #include "support/cli.hpp"
+#include "support/json.hpp"
 #include "support/prng.hpp"
 #include "support/table.hpp"
+#include "support/thread_pool.hpp"
 #include "tree/generator.hpp"
 #include "tree/paper_instances.hpp"
 
@@ -47,6 +60,34 @@ std::vector<int> parseSizes(const std::string& text) {
   return sizes;
 }
 
+/// One row of part (a): per-solver minimum solve time over the repeats.
+struct PolyRow {
+  int size = 0;
+  double multipleMs = 0.0;
+  double closestMs = 0.0;
+  long replicasMultiple = -1;  ///< -1: infeasible
+  long replicasClosest = -1;
+  FrontierStats closestStats;
+};
+
+struct UpwardsRow {
+  int clients = 0;
+  long steps = 0;
+  double ms = 0.0;
+  bool proven = false;
+  bool feasible = false;
+  double mgMs = 0.0;
+  double ubcfMs = 0.0;
+};
+
+struct IlpRow {
+  int m = 0;
+  long nodes = 0;
+  double ms = 0.0;
+  bool feasible = false;
+  double cost = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,40 +95,77 @@ int main(int argc, char** argv) {
   const std::vector<int> sizes =
       parseSizes(options.getOr("sizes", "200,400,800,1600"));
   const int reductionMax = static_cast<int>(options.getIntOr("reduction-max", 14));
+  const int repeats = std::max(1, static_cast<int>(options.getIntOr("repeats", 5)));
+  const auto threads = static_cast<std::size_t>(options.getIntOr("threads", 0));
 
   std::cout << "=== Table 1: complexity of Replica Cost ===\n\n";
   std::cout << "(a) Polynomial entries — optimal algorithms on random "
-               "homogeneous trees\n";
+               "homogeneous trees (min over " << repeats << " runs)\n";
+  std::vector<PolyRow> polyRows(sizes.size());
   {
-    TextTable t;
-    t.setHeader({"s", "Multiple 3-pass (ms)", "Closest DP (ms)", "repl(M)", "repl(C)"});
-    for (const int s : sizes) {
+    std::vector<ProblemInstance> instances(sizes.size());
+    // Generation plus an untimed evaluation (replica counts, frontier
+    // telemetry, cache warm-up) runs per-instance on the pool; the timed
+    // solves below run sequentially so no measurement shares the machine
+    // with another solve — minima stay comparable across PRs.
+    ThreadPool pool(threads);
+    pool.parallelFor(0, sizes.size(), [&](std::size_t si) {
+      const int s = sizes[si];
       GeneratorConfig config;
       config.minSize = config.maxSize = s;
       config.lambda = 0.55;
       config.unitCosts = true;
-      const ProblemInstance inst = generateInstance(config, 17, static_cast<std::uint64_t>(s));
+      instances[si] = generateInstance(config, 17, static_cast<std::uint64_t>(s));
 
-      const auto t0 = std::chrono::steady_clock::now();
-      const auto multiple = solveMultipleHomogeneous(inst);
-      const double multipleMs = millis(t0);
+      const auto multiple = solveMultipleHomogeneous(instances[si]);
+      FrontierStats stats;
+      const auto closest = solveClosestHomogeneous(instances[si], &stats);
 
-      const auto t1 = std::chrono::steady_clock::now();
-      const auto closest = solveClosestHomogeneous(inst);
-      const double closestMs = millis(t1);
+      PolyRow& row = polyRows[si];
+      row.size = s;
+      row.replicasMultiple =
+          multiple ? static_cast<long>(multiple->replicaCount()) : -1;
+      row.replicasClosest =
+          closest ? static_cast<long>(closest->replicaCount()) : -1;
+      row.closestStats = stats;
+    });
 
-      t.addRow({std::to_string(s), formatDouble(multipleMs, 2),
-                formatDouble(closestMs, 2),
-                multiple ? std::to_string(multiple->replicaCount()) : "-",
-                closest ? std::to_string(closest->replicaCount()) : "-"});
+    for (std::size_t si = 0; si < sizes.size(); ++si) {
+      PolyRow& row = polyRows[si];
+      for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        (void)solveMultipleHomogeneous(instances[si]);
+        const double multipleMs = millis(t0);
+
+        const auto t1 = std::chrono::steady_clock::now();
+        (void)solveClosestHomogeneous(instances[si]);
+        const double closestMs = millis(t1);
+
+        row.multipleMs =
+            rep == 0 ? multipleMs : std::min(row.multipleMs, multipleMs);
+        row.closestMs = rep == 0 ? closestMs : std::min(row.closestMs, closestMs);
+      }
     }
-    std::cout << t.render()
-              << "  expectation: time grows polynomially (~quadratic), no "
+
+    TextTable t;
+    t.setHeader({"s", "Multiple 3-pass (ms)", "Closest DP (ms)", "repl(M)", "repl(C)"});
+    for (const PolyRow& row : polyRows) {
+      t.addRow({std::to_string(row.size), formatDouble(row.multipleMs, 2),
+                formatDouble(row.closestMs, 2),
+                row.replicasMultiple >= 0 ? std::to_string(row.replicasMultiple) : "-",
+                row.replicasClosest >= 0 ? std::to_string(row.replicasClosest) : "-"});
+    }
+    std::cout << t.render();
+    for (const PolyRow& row : polyRows)
+      std::cout << "  s=" << row.size << " Closest DP: "
+                << renderFrontierStats(row.closestStats) << '\n';
+    std::cout << "  expectation: time grows polynomially (~quadratic), no "
                  "blow-up\n\n";
   }
 
   std::cout << "(b) NP-complete entries — exact search on the Theorem 2 "
                "3-PARTITION family vs the polynomial heuristics\n";
+  std::vector<UpwardsRow> upwardsRows;
   {
     TextTable t;
     t.setHeader({"clients 3m", "exact steps", "exact (ms)", "feasible",
@@ -114,6 +192,8 @@ int main(int argc, char** argv) {
       (void)runUBCF(inst);
       const double ubcfMs = millis(t2);
 
+      upwardsRows.push_back({3 * m, exact.steps, exactMs, exact.proven,
+                             exact.feasible(), mgMs, ubcfMs});
       t.addRow({std::to_string(3 * m), std::to_string(exact.steps),
                 formatDouble(exactMs, 2),
                 exact.proven ? (exact.feasible() ? "yes" : "no") : "budget",
@@ -127,6 +207,7 @@ int main(int argc, char** argv) {
 
   std::cout << "(c) Heterogeneous Multiple — branch-and-bound on the "
                "Theorem 3 2-PARTITION family (exact ILP)\n";
+  std::vector<IlpRow> ilpRows;
   {
     // NO-instances: m-1 values of 4 plus one 6. The total S = 4m+2 is even
     // but S/2 is odd while every value is even, so no subset reaches S/2 and
@@ -142,6 +223,8 @@ int main(int argc, char** argv) {
       const auto t0 = std::chrono::steady_clock::now();
       const ExactIlpResult exact = solveExactViaIlp(inst, Policy::Multiple, exactOptions);
       const double ms = millis(t0);
+      ilpRows.push_back({m, exact.nodesExplored, ms, exact.feasible(),
+                         exact.feasible() ? exact.cost : 0.0});
       t.addRow({std::to_string(m), std::to_string(exact.nodesExplored),
                 formatDouble(ms, 2),
                 exact.feasible() ? formatDouble(exact.cost, 0) : "-"});
@@ -151,6 +234,60 @@ int main(int argc, char** argv) {
               << "  expectation: B&B nodes grow ~15x per +4 in m (raise "
                  "--reduction-max to watch the wall; m=18 already costs "
                  "~200k nodes)\n";
+  }
+
+  const std::string file = bench::jsonPath(argc, argv, "BENCH_table1.json");
+  if (!file.empty()) {
+    std::ofstream out(file);
+    if (!out) {
+      std::cerr << "cannot open " << file << " for writing\n";
+      return 1;
+    }
+    JsonWriter json(out);
+    json.beginObject();
+    json.key("bench").value("table1_complexity");
+    json.key("repeats").value(repeats);
+    json.key("lambda").value(0.55);
+    json.key("polynomial").beginArray();
+    for (const PolyRow& row : polyRows) {
+      json.beginObject();
+      json.key("s").value(row.size);
+      json.key("multiple_ms").value(row.multipleMs);
+      json.key("closest_ms").value(row.closestMs);
+      json.key("replicas_multiple").value(static_cast<std::int64_t>(row.replicasMultiple));
+      json.key("replicas_closest").value(static_cast<std::int64_t>(row.replicasClosest));
+      json.key("closest_frontier");
+      writeFrontierStats(json, row.closestStats);
+      json.endObject();
+    }
+    json.endArray();
+    json.key("upwards_reduction").beginArray();
+    for (const UpwardsRow& row : upwardsRows) {
+      json.beginObject();
+      json.key("clients").value(row.clients);
+      json.key("steps").value(static_cast<std::int64_t>(row.steps));
+      json.key("ms").value(row.ms);
+      json.key("proven").value(row.proven);
+      json.key("feasible").value(row.feasible);
+      json.key("mg_ms").value(row.mgMs);
+      json.key("ubcf_ms").value(row.ubcfMs);
+      json.endObject();
+    }
+    json.endArray();
+    json.key("multiple_ilp_reduction").beginArray();
+    for (const IlpRow& row : ilpRows) {
+      json.beginObject();
+      json.key("m").value(row.m);
+      json.key("bb_nodes").value(static_cast<std::int64_t>(row.nodes));
+      json.key("ms").value(row.ms);
+      json.key("feasible").value(row.feasible);
+      json.key("cost").value(row.cost);
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    out << '\n';
+    std::cout << "\nJSON written to " << file << '\n';
   }
   return 0;
 }

@@ -1,0 +1,155 @@
+#include "core/frontier.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace treeplace {
+namespace {
+
+constexpr Requests kHugeFlow = std::numeric_limits<Requests>::max() / 4;
+
+}  // namespace
+
+void FrontierStats::merge(const FrontierStats& other) {
+  peakWidth = std::max(peakWidth, other.peakWidth);
+  arenaBytes = std::max(arenaBytes, other.arenaBytes);
+  entriesMerged += other.entriesMerged;
+  convolutions += other.convolutions;
+}
+
+void FrontierArena::reset(std::size_t expectedEntries) {
+  slab_.clear();
+  slab_.reserve(expectedEntries);
+}
+
+FrontierSpan FrontierConvolver::unit() {
+  const std::uint32_t begin = arena_->beginSpan();
+  arena_->push({0, 0, -1, -1});
+  return arena_->endSpan(begin);
+}
+
+void FrontierConvolver::ensureBuckets(std::size_t width) {
+  if (bucketFlow_.size() < width) {
+    bucketFlow_.resize(width);
+    bucketPrev_.resize(width);
+    bucketChild_.resize(width);
+  }
+  std::fill_n(bucketFlow_.begin(), width, kHugeFlow);
+}
+
+FrontierSpan FrontierConvolver::sweep(std::int32_t maxCount) {
+  const std::uint32_t begin = arena_->beginSpan();
+  Requests bestFlow = kHugeFlow;
+  for (std::int32_t c = 0; c <= maxCount; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    if (bucketFlow_[ci] >= bestFlow) continue;  // dominated or empty
+    bestFlow = bucketFlow_[ci];
+    arena_->push({c, bestFlow, bucketPrev_[ci], bucketChild_[ci]});
+  }
+  const FrontierSpan out = arena_->endSpan(begin);
+  stats_.peakWidth = std::max(stats_.peakWidth, static_cast<std::size_t>(out.size));
+  return out;
+}
+
+FrontierSpan FrontierConvolver::convolve(FrontierSpan a, FrontierSpan b,
+                                         std::int32_t maxCount) {
+  const std::span<const FrontierEntry> fa = arena_->view(a);
+  const std::span<const FrontierEntry> fb = arena_->view(b);
+  ++stats_.convolutions;
+  if (fa.empty() || fb.empty()) return {arena_->beginSpan(), 0};
+
+  const std::int32_t reach =
+      std::min(maxCount, fa.back().count + fb.back().count);
+  ensureBuckets(static_cast<std::size_t>(reach) + 1);
+
+  std::size_t pairs = 0;
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    const std::int32_t ca = fa[i].count;
+    if (ca > reach) break;  // counts ascend: nothing below fits either
+    const Requests flowA = fa[i].flow;
+    for (std::size_t j = 0; j < fb.size(); ++j) {
+      const std::int32_t c = ca + fb[j].count;
+      if (c > reach) break;  // fb counts ascend too
+      ++pairs;
+      const Requests flow = flowA + fb[j].flow;
+      const auto ci = static_cast<std::size_t>(c);
+      if (flow < bucketFlow_[ci]) {
+        bucketFlow_[ci] = flow;
+        bucketPrev_[ci] = static_cast<std::int32_t>(i);
+        bucketChild_[ci] = static_cast<std::int32_t>(j);
+      }
+    }
+  }
+  stats_.entriesMerged += pairs;
+  return sweep(reach);
+}
+
+FrontierSpan FrontierConvolver::pruneCandidates(
+    std::span<const FrontierEntry> candidates, std::int32_t maxCount) {
+  std::int32_t reach = -1;
+  for (const FrontierEntry& e : candidates)
+    reach = std::max(reach, std::min(e.count, maxCount));
+  if (reach < 0) return {arena_->beginSpan(), 0};
+  ensureBuckets(static_cast<std::size_t>(reach) + 1);
+
+  for (const FrontierEntry& e : candidates) {
+    if (e.count > reach) continue;
+    const auto ci = static_cast<std::size_t>(e.count);
+    if (e.flow < bucketFlow_[ci]) {
+      bucketFlow_[ci] = e.flow;
+      bucketPrev_[ci] = e.prev;
+      bucketChild_[ci] = e.child;
+    }
+  }
+  stats_.entriesMerged += candidates.size();
+  return sweep(reach);
+}
+
+void FrontierConvolver::noteArenaUsage() {
+  stats_.arenaBytes = std::max(stats_.arenaBytes, arena_->bytes());
+}
+
+FrontierDp::FrontierDp(const Tree& tree, FrontierArena& arena)
+    : tree_(tree), arena_(arena), frontier_(tree.vertexCount()),
+      comboOffset_(tree.vertexCount(), 0) {
+  std::int32_t running = 0;
+  for (const VertexId v : tree.postorder()) {
+    comboOffset_[static_cast<std::size_t>(v)] = running;
+    running += static_cast<std::int32_t>(tree.children(v).size());
+  }
+  comboSpans_.resize(static_cast<std::size_t>(running));
+}
+
+void FrontierDp::seedClient(VertexId v, Requests requests) {
+  const std::uint32_t begin = arena_.beginSpan();
+  arena_.push({0, requests, -1, -1});
+  setFrontier(v, arena_.endSpan(begin));
+}
+
+void FrontierDp::reconstruct(
+    std::int32_t rootEntryIndex,
+    const std::function<void(VertexId)>& onReplica) const {
+  struct Todo {
+    VertexId node;
+    std::int32_t entryIndex;
+  };
+  std::vector<Todo> stack{{tree_.root(), rootEntryIndex}};
+  while (!stack.empty()) {
+    const Todo todo = stack.back();
+    stack.pop_back();
+    if (tree_.isClient(todo.node)) continue;
+    const FrontierEntry& entry = arena_.at(
+        frontier(todo.node), static_cast<std::size_t>(todo.entryIndex));
+    if (entry.child == 1) onReplica(todo.node);
+    const std::span<const VertexId> children = tree_.children(todo.node);
+    std::int32_t combIdx = entry.prev;
+    for (std::size_t ci = children.size(); ci-- > 0;) {
+      const FrontierEntry& comb = arena_.at(
+          comboSpans_[comboBase(todo.node) + ci], static_cast<std::size_t>(combIdx));
+      stack.push_back({children[ci], comb.child});
+      combIdx = comb.prev;
+    }
+  }
+}
+
+}  // namespace treeplace

@@ -1,0 +1,180 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// One Pareto point of a subtree DP: with `count` replicas inside the
+/// covered forest, `flow` requests leave it unserved. Frontiers are kept
+/// sorted by count ascending with strictly decreasing flow, so `count` is
+/// also the cheapest replica budget achieving `flow`.
+///
+/// The two backpointer slots thread the reconstruction and are
+/// role-dependent:
+///  - in a *convolution* frontier (prefix over children), `prev` indexes the
+///    previous prefix frontier and `child` the merged child's frontier;
+///  - in a *node* frontier (after the place/skip decision), `prev` indexes
+///    the node's final convolution frontier and `child` is 1 when a replica
+///    sits on the node itself, else 0.
+struct FrontierEntry {
+  std::int32_t count = 0;
+  Requests flow = 0;
+  std::int32_t prev = -1;
+  std::int32_t child = -1;
+};
+
+/// Offset/length handle into a FrontierArena slab. Handles stay valid across
+/// arena growth (they are indices, not pointers).
+struct FrontierSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t size = 0;
+
+  bool empty() const { return size == 0; }
+};
+
+/// Per-solve telemetry of the frontier machinery.
+struct FrontierStats {
+  std::size_t peakWidth = 0;      ///< widest pruned frontier produced
+  std::size_t arenaBytes = 0;     ///< arena high-water mark, in bytes
+  std::size_t entriesMerged = 0;  ///< candidate (a,b) pairs examined
+  std::size_t convolutions = 0;   ///< monotone merges performed
+
+  void merge(const FrontierStats& other);
+};
+
+/// Bump allocator for frontier entries. Every frontier produced during one
+/// solve lives in a single flat slab; nodes hold FrontierSpan handles instead
+/// of per-node vectors, so the DP performs O(1) heap allocations overall and
+/// reconstruction walks stay cache-friendly.
+class FrontierArena {
+ public:
+  /// Drop all spans and reserve room for `expectedEntries` entries.
+  void reset(std::size_t expectedEntries);
+
+  std::span<const FrontierEntry> view(FrontierSpan span) const {
+    return {slab_.data() + span.begin, span.size};
+  }
+
+  const FrontierEntry& at(FrontierSpan span, std::size_t index) const {
+    return slab_[span.begin + index];
+  }
+
+  /// Append one entry to the span currently being built (see beginSpan).
+  void push(const FrontierEntry& entry) { slab_.push_back(entry); }
+
+  /// Start a new span at the current top of the slab.
+  std::uint32_t beginSpan() const { return static_cast<std::uint32_t>(slab_.size()); }
+
+  /// Close the span opened at `begin`.
+  FrontierSpan endSpan(std::uint32_t begin) const {
+    return {begin, static_cast<std::uint32_t>(slab_.size()) - begin};
+  }
+
+  std::size_t bytes() const { return slab_.capacity() * sizeof(FrontierEntry); }
+  std::size_t entryCount() const { return slab_.size(); }
+
+ private:
+  std::vector<FrontierEntry> slab_;
+};
+
+/// Sort-free monotone merges over count-sorted / flow-decreasing frontiers.
+///
+/// The classic inner loop materialises the |A|x|B| cross product and prunes
+/// it with an O(m log m) sort. Both inputs are already monotone, so the
+/// merged Pareto frontier has at most maxCount+1 entries (one per replica
+/// count): candidates are scattered into a count-indexed scratch bucket kept
+/// at the minimum flow, then a single ascending sweep emits the strictly
+/// decreasing survivors straight into the arena. No sort, no temporary
+/// vectors, output allocation capped by the frontier-width bound
+/// (clients/internals in the subtree, never |A|*|B|).
+class FrontierConvolver {
+ public:
+  explicit FrontierConvolver(FrontierArena& arena) : arena_(&arena) {}
+
+  /// The neutral frontier {(count 0, flow 0)} that seeds a convolution chain.
+  FrontierSpan unit();
+
+  /// Merge two frontiers: counts add, flows add. `maxCount` caps the output
+  /// width (counts above it cannot be Pareto-optimal for the caller).
+  /// Backpointers record (prev = index into a, child = index into b).
+  FrontierSpan convolve(FrontierSpan a, FrontierSpan b, std::int32_t maxCount);
+
+  /// Prune an arbitrary count-keyed candidate list (already appended by the
+  /// caller into `scatter`-style usage): used by solvers whose place/skip
+  /// step produces two monotone option streams. Candidates are merged via the
+  /// same bucket + sweep; backpointers pass through untouched.
+  FrontierSpan pruneCandidates(std::span<const FrontierEntry> candidates,
+                               std::int32_t maxCount);
+
+  const FrontierStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+
+  /// Record the width of a frontier the caller assembled by hand (e.g. the
+  /// place/skip options of a DP node, which bypass the bucket sweep).
+  void noteWidth(std::size_t width) {
+    if (width > stats_.peakWidth) stats_.peakWidth = width;
+  }
+
+  /// Record the arena high-water mark into the stats (call once per solve).
+  void noteArenaUsage();
+
+ private:
+  void ensureBuckets(std::size_t width);
+  FrontierSpan sweep(std::int32_t maxCount);
+
+  FrontierArena* arena_;
+  FrontierStats stats_;
+  // Count-indexed scratch: best flow plus the winning backpointers.
+  std::vector<Requests> bucketFlow_;
+  std::vector<std::int32_t> bucketPrev_;
+  std::vector<std::int32_t> bucketChild_;
+};
+
+/// Shared scaffolding of the subtree DPs: one frontier span per vertex, one
+/// span per (node, child-prefix) convolution for the backpointer walk, and
+/// the top-down reconstruction itself. Solvers only differ in how they build
+/// a node's frontier from the final prefix (`place/skip` step), so that part
+/// stays with them; the bookkeeping and the walk live here once.
+class FrontierDp {
+ public:
+  FrontierDp(const Tree& tree, FrontierArena& arena);
+
+  FrontierSpan frontier(VertexId v) const {
+    return frontier_[static_cast<std::size_t>(v)];
+  }
+  void setFrontier(VertexId v, FrontierSpan span) {
+    frontier_[static_cast<std::size_t>(v)] = span;
+  }
+
+  /// Record the prefix frontier covering children[0..childIndex] of v.
+  void setCombo(VertexId v, std::size_t childIndex, FrontierSpan span) {
+    comboSpans_[comboBase(v) + childIndex] = span;
+  }
+
+  /// Seed a client leaf with its single (0 replicas, r_i flow) point.
+  void seedClient(VertexId v, Requests requests);
+
+  /// Walk the backpointers top-down from the root frontier entry at
+  /// `rootEntryIndex`, invoking onReplica(node) for every node whose chosen
+  /// entry places a replica (entry.child == 1).
+  void reconstruct(std::int32_t rootEntryIndex,
+                   const std::function<void(VertexId)>& onReplica) const;
+
+ private:
+  std::size_t comboBase(VertexId v) const {
+    return static_cast<std::size_t>(comboOffset_[static_cast<std::size_t>(v)]);
+  }
+
+  const Tree& tree_;
+  FrontierArena& arena_;
+  std::vector<FrontierSpan> frontier_;
+  std::vector<FrontierSpan> comboSpans_;
+  std::vector<std::int32_t> comboOffset_;
+};
+
+}  // namespace treeplace

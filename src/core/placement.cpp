@@ -67,6 +67,25 @@ Requests Placement::assignedOf(VertexId client) const {
   return total;
 }
 
+VertexId firstReplicaAbove(const Tree& tree, const Placement& placement,
+                           VertexId v) {
+  for (VertexId hop = tree.parent(v); hop != kNoVertex; hop = tree.parent(hop))
+    if (placement.hasReplica(hop)) return hop;
+  return kNoVertex;
+}
+
+void assignClientsToClosest(const ProblemInstance& instance, Placement& placement) {
+  const Tree& tree = instance.tree;
+  for (const VertexId client : tree.clients()) {
+    const auto ci = static_cast<std::size_t>(client);
+    if (instance.requests[ci] == 0) continue;
+    const VertexId server = firstReplicaAbove(tree, placement, client);
+    TREEPLACE_REQUIRE(server != kNoVertex,
+                      "closest assignment: client has no replica on its root path");
+    placement.assign(client, server, instance.requests[ci]);
+  }
+}
+
 double Placement::storageCost(const ProblemInstance& instance) const {
   TREEPLACE_REQUIRE(instance.tree.vertexCount() == shares_.size(),
                     "placement/instance size mismatch");

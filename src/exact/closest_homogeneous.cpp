@@ -1,159 +1,106 @@
 #include "exact/closest_homogeneous.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <vector>
 
 #include "support/require.hpp"
 
 namespace treeplace {
 namespace {
 
-constexpr Requests kHuge = std::numeric_limits<Requests>::max() / 4;
-
-/// One Pareto point of a subtree: using `count` replicas inside the subtree,
-/// `flow` requests leave it unserved. Backpointers reconstruct the choice.
-struct Entry {
-  int count = 0;
-  Requests flow = 0;
-  int combIndex = -1;    ///< index into the node's combined-children frontier
-  bool replicaHere = false;
-};
-
-/// Entry of the running convolution over children: which entry of the
-/// previous accumulation and which entry of the child's frontier were merged.
-struct CombEntry {
-  int count = 0;
-  Requests flow = 0;
-  int prevIndex = -1;
-  int childIndex = -1;
-};
-
-struct NodeState {
-  /// One combined frontier per processed child (prefix convolutions), kept
-  /// for reconstruction. combos.back() covers all children.
-  std::vector<std::vector<CombEntry>> combos;
-  std::vector<Entry> frontier;  ///< after the place/skip decision at the node
-};
-
-/// Keep only Pareto-optimal (count, flow) pairs, sorted by count ascending;
-/// flow then strictly decreases.
-template <typename E>
-void pruneFrontier(std::vector<E>& entries) {
-  std::sort(entries.begin(), entries.end(), [](const E& a, const E& b) {
-    if (a.count != b.count) return a.count < b.count;
-    return a.flow < b.flow;
-  });
-  std::vector<E> kept;
-  Requests bestFlow = kHuge;
-  for (const E& e : entries) {
-    if (!kept.empty() && kept.back().count == e.count) continue;  // higher flow
-    if (e.flow < bestFlow) {
-      kept.push_back(e);
-      bestFlow = e.flow;
-    }
-  }
-  entries = std::move(kept);
+/// Width bound of a Closest frontier over a forest: every replica on a Pareto
+/// point serves at least one client wholly (a replica serving nobody can be
+/// dropped without changing the residual flow), and replicas occupy distinct
+/// internal nodes — so Pareto counts never exceed min(#clients, #internals).
+std::int32_t widthCap(std::size_t clients, std::size_t internals) {
+  return static_cast<std::int32_t>(std::min(clients, internals));
 }
 
 }  // namespace
 
-std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance) {
+std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance,
+                                                 FrontierStats* stats) {
   instance.validate();
   const Requests W = instance.homogeneousCapacity();
   TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
   const Tree& tree = instance.tree;
   const std::size_t n = tree.vertexCount();
 
-  std::vector<NodeState> states(n);
+  FrontierArena arena;
+  arena.reset(4 * n);
+  FrontierConvolver conv(arena);
+  FrontierDp dp(tree, arena);
+
+  const auto publishStats = [&] {
+    if (stats != nullptr) {
+      conv.noteArenaUsage();
+      *stats = conv.stats();
+    }
+  };
 
   for (const VertexId v : tree.postorder()) {
     const auto vi = static_cast<std::size_t>(v);
-    NodeState& state = states[vi];
     if (tree.isClient(v)) {
-      state.frontier.push_back({0, instance.requests[vi], -1, false});
+      dp.seedClient(v, instance.requests[vi]);
       continue;
     }
 
-    // Convolve children frontiers: counts add, flows add.
-    std::vector<CombEntry> acc{{0, 0, -1, -1}};
-    for (const VertexId child : tree.children(v)) {
-      const auto& childFrontier = states[static_cast<std::size_t>(child)].frontier;
-      std::vector<CombEntry> next;
-      next.reserve(acc.size() * childFrontier.size());
-      for (std::size_t p = 0; p < acc.size(); ++p) {
-        for (std::size_t c = 0; c < childFrontier.size(); ++c) {
-          next.push_back({acc[p].count + childFrontier[c].count,
-                          acc[p].flow + childFrontier[c].flow, static_cast<int>(p),
-                          static_cast<int>(c)});
-        }
-      }
-      pruneFrontier(next);
-      state.combos.push_back(next);
-      acc = std::move(next);
+    const std::size_t clientsBelow = tree.clientsInSubtree(v).size();
+    const std::size_t internalsBelow = tree.subtreeSize(v) - clientsBelow;
+    // The children forest excludes v itself; placing at v adds one more.
+    const std::int32_t forestCap = widthCap(clientsBelow, internalsBelow - 1);
+
+    // Convolve children frontiers: counts add, flows add. Each prefix result
+    // is already pruned; keep its span for the backpointer walk.
+    FrontierSpan acc = conv.unit();
+    const auto children = tree.children(v);
+    for (std::size_t ci = 0; ci < children.size(); ++ci) {
+      acc = conv.convolve(acc, dp.frontier(children[ci]), forestCap);
+      dp.setCombo(v, ci, acc);
     }
 
-    // Decide: leave the flow running upward, or place a replica (only when
-    // the incoming flow fits) which zeroes it.
-    std::vector<Entry> options;
-    for (std::size_t k = 0; k < acc.size(); ++k) {
-      options.push_back({acc[k].count, acc[k].flow, static_cast<int>(k), false});
-      if (acc[k].flow <= W)
-        options.push_back({acc[k].count + 1, 0, static_cast<int>(k), true});
-    }
-    pruneFrontier(options);
-    state.frontier = std::move(options);
-  }
-
-  // Optimal root entry with zero residual flow.
-  const auto rootIndex = static_cast<std::size_t>(tree.root());
-  const auto& rootFrontier = states[rootIndex].frontier;
-  int bestIdx = -1;
-  for (std::size_t k = 0; k < rootFrontier.size(); ++k) {
-    if (rootFrontier[k].flow == 0 &&
-        (bestIdx < 0 || rootFrontier[k].count < rootFrontier[static_cast<std::size_t>(bestIdx)].count))
-      bestIdx = static_cast<int>(k);
-  }
-  if (bestIdx < 0) return std::nullopt;
-
-  // Reconstruct the replica set top-down.
-  Placement placement(n);
-  struct Todo {
-    VertexId node;
-    int entryIndex;
-  };
-  std::vector<Todo> stack{{tree.root(), bestIdx}};
-  while (!stack.empty()) {
-    const Todo todo = stack.back();
-    stack.pop_back();
-    const auto ni = static_cast<std::size_t>(todo.node);
-    if (tree.isClient(todo.node)) continue;
-    const NodeState& state = states[ni];
-    const Entry& entry = state.frontier[static_cast<std::size_t>(todo.entryIndex)];
-    if (entry.replicaHere) placement.addReplica(todo.node);
-    // Walk the prefix convolutions backwards to find each child's entry.
-    const auto children = tree.children(todo.node);
-    int combIdx = entry.combIndex;
-    for (std::size_t ci = children.size(); ci-- > 0;) {
-      const CombEntry& comb = state.combos[ci][static_cast<std::size_t>(combIdx)];
-      stack.push_back({children[ci], comb.childIndex});
-      combIdx = comb.prevIndex;
-    }
-  }
-
-  // Closest assignment: every client goes wholly to the first replica above.
-  for (const VertexId client : tree.clients()) {
-    const auto ci = static_cast<std::size_t>(client);
-    if (instance.requests[ci] == 0) continue;
-    VertexId server = kNoVertex;
-    for (VertexId hop = tree.parent(client); hop != kNoVertex; hop = tree.parent(hop)) {
-      if (placement.hasReplica(hop)) {
-        server = hop;
+    // Place/skip decision, sort-free. Flows decrease strictly along the
+    // frontier, so the entries able to host a replica (flow <= W) form a
+    // suffix; only the first of them yields a non-dominated "place" point
+    // (count+1, flow 0), and it dominates every later keep entry.
+    // (Entries are re-indexed through the arena on every access because the
+    // pushes below may grow the slab.)
+    std::size_t k0 = acc.size;
+    for (std::size_t k = 0; k < acc.size; ++k) {
+      if (arena.at(acc, k).flow <= W) {
+        k0 = k;
         break;
       }
     }
-    TREEPLACE_REQUIRE(server != kNoVertex, "DP reconstruction lost a client");
-    placement.assign(client, server, instance.requests[ci]);
+    const std::uint32_t begin = arena.beginSpan();
+    for (std::size_t k = 0; k < std::min(k0 + 1, static_cast<std::size_t>(acc.size));
+         ++k) {
+      const FrontierEntry e = arena.at(acc, k);
+      arena.push({e.count, e.flow, static_cast<std::int32_t>(k), 0});
+    }
+    if (k0 < acc.size) {
+      const FrontierEntry e = arena.at(acc, k0);
+      if (e.flow > 0)
+        arena.push({e.count + 1, 0, static_cast<std::int32_t>(k0), 1});
+    }
+    dp.setFrontier(v, arena.endSpan(begin));
+    conv.noteWidth(dp.frontier(v).size);
   }
+
+  publishStats();
+
+  // Flows decrease strictly and never go negative, so a zero-flow entry is
+  // unique and last; it is also the minimum-count zero-flow state.
+  const FrontierSpan rootSpan = dp.frontier(tree.root());
+  if (rootSpan.empty() || arena.at(rootSpan, rootSpan.size - 1).flow != 0)
+    return std::nullopt;
+
+  // Reconstruct the replica set top-down through the arena backpointers.
+  Placement placement(n);
+  dp.reconstruct(static_cast<std::int32_t>(rootSpan.size - 1),
+                 [&placement](VertexId node) { placement.addReplica(node); });
+
+  assignClientsToClosest(instance, placement);
   return placement;
 }
 

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "core/frontier.hpp"
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
@@ -16,11 +17,16 @@ namespace treeplace {
 /// subtree(v) (clients may not traverse it), which is only allowed when that
 /// flow is at most W; this makes the residual flow the only coupling between
 /// a subtree and the rest of the tree, and frontier sizes are bounded by the
-/// subtree's internal-node count, giving an O(n^2) algorithm.
+/// subtree's client/internal counts, giving an O(n^2) algorithm.
+///
+/// Frontiers live in a per-solve FrontierArena and children are merged with
+/// the sort-free monotone convolution (see core/frontier.hpp). Pass `stats`
+/// to collect the per-solve frontier telemetry.
 ///
 /// Returns the optimal placement (with each client assigned to the first
 /// replica on its root path), or std::nullopt when no Closest solution
 /// exists. Requires a homogeneous instance.
-std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance);
+std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance,
+                                                 FrontierStats* stats = nullptr);
 
 }  // namespace treeplace

@@ -89,7 +89,9 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
       const double uplink = instance.commTime[static_cast<std::size_t>(child)];
       const auto& childFrontier = states[static_cast<std::size_t>(child)].frontier;
       std::vector<CombEntry> next;
-      next.reserve(acc.size() * childFrontier.size());
+      // The pruned 3-D frontier stays far below the full cross product; cap
+      // the up-front reservation so wide nodes cannot demand huge blocks.
+      next.reserve(std::min<std::size_t>(acc.size() * childFrontier.size(), 256));
       for (std::size_t p = 0; p < acc.size(); ++p) {
         for (std::size_t c = 0; c < childFrontier.size(); ++c) {
           const double childSlack = childFrontier[c].flow > 0
@@ -155,19 +157,7 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
     }
   }
 
-  for (const VertexId client : tree.clients()) {
-    const auto ci = static_cast<std::size_t>(client);
-    if (instance.requests[ci] == 0) continue;
-    VertexId server = kNoVertex;
-    for (VertexId hop = tree.parent(client); hop != kNoVertex; hop = tree.parent(hop)) {
-      if (placement.hasReplica(hop)) {
-        server = hop;
-        break;
-      }
-    }
-    TREEPLACE_REQUIRE(server != kNoVertex, "QoS DP reconstruction lost a client");
-    placement.assign(client, server, instance.requests[ci]);
-  }
+  assignClientsToClosest(instance, placement);
   return placement;
 }
 

@@ -10,8 +10,10 @@ namespace {
 /// Pass 3: greedy bottom-up assignment. Every replica, taken in postorder,
 /// absorbs as much of its subtree's still-unassigned requests as fits
 /// (clients left to right, splitting the last one). On a laminar family this
-/// maximises the total served load, so it completes whenever passes 1-2
-/// succeeded.
+/// maximises the total served load, so it completes whenever the replica set
+/// is feasible. Exhausted clients are skipped through path-halved skip
+/// pointers, so the total scan work stays near-linear in clients + replicas
+/// instead of replicas x clients.
 Placement assignRequests(const ProblemInstance& instance,
                          const std::vector<char>& isReplica) {
   const Tree& tree = instance.tree;
@@ -19,18 +21,40 @@ Placement assignRequests(const ProblemInstance& instance,
   std::vector<Requests> remaining = instance.requests;
   const Requests W = instance.homogeneousCapacity();
 
+  const auto& clients = tree.clients();
+  // skip[i]: smallest j >= i whose client still has unassigned requests.
+  std::vector<std::int32_t> skip(clients.size() + 1);
+  for (std::size_t i = 0; i <= clients.size(); ++i)
+    skip[i] = static_cast<std::int32_t>(i);
+  for (std::size_t i = 0; i < clients.size(); ++i)
+    if (remaining[static_cast<std::size_t>(clients[i])] == 0)
+      skip[i] = static_cast<std::int32_t>(i + 1);
+  const auto nextActive = [&skip](std::int32_t i) {
+    while (skip[static_cast<std::size_t>(i)] != i) {
+      auto& s = skip[static_cast<std::size_t>(i)];
+      s = skip[static_cast<std::size_t>(s)];
+      i = s;
+    }
+    return i;
+  };
+
   for (const VertexId s : tree.postorder()) {
     if (!tree.isInternal(s) || !isReplica[static_cast<std::size_t>(s)]) continue;
     placement.addReplica(s);
+    // clientsInSubtree is a sub-span of clients(): recover its index range.
+    const auto span = tree.clientsInSubtree(s);
+    const auto lo = static_cast<std::int32_t>(span.data() - clients.data());
+    const auto hi = lo + static_cast<std::int32_t>(span.size());
     Requests budget = W;
-    for (const VertexId client : tree.clientsInSubtree(s)) {
-      if (budget == 0) break;
+    for (std::int32_t i = nextActive(lo); i < hi && budget > 0;
+         i = nextActive(i + 1)) {
+      const VertexId client = clients[static_cast<std::size_t>(i)];
       auto& rest = remaining[static_cast<std::size_t>(client)];
-      if (rest == 0) continue;
       const Requests take = std::min(rest, budget);
       placement.assign(client, s, take);
       rest -= take;
       budget -= take;
+      if (rest == 0) skip[static_cast<std::size_t>(i)] = i + 1;
     }
   }
   for (const VertexId client : tree.clients()) {
@@ -83,29 +107,140 @@ std::optional<Placement> solveMultipleHomogeneous(const ProblemInstance& instanc
   // Pass 2: while requests still reach the root unserved, grant a replica to
   // the free node with maximal useful flow (the minimum flow on its path to
   // the root — that is how many extra requests it can really absorb).
+  //
+  // The rescan walks internal nodes only (clients never host replicas and
+  // only internal parents feed the path minimum), in preorder so the
+  // depth-first tie-break of the optimality proof is preserved, and it skips
+  // a whole subtree as soon as its useful flow hits zero — nothing below a
+  // dry edge can be the next pick.
+  const auto& internals = tree.internals();
+  const std::size_t internalCount = internals.size();
+  std::vector<VertexId> parentOf(n, kNoVertex);
+  for (const VertexId v : tree.preorder()) parentOf[static_cast<std::size_t>(v)] = tree.parent(v);
+  // subtreeEndIdx[k]: index into `internals` just past subtree(internals[k]).
+  std::vector<std::int32_t> subtreeEndIdx(internalCount);
+  {
+    std::vector<std::int32_t> prePos(n, 0);
+    const auto& pre = tree.preorder();
+    for (std::size_t i = 0; i < pre.size(); ++i)
+      prePos[static_cast<std::size_t>(pre[i])] = static_cast<std::int32_t>(i);
+    std::vector<std::int32_t> intPos(internalCount);
+    for (std::size_t k = 0; k < internalCount; ++k)
+      intPos[k] = prePos[static_cast<std::size_t>(internals[k])];
+    for (std::size_t k = 0; k < internalCount; ++k) {
+      const std::int32_t end =
+          intPos[k] + static_cast<std::int32_t>(tree.subtreeSize(internals[k]));
+      subtreeEndIdx[k] = static_cast<std::int32_t>(
+          std::lower_bound(intPos.begin() + static_cast<std::ptrdiff_t>(k),
+                           intPos.end(), end) -
+          intPos.begin());
+    }
+  }
+
   std::vector<Requests> uflow(n, 0);
   while (flow[ri] != 0) {
     VertexId best = kNoVertex;
     Requests bestFlow = 0;
-    for (const VertexId v : tree.preorder()) {
-      if (!tree.isInternal(v)) continue;
+    for (std::size_t k = 0; k < internalCount;) {
+      const VertexId v = internals[k];
       const auto i = static_cast<std::size_t>(v);
-      uflow[i] = (v == root) ? flow[i]
-                             : std::min(flow[i],
-                                        uflow[static_cast<std::size_t>(tree.parent(v))]);
-      // Preorder gives the depth-first tie-break from the optimality proof.
-      if (!isReplica[i] && uflow[i] > bestFlow) {
-        bestFlow = uflow[i];
+      const Requests uf =
+          (v == root)
+              ? flow[i]
+              : std::min(flow[i],
+                         uflow[static_cast<std::size_t>(parentOf[i])]);
+      uflow[i] = uf;
+      // Useful flow is a path minimum, so it only shrinks going down: once a
+      // node cannot strictly beat the incumbent, nothing below it can, and
+      // the whole subtree is skipped. Preorder plus strict improvement keeps
+      // the depth-first tie-break from the optimality proof intact (a
+      // descendant tying the incumbent would lose the tie anyway).
+      if (!isReplica[i] && uf > bestFlow) {
+        bestFlow = uf;
         best = v;
+        k = static_cast<std::size_t>(subtreeEndIdx[k]);
+        continue;
       }
+      if (uf <= bestFlow) {
+        k = static_cast<std::size_t>(subtreeEndIdx[k]);
+        continue;
+      }
+      ++k;
     }
     if (best == kNoVertex) return std::nullopt;  // no free node can still help
     isReplica[static_cast<std::size_t>(best)] = 1;
     if (trace) trace->pass2Replicas.push_back(best);
     const Requests absorbed = std::min(bestFlow, W);
-    for (VertexId v = best; v != kNoVertex; v = tree.parent(v))
+    for (VertexId v = best; v != kNoVertex; v = parentOf[static_cast<std::size_t>(v)])
       flow[static_cast<std::size_t>(v)] -= absorbed;
   }
+
+  return assignRequests(instance, isReplica);
+}
+
+std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& instance,
+                                                    FrontierStats* stats) {
+  instance.validate();
+  const Requests W = instance.homogeneousCapacity();
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Tree& tree = instance.tree;
+  const std::size_t n = tree.vertexCount();
+
+  FrontierArena arena;
+  arena.reset(4 * n);
+  FrontierConvolver conv(arena);
+  FrontierDp dp(tree, arena);
+
+  std::vector<FrontierEntry> options;
+  for (const VertexId v : tree.postorder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (tree.isClient(v)) {
+      dp.seedClient(v, instance.requests[vi]);
+      continue;
+    }
+
+    // Replicas sit on distinct internal nodes and a replica absorbing
+    // nothing is dominated, so Pareto counts never exceed the internal-node
+    // count of the covered forest.
+    const std::size_t internalsBelow =
+        tree.subtreeSize(v) - tree.clientsInSubtree(v).size();
+    const auto forestCap = static_cast<std::int32_t>(internalsBelow - 1);
+
+    FrontierSpan acc = conv.unit();
+    const auto children = tree.children(v);
+    for (std::size_t ci = 0; ci < children.size(); ++ci) {
+      acc = conv.convolve(acc, dp.frontier(children[ci]), forestCap);
+      dp.setCombo(v, ci, acc);
+    }
+
+    // Place/skip: under Multiple a replica at v absorbs min(flow, W), so the
+    // place option is (count+1, max(0, flow-W)) — only useful when flow > 0.
+    options.clear();
+    for (std::size_t k = 0; k < acc.size; ++k) {
+      const FrontierEntry e = arena.at(acc, k);
+      options.push_back({e.count, e.flow, static_cast<std::int32_t>(k), 0});
+      if (e.flow > 0)
+        options.push_back({e.count + 1, std::max<Requests>(0, e.flow - W),
+                           static_cast<std::int32_t>(k), 1});
+    }
+    dp.setFrontier(
+        v, conv.pruneCandidates(options, static_cast<std::int32_t>(internalsBelow)));
+  }
+
+  if (stats != nullptr) {
+    conv.noteArenaUsage();
+    *stats = conv.stats();
+  }
+
+  const FrontierSpan rootSpan = dp.frontier(tree.root());
+  if (rootSpan.empty() || arena.at(rootSpan, rootSpan.size - 1).flow != 0)
+    return std::nullopt;
+
+  std::vector<char> isReplica(n, 0);
+  dp.reconstruct(static_cast<std::int32_t>(rootSpan.size - 1),
+                 [&isReplica](VertexId node) {
+                   isReplica[static_cast<std::size_t>(node)] = 1;
+                 });
 
   return assignRequests(instance, isReplica);
 }

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/frontier.hpp"
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
@@ -20,10 +21,22 @@ struct MultipleHomogeneousTrace {
 ///   pass 1 places a replica wherever the upward flow reaches W (these
 ///   servers are saturated), pass 2 repeatedly grants a replica to the free
 ///   node of maximal useful flow, pass 3 assigns concrete requests bottom-up.
+/// Pass 2's rescans skip whole subtrees whose useful flow already hit zero,
+/// and pass 3 follows skip pointers over exhausted clients, so the solve
+/// stays near-linear away from adversarial shapes.
 /// Returns std::nullopt when the instance is infeasible (some requests cannot
 /// be served even using every node). Requires a homogeneous instance.
 std::optional<Placement> solveMultipleHomogeneous(
     const ProblemInstance& instance, MultipleHomogeneousTrace* trace = nullptr);
+
+/// Independent exact solver for the same problem on the shared frontier core:
+/// a subtree DP over (replica count, residual flow) Pareto frontiers where a
+/// replica at a node absorbs min(flow, W). Same optimal replica count as the
+/// 3-pass algorithm — kept as a cross-check of both the greedy and the
+/// frontier machinery, and as the template for frontier-based extensions.
+/// Pass `stats` to collect per-solve frontier telemetry.
+std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& instance,
+                                                    FrontierStats* stats = nullptr);
 
 /// Minimal number of replicas, or nullopt if infeasible — convenience wrapper.
 std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& instance);

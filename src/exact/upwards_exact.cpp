@@ -1,7 +1,9 @@
 #include "exact/upwards_exact.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <span>
 
 #include "support/require.hpp"
 
@@ -11,7 +13,10 @@ namespace {
 struct ClientInfo {
   VertexId id;
   Requests requests;
-  std::vector<VertexId> ancestors;  ///< bottom-up
+  // Bottom-up root path, stored as a slice of the search's shared ancestor
+  // arena (one flat slab instead of a heap vector per client).
+  std::uint32_t ancestorBegin = 0;
+  std::uint32_t ancestorCount = 0;
 };
 
 class Search {
@@ -22,7 +27,12 @@ class Search {
     for (const VertexId c : tree.clients()) {
       const auto ci = static_cast<std::size_t>(c);
       if (instance.requests[ci] == 0) continue;
-      clients_.push_back({c, instance.requests[ci], tree.ancestors(c)});
+      const auto begin = static_cast<std::uint32_t>(ancestorArena_.size());
+      for (VertexId p = tree.parent(c); p != kNoVertex; p = tree.parent(p))
+        ancestorArena_.push_back(p);
+      clients_.push_back(
+          {c, instance.requests[ci], begin,
+           static_cast<std::uint32_t>(ancestorArena_.size()) - begin});
     }
     std::sort(clients_.begin(), clients_.end(), [](const ClientInfo& a, const ClientInfo& b) {
       if (a.requests != b.requests) return a.requests > b.requests;
@@ -38,12 +48,17 @@ class Search {
     for (const ClientInfo& c : clients_) remainingDemand_ += c.requests;
 
     minUnopenedRatio_ = std::numeric_limits<double>::infinity();
+    minStorageCost_ = std::numeric_limits<double>::infinity();
+    maxCapacity_ = 0;
     for (const VertexId j : tree.internals()) {
       const auto ji = static_cast<std::size_t>(j);
-      if (instance.capacity[ji] > 0)
+      if (instance.capacity[ji] > 0) {
         minUnopenedRatio_ = std::min(
             minUnopenedRatio_,
             instance.storageCost[ji] / static_cast<double>(instance.capacity[ji]));
+        minStorageCost_ = std::min(minStorageCost_, instance.storageCost[ji]);
+        maxCapacity_ = std::max(maxCapacity_, instance.capacity[ji]);
+      }
     }
     choice_.assign(clients_.size(), -1);
   }
@@ -70,10 +85,11 @@ class Search {
     double cost = 0.0;
     for (std::size_t k = 0; k < clients_.size(); ++k) {
       const ClientInfo& client = clients_[k];
+      const std::span<const VertexId> ancestors = ancestorsOf(client);
       int best = -1;
       double bestKey = std::numeric_limits<double>::infinity();
-      for (std::size_t a = 0; a < client.ancestors.size(); ++a) {
-        const auto ji = static_cast<std::size_t>(client.ancestors[a]);
+      for (std::size_t a = 0; a < ancestors.size(); ++a) {
+        const auto ji = static_cast<std::size_t>(ancestors[a]);
         if (residual[ji] < client.requests) continue;
         const double key = opened[ji]
                                ? static_cast<double>(residual[ji]) * 1e-9
@@ -84,7 +100,7 @@ class Search {
         }
       }
       if (best < 0) return;  // greedy failed; search starts unbounded
-      const auto ji = static_cast<std::size_t>(client.ancestors[static_cast<std::size_t>(best)]);
+      const auto ji = static_cast<std::size_t>(ancestors[static_cast<std::size_t>(best)]);
       if (!opened[ji]) {
         opened[ji] = 1;
         cost += instance_.storageCost[ji];
@@ -107,13 +123,22 @@ class Search {
       return;
     }
 
-    // Fractional-cover pruning on the demand that cannot fit in opened nodes.
+    // Admissible pruning on the demand that cannot fit in opened nodes: the
+    // fractional cover at the best cost/capacity ratio, and a count bound —
+    // at least ceil(uncovered / maxCapacity) more servers must open, each
+    // costing at least the cheapest storage price.
     const Requests uncovered = remainingDemand_ - std::min(remainingDemand_, openResidual);
-    const double extra =
-        uncovered > 0 ? static_cast<double>(uncovered) * minUnopenedRatio_ : 0.0;
+    double extra = 0.0;
+    if (uncovered > 0) {
+      extra = static_cast<double>(uncovered) * minUnopenedRatio_;
+      const double serversNeeded = std::ceil(
+          static_cast<double>(uncovered) / static_cast<double>(maxCapacity_));
+      extra = std::max(extra, serversNeeded * minStorageCost_);
+    }
     if (cost + extra >= bestCost_ - 1e-9) return;
 
     const ClientInfo& client = clients_[k];
+    const std::span<const VertexId> ancestors = ancestorsOf(client);
     // Symmetry reduction: identical clients (same parent, same demand) are
     // forced into non-decreasing ancestor index.
     std::size_t firstAncestor = 0;
@@ -122,8 +147,8 @@ class Search {
         choice_[k - 1] >= 0)
       firstAncestor = static_cast<std::size_t>(choice_[k - 1]);
 
-    for (std::size_t a = firstAncestor; a < client.ancestors.size(); ++a) {
-      const VertexId j = client.ancestors[a];
+    for (std::size_t a = firstAncestor; a < ancestors.size(); ++a) {
+      const VertexId j = ancestors[a];
       const auto ji = static_cast<std::size_t>(j);
       if (residual_[ji] < client.requests) continue;
 
@@ -153,15 +178,20 @@ class Search {
     for (std::size_t k = 0; k < clients_.size(); ++k) {
       const int a = bestChoice_[k];
       TREEPLACE_REQUIRE(a >= 0, "incumbent with unassigned client");
-      const VertexId server = clients_[k].ancestors[static_cast<std::size_t>(a)];
+      const VertexId server = ancestorsOf(clients_[k])[static_cast<std::size_t>(a)];
       placement.addReplica(server);
       placement.assign(clients_[k].id, server, clients_[k].requests);
     }
     return placement;
   }
 
+  std::span<const VertexId> ancestorsOf(const ClientInfo& client) const {
+    return {ancestorArena_.data() + client.ancestorBegin, client.ancestorCount};
+  }
+
   const ProblemInstance& instance_;
   const UpwardsExactOptions& options_;
+  std::vector<VertexId> ancestorArena_;  ///< all clients' root paths, flat
   std::vector<ClientInfo> clients_;
   std::vector<Requests> residual_;
   std::vector<char> opened_;
@@ -169,6 +199,8 @@ class Search {
   std::vector<int> bestChoice_;
   Requests remainingDemand_ = 0;
   double minUnopenedRatio_ = 0.0;
+  double minStorageCost_ = 0.0;
+  Requests maxCapacity_ = 0;
   double bestCost_ = std::numeric_limits<double>::infinity();
   long steps_ = 0;
 };

@@ -1,8 +1,10 @@
 #include "experiments/report.hpp"
 
 #include <ostream>
+#include <sstream>
 
 #include "support/csv.hpp"
+#include "support/json.hpp"
 #include "support/table.hpp"
 
 namespace treeplace {
@@ -84,6 +86,57 @@ void writeCsv(std::ostream& out, const ExperimentResult& result) {
     row.emplace_back("");
     csv.writeRow(row);
   }
+}
+
+void writeJson(std::ostream& out, const ExperimentResult& result) {
+  const auto names = seriesNames();
+  JsonWriter json(out);
+  json.beginObject();
+  json.key("series").beginArray();
+  for (const auto& name : names) json.value(name);
+  json.endArray();
+  json.key("per_lambda").beginArray();
+  for (const LambdaAggregate& agg : result.perLambda) {
+    json.beginObject();
+    json.key("lambda").value(agg.lambda);
+    json.key("trees").value(agg.trees);
+    json.key("lp_feasible").value(agg.lpFeasibleCount);
+    json.key("success").beginArray();
+    for (std::size_t k = 0; k < kSeriesCount; ++k)
+      json.value(agg.trees > 0
+                     ? static_cast<double>(agg.successCount[k]) / agg.trees
+                     : 0.0);
+    json.endArray();
+    json.key("relative_cost").beginArray();
+    for (std::size_t k = 0; k < kSeriesCount; ++k) {
+      if (agg.lpFeasibleCount > 0)
+        json.value(agg.relativeCost[k]);
+      else
+        json.null();
+    }
+    json.endArray();
+    json.endObject();
+  }
+  json.endArray();
+  json.endObject();
+  out << '\n';
+}
+
+std::string renderFrontierStats(const FrontierStats& stats) {
+  std::ostringstream os;
+  os << "peak frontier width " << stats.peakWidth << ", arena "
+     << stats.arenaBytes / 1024 << " KiB, " << stats.entriesMerged
+     << " pairs across " << stats.convolutions << " convolutions";
+  return os.str();
+}
+
+void writeFrontierStats(JsonWriter& json, const FrontierStats& stats) {
+  json.beginObject();
+  json.key("peak_width").value(stats.peakWidth);
+  json.key("arena_bytes").value(stats.arenaBytes);
+  json.key("entries_merged").value(stats.entriesMerged);
+  json.key("convolutions").value(stats.convolutions);
+  json.endObject();
 }
 
 }  // namespace treeplace

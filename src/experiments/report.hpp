@@ -3,6 +3,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "core/frontier.hpp"
 #include "experiments/runner.hpp"
 
 namespace treeplace {
@@ -22,5 +23,19 @@ std::string renderMixedBestWinners(const ExperimentResult& result);
 /// Dump both series in gnuplot-friendly CSV:
 ///   kind,lambda,<series...>   with kind in {success,rcost}.
 void writeCsv(std::ostream& out, const ExperimentResult& result);
+
+/// Dump both series as machine-readable JSON (one object per lambda with
+/// success rates, relative costs and LP feasibility) so the perf/quality
+/// trajectory can be tracked across PRs.
+void writeJson(std::ostream& out, const ExperimentResult& result);
+
+/// One-line human rendering of the per-solve frontier telemetry
+/// (core/frontier.hpp): peak width, arena footprint, merged candidate pairs.
+std::string renderFrontierStats(const FrontierStats& stats);
+
+/// Emit the telemetry as a JSON object {"peak_width":..,"arena_bytes":..,
+/// "entries_merged":..,"convolutions":..} into an open writer position.
+class JsonWriter;  // support/json.hpp
+void writeFrontierStats(JsonWriter& json, const FrontierStats& stats);
 
 }  // namespace treeplace

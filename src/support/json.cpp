@@ -1,0 +1,124 @@
+#include "support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+void JsonWriter::element() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;  // the key already produced the separator
+  }
+  if (!stack_.empty()) {
+    if (stack_.back() == '1') out_ << ',';
+    stack_.back() = '1';
+  }
+}
+
+void JsonWriter::escaped(const std::string& text) {
+  out_ << '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out_ << "\\\""; break;
+      case '\\': out_ << "\\\\"; break;
+      case '\n': out_ << "\\n"; break;
+      case '\r': out_ << "\\r"; break;
+      case '\t': out_ << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out_ << buf;
+        } else {
+          out_ << c;
+        }
+    }
+  }
+  out_ << '"';
+}
+
+JsonWriter& JsonWriter::beginObject() {
+  element();
+  out_ << '{';
+  stack_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  TREEPLACE_REQUIRE(!stack_.empty(), "JSON: endObject with no open container");
+  stack_.pop_back();
+  out_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  element();
+  out_ << '[';
+  stack_.push_back('0');
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  TREEPLACE_REQUIRE(!stack_.empty(), "JSON: endArray with no open container");
+  stack_.pop_back();
+  out_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  element();
+  escaped(name);
+  out_ << ':';
+  pendingKey_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& text) {
+  element();
+  escaped(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* text) { return value(std::string(text)); }
+
+JsonWriter& JsonWriter::value(double number) {
+  element();
+  if (!std::isfinite(number)) {
+    out_ << "null";
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", number);
+  out_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  element();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  element();
+  out_ << number;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  element();
+  out_ << (flag ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  element();
+  out_ << "null";
+  return *this;
+}
+
+}  // namespace treeplace
