@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "core/placement.hpp"
+
+namespace treeplace::bench {
+
+/// Frozen copy of the pre-flat-arena Placement storage (one heap vector of
+/// shares per client): the baseline the bench_micro_placement old-vs-new
+/// comparisons and the BENCH_table1 "legacy" columns measure against. Only
+/// the assignment paths are reproduced — replica bookkeeping is identical in
+/// both layouts and not interesting to compare.
+class LegacyPlacement {
+ public:
+  explicit LegacyPlacement(std::size_t vertexCount)
+      : shares_(vertexCount), serverLoad_(vertexCount, 0) {}
+
+  void assign(VertexId client, VertexId server, Requests amount) {
+    auto& clientShares = shares_[static_cast<std::size_t>(client)];
+    for (auto& share : clientShares) {
+      if (share.server == server) {
+        share.amount += amount;
+        serverLoad_[static_cast<std::size_t>(server)] += amount;
+        return;
+      }
+    }
+    clientShares.push_back({server, amount});
+    serverLoad_[static_cast<std::size_t>(server)] += amount;
+  }
+
+  const std::vector<ServedShare>& shares(VertexId client) const {
+    return shares_[static_cast<std::size_t>(client)];
+  }
+
+  Requests serverLoad(VertexId server) const {
+    return serverLoad_[static_cast<std::size_t>(server)];
+  }
+
+ private:
+  std::vector<std::vector<ServedShare>> shares_;
+  std::vector<Requests> serverLoad_;
+};
+
+}  // namespace treeplace::bench

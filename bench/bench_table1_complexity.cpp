@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_legacy_placement.hpp"
 #include "exact/closest_homogeneous.hpp"
 #include "exact/exact_ilp.hpp"
 #include "exact/multiple_homogeneous.hpp"
@@ -68,6 +69,18 @@ struct PolyRow {
   long replicasMultiple = -1;  ///< -1: infeasible
   long replicasClosest = -1;
   FrontierStats closestStats;
+  PlacementStats multiplePlacement;  ///< storage telemetry of the Multiple solve
+};
+
+/// Flat-arena vs vector-per-client Placement hot loops at the largest size
+/// (the committed trajectory companion of bench_micro_placement).
+struct MicroPlacementRow {
+  int size = 0;
+  double assignFlatMs = 0.0;
+  double assignLegacyMs = 0.0;
+  double assignArenaMs = 0.0;
+  double sharesScanFlatMs = -1.0;  ///< -1: not measured (see JSON null)
+  double sharesScanLegacyMs = -1.0;
 };
 
 struct UpwardsRow {
@@ -102,6 +115,7 @@ int main(int argc, char** argv) {
   std::cout << "(a) Polynomial entries — optimal algorithms on random "
                "homogeneous trees (min over " << repeats << " runs)\n";
   std::vector<PolyRow> polyRows(sizes.size());
+  MicroPlacementRow micro;
   {
     std::vector<ProblemInstance> instances(sizes.size());
     // Generation plus an untimed evaluation (replica counts, frontier
@@ -128,6 +142,7 @@ int main(int argc, char** argv) {
       row.replicasClosest =
           closest ? static_cast<long>(closest->replicaCount()) : -1;
       row.closestStats = stats;
+      if (multiple) row.multiplePlacement = multiple->stats();
     });
 
     for (std::size_t si = 0; si < sizes.size(); ++si) {
@@ -156,11 +171,90 @@ int main(int argc, char** argv) {
                 row.replicasClosest >= 0 ? std::to_string(row.replicasClosest) : "-"});
     }
     std::cout << t.render();
-    for (const PolyRow& row : polyRows)
+    for (const PolyRow& row : polyRows) {
       std::cout << "  s=" << row.size << " Closest DP: "
                 << renderFrontierStats(row.closestStats) << '\n';
+      std::cout << "  s=" << row.size << " Multiple placement: "
+                << renderPlacementStats(row.multiplePlacement) << '\n';
+    }
     std::cout << "  expectation: time grows polynomially (~quadratic), no "
                  "blow-up\n\n";
+
+    // Placement hot loops at the largest size, old layout vs new (min over
+    // the same repeats; the google-benchmark twin is bench_micro_placement).
+    if (!sizes.empty()) {
+      const std::size_t si = sizes.size() - 1;
+      const ProblemInstance& inst = instances[si];
+      const Tree& tree = inst.tree;
+      micro.size = sizes[si];
+      const auto multiple = solveMultipleHomogeneous(inst);
+      PlacementArena arena;
+      for (int rep = 0; rep < repeats; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        Placement flat(tree.vertexCount());
+        flat.reserveShares(tree.clients().size());
+        for (const VertexId c : tree.clients())
+          flat.assign(c, tree.parent(c), inst.requests[static_cast<std::size_t>(c)] + 1);
+        const double flatMs = millis(t0);
+
+        const auto t1 = std::chrono::steady_clock::now();
+        bench::LegacyPlacement legacy(tree.vertexCount());
+        for (const VertexId c : tree.clients())
+          legacy.assign(c, tree.parent(c), inst.requests[static_cast<std::size_t>(c)] + 1);
+        const double legacyMs = millis(t1);
+
+        const auto t2 = std::chrono::steady_clock::now();
+        Placement recycled = arena.acquire(tree.vertexCount());
+        for (const VertexId c : tree.clients())
+          recycled.assign(c, tree.parent(c),
+                          inst.requests[static_cast<std::size_t>(c)] + 1);
+        const double arenaMs = millis(t2);
+        arena.recycle(std::move(recycled));
+
+        // -1: not measured (largest-size Multiple solve infeasible); the
+        // JSON writes null so the trajectory shows a gap, not a 0 ms scan.
+        double scanFlatMs = -1.0;
+        double scanLegacyMs = -1.0;
+        if (multiple) {
+          bench::LegacyPlacement legacyCopy(tree.vertexCount());
+          for (const VertexId c : tree.clients())
+            for (const ServedShare& share : multiple->shares(c))
+              legacyCopy.assign(c, share.server, share.amount);
+          Requests total = 0;
+          // Untimed warm-up of both layouts so neither scan rides the cache
+          // lines its construction just touched.
+          for (const VertexId c : tree.clients()) {
+            for (const ServedShare& share : multiple->shares(c)) total += share.amount;
+            for (const ServedShare& share : legacyCopy.shares(c)) total += share.amount;
+          }
+          const auto t3 = std::chrono::steady_clock::now();
+          for (const VertexId c : tree.clients())
+            for (const ServedShare& share : multiple->shares(c)) total += share.amount;
+          scanFlatMs = millis(t3);
+          const auto t4 = std::chrono::steady_clock::now();
+          for (const VertexId c : tree.clients())
+            for (const ServedShare& share : legacyCopy.shares(c)) total += share.amount;
+          scanLegacyMs = millis(t4);
+          static volatile Requests sink;  // keep the scans observable
+          sink = total;
+        }
+
+        const auto keepMin = [rep](double& slot, double value) {
+          slot = rep == 0 ? value : std::min(slot, value);
+        };
+        keepMin(micro.assignFlatMs, flatMs);
+        keepMin(micro.assignLegacyMs, legacyMs);
+        keepMin(micro.assignArenaMs, arenaMs);
+        keepMin(micro.sharesScanFlatMs, scanFlatMs);
+        keepMin(micro.sharesScanLegacyMs, scanLegacyMs);
+      }
+      std::cout << "  placement micro (s=" << micro.size << "): assign flat "
+                << formatDouble(micro.assignFlatMs, 4) << " ms, legacy "
+                << formatDouble(micro.assignLegacyMs, 4) << " ms, arena-recycled "
+                << formatDouble(micro.assignArenaMs, 4) << " ms; shares scan flat "
+                << formatDouble(micro.sharesScanFlatMs, 4) << " ms, legacy "
+                << formatDouble(micro.sharesScanLegacyMs, 4) << " ms\n\n";
+    }
   }
 
   std::cout << "(b) NP-complete entries — exact search on the Theorem 2 "
@@ -258,9 +352,21 @@ int main(int argc, char** argv) {
       json.key("replicas_closest").value(static_cast<std::int64_t>(row.replicasClosest));
       json.key("closest_frontier");
       writeFrontierStats(json, row.closestStats);
+      json.key("multiple_placement");
+      writePlacementStats(json, row.multiplePlacement);
       json.endObject();
     }
     json.endArray();
+    json.key("micro_placement").beginObject();
+    json.key("s").value(micro.size);
+    json.key("assign_flat_ms").value(micro.assignFlatMs);
+    json.key("assign_legacy_ms").value(micro.assignLegacyMs);
+    json.key("assign_arena_ms").value(micro.assignArenaMs);
+    json.key("shares_scan_flat_ms");
+    if (micro.sharesScanFlatMs < 0) json.null(); else json.value(micro.sharesScanFlatMs);
+    json.key("shares_scan_legacy_ms");
+    if (micro.sharesScanLegacyMs < 0) json.null(); else json.value(micro.sharesScanLegacyMs);
+    json.endObject();
     json.key("upwards_reduction").beginArray();
     for (const UpwardsRow& row : upwardsRows) {
       json.beginObject();

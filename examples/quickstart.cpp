@@ -72,8 +72,13 @@ int main() {
   else
     std::cout << "Upwards  (optimal): no solution\n";
 
-  if (const auto multiple = solveMultipleHomogeneous(instance))
+  if (const auto multiple = solveMultipleHomogeneous(instance)) {
     report("Multiple (optimal)", *multiple, Policy::Multiple);
+    const PlacementStats stats = multiple->stats();
+    std::cout << "    storage: " << stats.shareCount << " shares in one "
+              << stats.poolBytes << "-byte pool, " << stats.heapAllocs
+              << " heap allocations\n";
+  }
 
   // The polynomial heuristics used for the large-scale experiments:
   std::cout << "\nHeuristics:\n";

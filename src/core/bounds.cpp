@@ -48,4 +48,146 @@ double fractionalCoverLowerBound(const ProblemInstance& instance) {
   return bound;
 }
 
+FrontierSubtreeRelaxation::FrontierSubtreeRelaxation(const ProblemInstance& instance)
+    : tree_(&instance.tree) {
+  const Tree& tree = instance.tree;
+  const std::size_t n = tree.vertexCount();
+  minReplicas_.assign(n, 0);
+
+  FrontierArena arena;
+  arena.reset(4 * n);
+  FrontierConvolver conv(arena);
+  std::vector<FrontierSpan> frontier(n);
+
+  // Bottom-up frontier pass; place at v absorbs min(flow, W_v) — the
+  // heterogeneous generalisation of the Multiple DP's place step, still a
+  // relaxation of every real assignment.
+  std::vector<FrontierEntry> options;
+  for (const VertexId v : tree.postorder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (tree.isClient(v)) {
+      const std::uint32_t begin = arena.beginSpan();
+      arena.push({0, instance.requests[vi], -1, -1});
+      frontier[vi] = arena.endSpan(begin);
+      continue;
+    }
+    const auto internalsBelow = static_cast<std::int32_t>(
+        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+    FrontierSpan acc = conv.unit();
+    for (const VertexId child : tree.children(v))
+      acc = conv.convolve(acc, frontier[static_cast<std::size_t>(child)],
+                          internalsBelow);
+    options.clear();
+    const Requests cap = instance.capacity[vi];
+    for (std::size_t k = 0; k < acc.size; ++k) {
+      const FrontierEntry e = arena.at(acc, k);
+      options.push_back({e.count, e.flow, -1, -1});
+      if (cap > 0 && e.flow > 0)
+        options.push_back({e.count + 1, std::max<Requests>(0, e.flow - cap), -1, -1});
+    }
+    frontier[vi] = conv.pruneCandidates(options, internalsBelow);
+  }
+  conv.noteArenaUsage();
+  stats_ = conv.stats();
+
+  // Strict-ancestor capacity (the outflow cap of each subtree), top-down.
+  std::vector<Requests> ancestorCapacity(n, 0);
+  for (const VertexId v : tree.preorder()) {
+    const VertexId p = tree.parent(v);
+    if (p == kNoVertex) continue;
+    const auto pi = static_cast<std::size_t>(p);
+    ancestorCapacity[static_cast<std::size_t>(v)] =
+        ancestorCapacity[pi] + instance.capacity[pi];
+  }
+
+  // R_v: cheapest count whose residual flow fits under the ancestor cap.
+  for (const VertexId v : tree.internals()) {
+    const auto vi = static_cast<std::size_t>(v);
+    const std::span<const FrontierEntry> f = arena.view(frontier[vi]);
+    std::int32_t r = -1;
+    for (const FrontierEntry& e : f) {  // flow decreases: first hit is cheapest
+      if (e.flow <= ancestorCapacity[vi]) {
+        r = e.count;
+        break;
+      }
+    }
+    if (r < 0) {
+      // Even every internal node of the subtree cannot push the outflow under
+      // the ancestor capacity: no policy has a feasible placement.
+      feasible_ = false;
+      r = static_cast<std::int32_t>(tree.subtreeSize(v) -
+                                    tree.clientsInSubtree(v).size());
+    }
+    minReplicas_[vi] = r;
+  }
+
+  // Additive decomposition: best(v) = max(own subtree floor, sum over
+  // children) — the children subtrees are disjoint, so their floors add.
+  // Subtree internals occupy a contiguous range of internals() (both are in
+  // preorder), so each node's cost multiset is a slice of one flat array:
+  // no per-node tree walk.
+  const auto& internals = tree.internals();
+  const std::size_t internalCount = internals.size();
+  std::vector<std::int32_t> prePos(n, 0);
+  {
+    const auto& pre = tree.preorder();
+    for (std::size_t i = 0; i < pre.size(); ++i)
+      prePos[static_cast<std::size_t>(pre[i])] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::int32_t> intPos(internalCount);
+  std::vector<double> intCosts(internalCount);
+  std::vector<std::size_t> intIndex(n, 0);
+  for (std::size_t k = 0; k < internalCount; ++k) {
+    const auto vi = static_cast<std::size_t>(internals[k]);
+    intPos[k] = prePos[vi];
+    intCosts[k] = instance.storageCost[vi];
+    intIndex[vi] = k;
+  }
+  // Uniform-cost subtrees (the whole homogeneous family) skip the slice sort.
+  std::vector<double> minCostBelow(n, 0.0);
+  std::vector<double> maxCostBelow(n, 0.0);
+
+  std::vector<double> best(n, 0.0);
+  std::vector<double> costScratch;
+  for (const VertexId v : tree.postorder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (tree.isClient(v)) continue;
+    double childSum = 0.0;
+    minCostBelow[vi] = maxCostBelow[vi] = instance.storageCost[vi];
+    for (const VertexId c : tree.children(v)) {
+      const auto ci = static_cast<std::size_t>(c);
+      childSum += best[ci];
+      if (tree.isInternal(c)) {
+        minCostBelow[vi] = std::min(minCostBelow[vi], minCostBelow[ci]);
+        maxCostBelow[vi] = std::max(maxCostBelow[vi], maxCostBelow[ci]);
+      }
+    }
+    double own = 0.0;
+    if (minReplicas_[vi] > 0) {
+      // Sum of the R_v cheapest internal storage costs inside subtree(v).
+      const std::size_t k = intIndex[vi];
+      const auto endPos =
+          prePos[vi] + static_cast<std::int32_t>(tree.subtreeSize(v));
+      const auto endIdx = static_cast<std::size_t>(
+          std::lower_bound(intPos.begin() + static_cast<std::ptrdiff_t>(k),
+                           intPos.end(), endPos) -
+          intPos.begin());
+      const std::size_t r =
+          std::min(static_cast<std::size_t>(minReplicas_[vi]), endIdx - k);
+      if (minCostBelow[vi] == maxCostBelow[vi]) {
+        own = static_cast<double>(r) * minCostBelow[vi];
+      } else {
+        costScratch.assign(intCosts.begin() + static_cast<std::ptrdiff_t>(k),
+                           intCosts.begin() + static_cast<std::ptrdiff_t>(endIdx));
+        std::partial_sort(costScratch.begin(),
+                          costScratch.begin() + static_cast<std::ptrdiff_t>(r),
+                          costScratch.end());
+        for (std::size_t i = 0; i < r; ++i) own += costScratch[i];
+      }
+    }
+    best[vi] = std::max(own, childSum);
+  }
+  decompositionBound_ = best[static_cast<std::size_t>(tree.root())];
+}
+
 }  // namespace treeplace

@@ -1,5 +1,9 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
+#include "core/frontier.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -14,5 +18,51 @@ Requests countingLowerBound(const ProblemInstance& instance);
 /// bounds every policy from below. Much weaker than the LP bound; used as a
 /// sanity floor and a B&B seed.
 double fractionalCoverLowerBound(const ProblemInstance& instance);
+
+/// Per-subtree frontier relaxation of the Multiple policy (valid for every
+/// policy, heterogeneous or not): one bottom-up pass of the core/frontier DP
+/// with the place step absorbing min(flow, W_v) computes, for every vertex,
+/// the Pareto frontier of (replicas inside subtree(v), requests flowing out
+/// unserved). Because a server outside subtree(v) serving one of its clients
+/// must be a strict ancestor of v, the outflow of subtree(v) is capped by the
+/// total capacity of v's strict ancestors — so the frontier yields a hard
+/// floor on the replicas *inside* each subtree, information the structure-free
+/// cover bound cannot see (cf. the treewidth DP relaxations of
+/// arXiv:1705.00145).
+class FrontierSubtreeRelaxation {
+ public:
+  explicit FrontierSubtreeRelaxation(const ProblemInstance& instance);
+
+  /// False when even a replica on every internal node leaves requests
+  /// unserved at the root — the instance is infeasible for every policy.
+  bool feasible() const { return feasible_; }
+
+  /// Minimum total replica count of any feasible solution (any policy).
+  /// Meaningful only when feasible().
+  std::int32_t minTotalReplicas() const { return minReplicasIn(tree_->root()); }
+
+  /// Minimum replicas inside subtree(v) in any feasible solution, given that
+  /// at most the strict-ancestor capacity of v can flow out. When the subtree
+  /// cannot meet that outflow at all, every internal node of the subtree is
+  /// required (and the instance is infeasible).
+  std::int32_t minReplicasIn(VertexId v) const {
+    return minReplicas_[static_cast<std::size_t>(v)];
+  }
+
+  /// Additive Replica Cost floor: over the best decomposition into disjoint
+  /// subtrees, each subtree v contributes the sum of its minReplicasIn(v)
+  /// cheapest internal storage costs. Always a valid lower bound on the
+  /// optimal cost of every policy; 0 when the relaxation has nothing to say.
+  double decompositionBound() const { return decompositionBound_; }
+
+  const FrontierStats& stats() const { return stats_; }
+
+ private:
+  const Tree* tree_;
+  std::vector<std::int32_t> minReplicas_;
+  double decompositionBound_ = 0.0;
+  bool feasible_ = true;
+  FrontierStats stats_;
+};
 
 }  // namespace treeplace

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "support/require.hpp"
+
 namespace treeplace {
 namespace {
 
@@ -15,11 +17,6 @@ void FrontierStats::merge(const FrontierStats& other) {
   arenaBytes = std::max(arenaBytes, other.arenaBytes);
   entriesMerged += other.entriesMerged;
   convolutions += other.convolutions;
-}
-
-void FrontierArena::reset(std::size_t expectedEntries) {
-  slab_.clear();
-  slab_.reserve(expectedEntries);
 }
 
 FrontierSpan FrontierConvolver::unit() {
@@ -109,47 +106,71 @@ void FrontierConvolver::noteArenaUsage() {
   stats_.arenaBytes = std::max(stats_.arenaBytes, arena_->bytes());
 }
 
-FrontierDp::FrontierDp(const Tree& tree, FrontierArena& arena)
-    : tree_(tree), arena_(arena), frontier_(tree.vertexCount()),
-      comboOffset_(tree.vertexCount(), 0) {
-  std::int32_t running = 0;
-  for (const VertexId v : tree.postorder()) {
-    comboOffset_[static_cast<std::size_t>(v)] = running;
-    running += static_cast<std::int32_t>(tree.children(v).size());
+// --------------------------------------------------------------------------
+// QosFrontierSweep
+// --------------------------------------------------------------------------
+
+void QosFrontierSweep::begin(std::int32_t maxCount) {
+  const auto needed = static_cast<std::size_t>(maxCount) + 1;
+  if (buckets_.size() < needed) buckets_.resize(needed);
+  for (std::int32_t c = 0; c < bucketsInUse_; ++c)
+    buckets_[static_cast<std::size_t>(c)].clear();
+  bucketsInUse_ = maxCount + 1;
+}
+
+bool QosFrontierSweep::staircaseInsert(std::vector<Step>& steps,
+                                       const Step& entry) {
+  // p = first step with flow >= entry.flow; everything before it has smaller
+  // flow, and the last of those carries their best slack (slack ascends).
+  std::size_t p = 0;
+  while (p < steps.size() && steps[p].flow < entry.flow) ++p;
+  if (p > 0 && steps[p - 1].slack >= entry.slack) return false;  // dominated
+  if (p < steps.size() && steps[p].flow == entry.flow &&
+      steps[p].slack >= entry.slack)
+    return false;  // dominated by the equal-flow step (incumbent wins ties)
+  // The entry survives: it dominates every step with flow >= its flow and
+  // slack <= its slack — a contiguous range starting at p.
+  std::size_t q = p;
+  while (q < steps.size() && steps[q].slack <= entry.slack) ++q;
+  if (q == p) {
+    steps.insert(steps.begin() + static_cast<std::ptrdiff_t>(p), entry);
+  } else {
+    steps[p] = entry;
+    steps.erase(steps.begin() + static_cast<std::ptrdiff_t>(p) + 1,
+                steps.begin() + static_cast<std::ptrdiff_t>(q));
   }
-  comboSpans_.resize(static_cast<std::size_t>(running));
+  return true;
 }
 
-void FrontierDp::seedClient(VertexId v, Requests requests) {
-  const std::uint32_t begin = arena_.beginSpan();
-  arena_.push({0, requests, -1, -1});
-  setFrontier(v, arena_.endSpan(begin));
+void QosFrontierSweep::add(const QosFrontierEntry& entry) {
+  TREEPLACE_REQUIRE(entry.count >= 0 && entry.count < bucketsInUse_,
+                    "sweep candidate count outside the begin() bound");
+  ++stats_.entriesMerged;
+  staircaseInsert(buckets_[static_cast<std::size_t>(entry.count)],
+                  {entry.flow, entry.slack, entry.prev, entry.child});
 }
 
-void FrontierDp::reconstruct(
-    std::int32_t rootEntryIndex,
-    const std::function<void(VertexId)>& onReplica) const {
-  struct Todo {
-    VertexId node;
-    std::int32_t entryIndex;
-  };
-  std::vector<Todo> stack{{tree_.root(), rootEntryIndex}};
-  while (!stack.empty()) {
-    const Todo todo = stack.back();
-    stack.pop_back();
-    if (tree_.isClient(todo.node)) continue;
-    const FrontierEntry& entry = arena_.at(
-        frontier(todo.node), static_cast<std::size_t>(todo.entryIndex));
-    if (entry.child == 1) onReplica(todo.node);
-    const std::span<const VertexId> children = tree_.children(todo.node);
-    std::int32_t combIdx = entry.prev;
-    for (std::size_t ci = children.size(); ci-- > 0;) {
-      const FrontierEntry& comb = arena_.at(
-          comboSpans_[comboBase(todo.node) + ci], static_cast<std::size_t>(combIdx));
-      stack.push_back({children[ci], comb.child});
-      combIdx = comb.prev;
+FrontierSpan QosFrontierSweep::emit() {
+  ++stats_.convolutions;
+  skyline_.clear();
+  const std::uint32_t begin = arena_->beginSpan();
+  for (std::int32_t c = 0; c < bucketsInUse_; ++c) {
+    // A bucket's steps are mutually non-dominated and flow-ascending, so
+    // folding each survivor into the skyline as it is emitted cannot shadow
+    // a same-count sibling; the skyline check doubles as the cross-bucket
+    // dominance test (lower counts entered first and win non-strict ties).
+    for (const Step& step : buckets_[static_cast<std::size_t>(c)]) {
+      if (staircaseInsert(skyline_, step))
+        arena_->push({c, step.flow, step.slack, step.prev, step.child});
     }
   }
+  const FrontierSpan out = arena_->endSpan(begin);
+  stats_.peakWidth = std::max(stats_.peakWidth, static_cast<std::size_t>(out.size));
+  return out;
+}
+
+void QosFrontierSweep::noteArenaUsage() {
+  stats_.arenaBytes = std::max(stats_.arenaBytes, arena_->bytes());
 }
 
 }  // namespace treeplace

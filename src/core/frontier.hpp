@@ -28,7 +28,18 @@ struct FrontierEntry {
   std::int32_t child = -1;
 };
 
-/// Offset/length handle into a FrontierArena slab. Handles stay valid across
+/// Pareto point of a QoS-constrained subtree DP (exact/closest_qos): `slack`
+/// is the minimum remaining QoS budget over the subtree's unserved clients
+/// (infinite when flow is 0). Backpointer roles match FrontierEntry.
+struct QosFrontierEntry {
+  std::int32_t count = 0;
+  Requests flow = 0;
+  double slack = 0.0;
+  std::int32_t prev = -1;
+  std::int32_t child = -1;
+};
+
+/// Offset/length handle into a frontier arena slab. Handles stay valid across
 /// arena growth (they are indices, not pointers).
 struct FrontierSpan {
   std::uint32_t begin = 0;
@@ -50,22 +61,28 @@ struct FrontierStats {
 /// Bump allocator for frontier entries. Every frontier produced during one
 /// solve lives in a single flat slab; nodes hold FrontierSpan handles instead
 /// of per-node vectors, so the DP performs O(1) heap allocations overall and
-/// reconstruction walks stay cache-friendly.
-class FrontierArena {
+/// reconstruction walks stay cache-friendly. Templated on the entry type so
+/// the 2-D (count, flow) and 3-D (count, flow, slack) DPs share the storage
+/// machinery.
+template <typename Entry>
+class BasicFrontierArena {
  public:
   /// Drop all spans and reserve room for `expectedEntries` entries.
-  void reset(std::size_t expectedEntries);
+  void reset(std::size_t expectedEntries) {
+    slab_.clear();
+    slab_.reserve(expectedEntries);
+  }
 
-  std::span<const FrontierEntry> view(FrontierSpan span) const {
+  std::span<const Entry> view(FrontierSpan span) const {
     return {slab_.data() + span.begin, span.size};
   }
 
-  const FrontierEntry& at(FrontierSpan span, std::size_t index) const {
+  const Entry& at(FrontierSpan span, std::size_t index) const {
     return slab_[span.begin + index];
   }
 
   /// Append one entry to the span currently being built (see beginSpan).
-  void push(const FrontierEntry& entry) { slab_.push_back(entry); }
+  void push(const Entry& entry) { slab_.push_back(entry); }
 
   /// Start a new span at the current top of the slab.
   std::uint32_t beginSpan() const { return static_cast<std::uint32_t>(slab_.size()); }
@@ -75,12 +92,15 @@ class FrontierArena {
     return {begin, static_cast<std::uint32_t>(slab_.size()) - begin};
   }
 
-  std::size_t bytes() const { return slab_.capacity() * sizeof(FrontierEntry); }
+  std::size_t bytes() const { return slab_.capacity() * sizeof(Entry); }
   std::size_t entryCount() const { return slab_.size(); }
 
  private:
-  std::vector<FrontierEntry> slab_;
+  std::vector<Entry> slab_;
 };
+
+using FrontierArena = BasicFrontierArena<FrontierEntry>;
+using QosFrontierArena = BasicFrontierArena<QosFrontierEntry>;
 
 /// Sort-free monotone merges over count-sorted / flow-decreasing frontiers.
 ///
@@ -135,14 +155,78 @@ class FrontierConvolver {
   std::vector<std::int32_t> bucketChild_;
 };
 
+/// 3-D dominance filter for (count, flow, slack) frontiers: an entry is
+/// dominated when another has count <=, flow <= and slack >= it. Replaces the
+/// retired sort + O(k^2) pairwise prune of the QoS solver.
+///
+/// Candidates are scattered into count-indexed buckets; each bucket keeps a
+/// 2-D (flow, slack) staircase — flow ascending, slack strictly ascending —
+/// under insertion, so within-bucket dominance is resolved on the fly.
+/// emit() then sweeps buckets by ascending count, testing each survivor
+/// against the running staircase of all lower counts and streaming the
+/// non-dominated points into the arena in (count, flow) order — exactly the
+/// order the old sort produced, so downstream consumers see identical
+/// frontiers. Bucket vectors are recycled across batches: steady-state
+/// filtering performs no heap allocations.
+class QosFrontierSweep {
+ public:
+  explicit QosFrontierSweep(QosFrontierArena& arena) : arena_(&arena) {}
+
+  /// Start a batch whose counts lie in [0, maxCount].
+  void begin(std::int32_t maxCount);
+
+  /// Offer one candidate (count must be within the begin() bound).
+  void add(const QosFrontierEntry& entry);
+
+  /// Cross-bucket dominance sweep; emits the pruned frontier into the arena.
+  FrontierSpan emit();
+
+  const FrontierStats& stats() const { return stats_; }
+  void resetStats() { stats_ = {}; }
+  void noteArenaUsage();
+
+ private:
+  struct Step {  ///< one staircase point inside a count bucket
+    Requests flow;
+    double slack;
+    std::int32_t prev;
+    std::int32_t child;
+  };
+
+  /// Insert into a staircase (flow strictly ascending, slack strictly
+  /// ascending) unless a step dominates the entry (flow <=, slack >=,
+  /// non-strict — the incumbent wins exact ties); steps the entry dominates
+  /// are removed. Returns false when the entry was dominated. Shared by the
+  /// per-count buckets (add) and the cross-bucket skyline (emit).
+  static bool staircaseInsert(std::vector<Step>& steps, const Step& entry);
+
+  QosFrontierArena* arena_;
+  FrontierStats stats_;
+  std::vector<std::vector<Step>> buckets_;  ///< capacity recycled across batches
+  std::int32_t bucketsInUse_ = 0;
+  std::vector<Step> skyline_;  ///< emit()'s running lower-count staircase
+};
+
 /// Shared scaffolding of the subtree DPs: one frontier span per vertex, one
 /// span per (node, child-prefix) convolution for the backpointer walk, and
 /// the top-down reconstruction itself. Solvers only differ in how they build
 /// a node's frontier from the final prefix (`place/skip` step), so that part
-/// stays with them; the bookkeeping and the walk live here once.
-class FrontierDp {
+/// stays with them; the bookkeeping and the walk live here once. Templated on
+/// the entry type (FrontierEntry / QosFrontierEntry): reconstruction only
+/// needs the two backpointer fields both provide.
+template <typename Entry>
+class BasicFrontierDp {
  public:
-  FrontierDp(const Tree& tree, FrontierArena& arena);
+  BasicFrontierDp(const Tree& tree, BasicFrontierArena<Entry>& arena)
+      : tree_(tree), arena_(arena), frontier_(tree.vertexCount()),
+        comboOffset_(tree.vertexCount(), 0) {
+    std::int32_t running = 0;
+    for (const VertexId v : tree.postorder()) {
+      comboOffset_[static_cast<std::size_t>(v)] = running;
+      running += static_cast<std::int32_t>(tree.children(v).size());
+    }
+    comboSpans_.resize(static_cast<std::size_t>(running));
+  }
 
   FrontierSpan frontier(VertexId v) const {
     return frontier_[static_cast<std::size_t>(v)];
@@ -156,14 +240,40 @@ class FrontierDp {
     comboSpans_[comboBase(v) + childIndex] = span;
   }
 
-  /// Seed a client leaf with its single (0 replicas, r_i flow) point.
-  void seedClient(VertexId v, Requests requests);
+  /// Seed a client leaf with a single frontier point.
+  void seedClient(VertexId v, const Entry& entry) {
+    const std::uint32_t begin = arena_.beginSpan();
+    arena_.push(entry);
+    setFrontier(v, arena_.endSpan(begin));
+  }
 
   /// Walk the backpointers top-down from the root frontier entry at
   /// `rootEntryIndex`, invoking onReplica(node) for every node whose chosen
   /// entry places a replica (entry.child == 1).
   void reconstruct(std::int32_t rootEntryIndex,
-                   const std::function<void(VertexId)>& onReplica) const;
+                   const std::function<void(VertexId)>& onReplica) const {
+    struct Todo {
+      VertexId node;
+      std::int32_t entryIndex;
+    };
+    std::vector<Todo> stack{{tree_.root(), rootEntryIndex}};
+    while (!stack.empty()) {
+      const Todo todo = stack.back();
+      stack.pop_back();
+      if (tree_.isClient(todo.node)) continue;
+      const Entry& entry = arena_.at(
+          frontier(todo.node), static_cast<std::size_t>(todo.entryIndex));
+      if (entry.child == 1) onReplica(todo.node);
+      const std::span<const VertexId> children = tree_.children(todo.node);
+      std::int32_t combIdx = entry.prev;
+      for (std::size_t ci = children.size(); ci-- > 0;) {
+        const Entry& comb = arena_.at(
+            comboSpans_[comboBase(todo.node) + ci], static_cast<std::size_t>(combIdx));
+        stack.push_back({children[ci], comb.child});
+        combIdx = comb.prev;
+      }
+    }
+  }
 
  private:
   std::size_t comboBase(VertexId v) const {
@@ -171,10 +281,21 @@ class FrontierDp {
   }
 
   const Tree& tree_;
-  FrontierArena& arena_;
+  BasicFrontierArena<Entry>& arena_;
   std::vector<FrontierSpan> frontier_;
   std::vector<FrontierSpan> comboSpans_;
   std::vector<std::int32_t> comboOffset_;
+};
+
+class FrontierDp : public BasicFrontierDp<FrontierEntry> {
+ public:
+  using BasicFrontierDp::BasicFrontierDp;
+  using BasicFrontierDp::seedClient;
+
+  /// Seed a client leaf with its single (0 replicas, r_i flow) point.
+  void seedClient(VertexId v, Requests requests) {
+    seedClient(v, FrontierEntry{0, requests, -1, -1});
+  }
 };
 
 }  // namespace treeplace

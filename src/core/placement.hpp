@@ -1,10 +1,14 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tree/problem.hpp"
 
 namespace treeplace {
+
+class PlacementArena;
 
 /// One slice of a client's requests handled by one server (r_{i,s} in the
 /// paper).
@@ -15,16 +19,40 @@ struct ServedShare {
   friend bool operator==(const ServedShare&, const ServedShare&) = default;
 };
 
+/// Per-placement storage telemetry (see experiments/report for rendering).
+struct PlacementStats {
+  std::size_t poolBytes = 0;    ///< share-pool footprint (capacity), bytes
+  std::size_t shareCount = 0;   ///< live (client, server) shares
+  std::size_t assignCalls = 0;  ///< assign()/assignRun() shares recorded
+  std::size_t heapAllocs = 0;   ///< buffer allocations this placement paid
+  /// What the retired vector-per-client layout would have allocated for the
+  /// same assignment (one vector per served client + its three fixed
+  /// buffers): the committed bench telemetry tracks heapAllocs against this.
+  std::size_t legacyHeapAllocs = 0;
+};
+
 /// A replica placement plus the explicit request assignment. Heuristics and
 /// exact algorithms all produce complete Placements so the validator can check
 /// policy compliance, capacities, QoS and bandwidth without re-deriving an
 /// assignment.
+///
+/// Storage is a flat CSR-style arena: all ServedShares live in one contiguous
+/// pool addressed through per-client offset runs, so building a placement
+/// costs O(1) heap allocations instead of one vector per served client. Runs
+/// grow geometrically by relocation to the pool top (the abandoned hole stays
+/// behind, arena-style); `shares()` hands out a lightweight span view.
 class Placement {
  public:
   /// vertexCount must match the instance the placement is for.
   explicit Placement(std::size_t vertexCount);
 
-  std::size_t vertexCount() const { return shares_.size(); }
+  /// Like Placement(vertexCount), but the backing buffers are taken from
+  /// `arena`'s free list when available (no heap traffic once the arena is
+  /// warm). The placement stays an independent value — it never points back
+  /// into the arena.
+  Placement(std::size_t vertexCount, PlacementArena& arena);
+
+  std::size_t vertexCount() const { return runs_.size(); }
 
   void addReplica(VertexId node);
   bool hasReplica(VertexId node) const;
@@ -37,8 +65,18 @@ class Placement {
   /// when called twice with the same pair. Requires amount > 0.
   void assign(VertexId client, VertexId server, Requests amount);
 
-  /// Shares of one client (unspecified order, servers unique).
-  const std::vector<ServedShare>& shares(VertexId client) const;
+  /// Bulk path: record a whole run of shares for a client that has none yet.
+  /// Servers must be distinct and amounts positive; the run must not alias
+  /// this placement's own pool (copy it first when self-rewriting).
+  void assignRun(VertexId client, std::span<const ServedShare> run);
+
+  /// Reserve pool room for `expectedShares` total shares up front so the
+  /// pool never reallocates mid-build (solvers know their share count).
+  void reserveShares(std::size_t expectedShares);
+
+  /// Shares of one client (unspecified order, servers unique). The view is
+  /// invalidated by the next assign()/assignRun() call.
+  std::span<const ServedShare> shares(VertexId client) const;
 
   /// Total requests assigned to a server across all clients.
   Requests serverLoad(VertexId server) const;
@@ -49,13 +87,68 @@ class Placement {
   /// Sum of storage costs of the replica set.
   double storageCost(const ProblemInstance& instance) const;
 
-  friend bool operator==(const Placement&, const Placement&) = default;
+  /// Storage/allocation telemetry of this placement.
+  PlacementStats stats() const;
+
+  /// Equality of the *logical* placement: same replica set and the same
+  /// per-client share multiset. Per-client share order is documented as
+  /// unspecified, so two equivalent placements built in different orders
+  /// compare equal regardless of pool layout.
+  friend bool operator==(const Placement& a, const Placement& b);
 
  private:
-  std::vector<std::vector<ServedShare>> shares_;  // per client vertex
+  friend class PlacementArena;
+
+  /// Offset run of one client inside pool_ ([begin, begin+size), with
+  /// capacity slots reserved).
+  struct ShareRun {
+    std::uint32_t begin = 0;
+    std::uint32_t size = 0;
+    std::uint32_t capacity = 0;
+  };
+
+  ServedShare* runData(const ShareRun& run) { return pool_.data() + run.begin; }
+  const ServedShare* runData(const ShareRun& run) const {
+    return pool_.data() + run.begin;
+  }
+  void growRun(ShareRun& run, const ServedShare& share);
+
+  std::vector<ServedShare> pool_;  ///< all shares, flat
+  std::vector<ShareRun> runs_;     ///< per client vertex
   std::vector<Requests> serverLoad_;
   std::vector<char> isReplica_;
   std::size_t replicaCount_ = 0;
+  std::size_t liveShares_ = 0;
+  std::size_t assignCalls_ = 0;
+  std::size_t heapAllocs_ = 0;
+};
+
+/// Recycles Placement backing buffers across solves: a solver or search that
+/// builds many short-lived placements acquires them from the arena and hands
+/// the losers back, so steady-state construction performs zero heap
+/// allocations. Placements remain ordinary value types — recycling is opt-in
+/// and explicit, there is no destructor magic and no lifetime coupling; a
+/// placement that escapes the arena's scope simply keeps its buffers.
+class PlacementArena {
+ public:
+  /// A fresh empty placement for `vertexCount` vertices backed by recycled
+  /// buffers (fresh allocations the first time).
+  Placement acquire(std::size_t vertexCount);
+
+  /// Take the placement's buffers back for the next acquire(). The placement
+  /// is consumed.
+  void recycle(Placement&& placement);
+
+ private:
+  friend class Placement;
+
+  struct Buffers {
+    std::vector<ServedShare> pool;
+    std::vector<Placement::ShareRun> runs;
+    std::vector<Requests> serverLoad;
+    std::vector<char> isReplica;
+  };
+  std::vector<Buffers> free_;  ///< recycled buffer sets, LIFO
 };
 
 /// The Closest policy's server: the first replica on v's root path, walking

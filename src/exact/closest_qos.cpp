@@ -1,8 +1,8 @@
 #include "exact/closest_qos.hpp"
 
-#include <algorithm>
 #include <limits>
 
+#include "core/frontier.hpp"
 #include "support/require.hpp"
 
 namespace treeplace {
@@ -10,152 +10,107 @@ namespace {
 
 constexpr double kInfiniteSlack = std::numeric_limits<double>::infinity();
 
-/// Pareto point of a subtree: `count` replicas inside, `flow` unserved
-/// requests leaving it, `slack` = min remaining QoS budget over those
-/// unserved clients (infinite when flow is 0 or every unserved client is
-/// unconstrained).
-struct Entry {
-  int count = 0;
-  Requests flow = 0;
-  double slack = kInfiniteSlack;
-  int combIndex = -1;
-  bool replicaHere = false;
-};
-
-struct CombEntry {
-  int count = 0;
-  Requests flow = 0;
-  double slack = kInfiniteSlack;
-  int prevIndex = -1;
-  int childIndex = -1;
-};
-
-/// Keep the 3-D Pareto frontier: an entry is dominated if another has
-/// count <=, flow <= and slack >= (with one strict). Sorting by (count, flow,
-/// -slack) lets a sweep with the best-slack-so-far per (count, flow) prefix
-/// filter dominated points; the frontier stays small because slack only
-/// matters through later place-decisions.
-template <typename E>
-void prune(std::vector<E>& entries) {
-  std::sort(entries.begin(), entries.end(), [](const E& a, const E& b) {
-    if (a.count != b.count) return a.count < b.count;
-    if (a.flow != b.flow) return a.flow < b.flow;
-    return a.slack > b.slack;
-  });
-  std::vector<E> kept;
-  for (const E& e : entries) {
-    bool dominated = false;
-    for (const E& k : kept) {
-      if (k.count <= e.count && k.flow <= e.flow && k.slack >= e.slack) {
-        dominated = true;
-        break;
-      }
-    }
-    if (!dominated) kept.push_back(e);
-  }
-  entries = std::move(kept);
-}
-
 }  // namespace
 
-std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance) {
+std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance,
+                                                    FrontierStats* stats) {
   instance.validate();
   const Requests W = instance.homogeneousCapacity();
   TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
   const Tree& tree = instance.tree;
   const std::size_t n = tree.vertexCount();
 
-  struct NodeState {
-    std::vector<std::vector<CombEntry>> combos;
-    std::vector<Entry> frontier;
+  QosFrontierArena arena;
+  arena.reset(4 * n);
+  QosFrontierSweep sweep(arena);
+  BasicFrontierDp<QosFrontierEntry> dp(tree, arena);
+
+  const auto publishStats = [&] {
+    if (stats != nullptr) {
+      sweep.noteArenaUsage();
+      *stats = sweep.stats();
+    }
   };
-  std::vector<NodeState> states(n);
 
   for (const VertexId v : tree.postorder()) {
     const auto vi = static_cast<std::size_t>(v);
-    NodeState& state = states[vi];
     if (tree.isClient(v)) {
       // Slack measured at the client itself; its uplink comm is charged when
       // the entry moves into the parent below.
       const Requests r = instance.requests[vi];
-      state.frontier.push_back({0, r, r > 0 ? instance.qos[vi] : kInfiniteSlack,
-                                -1, false});
+      dp.seedClient(v, {0, r, r > 0 ? instance.qos[vi] : kInfiniteSlack, -1, -1});
       continue;
     }
 
+    // Replica counts in subtree(v) never exceed its internal-node count, so
+    // that bounds every bucket batch at this node.
+    const auto countCap = static_cast<std::int32_t>(
+        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+
     // Convolve children: each child's frontier first pays its uplink comm.
-    std::vector<CombEntry> acc{{0, 0, kInfiniteSlack, -1, -1}};
-    for (const VertexId child : tree.children(v)) {
+    // Candidates go straight into the count-bucketed sweep — no temporary
+    // cross-product vector, no sort.
+    std::uint32_t accBegin = arena.beginSpan();
+    arena.push({0, 0, kInfiniteSlack, -1, -1});
+    FrontierSpan acc = arena.endSpan(accBegin);
+    const auto children = tree.children(v);
+    for (std::size_t ci = 0; ci < children.size(); ++ci) {
+      const VertexId child = children[ci];
       const double uplink = instance.commTime[static_cast<std::size_t>(child)];
-      const auto& childFrontier = states[static_cast<std::size_t>(child)].frontier;
-      std::vector<CombEntry> next;
-      // The pruned 3-D frontier stays far below the full cross product; cap
-      // the up-front reservation so wide nodes cannot demand huge blocks.
-      next.reserve(std::min<std::size_t>(acc.size() * childFrontier.size(), 256));
-      for (std::size_t p = 0; p < acc.size(); ++p) {
-        for (std::size_t c = 0; c < childFrontier.size(); ++c) {
-          const double childSlack = childFrontier[c].flow > 0
-                                        ? childFrontier[c].slack - uplink
+      const FrontierSpan childFrontier = dp.frontier(child);
+      sweep.begin(countCap);
+      for (std::size_t p = 0; p < acc.size; ++p) {
+        const QosFrontierEntry accEntry = arena.at(acc, p);
+        for (std::size_t c = 0; c < childFrontier.size; ++c) {
+          const QosFrontierEntry& childEntry = arena.at(childFrontier, c);
+          const double childSlack = childEntry.flow > 0
+                                        ? childEntry.slack - uplink
                                         : kInfiniteSlack;
           if (childSlack < -1e-9) continue;  // dead: client unreachable in time
-          next.push_back({acc[p].count + childFrontier[c].count,
-                          acc[p].flow + childFrontier[c].flow,
-                          std::min(acc[p].slack, childSlack), static_cast<int>(p),
-                          static_cast<int>(c)});
+          sweep.add({accEntry.count + childEntry.count,
+                     accEntry.flow + childEntry.flow,
+                     std::min(accEntry.slack, childSlack),
+                     static_cast<std::int32_t>(p), static_cast<std::int32_t>(c)});
         }
       }
-      prune(next);
-      if (next.empty()) return std::nullopt;  // some child has no live state
-      state.combos.push_back(next);
-      acc = std::move(next);
+      acc = sweep.emit();
+      if (acc.empty()) {
+        publishStats();
+        return std::nullopt;  // some child has no live state
+      }
+      dp.setCombo(v, ci, acc);
     }
 
-    std::vector<Entry> options;
+    // Place/skip: a replica at v needs the incoming flow to fit in W and the
+    // minimum slack to cover v's computation time.
     const double comp = instance.compTime[vi];
-    for (std::size_t k = 0; k < acc.size(); ++k) {
-      options.push_back({acc[k].count, acc[k].flow, acc[k].slack,
-                         static_cast<int>(k), false});
-      if (acc[k].flow <= W && acc[k].slack >= comp - 1e-9)
-        options.push_back({acc[k].count + 1, 0, kInfiniteSlack,
-                           static_cast<int>(k), true});
+    sweep.begin(countCap);
+    for (std::size_t k = 0; k < acc.size; ++k) {
+      const QosFrontierEntry e = arena.at(acc, k);
+      sweep.add({e.count, e.flow, e.slack, static_cast<std::int32_t>(k), 0});
+      if (e.flow <= W && e.slack >= comp - 1e-9)
+        sweep.add({e.count + 1, 0, kInfiniteSlack, static_cast<std::int32_t>(k), 1});
     }
-    prune(options);
-    state.frontier = std::move(options);
+    dp.setFrontier(v, sweep.emit());
   }
 
-  const auto rootIndex = static_cast<std::size_t>(tree.root());
-  const auto& rootFrontier = states[rootIndex].frontier;
-  int bestIdx = -1;
-  for (std::size_t k = 0; k < rootFrontier.size(); ++k) {
-    if (rootFrontier[k].flow == 0 &&
-        (bestIdx < 0 ||
-         rootFrontier[k].count < rootFrontier[static_cast<std::size_t>(bestIdx)].count))
-      bestIdx = static_cast<int>(k);
+  publishStats();
+
+  // The pruned frontier holds at most one zero-flow entry (two would dominate
+  // one another through their infinite slack), and it is the cheapest one.
+  const FrontierSpan rootSpan = dp.frontier(tree.root());
+  std::int32_t bestIdx = -1;
+  for (std::size_t k = 0; k < rootSpan.size; ++k) {
+    if (arena.at(rootSpan, k).flow == 0) {
+      bestIdx = static_cast<std::int32_t>(k);
+      break;
+    }
   }
   if (bestIdx < 0) return std::nullopt;
 
-  // Reconstruction, as in the QoS-free DP.
   Placement placement(n);
-  struct Todo {
-    VertexId node;
-    int entryIndex;
-  };
-  std::vector<Todo> stack{{tree.root(), bestIdx}};
-  while (!stack.empty()) {
-    const Todo todo = stack.back();
-    stack.pop_back();
-    if (tree.isClient(todo.node)) continue;
-    const NodeState& state = states[static_cast<std::size_t>(todo.node)];
-    const Entry& entry = state.frontier[static_cast<std::size_t>(todo.entryIndex)];
-    if (entry.replicaHere) placement.addReplica(todo.node);
-    const auto children = tree.children(todo.node);
-    int combIdx = entry.combIndex;
-    for (std::size_t ci = children.size(); ci-- > 0;) {
-      const CombEntry& comb = state.combos[ci][static_cast<std::size_t>(combIdx)];
-      stack.push_back({children[ci], comb.childIndex});
-      combIdx = comb.prevIndex;
-    }
-  }
+  dp.reconstruct(bestIdx,
+                 [&placement](VertexId node) { placement.addReplica(node); });
 
   assignClientsToClosest(instance, placement);
   return placement;

@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "core/frontier.hpp"
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
@@ -25,8 +26,15 @@ namespace treeplace {
 /// for the hop-count QoS of the paper's experiments (slacks take O(depth)
 /// distinct values).
 ///
+/// Runs on the core/frontier machinery: all frontiers live in one
+/// QosFrontierArena slab and candidates are pruned by the count-bucketed
+/// QosFrontierSweep (slack-monotone staircase per count bucket) instead of
+/// the retired sort + pairwise O(k^2) prune. When `stats` is non-null the
+/// per-solve frontier telemetry is written there.
+///
 /// Returns the optimal placement or std::nullopt when no Closest solution
 /// satisfies capacities and QoS. Requires a homogeneous instance.
-std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance);
+std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance,
+                                                    FrontierStats* stats = nullptr);
 
 }  // namespace treeplace

@@ -18,6 +18,13 @@ Placement assignRequests(const ProblemInstance& instance,
                          const std::vector<char>& isReplica) {
   const Tree& tree = instance.tree;
   Placement placement(tree.vertexCount());
+  // Every client ends with one share plus at most one extra per replica (only
+  // the last client a replica touches can be split). Each split also
+  // relocates a one-share run inside the pool, leaving a one-slot hole, so
+  // reserving clients + 2x replicas keeps the whole assignment in one block.
+  std::size_t replicas = 0;
+  for (const char r : isReplica) replicas += static_cast<std::size_t>(r);
+  placement.reserveShares(tree.clients().size() + 2 * replicas);
   std::vector<Requests> remaining = instance.requests;
   const Requests W = instance.homogeneousCapacity();
 

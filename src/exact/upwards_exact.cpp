@@ -5,6 +5,7 @@
 #include <limits>
 #include <span>
 
+#include "core/bounds.hpp"
 #include "support/require.hpp"
 
 namespace treeplace {
@@ -61,12 +62,35 @@ class Search {
       }
     }
     choice_.assign(clients_.size(), -1);
+
+    if (options.frontierPruning) {
+      // Per-subtree frontier relaxation (valid for every policy): a floor on
+      // the total server count for the DFS and a cost floor that can prove
+      // the greedy incumbent optimal before the first branch.
+      const FrontierSubtreeRelaxation relaxation(instance);
+      relaxationInfeasible_ = !relaxation.feasible();
+      minTotalServers_ = relaxation.minTotalReplicas();
+      costFloor_ = relaxation.decompositionBound();
+    }
   }
 
   UpwardsExactResult run() {
-    seedIncumbent();
-    dfs(0, 0.0, 0);
     UpwardsExactResult result;
+    if (relaxationInfeasible_) {
+      // Even the Multiple relaxation cannot serve all requests; Upwards
+      // (which only restricts it) has no solution either.
+      result.proven = true;
+      return result;
+    }
+    seedIncumbent();
+    if (bestCost_ < std::numeric_limits<double>::infinity() &&
+        bestCost_ <= costFloor_ + 1e-9) {
+      // The incumbent meets the frontier floor: optimal, no search needed.
+      result.proven = true;
+      result.placement = buildPlacement();
+      return result;
+    }
+    dfs(0, 0.0, 0);
     result.steps = steps_;
     result.proven = steps_ < options_.maxSteps;
     if (bestCost_ < std::numeric_limits<double>::infinity())
@@ -135,6 +159,13 @@ class Search {
           static_cast<double>(uncovered) / static_cast<double>(maxCapacity_));
       extra = std::max(extra, serversNeeded * minStorageCost_);
     }
+    // Frontier count floor: the final solution has >= minTotalServers_
+    // distinct servers whatever happens below, so at least that many minus
+    // the already-opened ones must still be paid for.
+    if (minTotalServers_ > openedCount_) {
+      extra = std::max(extra, static_cast<double>(minTotalServers_ - openedCount_) *
+                                  minStorageCost_);
+    }
     if (cost + extra >= bestCost_ - 1e-9) return;
 
     const ClientInfo& client = clients_[k];
@@ -157,6 +188,7 @@ class Search {
       if (cost + addedCost >= bestCost_ - 1e-9 && newlyOpened) continue;
 
       opened_[ji] = 1;
+      if (newlyOpened) ++openedCount_;
       residual_[ji] -= client.requests;
       remainingDemand_ -= client.requests;
       choice_[k] = static_cast<int>(a);
@@ -168,7 +200,10 @@ class Search {
       choice_[k] = -1;
       remainingDemand_ += client.requests;
       residual_[ji] += client.requests;
-      if (newlyOpened) opened_[ji] = 0;
+      if (newlyOpened) {
+        opened_[ji] = 0;
+        --openedCount_;
+      }
       if (steps_ >= options_.maxSteps) return;
     }
   }
@@ -203,6 +238,10 @@ class Search {
   Requests maxCapacity_ = 0;
   double bestCost_ = std::numeric_limits<double>::infinity();
   long steps_ = 0;
+  int openedCount_ = 0;
+  std::int32_t minTotalServers_ = 0;
+  double costFloor_ = 0.0;
+  bool relaxationInfeasible_ = false;
 };
 
 }  // namespace

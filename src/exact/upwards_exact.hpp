@@ -9,6 +9,13 @@ namespace treeplace {
 
 struct UpwardsExactOptions {
   long maxSteps = 5'000'000;  ///< DFS node budget
+  /// Prune with core/bounds' FrontierSubtreeRelaxation: a pre-pass computes
+  /// the minimum total replica count and an additive cost floor from the
+  /// per-subtree frontiers; the DFS then cuts branches that cannot open
+  /// enough servers below the incumbent, detects relaxation-infeasible
+  /// instances without search, and stops as soon as the greedy incumbent
+  /// meets the floor. Off reproduces the static cover-bound-only search.
+  bool frontierPruning = true;
 };
 
 struct UpwardsExactResult {

@@ -139,4 +139,23 @@ void writeFrontierStats(JsonWriter& json, const FrontierStats& stats) {
   json.endObject();
 }
 
+std::string renderPlacementStats(const PlacementStats& stats) {
+  std::ostringstream os;
+  os << stats.shareCount << " shares in " << stats.poolBytes << " B pool, "
+     << stats.assignCalls << " assigns, " << stats.heapAllocs
+     << " heap allocations (vector-per-client layout: "
+     << stats.legacyHeapAllocs << ")";
+  return os.str();
+}
+
+void writePlacementStats(JsonWriter& json, const PlacementStats& stats) {
+  json.beginObject();
+  json.key("pool_bytes").value(stats.poolBytes);
+  json.key("shares").value(stats.shareCount);
+  json.key("assign_calls").value(stats.assignCalls);
+  json.key("heap_allocs").value(stats.heapAllocs);
+  json.key("legacy_heap_allocs").value(stats.legacyHeapAllocs);
+  json.endObject();
+}
+
 }  // namespace treeplace

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "core/frontier.hpp"
+#include "core/placement.hpp"
 #include "experiments/runner.hpp"
 
 namespace treeplace {
@@ -37,5 +38,15 @@ std::string renderFrontierStats(const FrontierStats& stats);
 /// "entries_merged":..,"convolutions":..} into an open writer position.
 class JsonWriter;  // support/json.hpp
 void writeFrontierStats(JsonWriter& json, const FrontierStats& stats);
+
+/// One-line human rendering of a placement's storage telemetry
+/// (core/placement.hpp): pool footprint, share/assign counts, and the
+/// heap-allocation comparison against the retired vector-per-client layout.
+std::string renderPlacementStats(const PlacementStats& stats);
+
+/// Emit the telemetry as a JSON object {"pool_bytes":..,"shares":..,
+/// "assign_calls":..,"heap_allocs":..,"legacy_heap_allocs":..} into an open
+/// writer position, so benches can track the allocation win across PRs.
+void writePlacementStats(JsonWriter& json, const PlacementStats& stats);
 
 }  // namespace treeplace

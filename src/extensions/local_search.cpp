@@ -7,20 +7,40 @@
 namespace treeplace {
 namespace {
 
+/// One planned reassignment of retargetToServer.
+struct Move {
+  VertexId client;
+  VertexId from;
+  Requests amount;
+};
+
+/// Scratch buffers shared by every candidate move of one improvePlacement
+/// call, so steady-state enumeration reuses their capacity.
+struct MoveScratch {
+  std::vector<ServedShare> run;
+  std::vector<Move> moves;
+};
+
 /// Try to close server `victim`: redistribute each of its shares to other
 /// replicas on the owning client's root path with spare capacity. Returns
 /// the repaired placement, or nullopt if some share cannot be rehomed.
+/// Candidate placements are acquired from (and handed back to) `arena`, so
+/// the whole move enumeration recycles one set of buffers.
 std::optional<Placement> dropServer(const ProblemInstance& instance,
-                                    const Placement& placement, VertexId victim) {
+                                    const Placement& placement, VertexId victim,
+                                    PlacementArena& arena, MoveScratch& scratch) {
   const Tree& tree = instance.tree;
-  Placement next(tree.vertexCount());
-  for (const VertexId r : placement.replicaList())
-    if (r != victim) next.addReplica(r);
+  Placement next = arena.acquire(tree.vertexCount());
+  for (const VertexId r : tree.internals())
+    if (r != victim && placement.hasReplica(r)) next.addReplica(r);
 
-  // Copy all assignments not owned by the victim.
+  // Copy all assignments not owned by the victim, one run per client.
+  std::vector<ServedShare>& run = scratch.run;
   for (const VertexId client : tree.clients()) {
+    run.clear();
     for (const ServedShare& share : placement.shares(client))
-      if (share.server != victim) next.assign(client, share.server, share.amount);
+      if (share.server != victim) run.push_back(share);
+    next.assignRun(client, run);
   }
   // Rehome the victim's shares greedily, closest surviving replica first.
   for (const VertexId client : tree.clients()) {
@@ -37,7 +57,10 @@ std::optional<Placement> dropServer(const ProblemInstance& instance,
         next.assign(client, hop, take);
         rest -= take;
       }
-      if (rest > 0) return std::nullopt;  // victim is load-bearing
+      if (rest > 0) {  // victim is load-bearing
+        arena.recycle(std::move(next));
+        return std::nullopt;
+      }
     }
   }
   return next;
@@ -49,7 +72,9 @@ std::optional<Placement> dropServer(const ProblemInstance& instance,
 /// cutting storage/write cost once the sources drain empty).
 std::optional<Placement> retargetToServer(const ProblemInstance& instance,
                                           const Placement& placement,
-                                          VertexId candidate, bool fromAbove) {
+                                          VertexId candidate, bool fromAbove,
+                                          PlacementArena& arena,
+                                          MoveScratch& scratch) {
   const Tree& tree = instance.tree;
   Requests spare = instance.capacity[static_cast<std::size_t>(candidate)] -
                    placement.serverLoad(candidate);
@@ -57,12 +82,8 @@ std::optional<Placement> retargetToServer(const ProblemInstance& instance,
 
   // Collect the moves first, then build a fresh placement (shares cannot be
   // removed in place).
-  struct Move {
-    VertexId client;
-    VertexId from;
-    Requests amount;
-  };
-  std::vector<Move> moves;
+  std::vector<Move>& moves = scratch.moves;
+  moves.clear();
   for (const VertexId client : tree.clientsInSubtree(candidate)) {
     for (const ServedShare& share : placement.shares(client)) {
       if (spare == 0) break;
@@ -76,30 +97,36 @@ std::optional<Placement> retargetToServer(const ProblemInstance& instance,
   }
   if (moves.empty()) return std::nullopt;
 
-  Placement rebuilt(tree.vertexCount());
-  for (const VertexId r : placement.replicaList()) rebuilt.addReplica(r);
+  Placement rebuilt = arena.acquire(tree.vertexCount());
+  for (const VertexId r : tree.internals())
+    if (placement.hasReplica(r)) rebuilt.addReplica(r);
   rebuilt.addReplica(candidate);
+  std::vector<ServedShare>& run = scratch.run;
   for (const VertexId client : tree.clients()) {
+    run.clear();
     for (const ServedShare& share : placement.shares(client)) {
       Requests amount = share.amount;
       for (const Move& move : moves)
         if (move.client == client && move.from == share.server) amount -= move.amount;
-      if (amount > 0) rebuilt.assign(client, share.server, amount);
+      if (amount > 0) run.push_back({share.server, amount});
     }
+    rebuilt.assignRun(client, run);
   }
   for (const Move& move : moves) rebuilt.assign(move.client, candidate, move.amount);
   return rebuilt;
 }
 
 /// Drop replicas that ended up with zero load (cost for nothing).
-void pruneUnused(const ProblemInstance& instance, Placement& placement) {
-  Placement cleaned(instance.tree.vertexCount());
+void pruneUnused(const ProblemInstance& instance, Placement& placement,
+                 PlacementArena& arena) {
+  Placement cleaned = arena.acquire(instance.tree.vertexCount());
   for (const VertexId client : instance.tree.clients())
-    for (const ServedShare& share : placement.shares(client))
-      cleaned.assign(client, share.server, share.amount);
-  for (const VertexId r : placement.replicaList())
-    if (cleaned.serverLoad(r) > 0) cleaned.addReplica(r);
+    cleaned.assignRun(client, placement.shares(client));
+  for (const VertexId r : instance.tree.internals())
+    if (placement.hasReplica(r) && cleaned.serverLoad(r) > 0) cleaned.addReplica(r);
+  Placement retired = std::move(placement);
   placement = std::move(cleaned);
+  arena.recycle(std::move(retired));
 }
 
 }  // namespace
@@ -107,7 +134,9 @@ void pruneUnused(const ProblemInstance& instance, Placement& placement) {
 LocalSearchResult improvePlacement(const ProblemInstance& instance, Placement start,
                                    const CostModel& model,
                                    const LocalSearchOptions& options) {
-  pruneUnused(instance, start);
+  PlacementArena arena;
+  MoveScratch scratch;
+  pruneUnused(instance, start, arena);
   LocalSearchResult result{std::move(start), 0.0, 0};
   result.objective = compositeObjective(instance, result.placement, model);
 
@@ -116,15 +145,17 @@ LocalSearchResult improvePlacement(const ProblemInstance& instance, Placement st
 
     if (options.allowDrop) {
       for (const VertexId victim : result.placement.replicaList()) {
-        auto next = dropServer(instance, result.placement, victim);
+        auto next = dropServer(instance, result.placement, victim, arena, scratch);
         if (!next) continue;
         const double objective = compositeObjective(instance, *next, model);
         if (objective < result.objective - 1e-9) {
+          arena.recycle(std::move(result.placement));
           result.placement = std::move(*next);
           result.objective = objective;
           improved = true;
           break;  // first improvement; re-enumerate moves
         }
+        arena.recycle(std::move(*next));
       }
     }
     if (!improved && options.allowOpen) {
@@ -134,16 +165,19 @@ LocalSearchResult improvePlacement(const ProblemInstance& instance, Placement st
       for (const bool fromAbove : {true, false}) {
         for (const VertexId candidate : instance.tree.internals()) {
           if (fromAbove && result.placement.hasReplica(candidate)) continue;
-          auto next = retargetToServer(instance, result.placement, candidate, fromAbove);
+          auto next = retargetToServer(instance, result.placement, candidate,
+                                       fromAbove, arena, scratch);
           if (!next) continue;
-          pruneUnused(instance, *next);
+          pruneUnused(instance, *next, arena);
           const double objective = compositeObjective(instance, *next, model);
           if (objective < result.objective - 1e-9) {
+            arena.recycle(std::move(result.placement));
             result.placement = std::move(*next);
             result.objective = objective;
             improved = true;
             break;
           }
+          arena.recycle(std::move(*next));
         }
         if (improved) break;
       }

@@ -50,10 +50,16 @@ LowerBoundResult refinedLowerBound(const ProblemInstance& instance,
     return result;
   }
   result.lpFeasible = true;
-  // Never report below the structure-free floor (also shields against a
-  // -infinity bound if the node budget was exhausted at the root).
+  // Never report below the combinatorial floors: the structure-free
+  // fractional cover and the per-subtree frontier decomposition (both valid
+  // for every policy, and the latter sees tree structure the LP relaxation
+  // blurs). This also shields against a -infinity bound if the node budget
+  // was exhausted at the root.
+  const FrontierSubtreeRelaxation frontier(instance);
+  result.frontierBound = frontier.decompositionBound();
   result.bound = tighten(
-      instance, std::max(mip.lowerBound, fractionalCoverLowerBound(instance)));
+      instance, std::max({mip.lowerBound, fractionalCoverLowerBound(instance),
+                          result.frontierBound}));
   result.exact = mip.proven;
   return result;
 }

@@ -22,6 +22,11 @@ struct LowerBoundResult {
   /// computed from the Multiple relaxation, and Multiple <= Upwards <=
   /// Closest in optimal cost). -infinity only if the LP solver failed.
   double bound = 0.0;
+  /// The combinatorial frontier floor folded into `bound`: the per-subtree
+  /// decomposition bound of core/bounds' FrontierSubtreeRelaxation (0 when it
+  /// has nothing to say). Exposed separately so benches can report how often
+  /// the frontier refinement, not the LP, carries the bound.
+  double frontierBound = 0.0;
   bool exact = false;        ///< branch-and-bound proved the bound tight
   bool lpFeasible = false;   ///< the rational Multiple program has a solution
   long nodesExplored = 0;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "exact/exact_ilp.hpp"
+#include "exact/multiple_homogeneous.hpp"
 #include "test_util.hpp"
+#include "tree/builder.hpp"
 #include "tree/paper_instances.hpp"
 
 namespace treeplace {
@@ -49,6 +52,64 @@ TEST(Bounds, FractionalCoverInfeasibleStillBounded) {
   const ProblemInstance inst =
       testutil::chainInstance(3, 3, {10}, /*unitCosts=*/false);
   EXPECT_DOUBLE_EQ(fractionalCoverLowerBound(inst), 6.0);
+}
+
+TEST(FrontierRelaxation, ExactOnHomogeneousMultiple) {
+  // On homogeneous instances the relaxation's place step coincides with the
+  // Multiple DP, so the total floor equals the true optimal replica count.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        seed * 271 + 5, 0.3 + 0.05 * static_cast<double>(seed % 8),
+        /*hetero=*/false, /*unit=*/true, 6, 30);
+    const FrontierSubtreeRelaxation relaxation(inst);
+    const auto optimal = optimalMultipleReplicaCount(inst);
+    ASSERT_EQ(relaxation.feasible(), optimal.has_value()) << "seed " << seed;
+    if (!optimal) continue;
+    EXPECT_EQ(static_cast<std::size_t>(relaxation.minTotalReplicas()), *optimal)
+        << "seed " << seed;
+    // Unit costs: the decomposition floor cannot exceed the replica count.
+    EXPECT_LE(relaxation.decompositionBound(),
+              static_cast<double>(*optimal) + 1e-9)
+        << "seed " << seed;
+  }
+}
+
+TEST(FrontierRelaxation, DecompositionBoundBelowHeterogeneousOptimum) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        seed * 577 + 1, 0.5, /*hetero=*/true, /*unit=*/false, 6, 12);
+    const FrontierSubtreeRelaxation relaxation(inst);
+    const ExactIlpResult exact = solveExactViaIlp(inst, Policy::Multiple);
+    ASSERT_TRUE(exact.proven) << "seed " << seed;
+    if (!exact.feasible()) continue;
+    ASSERT_TRUE(relaxation.feasible()) << "seed " << seed;
+    EXPECT_LE(relaxation.decompositionBound(), exact.cost + 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(FrontierRelaxation, SubtreeFloorSeesDeepStructure) {
+  // A tight mid subtree forces a replica below the root even though the
+  // structure-free cover bound only sees aggregate capacity: client demand 6
+  // can only flow 4 up past mid, so mid's subtree needs a replica.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(4);
+  const VertexId mid = b.addInternal(root, 10);
+  b.addClient(mid, 6);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  const FrontierSubtreeRelaxation relaxation(inst);
+  ASSERT_TRUE(relaxation.feasible());
+  EXPECT_EQ(relaxation.minReplicasIn(mid), 1);
+  EXPECT_EQ(relaxation.minTotalReplicas(), 1);
+  EXPECT_DOUBLE_EQ(relaxation.decompositionBound(), 1.0);
+  (void)root;
+}
+
+TEST(FrontierRelaxation, DetectsStructuralInfeasibility) {
+  // Demand exceeds every capacity on the root path: no policy can serve it.
+  const ProblemInstance inst = testutil::chainInstance(3, 3, {10});
+  const FrontierSubtreeRelaxation relaxation(inst);
+  EXPECT_FALSE(relaxation.feasible());
 }
 
 }  // namespace

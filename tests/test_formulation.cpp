@@ -171,5 +171,37 @@ TEST(LowerBound, InfeasibleInstanceReported) {
   EXPECT_FALSE(lb.lpFeasible);
 }
 
+TEST(LowerBound, FrontierFloorFoldedIn) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ProblemInstance inst =
+        testutil::smallRandomInstance(seed * 41, 0.6, /*hetero=*/true, /*unit=*/false);
+    const LowerBoundResult lb = refinedLowerBound(inst);
+    if (!lb.lpFeasible) continue;
+    EXPECT_GE(lb.frontierBound, 0.0) << "seed " << seed;
+    // The reported bound is never below the frontier floor it folds in.
+    EXPECT_GE(lb.bound, lb.frontierBound - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(LowerBound, FrontierFloorCarriesDeepStructure) {
+  // Root capacity below the demand of a deep client: the per-subtree frontier
+  // sees that a replica must sit inside the mid subtree *and* the root must
+  // still be covered... the LP sees it too, but the floor alone already
+  // reaches the optimum here.
+  TreeBuilder b;
+  const VertexId root = b.addRoot(4);
+  const VertexId mid = b.addInternal(root, 10);
+  b.addClient(mid, 6);
+  b.addClient(root, 4);
+  b.useUnitCosts();
+  const ProblemInstance inst = b.build();
+  const LowerBoundResult lb = refinedLowerBound(inst);
+  ASSERT_TRUE(lb.lpFeasible);
+  EXPECT_GE(lb.frontierBound, 2.0 - 1e-9);
+  EXPECT_GE(lb.bound, 2.0 - 1e-9);
+  (void)root;
+  (void)mid;
+}
+
 }  // namespace
 }  // namespace treeplace

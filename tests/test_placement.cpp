@@ -80,5 +80,125 @@ TEST(Placement, Equality) {
   EXPECT_NE(a, b);
 }
 
+TEST(Placement, EqualityIsShareOrderInsensitive) {
+  // Per-client share order is documented "unspecified": two placements built
+  // in opposite orders are the same logical assignment.
+  Placement a(4), b(4);
+  a.addReplica(0);
+  a.addReplica(1);
+  b.addReplica(0);
+  b.addReplica(1);
+  a.assign(3, 0, 2);
+  a.assign(3, 1, 5);
+  b.assign(3, 1, 5);
+  b.assign(3, 0, 2);
+  EXPECT_EQ(a, b);
+  // Same servers, different split: not equal.
+  Placement c(4);
+  c.addReplica(0);
+  c.addReplica(1);
+  c.assign(3, 1, 2);
+  c.assign(3, 0, 5);
+  EXPECT_NE(a, c);
+}
+
+TEST(Placement, AssignRunRecordsAWholeRun) {
+  Placement p(6);
+  const ServedShare run[] = {{1, 4}, {0, 2}};
+  p.assignRun(3, run);
+  ASSERT_EQ(p.shares(3).size(), 2u);
+  EXPECT_EQ(p.assignedOf(3), 6);
+  EXPECT_EQ(p.serverLoad(1), 4);
+  EXPECT_EQ(p.serverLoad(0), 2);
+  // Accumulation still works on top of a bulk run.
+  p.assign(3, 1, 1);
+  EXPECT_EQ(p.serverLoad(1), 5);
+  ASSERT_EQ(p.shares(3).size(), 2u);
+}
+
+TEST(Placement, AssignRunRejectsBadRuns) {
+  Placement p(6);
+  const ServedShare dupes[] = {{1, 4}, {1, 2}};
+  EXPECT_THROW(p.assignRun(3, dupes), PreconditionError);
+  Placement q(6);
+  const ServedShare zero[] = {{1, 0}};
+  EXPECT_THROW(q.assignRun(3, zero), PreconditionError);
+  Placement r(6);
+  const ServedShare first[] = {{1, 4}};
+  r.assignRun(3, first);
+  EXPECT_THROW(r.assignRun(3, first), PreconditionError);  // run already set
+}
+
+TEST(Placement, InterleavedAssignsKeepRunsConsistent) {
+  // Interleaving clients forces run relocations inside the shared pool; the
+  // logical views must be unaffected.
+  Placement p(8);
+  for (int round = 1; round <= 3; ++round) {
+    for (VertexId client = 4; client < 8; ++client)
+      p.assign(client, client % 4, round);
+  }
+  for (VertexId client = 4; client < 8; ++client) {
+    ASSERT_EQ(p.shares(client).size(), 1u);
+    EXPECT_EQ(p.shares(client).front().server, client % 4);
+    EXPECT_EQ(p.assignedOf(client), 6);
+  }
+  // Distinct servers per client now: runs grow past their capacity.
+  for (VertexId client = 4; client < 8; ++client)
+    for (VertexId server = 0; server < 4; ++server)
+      if (server != client % 4) p.assign(client, server, 1);
+  for (VertexId client = 4; client < 8; ++client) {
+    EXPECT_EQ(p.shares(client).size(), 4u);
+    EXPECT_EQ(p.assignedOf(client), 9);
+  }
+  for (VertexId server = 0; server < 4; ++server)
+    EXPECT_EQ(p.serverLoad(server), 6 + 3);
+}
+
+TEST(Placement, StatsTrackSharesAndAllocations) {
+  Placement p(10);
+  p.reserveShares(8);
+  for (VertexId client = 5; client < 10; ++client)
+    p.assign(client, 0, 1);
+  const PlacementStats stats = p.stats();
+  EXPECT_EQ(stats.shareCount, 5u);
+  EXPECT_EQ(stats.assignCalls, 5u);
+  EXPECT_GE(stats.poolBytes, 8 * sizeof(ServedShare));
+  // 3 fixed buffers + 1 pool reserve; the legacy layout would have paid one
+  // vector per served client on top of its 3 fixed buffers.
+  EXPECT_EQ(stats.heapAllocs, 4u);
+  EXPECT_EQ(stats.legacyHeapAllocs, 5u + 3u);
+}
+
+TEST(PlacementArena, RecyclingAvoidsAllocations) {
+  PlacementArena arena;
+  // Warm the arena with one build/recycle cycle.
+  {
+    Placement p = arena.acquire(16);
+    p.reserveShares(8);
+    for (VertexId client = 8; client < 16; ++client) p.assign(client, 0, 2);
+    arena.recycle(std::move(p));
+  }
+  Placement p = arena.acquire(16);
+  for (VertexId client = 8; client < 16; ++client) p.assign(client, 0, 2);
+  EXPECT_EQ(p.stats().heapAllocs, 0u);  // everything came from recycled buffers
+  EXPECT_EQ(p.serverLoad(0), 16);
+  EXPECT_EQ(p.shares(9).size(), 1u);
+}
+
+TEST(PlacementArena, AcquiredPlacementsStartEmpty) {
+  PlacementArena arena;
+  {
+    Placement p = arena.acquire(5);
+    p.addReplica(1);
+    p.assign(3, 1, 7);
+    arena.recycle(std::move(p));
+  }
+  const Placement p = arena.acquire(5);
+  EXPECT_EQ(p.replicaCount(), 0u);
+  EXPECT_EQ(p.serverLoad(1), 0);
+  EXPECT_TRUE(p.shares(3).empty());
+  EXPECT_EQ(p, Placement(5));
+}
+
 }  // namespace
 }  // namespace treeplace

@@ -1,0 +1,303 @@
+// The QoS 3-D dominance sweep (core/frontier's QosFrontierSweep) against a
+// brute-force oracle, and the ported closest_qos solver against a verbatim
+// copy of the pre-refactor nested-vector implementation: same feasibility,
+// byte-identical replica sets, on 100 random QoS instances.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "exact/closest_qos.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct Point {
+  std::int32_t count;
+  Requests flow;
+  double slack;
+
+  friend bool operator==(const Point&, const Point&) = default;
+};
+
+/// Brute-force 3-D prune: keep every candidate no other candidate dominates
+/// (count <=, flow <=, slack >=, non-strict as in the pre-refactor prune, so
+/// exact duplicates collapse), output sorted by (count, flow).
+std::vector<Point> oraclePrune(const std::vector<Point>& candidates) {
+  std::vector<Point> kept;
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const Point& e = candidates[i];
+    bool dominated = false;
+    for (std::size_t j = 0; j < candidates.size() && !dominated; ++j) {
+      if (i == j) continue;
+      const Point& k = candidates[j];
+      if (k == e) {  // duplicates: keep only the first occurrence
+        dominated = j < i;
+        continue;
+      }
+      dominated = k.count <= e.count && k.flow <= e.flow && k.slack >= e.slack;
+    }
+    if (!dominated) kept.push_back(e);
+  }
+  std::sort(kept.begin(), kept.end(), [](const Point& a, const Point& b) {
+    if (a.count != b.count) return a.count < b.count;
+    return a.flow < b.flow;
+  });
+  return kept;
+}
+
+TEST(QosFrontierSweep, MatchesBruteForceOracleOnRandomBatches) {
+  Prng rng(0x9a5f31ULL);
+  for (int trial = 0; trial < 300; ++trial) {
+    const int m = 1 + static_cast<int>(rng.uniformInt(0, 24));
+    const auto maxCount = static_cast<std::int32_t>(rng.uniformInt(4, 12));
+    std::vector<Point> candidates;
+    for (int i = 0; i < m; ++i) {
+      // Coarse value grids make dominance, duplicate and tie cases frequent.
+      const Requests flow = static_cast<Requests>(rng.uniformInt(0, 6)) * 10;
+      const double slack = flow == 0
+                               ? kInf
+                               : static_cast<double>(rng.uniformInt(0, 5)) * 0.5;
+      candidates.push_back(
+          {static_cast<std::int32_t>(rng.uniformInt(0, static_cast<std::uint64_t>(maxCount))),
+           flow, slack});
+    }
+
+    QosFrontierArena arena;
+    arena.reset(64);
+    QosFrontierSweep sweep(arena);
+    sweep.begin(maxCount);
+    for (std::size_t i = 0; i < candidates.size(); ++i)
+      sweep.add({candidates[i].count, candidates[i].flow, candidates[i].slack,
+                 static_cast<std::int32_t>(i), 0});
+    const FrontierSpan result = sweep.emit();
+
+    std::vector<Point> got;
+    for (const QosFrontierEntry& e : arena.view(result))
+      got.push_back({e.count, e.flow, e.slack});
+    EXPECT_EQ(got, oraclePrune(candidates)) << "trial " << trial;
+  }
+}
+
+TEST(QosFrontierSweep, KeepsTheFirstOfExactDuplicates) {
+  QosFrontierArena arena;
+  arena.reset(8);
+  QosFrontierSweep sweep(arena);
+  sweep.begin(4);
+  sweep.add({2, 10, 1.5, 7, 0});   // first occurrence wins ...
+  sweep.add({2, 10, 1.5, 99, 1});  // ... the duplicate's backpointers lose
+  const FrontierSpan result = sweep.emit();
+  ASSERT_EQ(result.size, 1u);
+  EXPECT_EQ(arena.at(result, 0).prev, 7);
+  EXPECT_EQ(arena.at(result, 0).child, 0);
+}
+
+TEST(QosFrontierSweep, BucketsRecycleAcrossBatches) {
+  QosFrontierArena arena;
+  arena.reset(32);
+  QosFrontierSweep sweep(arena);
+  sweep.begin(3);
+  sweep.add({0, 5, 1.0, -1, -1});
+  sweep.add({1, 0, kInf, -1, -1});
+  (void)sweep.emit();
+  // A second batch must not see the first batch's candidates.
+  sweep.begin(3);
+  sweep.add({2, 7, 0.5, -1, -1});
+  const FrontierSpan second = sweep.emit();
+  ASSERT_EQ(second.size, 1u);
+  EXPECT_EQ(arena.at(second, 0).count, 2);
+  EXPECT_EQ(arena.at(second, 0).flow, 7);
+}
+
+// ---------------------------------------------------------------------------
+// Pre-refactor reference solver: the nested-vector + sort + O(k^2) prune
+// implementation, kept verbatim except that the sort is stabilised
+// (std::stable_sort) so tie-breaking among exactly equal states is
+// deterministic — the production sweep keeps the first-generated state, which
+// is precisely what a stable sort keeps.
+// ---------------------------------------------------------------------------
+
+namespace reference {
+
+struct Entry {
+  int count = 0;
+  Requests flow = 0;
+  double slack = kInf;
+  int combIndex = -1;
+  bool replicaHere = false;
+};
+
+struct CombEntry {
+  int count = 0;
+  Requests flow = 0;
+  double slack = kInf;
+  int prevIndex = -1;
+  int childIndex = -1;
+};
+
+template <typename E>
+void prune(std::vector<E>& entries) {
+  std::stable_sort(entries.begin(), entries.end(), [](const E& a, const E& b) {
+    if (a.count != b.count) return a.count < b.count;
+    if (a.flow != b.flow) return a.flow < b.flow;
+    return a.slack > b.slack;
+  });
+  std::vector<E> kept;
+  for (const E& e : entries) {
+    bool dominated = false;
+    for (const E& k : kept) {
+      if (k.count <= e.count && k.flow <= e.flow && k.slack >= e.slack) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) kept.push_back(e);
+  }
+  entries = std::move(kept);
+}
+
+std::optional<Placement> solve(const ProblemInstance& instance) {
+  const Requests W = instance.homogeneousCapacity();
+  const Tree& tree = instance.tree;
+  const std::size_t n = tree.vertexCount();
+
+  struct NodeState {
+    std::vector<std::vector<CombEntry>> combos;
+    std::vector<Entry> frontier;
+  };
+  std::vector<NodeState> states(n);
+
+  for (const VertexId v : tree.postorder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    NodeState& state = states[vi];
+    if (tree.isClient(v)) {
+      const Requests r = instance.requests[vi];
+      state.frontier.push_back({0, r, r > 0 ? instance.qos[vi] : kInf, -1, false});
+      continue;
+    }
+
+    std::vector<CombEntry> acc{{0, 0, kInf, -1, -1}};
+    for (const VertexId child : tree.children(v)) {
+      const double uplink = instance.commTime[static_cast<std::size_t>(child)];
+      const auto& childFrontier = states[static_cast<std::size_t>(child)].frontier;
+      std::vector<CombEntry> next;
+      for (std::size_t p = 0; p < acc.size(); ++p) {
+        for (std::size_t c = 0; c < childFrontier.size(); ++c) {
+          const double childSlack = childFrontier[c].flow > 0
+                                        ? childFrontier[c].slack - uplink
+                                        : kInf;
+          if (childSlack < -1e-9) continue;
+          next.push_back({acc[p].count + childFrontier[c].count,
+                          acc[p].flow + childFrontier[c].flow,
+                          std::min(acc[p].slack, childSlack), static_cast<int>(p),
+                          static_cast<int>(c)});
+        }
+      }
+      prune(next);
+      if (next.empty()) return std::nullopt;
+      state.combos.push_back(next);
+      acc = std::move(next);
+    }
+
+    std::vector<Entry> options;
+    const double comp = instance.compTime[vi];
+    for (std::size_t k = 0; k < acc.size(); ++k) {
+      options.push_back({acc[k].count, acc[k].flow, acc[k].slack,
+                         static_cast<int>(k), false});
+      if (acc[k].flow <= W && acc[k].slack >= comp - 1e-9)
+        options.push_back({acc[k].count + 1, 0, kInf, static_cast<int>(k), true});
+    }
+    prune(options);
+    state.frontier = std::move(options);
+  }
+
+  const auto rootIndex = static_cast<std::size_t>(tree.root());
+  const auto& rootFrontier = states[rootIndex].frontier;
+  int bestIdx = -1;
+  for (std::size_t k = 0; k < rootFrontier.size(); ++k) {
+    if (rootFrontier[k].flow == 0 &&
+        (bestIdx < 0 ||
+         rootFrontier[k].count < rootFrontier[static_cast<std::size_t>(bestIdx)].count))
+      bestIdx = static_cast<int>(k);
+  }
+  if (bestIdx < 0) return std::nullopt;
+
+  Placement placement(n);
+  struct Todo {
+    VertexId node;
+    int entryIndex;
+  };
+  std::vector<Todo> stack{{tree.root(), bestIdx}};
+  while (!stack.empty()) {
+    const Todo todo = stack.back();
+    stack.pop_back();
+    if (tree.isClient(todo.node)) continue;
+    const NodeState& state = states[static_cast<std::size_t>(todo.node)];
+    const Entry& entry = state.frontier[static_cast<std::size_t>(todo.entryIndex)];
+    if (entry.replicaHere) placement.addReplica(todo.node);
+    const auto children = tree.children(todo.node);
+    int combIdx = entry.combIndex;
+    for (std::size_t ci = children.size(); ci-- > 0;) {
+      const CombEntry& comb = state.combos[ci][static_cast<std::size_t>(combIdx)];
+      stack.push_back({children[ci], comb.childIndex});
+      combIdx = comb.prevIndex;
+    }
+  }
+
+  assignClientsToClosest(instance, placement);
+  return placement;
+}
+
+}  // namespace reference
+
+TEST(QosSolverEquivalence, ByteIdenticalReplicaSetsOn100RandomInstances) {
+  int feasible = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    GeneratorConfig config;
+    config.minSize = 8;
+    config.maxSize = 36;
+    config.clientFraction = 0.55;
+    config.maxRequests = 8;
+    config.lambda = 0.2 + 0.07 * static_cast<double>(seed % 10);
+    config.unitCosts = true;
+    config.qosFraction = 0.5;
+    config.qosMinHops = 1;
+    config.qosMaxHops = 4;
+    Prng rng(seed * 613 + 7);
+    const ProblemInstance inst = generateInstance(config, rng);
+
+    const auto ported = solveClosestHomogeneousQos(inst);
+    const auto ref = reference::solve(inst);
+    ASSERT_EQ(ported.has_value(), ref.has_value()) << "seed " << seed;
+    if (!ported) continue;
+    ++feasible;
+    EXPECT_EQ(ported->replicaList(), ref->replicaList()) << "seed " << seed;
+    EXPECT_EQ(*ported, *ref) << "seed " << seed;  // full placement equality
+    EXPECT_TRUE(testutil::placementValid(inst, *ported, Policy::Closest))
+        << "seed " << seed;
+  }
+  // The suite must exercise real reconstructions, not just agree on "no".
+  EXPECT_GE(feasible, 30);
+}
+
+TEST(QosSolverEquivalence, PublishesFrontierTelemetry) {
+  const ProblemInstance inst = testutil::smallRandomInstance(
+      77, 0.5, /*hetero=*/false, /*unit=*/true, 20, 40);
+  FrontierStats stats;
+  (void)solveClosestHomogeneousQos(inst, &stats);
+  EXPECT_GT(stats.convolutions, 0u);
+  EXPECT_GT(stats.arenaBytes, 0u);
+  EXPECT_GT(stats.peakWidth, 0u);
+}
+
+}  // namespace
+}  // namespace treeplace

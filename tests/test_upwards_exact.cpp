@@ -84,8 +84,65 @@ TEST(UpwardsExact, StepBudgetReportsUnproven) {
   const ProblemInstance inst = fig3MultipleVsUpwardsHomogeneous(4);
   UpwardsExactOptions options;
   options.maxSteps = 3;
+  // Disable the frontier pre-pass: this test exercises the budget path, and
+  // the pre-pass can prove this instance before the first DFS step.
+  options.frontierPruning = false;
   const UpwardsExactResult r = solveUpwardsExact(inst, options);
   EXPECT_FALSE(r.proven);
+}
+
+TEST(UpwardsExact, FrontierPruningPreservesResults) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    for (const bool hetero : {false, true}) {
+      const ProblemInstance inst = testutil::smallRandomInstance(
+          seed * 389 + (hetero ? 13 : 0), 0.55, hetero, /*unit=*/!hetero,
+          /*minSize=*/6, /*maxSize=*/14);
+      UpwardsExactOptions pruned;
+      pruned.frontierPruning = true;
+      UpwardsExactOptions plain;
+      plain.frontierPruning = false;
+      const UpwardsExactResult withBound = solveUpwardsExact(inst, pruned);
+      const UpwardsExactResult without = solveUpwardsExact(inst, plain);
+      ASSERT_TRUE(withBound.proven && without.proven) << "seed " << seed;
+      ASSERT_EQ(withBound.feasible(), without.feasible())
+          << "seed " << seed << " hetero " << hetero;
+      if (!withBound.feasible()) continue;
+      EXPECT_NEAR(withBound.placement->storageCost(inst),
+                  without.placement->storageCost(inst), 1e-9)
+          << "seed " << seed << " hetero " << hetero;
+      EXPECT_TRUE(testutil::placementValid(inst, *withBound.placement, Policy::Upwards));
+    }
+  }
+}
+
+TEST(UpwardsExact, FrontierPruningNeverSearchesMore) {
+  // On the Theorem 2 3-PARTITION NO-family the frontier floor tightens the
+  // count bound; the pruned search must never expand more DFS steps.
+  for (const int m : {2, 4}) {
+    const Requests B = 16;
+    std::vector<Requests> values(static_cast<std::size_t>(3 * m - m / 2), 5);
+    values.resize(static_cast<std::size_t>(3 * m), 7);
+    const ProblemInstance inst = fig7ThreePartition(values, B);
+    UpwardsExactOptions pruned;
+    pruned.frontierPruning = true;
+    UpwardsExactOptions plain;
+    plain.frontierPruning = false;
+    const UpwardsExactResult withBound = solveUpwardsExact(inst, pruned);
+    const UpwardsExactResult without = solveUpwardsExact(inst, plain);
+    ASSERT_TRUE(withBound.proven && without.proven) << "m=" << m;
+    EXPECT_EQ(withBound.feasible(), without.feasible()) << "m=" << m;
+    EXPECT_LE(withBound.steps, without.steps) << "m=" << m;
+  }
+}
+
+TEST(UpwardsExact, RelaxationInfeasibleProvenWithoutSearch) {
+  // Demand above the whole root path's capacity: the frontier pre-pass proves
+  // infeasibility for every policy in zero DFS steps.
+  const ProblemInstance inst = testutil::chainInstance(3, 3, {10});
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  EXPECT_TRUE(r.proven);
+  EXPECT_FALSE(r.feasible());
+  EXPECT_EQ(r.steps, 0);
 }
 
 }  // namespace
