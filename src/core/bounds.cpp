@@ -1,6 +1,7 @@
 #include "core/bounds.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "support/require.hpp"
@@ -48,13 +49,32 @@ double fractionalCoverLowerBound(const ProblemInstance& instance) {
   return bound;
 }
 
+bool integralStorageCosts(const ProblemInstance& instance) {
+  for (const VertexId j : instance.tree.internals()) {
+    const double s = instance.storageCost[static_cast<std::size_t>(j)];
+    if (s != std::floor(s)) return false;
+  }
+  return true;
+}
+
 FrontierSubtreeRelaxation::FrontierSubtreeRelaxation(const ProblemInstance& instance)
     : tree_(&instance.tree) {
+  FrontierArena arena;
+  build(instance, arena);
+}
+
+FrontierSubtreeRelaxation::FrontierSubtreeRelaxation(const ProblemInstance& instance,
+                                                     FrontierArena& arena)
+    : tree_(&instance.tree) {
+  build(instance, arena);
+}
+
+void FrontierSubtreeRelaxation::build(const ProblemInstance& instance,
+                                      FrontierArena& arena) {
   const Tree& tree = instance.tree;
   const std::size_t n = tree.vertexCount();
   minReplicas_.assign(n, 0);
 
-  FrontierArena arena;
   arena.reset(4 * n);
   FrontierConvolver conv(arena);
   std::vector<FrontierSpan> frontier(n);

@@ -19,6 +19,11 @@ Requests countingLowerBound(const ProblemInstance& instance);
 /// sanity floor and a B&B seed.
 double fractionalCoverLowerBound(const ProblemInstance& instance);
 
+/// True when every internal storage cost is an integer — the precondition
+/// for rounding LP bounds up to the next integer (and for branch-and-bound's
+/// objective-granularity bucketing).
+bool integralStorageCosts(const ProblemInstance& instance);
+
 /// Per-subtree frontier relaxation of the Multiple policy (valid for every
 /// policy, heterogeneous or not): one bottom-up pass of the core/frontier DP
 /// with the place step absorbing min(flow, W_v) computes, for every vertex,
@@ -32,6 +37,13 @@ double fractionalCoverLowerBound(const ProblemInstance& instance);
 class FrontierSubtreeRelaxation {
  public:
   explicit FrontierSubtreeRelaxation(const ProblemInstance& instance);
+
+  /// Same relaxation, but the frontier slab lives in the caller's `arena`
+  /// (reset on entry, capacity kept): callers that bound many related
+  /// instances — benches, batched drivers — reuse one allocation instead of
+  /// paying a fresh slab per instance. The arena is pure scratch; the
+  /// relaxation keeps no reference to it after construction.
+  FrontierSubtreeRelaxation(const ProblemInstance& instance, FrontierArena& arena);
 
   /// False when even a replica on every internal node leaves requests
   /// unserved at the root — the instance is infeasible for every policy.
@@ -58,6 +70,8 @@ class FrontierSubtreeRelaxation {
   const FrontierStats& stats() const { return stats_; }
 
  private:
+  void build(const ProblemInstance& instance, FrontierArena& arena);
+
   const Tree* tree_;
   std::vector<std::int32_t> minReplicas_;
   double decompositionBound_ = 0.0;

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/frontier_fwd.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -99,8 +100,7 @@ class BasicFrontierArena {
   std::vector<Entry> slab_;
 };
 
-using FrontierArena = BasicFrontierArena<FrontierEntry>;
-using QosFrontierArena = BasicFrontierArena<QosFrontierEntry>;
+// FrontierArena / QosFrontierArena aliases live in core/frontier_fwd.hpp.
 
 /// Sort-free monotone merges over count-sorted / flow-decreasing frontiers.
 ///

@@ -1,0 +1,18 @@
+#pragma once
+
+// Forward declarations of the frontier arena types (core/frontier.hpp) for
+// headers that only pass arena pointers around — solver options structs stay
+// light without pulling in the template machinery.
+
+namespace treeplace {
+
+template <typename Entry>
+class BasicFrontierArena;
+
+struct FrontierEntry;
+struct QosFrontierEntry;
+
+using FrontierArena = BasicFrontierArena<FrontierEntry>;
+using QosFrontierArena = BasicFrontierArena<QosFrontierEntry>;
+
+}  // namespace treeplace

@@ -136,6 +136,66 @@ void Placement::assignRun(VertexId client, std::span<const ServedShare> run) {
   if (pool_.capacity() != oldCapacity) ++heapAllocs_;
 }
 
+void Placement::compact() {
+  compact(std::span<const VertexId>{});  // empty: ascending client-id order
+}
+
+void Placement::compact(std::span<const VertexId> clientOrder) {
+  const auto runOf = [this](VertexId client) -> ShareRun& {
+    TREEPLACE_REQUIRE(client >= 0 && static_cast<std::size_t>(client) < runs_.size(),
+                      "compact order entry out of range");
+    return runs_[static_cast<std::size_t>(client)];
+  };
+
+  if (pool_.size() == liveShares_) {
+    // No holes and no spare capacity; only the order can be off.
+    std::uint32_t next = 0;
+    bool ordered = true;
+    const auto check = [&](const ShareRun& run) {
+      if (run.size == 0) return;
+      if (run.begin != next) ordered = false;
+      next += run.size;
+    };
+    if (clientOrder.empty()) {
+      for (const ShareRun& run : runs_) check(run);
+    } else {
+      for (const VertexId c : clientOrder) check(runOf(c));
+      ordered = ordered && next == liveShares_;  // order covers every run
+    }
+    if (ordered) return;
+  }
+
+  std::vector<ServedShare> packed;
+  if (liveShares_ > 0) {
+    packed.reserve(liveShares_);
+    ++heapAllocs_;
+  }
+  const auto relocate = [&](ShareRun& run) {
+    const auto begin = static_cast<std::uint32_t>(packed.size());
+    for (std::uint32_t k = 0; k < run.size; ++k)
+      packed.push_back(pool_[run.begin + k]);
+    run = {begin, run.size, run.size};
+  };
+  if (clientOrder.empty()) {
+    for (ShareRun& run : runs_) relocate(run);
+  } else {
+    // Transient scratch, not part of the placement's buffers — a repeated
+    // client would re-copy from packed-space garbage and strand the omitted
+    // run's offsets past the shrunken pool.
+    std::vector<char> seen(runs_.size(), 0);
+    for (const VertexId c : clientOrder) {
+      ShareRun& run = runOf(c);
+      auto& mark = seen[static_cast<std::size_t>(c)];
+      TREEPLACE_REQUIRE(!mark, "compact order must not repeat clients");
+      mark = 1;
+      relocate(run);
+    }
+    TREEPLACE_REQUIRE(packed.size() == liveShares_,
+                      "compact order must cover every served client");
+  }
+  pool_ = std::move(packed);
+}
+
 std::span<const ServedShare> Placement::shares(VertexId client) const {
   TREEPLACE_REQUIRE(client >= 0 && static_cast<std::size_t>(client) < runs_.size(),
                     "client id out of range");
@@ -170,6 +230,7 @@ PlacementStats Placement::stats() const {
   stats.shareCount = liveShares_;
   stats.assignCalls = assignCalls_;
   stats.heapAllocs = heapAllocs_;
+  stats.holeSlots = pool_.size() - liveShares_;
   std::size_t servedClients = 0;
   for (const ShareRun& run : runs_)
     if (run.size > 0) ++servedClients;

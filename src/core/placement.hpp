@@ -25,6 +25,9 @@ struct PlacementStats {
   std::size_t shareCount = 0;   ///< live (client, server) shares
   std::size_t assignCalls = 0;  ///< assign()/assignRun() shares recorded
   std::size_t heapAllocs = 0;   ///< buffer allocations this placement paid
+  /// Pool slots not backing a live share (relocation holes + spare run
+  /// capacity); 0 after compact().
+  std::size_t holeSlots = 0;
   /// What the retired vector-per-client layout would have allocated for the
   /// same assignment (one vector per served client + its three fixed
   /// buffers): the committed bench telemetry tracks heapAllocs against this.
@@ -73,6 +76,19 @@ class Placement {
   /// Reserve pool room for `expectedShares` total shares up front so the
   /// pool never reallocates mid-build (solvers know their share count).
   void reserveShares(std::size_t expectedShares);
+
+  /// Rewrite the pool in ascending client-id order with no relocation holes
+  /// and no spare run capacity: afterwards the runs of served clients are
+  /// contiguous and ascending, so a client-order scan over shares() walks
+  /// the pool strictly sequentially. A no-op (and allocation-free) when
+  /// already compact. Invalidates share views, like assign().
+  void compact();
+
+  /// Same, but packs runs in the caller's scan order (e.g. the tree's
+  /// preorder client list, the order every solver and bench walks shares
+  /// in). `clientOrder` must cover every served client. Server-order
+  /// builders (Multiple pass 3) call this once after the build.
+  void compact(std::span<const VertexId> clientOrder);
 
   /// Shares of one client (unspecified order, servers unique). The view is
   /// invalidated by the next assign()/assignRun() call.

@@ -1,5 +1,9 @@
 #include "exact/exact_ilp.hpp"
 
+#include <algorithm>
+#include <optional>
+
+#include "core/bounds.hpp"
 #include "formulation/ilp.hpp"
 #include "support/require.hpp"
 
@@ -11,16 +15,50 @@ ExactIlpResult solveExactViaIlp(const ProblemInstance& instance, Policy policy,
   fo.integrality = FormulationOptions::Integrality::Exact;
   fo.enforceQos = options.enforceQos;
   fo.enforceBandwidth = options.enforceBandwidth;
-  const IlpFormulation formulation(instance, policy, fo);
+  IlpFormulation formulation(instance, policy, fo);
 
   lp::MipOptions mo = options.mip;
   if (mo.maxNodes == 100000 && formulation.model().variableCount() > 2000)
     mo.maxNodes = 20000;  // guard rail for accidentally large exact solves
-  const lp::MipResult mip = lp::solveMip(formulation.model(), mo);
+
+  // Branch the placement indicators before the assignment variables: fixing
+  // an x decides a whole server, after which the y's mostly come out
+  // integral on their own.
+  if (mo.branchPriority.empty()) {
+    mo.branchPriority.assign(
+        static_cast<std::size_t>(formulation.model().variableCount()), 0);
+    for (const VertexId j : instance.tree.internals())
+      mo.branchPriority[static_cast<std::size_t>(formulation.placementVar(j))] = 1;
+  }
+
+  if (options.symmetryCuts) formulation.addSymmetryCuts();
 
   ExactIlpResult result;
+  if (options.frontierCuts) {
+    std::optional<FrontierSubtreeRelaxation> relaxation;
+    if (options.boundsArena)
+      relaxation.emplace(instance, *options.boundsArena);
+    else
+      relaxation.emplace(instance);
+    if (!relaxation->feasible()) {
+      // Even the per-subtree relaxation cannot serve every request; QoS or
+      // bandwidth only restrict further, so the ILP is infeasible.
+      result.proven = true;
+      return result;
+    }
+    formulation.addFrontierCuts(*relaxation);
+    mo.knownLowerBound =
+        std::max(mo.knownLowerBound, relaxation->decompositionBound());
+    if (mo.objectiveGranularity == 0.0 && integralStorageCosts(instance))
+      mo.objectiveGranularity = 1.0;
+  }
+
+  const lp::MipResult mip = lp::solveMip(formulation.model(), mo);
+
   result.nodesExplored = mip.nodesExplored;
   result.proven = mip.proven;
+  result.warm = mip.warm;
+  result.lpMillis = mip.lpMillis;
   if (mip.hasIncumbent()) {
     result.placement = formulation.decode(mip.values);
     result.cost = result.placement->storageCost(instance);

@@ -68,6 +68,11 @@ Placement assignRequests(const ProblemInstance& instance,
     TREEPLACE_REQUIRE(remaining[static_cast<std::size_t>(client)] == 0,
                       "pass 3 failed to assign all requests — flow bookkeeping bug");
   }
+  // The server-order build above relocates a run whenever a replica splits a
+  // client that already holds a share, leaving holes behind; one compaction
+  // pass restores fully sequential scans in the preorder client order every
+  // consumer walks.
+  placement.compact(tree.clients());
   return placement;
 }
 

@@ -63,14 +63,56 @@ class Search {
     }
     choice_.assign(clients_.size(), -1);
 
+    // suffixIdentical_[k]: clients k..end are mutually identical (same parent
+    // and demand) — the regime where the symmetry reduction pins every
+    // remaining client to ancestor indices >= the current floor.
+    suffixIdentical_.assign(clients_.size(), 1);
+    for (std::size_t k = clients_.size(); k-- > 1;) {
+      const bool identical =
+          clients_[k - 1].requests == clients_[k].requests &&
+          tree.parent(clients_[k - 1].id) == tree.parent(clients_[k].id);
+      suffixIdentical_[k - 1] =
+          static_cast<char>(identical && suffixIdentical_[k]);
+    }
+
     if (options.frontierPruning) {
       // Per-subtree frontier relaxation (valid for every policy): a floor on
       // the total server count for the DFS and a cost floor that can prove
       // the greedy incumbent optimal before the first branch.
-      const FrontierSubtreeRelaxation relaxation(instance);
-      relaxationInfeasible_ = !relaxation.feasible();
-      minTotalServers_ = relaxation.minTotalReplicas();
-      costFloor_ = relaxation.decompositionBound();
+      std::optional<FrontierSubtreeRelaxation> relaxation;
+      if (options.boundsArena)
+        relaxation.emplace(instance, *options.boundsArena);
+      else
+        relaxation.emplace(instance);
+      relaxationInfeasible_ = !relaxation->feasible();
+      minTotalServers_ = relaxation->minTotalReplicas();
+      costFloor_ = relaxation->decompositionBound();
+      floorsOn_ = options.perSubtreeFloors;
+      if (floorsOn_) {
+        subtreeFloor_.assign(tree.vertexCount(), 0);
+        for (const VertexId v : tree.internals())
+          subtreeFloor_[static_cast<std::size_t>(v)] = relaxation->minReplicasIn(v);
+      }
+    }
+
+    trackAux_ = options.reachabilityPruning || floorsOn_;
+    if (trackAux_) {
+      const std::size_t n = tree.vertexCount();
+      ancCount_.assign(n, 0);
+      openedIn_.assign(n, 0);
+      openableIn_.assign(n, 0);
+      for (const ClientInfo& c : clients_)
+        for (const VertexId p : ancestorsOf(c))
+          ++ancCount_[static_cast<std::size_t>(p)];
+      usableResidual_ = 0;
+      for (const VertexId v : tree.internals()) {
+        const auto vi = static_cast<std::size_t>(v);
+        if (ancCount_[vi] == 0) continue;
+        usableResidual_ += residual_[vi];
+        if (instance.capacity[vi] > 0)
+          for (VertexId u = v; u != kNoVertex; u = tree.parent(u))
+            ++openableIn_[static_cast<std::size_t>(u)];
+      }
     }
   }
 
@@ -136,6 +178,28 @@ class Search {
     bestChoice_ = choice;
   }
 
+  /// Book a newly opened server into the subtree counters along its path.
+  void noteOpened(VertexId j, int delta) {
+    const Tree& tree = instance_.tree;
+    for (VertexId u = j; u != kNoVertex; u = tree.parent(u)) {
+      const auto ui = static_cast<std::size_t>(u);
+      openedIn_[ui] += delta;
+      openableIn_[ui] -= delta;  // an opened server is no longer openable
+    }
+  }
+
+  /// A node whose last interested client disappeared (or reappeared) moves
+  /// in/out of the openable and usable-residual pools.
+  void noteUsability(VertexId p, int delta) {
+    const auto pi = static_cast<std::size_t>(p);
+    usableResidual_ += delta * residual_[pi];
+    if (!opened_[pi] && instance_.capacity[pi] > 0) {
+      const Tree& tree = instance_.tree;
+      for (VertexId u = p; u != kNoVertex; u = tree.parent(u))
+        openableIn_[static_cast<std::size_t>(u)] += delta;
+    }
+  }
+
   void dfs(std::size_t k, double cost, Requests openResidual) {
     if (steps_ >= options_.maxSteps) return;
     ++steps_;
@@ -145,6 +209,36 @@ class Search {
         bestChoice_ = choice_;
       }
       return;
+    }
+
+    const ClientInfo& client = clients_[k];
+    const std::span<const VertexId> ancestors = ancestorsOf(client);
+    // Symmetry reduction: identical clients (same parent, same demand) are
+    // forced into non-decreasing ancestor index.
+    std::size_t firstAncestor = 0;
+    if (k > 0 && clients_[k - 1].requests == client.requests &&
+        instance_.tree.parent(clients_[k - 1].id) == instance_.tree.parent(client.id) &&
+        choice_[k - 1] >= 0)
+      firstAncestor = static_cast<std::size_t>(choice_[k - 1]);
+
+    if (trackAux_ && options_.reachabilityPruning) {
+      // The remaining clients can only be served by ancestors they still
+      // have; when those nodes' residual capacity cannot carry the remaining
+      // demand, no completion exists.
+      if (remainingDemand_ > usableResidual_) return;
+      if (suffixIdentical_[k]) {
+        // All remaining clients are identical: symmetry pins them to index
+        // >= firstAncestor, and each node only absorbs whole multiples of
+        // the shared demand.
+        const Requests d = client.requests;
+        Requests usable = 0;
+        for (std::size_t a = firstAncestor;
+             a < ancestors.size() && usable < remainingDemand_; ++a) {
+          const Requests r = residual_[static_cast<std::size_t>(ancestors[a])];
+          usable += r - r % d;
+        }
+        if (usable < remainingDemand_) return;
+      }
     }
 
     // Admissible pruning on the demand that cannot fit in opened nodes: the
@@ -166,17 +260,22 @@ class Search {
       extra = std::max(extra, static_cast<double>(minTotalServers_ - openedCount_) *
                                   minStorageCost_);
     }
+    if (floorsOn_) {
+      // Per-subtree floors along the client's root path: every subtree above
+      // this client must still reach its frontier floor, and future servers
+      // inside it can only come from the currently openable pool.
+      std::int32_t maxNeed = 0;
+      for (const VertexId v : ancestors) {
+        const auto vi = static_cast<std::size_t>(v);
+        const std::int32_t need = subtreeFloor_[vi] - openedIn_[vi];
+        if (need <= 0) continue;
+        if (need > openableIn_[vi]) return;  // floor out of reach: infeasible
+        maxNeed = std::max(maxNeed, need);
+      }
+      if (maxNeed > 0)
+        extra = std::max(extra, static_cast<double>(maxNeed) * minStorageCost_);
+    }
     if (cost + extra >= bestCost_ - 1e-9) return;
-
-    const ClientInfo& client = clients_[k];
-    const std::span<const VertexId> ancestors = ancestorsOf(client);
-    // Symmetry reduction: identical clients (same parent, same demand) are
-    // forced into non-decreasing ancestor index.
-    std::size_t firstAncestor = 0;
-    if (k > 0 && clients_[k - 1].requests == client.requests &&
-        instance_.tree.parent(clients_[k - 1].id) == instance_.tree.parent(client.id) &&
-        choice_[k - 1] >= 0)
-      firstAncestor = static_cast<std::size_t>(choice_[k - 1]);
 
     for (std::size_t a = firstAncestor; a < ancestors.size(); ++a) {
       const VertexId j = ancestors[a];
@@ -188,9 +287,19 @@ class Search {
       if (cost + addedCost >= bestCost_ - 1e-9 && newlyOpened) continue;
 
       opened_[ji] = 1;
-      if (newlyOpened) ++openedCount_;
+      if (newlyOpened) {
+        ++openedCount_;
+        if (trackAux_) noteOpened(j, +1);
+      }
       residual_[ji] -= client.requests;
       remainingDemand_ -= client.requests;
+      if (trackAux_) {
+        usableResidual_ -= client.requests;  // j is on the client's path
+        for (const VertexId p : ancestors) {
+          auto& count = ancCount_[static_cast<std::size_t>(p)];
+          if (--count == 0) noteUsability(p, -1);
+        }
+      }
       choice_[k] = static_cast<int>(a);
       const Requests residualDelta =
           newlyOpened ? instance_.capacity[ji] - client.requests : -client.requests;
@@ -198,11 +307,19 @@ class Search {
       dfs(k + 1, cost + addedCost, openResidual + residualDelta);
 
       choice_[k] = -1;
+      if (trackAux_) {
+        for (std::size_t p = ancestors.size(); p-- > 0;) {
+          auto& count = ancCount_[static_cast<std::size_t>(ancestors[p])];
+          if (count++ == 0) noteUsability(ancestors[p], +1);
+        }
+        usableResidual_ += client.requests;
+      }
       remainingDemand_ += client.requests;
       residual_[ji] += client.requests;
       if (newlyOpened) {
         opened_[ji] = 0;
         --openedCount_;
+        if (trackAux_) noteOpened(j, -1);
       }
       if (steps_ >= options_.maxSteps) return;
     }
@@ -232,6 +349,7 @@ class Search {
   std::vector<char> opened_;
   std::vector<int> choice_;
   std::vector<int> bestChoice_;
+  std::vector<char> suffixIdentical_;
   Requests remainingDemand_ = 0;
   double minUnopenedRatio_ = 0.0;
   double minStorageCost_ = 0.0;
@@ -242,6 +360,14 @@ class Search {
   std::int32_t minTotalServers_ = 0;
   double costFloor_ = 0.0;
   bool relaxationInfeasible_ = false;
+  // Per-subtree floor + reachability state (trackAux_).
+  bool floorsOn_ = false;
+  bool trackAux_ = false;
+  std::vector<std::int32_t> subtreeFloor_;
+  std::vector<std::int32_t> ancCount_;
+  std::vector<std::int32_t> openedIn_;
+  std::vector<std::int32_t> openableIn_;
+  Requests usableResidual_ = 0;
 };
 
 }  // namespace

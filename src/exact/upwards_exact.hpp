@@ -2,6 +2,7 @@
 
 #include <optional>
 
+#include "core/frontier_fwd.hpp"
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
@@ -16,6 +17,21 @@ struct UpwardsExactOptions {
   /// instances without search, and stops as soon as the greedy incumbent
   /// meets the floor. Off reproduces the static cover-bound-only search.
   bool frontierPruning = true;
+  /// Per-subtree count floors (needs frontierPruning): opened-in-subtree
+  /// counters along the ancestor path detect, at every DFS node, subtrees
+  /// whose frontier floor can no longer be met by the still-openable servers
+  /// below them — and charge the unmet deficit into the cost bound.
+  bool perSubtreeFloors = true;
+  /// Residual-reachability pruning: cut branches whose remaining demand
+  /// exceeds the residual capacity on the remaining clients' root paths —
+  /// including the sharper multiples-of-demand form when the remaining
+  /// clients are all identical (where the symmetry reduction pins their
+  /// admissible ancestors). This is what turns the Theorem 2 3-PARTITION
+  /// refutations from exponential walks into near-instant proofs.
+  bool reachabilityPruning = true;
+  /// Optional shared arena for the frontier pre-pass; benches that bound
+  /// many related instances reuse one allocation across calls.
+  FrontierArena* boundsArena = nullptr;
 };
 
 struct UpwardsExactResult {
@@ -31,9 +47,10 @@ struct UpwardsExactResult {
 /// for small instances (tests, reductions, the Table 1 scaling bench).
 ///
 /// Clients are assigned in decreasing request order to one ancestor each;
-/// pruning uses the fractional-cover bound on the remaining demand, and
-/// identical sibling clients are symmetry-reduced. Works for homogeneous and
-/// heterogeneous instances. Ignores QoS/bandwidth (Replica Cost problem).
+/// pruning uses the fractional-cover bound on the remaining demand, the
+/// frontier relaxation's per-subtree replica floors, residual reachability,
+/// and identical sibling clients are symmetry-reduced. Works for homogeneous
+/// and heterogeneous instances. Ignores QoS/bandwidth (Replica Cost problem).
 UpwardsExactResult solveUpwardsExact(const ProblemInstance& instance,
                                      const UpwardsExactOptions& options = {});
 

@@ -141,9 +141,9 @@ void writeFrontierStats(JsonWriter& json, const FrontierStats& stats) {
 
 std::string renderPlacementStats(const PlacementStats& stats) {
   std::ostringstream os;
-  os << stats.shareCount << " shares in " << stats.poolBytes << " B pool, "
-     << stats.assignCalls << " assigns, " << stats.heapAllocs
-     << " heap allocations (vector-per-client layout: "
+  os << stats.shareCount << " shares in " << stats.poolBytes << " B pool ("
+     << stats.holeSlots << " hole slots), " << stats.assignCalls << " assigns, "
+     << stats.heapAllocs << " heap allocations (vector-per-client layout: "
      << stats.legacyHeapAllocs << ")";
   return os.str();
 }
@@ -154,6 +154,7 @@ void writePlacementStats(JsonWriter& json, const PlacementStats& stats) {
   json.key("shares").value(stats.shareCount);
   json.key("assign_calls").value(stats.assignCalls);
   json.key("heap_allocs").value(stats.heapAllocs);
+  json.key("hole_slots").value(stats.holeSlots);
   json.key("legacy_heap_allocs").value(stats.legacyHeapAllocs);
   json.endObject();
 }

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 
+#include "core/bounds.hpp"
 #include "support/require.hpp"
 
 namespace treeplace {
@@ -21,6 +25,115 @@ IlpFormulation::IlpFormulation(const ProblemInstance& instance, Policy policy,
 
 int IlpFormulation::placementVar(VertexId node) const {
   return xVar_.at(static_cast<std::size_t>(node));
+}
+
+int IlpFormulation::addFrontierCuts(const FrontierSubtreeRelaxation& relaxation) {
+  const Tree& tree = instance_.tree;
+  // internals() is preorder-sorted, so the internal nodes of subtree(v) are a
+  // contiguous slice of it starting at v itself (same trick as core/bounds).
+  const auto& internals = tree.internals();
+  std::vector<std::int32_t> prePos(tree.vertexCount(), 0);
+  {
+    const auto& pre = tree.preorder();
+    for (std::size_t i = 0; i < pre.size(); ++i)
+      prePos[static_cast<std::size_t>(pre[i])] = static_cast<std::int32_t>(i);
+  }
+  std::vector<std::int32_t> intPos(internals.size());
+  std::vector<std::size_t> intIndex(tree.vertexCount(), 0);
+  for (std::size_t k = 0; k < internals.size(); ++k) {
+    intPos[k] = prePos[static_cast<std::size_t>(internals[k])];
+    intIndex[static_cast<std::size_t>(internals[k])] = k;
+  }
+
+  int rows = 0;
+  std::vector<Term> terms;
+  for (const VertexId v : tree.internals()) {
+    const auto vi = static_cast<std::size_t>(v);
+    const std::int32_t floor = relaxation.minReplicasIn(v);
+    if (floor <= 0) continue;
+    // Children's floors add over their disjoint subtrees; when they already
+    // cover this floor the cut is implied and only slows the LP down.
+    std::int32_t childSum = 0;
+    for (const VertexId c : tree.children(v))
+      if (tree.isInternal(c)) childSum += relaxation.minReplicasIn(c);
+    if (childSum >= floor) continue;
+
+    const std::size_t begin = intIndex[vi];
+    const auto endPos = prePos[vi] + static_cast<std::int32_t>(tree.subtreeSize(v));
+    const auto end = static_cast<std::size_t>(
+        std::lower_bound(intPos.begin() + static_cast<std::ptrdiff_t>(begin),
+                         intPos.end(), endPos) -
+        intPos.begin());
+    if (static_cast<std::size_t>(floor) >= end - begin) {
+      // The floor saturates the subtree: every internal node is a replica in
+      // every feasible placement — fix instead of cutting.
+      for (std::size_t k = begin; k < end; ++k)
+        model_.setBounds(xVar_[static_cast<std::size_t>(internals[k])], 1.0, 1.0);
+      continue;
+    }
+    terms.clear();
+    for (std::size_t k = begin; k < end; ++k)
+      terms.push_back({xVar_[static_cast<std::size_t>(internals[k])], 1.0});
+    model_.addConstraint(Sense::GreaterEqual, static_cast<double>(floor), terms,
+                         "frontier_" + std::to_string(v));
+    ++rows;
+  }
+  return rows;
+}
+
+int IlpFormulation::addSymmetryCuts() {
+  const Tree& tree = instance_.tree;
+  const std::size_t n = tree.vertexCount();
+
+  // Canonical subtree ids, bottom-up: two vertices share an id iff their
+  // subtrees are identical in shape and every attribute. The signature packs
+  // the vertex attributes with the sorted child ids; a map interns it.
+  std::vector<std::int32_t> canon(n, -1);
+  std::map<std::vector<double>, std::int32_t> internTable;
+  std::vector<double> key;
+  std::vector<double> childIds;
+  for (const VertexId v : tree.postorder()) {
+    const auto vi = static_cast<std::size_t>(v);
+    key.clear();
+    key.push_back(tree.isClient(v) ? 1.0 : 0.0);
+    key.push_back(static_cast<double>(instance_.requests[vi]));
+    key.push_back(static_cast<double>(instance_.capacity[vi]));
+    key.push_back(instance_.storageCost[vi]);
+    key.push_back(instance_.qos[vi]);
+    key.push_back(instance_.commTime[vi]);
+    key.push_back(static_cast<double>(instance_.bandwidth[vi]));
+    key.push_back(instance_.compTime[vi]);
+    childIds.clear();
+    for (const VertexId c : tree.children(v))
+      childIds.push_back(static_cast<double>(canon[static_cast<std::size_t>(c)]));
+    std::sort(childIds.begin(), childIds.end());
+    key.insert(key.end(), childIds.begin(), childIds.end());
+    const auto [it, inserted] =
+        internTable.try_emplace(key, static_cast<std::int32_t>(internTable.size()));
+    canon[vi] = it->second;
+  }
+
+  // Chain x_{c_k} >= x_{c_k+1} over each run of identical internal siblings
+  // (children are id-ordered, so runs pick a deterministic representative).
+  int rows = 0;
+  std::vector<std::pair<std::int32_t, VertexId>> group;
+  for (const VertexId v : tree.internals()) {
+    group.clear();
+    for (const VertexId c : tree.children(v))
+      if (tree.isInternal(c))
+        group.push_back({canon[static_cast<std::size_t>(c)], c});
+    std::sort(group.begin(), group.end());
+    for (std::size_t k = 1; k < group.size(); ++k) {
+      if (group[k].first != group[k - 1].first) continue;
+      const Term terms[2] = {{xVar_[static_cast<std::size_t>(group[k - 1].second)], 1.0},
+                             {xVar_[static_cast<std::size_t>(group[k].second)], -1.0}};
+      model_.addConstraint(Sense::GreaterEqual, 0.0, terms,
+                           "sym_" + std::to_string(group[k - 1].second) + "_" +
+                               std::to_string(group[k].second));
+      ++rows;
+    }
+  }
+  return rows;
 }
 
 int IlpFormulation::assignmentVar(VertexId client, VertexId server) const {

@@ -10,6 +10,8 @@
 
 namespace treeplace {
 
+class FrontierSubtreeRelaxation;  // core/bounds.hpp
+
 /// Variants of the Section 5 linear programs.
 struct FormulationOptions {
   /// Integrality of the variables:
@@ -36,6 +38,27 @@ class IlpFormulation {
   const lp::Model& model() const { return model_; }
   lp::Model& mutableModel() { return model_; }
   Policy policy() const { return policy_; }
+
+  /// Strengthen the program with the per-subtree replica-count floors of
+  /// `relaxation` (core/bounds): for every internal v with a positive floor
+  /// R_v, the cut  sum_{internal j in subtree(v)} x_j >= R_v  — skipping
+  /// floors already implied by the children's cuts — and, when the floor
+  /// saturates the subtree's internal nodes, fixing those x_j to 1 outright.
+  /// The floors hold for every feasible placement of every policy, so the
+  /// optimum is preserved while the LP relaxation tightens at every
+  /// branch-and-bound node. Returns the number of cut rows added.
+  int addFrontierCuts(const FrontierSubtreeRelaxation& relaxation);
+
+  /// Break placement symmetry between identical sibling subtrees (same
+  /// shape, requests, capacities, costs, QoS and bandwidth throughout): any
+  /// feasible placement can permute such siblings freely, so ordering their
+  /// root indicators x_{c_1} >= x_{c_2} >= ... keeps exactly one
+  /// representative per orbit without touching the optimal cost — the ILP
+  /// twin of the exact searches' identical-client symmetry reduction. The
+  /// Theorem 2/3 reduction families are maximally symmetric, which is
+  /// precisely why their refutations explode without this. Returns the
+  /// number of ordering rows added.
+  int addSymmetryCuts();
 
   /// Column of x_j; -1 if `node` is not internal.
   int placementVar(VertexId node) const;

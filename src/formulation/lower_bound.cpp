@@ -9,18 +9,10 @@
 namespace treeplace {
 namespace {
 
-bool allCostsIntegral(const ProblemInstance& instance) {
-  for (const VertexId j : instance.tree.internals()) {
-    const double s = instance.storageCost[static_cast<std::size_t>(j)];
-    if (s != std::floor(s)) return false;
-  }
-  return true;
-}
-
 /// Round a bound up to the next integer when the objective is integral.
 double tighten(const ProblemInstance& instance, double bound) {
   if (bound == -lp::kInfinity || bound == lp::kInfinity) return bound;
-  if (allCostsIntegral(instance)) return std::ceil(bound - 1e-6);
+  if (integralStorageCosts(instance)) return std::ceil(bound - 1e-6);
   return bound;
 }
 
@@ -38,7 +30,7 @@ LowerBoundResult refinedLowerBound(const ProblemInstance& instance,
   mo.lp = options.lp;
   mo.maxNodes = options.maxNodes;
   mo.initialUpperBound = options.knownUpperBound;
-  if (allCostsIntegral(instance)) mo.objectiveGranularity = 1.0;
+  if (integralStorageCosts(instance)) mo.objectiveGranularity = 1.0;
   const lp::MipResult mip = lp::solveMip(formulation.model(), mo);
 
   LowerBoundResult result;

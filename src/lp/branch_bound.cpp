@@ -1,6 +1,7 @@
 #include "lp/branch_bound.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <queue>
 
@@ -9,35 +10,301 @@
 namespace treeplace::lp {
 namespace {
 
-struct Node {
-  std::vector<double> lower;
-  std::vector<double> upper;
-  double bound;  ///< inherited dual bound (parent LP objective)
-
-  bool operator<(const Node& other) const {
-    return bound > other.bound;  // min-heap via priority_queue
-  }
-};
-
 double fractionality(double v) {
   const double f = v - std::floor(v);
   return std::min(f, 1.0 - f);
 }
 
-}  // namespace
+double roundBound(double bound, double granularity) {
+  if (granularity <= 0.0) return bound;
+  // All feasible objectives are multiples of the granularity, so the subtree
+  // bound may be rounded up to the next one.
+  return std::ceil(bound / granularity - 1e-6) * granularity;
+}
 
-MipResult solveMip(const Model& model, const MipOptions& options) {
+/// Branch variable: highest priority class among the fractional integers,
+/// most-fractional within the class. -1 when the point is integral.
+int pickBranchVariable(std::span<const double> values, const std::vector<int>& integers,
+                       const std::vector<int>& priority, double integralityTol) {
+  int branchVar = -1;
+  int bestPriority = 0;
+  double worst = integralityTol;
+  for (const int j : integers) {
+    const double f = fractionality(values[static_cast<std::size_t>(j)]);
+    if (f <= integralityTol) continue;
+    const int p = priority.empty() ? 0 : priority[static_cast<std::size_t>(j)];
+    if (branchVar < 0 || p > bestPriority || (p == bestPriority && f > worst)) {
+      branchVar = j;
+      bestPriority = p;
+      worst = f;
+    }
+  }
+  return branchVar;
+}
+
+/// One branch-and-bound node: the bound delta it applies on top of its
+/// parent (the full box of `branchVar` after the branch) plus the inherited
+/// dual bound. Bounds of a node are reconstructed by walking the parent
+/// chain — no per-node bound vectors, no model copies.
+struct BbNode {
+  int parent = -1;
+  int branchVar = -1;
+  double lower = 0.0;
+  double upper = 0.0;
+  double bound = -kInfinity;
+};
+
+/// Best-bound open pool. With a known objective granularity every node bound
+/// is a multiple of it, so nodes bucket exactly by (bound - base) /
+/// granularity: pop scans a monotone cursor (child bounds never drop below
+/// their parent's), push is O(1), and ties pop LIFO — a dive order that
+/// keeps consecutive warm re-solves close in the tree. Without granularity a
+/// binary min-heap provides the same best-bound order.
+class NodePool {
+ public:
+  explicit NodePool(double granularity) : granularity_(granularity) {}
+
+  void push(int id, double bound) {
+    if (granularity_ <= 0.0) {
+      heap_.push({bound, id});
+      return;
+    }
+    std::size_t bucket = 0;
+    if (bound != -kInfinity) {
+      if (!baseSet_) {
+        base_ = bound;
+        baseSet_ = true;
+      }
+      const long index = std::lround((bound - base_) / granularity_);
+      bucket = static_cast<std::size_t>(std::max(0L, index));
+    }
+    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1);
+    buckets_[bucket].push_back(id);
+    ++size_;
+  }
+
+  bool empty() const {
+    return granularity_ > 0.0 ? size_ == 0 : heap_.empty();
+  }
+
+  int pop() {
+    if (granularity_ <= 0.0) {
+      const int id = heap_.top().second;
+      heap_.pop();
+      return id;
+    }
+    while (buckets_[cursor_].empty()) ++cursor_;
+    const int id = buckets_[cursor_].back();
+    buckets_[cursor_].pop_back();
+    --size_;
+    return id;
+  }
+
+  /// Minimum bound among the remaining nodes; the pool is consumed.
+  double drainMinBound(const std::vector<BbNode>& nodes) {
+    double best = kInfinity;
+    if (granularity_ <= 0.0) {
+      while (!heap_.empty()) {
+        best = std::min(best, heap_.top().first);
+        heap_.pop();
+      }
+      return best;
+    }
+    for (std::size_t b = cursor_; b < buckets_.size(); ++b)
+      for (const int id : buckets_[b])
+        best = std::min(best, nodes[static_cast<std::size_t>(id)].bound);
+    buckets_.clear();
+    size_ = 0;
+    return best;
+  }
+
+ private:
+  double granularity_;
+  // Bucketed representation (granularity > 0).
+  std::vector<std::vector<int>> buckets_;
+  std::size_t cursor_ = 0;
+  std::size_t size_ = 0;
+  double base_ = 0.0;
+  bool baseSet_ = false;
+  // Heap representation (no granularity).
+  std::priority_queue<std::pair<double, int>, std::vector<std::pair<double, int>>,
+                      std::greater<>>
+      heap_;
+};
+
+double millisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                   start)
+      .count();
+}
+
+/// Warm-started engine: one persistent LpWorkspace, dual-simplex re-solves,
+/// delta-chain nodes, best-bound pool.
+MipResult solveMipWarm(const Model& model, const MipOptions& options,
+                       const std::vector<int>& integers) {
   MipResult result;
   result.objective = options.initialUpperBound;
 
-  const std::vector<int> integers = model.integerVariables();
+  LpWorkspace workspace(model, options.lp);
+
+  std::vector<BbNode> nodes;
+  nodes.push_back({});  // root: no delta
+
+  NodePool open(options.objectiveGranularity);
+  open.push(0, -kInfinity);
+
+  // Bound reconstruction scratch: walk the delta chain deepest-first; the
+  // epoch stamp keeps only the deepest (tightest) delta per variable.
+  std::vector<unsigned> stamp(static_cast<std::size_t>(model.variableCount()), 0);
+  std::vector<int> touched;
+  unsigned epoch = 0;
+  const auto applyNodeBounds = [&](int id) {
+    for (const int v : touched) workspace.setBounds(v, model.lower(v), model.upper(v));
+    touched.clear();
+    ++epoch;
+    for (int cur = id; cur >= 0; cur = nodes[static_cast<std::size_t>(cur)].parent) {
+      const BbNode& node = nodes[static_cast<std::size_t>(cur)];
+      if (node.branchVar < 0) continue;
+      auto& mark = stamp[static_cast<std::size_t>(node.branchVar)];
+      if (mark == epoch) continue;
+      mark = epoch;
+      workspace.setBounds(node.branchVar, node.lower, node.upper);
+      touched.push_back(node.branchVar);
+    }
+  };
+
+  double minClosedBound = kInfinity;  // min final bound over closed leaves
+  bool sawIterationLimit = false;
+  const double cutoffGap = options.absoluteGap;
+
+  while (!open.empty()) {
+    if (result.nodesExplored >= options.maxNodes) break;
+    const int id = open.pop();
+    const double inheritedBound = nodes[static_cast<std::size_t>(id)].bound;
+    ++result.nodesExplored;
+
+    if (std::max(inheritedBound, options.knownLowerBound) >=
+        result.objective - cutoffGap) {
+      // Best-bound order: every remaining node is at least as bad.
+      minClosedBound = std::min(minClosedBound, inheritedBound);
+      minClosedBound = std::min(minClosedBound, open.drainMinBound(nodes));
+      break;
+    }
+
+    applyNodeBounds(id);
+    const auto t0 = std::chrono::steady_clock::now();
+    const SolveStatus status = workspace.solve();
+    result.lpMillis += millisSince(t0);
+
+    if (status == SolveStatus::Infeasible) continue;  // closed: no solutions
+    if (status == SolveStatus::Unbounded) {
+      result.status = SolveStatus::Unbounded;
+      result.lowerBound = -kInfinity;
+      result.warm = workspace.stats();
+      return result;
+    }
+    if (status == SolveStatus::IterationLimit) {
+      // Numerical bail-out: the subtree keeps only its inherited bound.
+      sawIterationLimit = true;
+      minClosedBound = std::min(minClosedBound, inheritedBound);
+      continue;
+    }
+
+    const double lpBound = roundBound(workspace.objective(), options.objectiveGranularity);
+    const double nodeBound = std::max(inheritedBound, lpBound);
+    if (std::max(nodeBound, options.knownLowerBound) >= result.objective - cutoffGap) {
+      minClosedBound = std::min(minClosedBound, nodeBound);
+      continue;
+    }
+
+    const std::span<const double> values = workspace.values();
+    const int branchVar = pickBranchVariable(values, integers, options.branchPriority,
+                                             options.integralityTol);
+
+    if (branchVar < 0) {
+      // Integral: new incumbent.
+      if (workspace.objective() < result.objective - cutoffGap) {
+        result.objective = workspace.objective();
+        result.values.assign(values.begin(), values.end());
+        // Round integer values exactly for downstream decoding.
+        for (const int j : integers)
+          result.values[static_cast<std::size_t>(j)] =
+              std::round(result.values[static_cast<std::size_t>(j)]);
+      }
+      minClosedBound = std::min(minClosedBound, workspace.objective());
+      continue;
+    }
+
+    const double value = values[static_cast<std::size_t>(branchVar)];
+    const double curLo = workspace.currentLower(branchVar);
+    const double curHi = workspace.currentUpper(branchVar);
+    const double downHi = std::floor(value);
+    const double upLo = std::ceil(value);
+    if (curLo <= downHi) {
+      nodes.push_back({id, branchVar, curLo, downHi, nodeBound});
+      open.push(static_cast<int>(nodes.size()) - 1, nodeBound);
+    }
+    if (upLo <= curHi) {
+      nodes.push_back({id, branchVar, upLo, curHi, nodeBound});
+      open.push(static_cast<int>(nodes.size()) - 1, nodeBound);
+    }
+  }
+
+  result.warm = workspace.stats();
+
+  // Global dual bound: open nodes still count.
+  double bound = std::min(minClosedBound, open.drainMinBound(nodes));
+  if (bound == kInfinity) {
+    // Every leaf was infeasible and no incumbent exists: the MIP is
+    // infeasible — unless an external upper bound was supplied, in which case
+    // that solution (not visible to us) is optimal.
+    if (result.objective == kInfinity) {
+      result.status = SolveStatus::Infeasible;
+      result.proven = !sawIterationLimit;
+      result.lowerBound = kInfinity;
+      return result;
+    }
+    bound = result.objective;
+  }
+  bound = std::max(bound, options.knownLowerBound);
+  result.lowerBound = std::min(bound, result.objective);
+  result.proven = result.nodesExplored < options.maxNodes && !sawIterationLimit &&
+                  result.lowerBound >= result.objective - cutoffGap * 2;
+  result.status = SolveStatus::Optimal;
+  return result;
+}
+
+/// Cold oracle engine: the pre-warm-start implementation — every node LP is
+/// built and solved from scratch on a model copy. Kept both as the fallback
+/// for models whose integer variables have infinite root ranges (the
+/// workspace's fixed standard form cannot absorb such branches) and as the
+/// independent reference the warm-vs-cold equivalence tests compare against.
+MipResult solveMipCold(const Model& model, const MipOptions& options,
+                       const std::vector<int>& integers) {
+  struct Node {
+    std::vector<double> lower;
+    std::vector<double> upper;
+    double bound;  ///< inherited dual bound (parent LP objective)
+
+    bool operator<(const Node& other) const {
+      return bound > other.bound;  // min-heap via priority_queue
+    }
+  };
+
+  MipResult result;
+  result.objective = options.initialUpperBound;
+
   Model working = model;
 
-  auto solveNodeLp = [&](const Node& node) {
+  const auto solveNodeLp = [&](const Node& node) {
     for (int j = 0; j < working.variableCount(); ++j)
       working.setBounds(j, node.lower[static_cast<std::size_t>(j)],
                         node.upper[static_cast<std::size_t>(j)]);
-    return solveLp(working, options.lp);
+    const auto t0 = std::chrono::steady_clock::now();
+    LpSolution solution = solveLp(working, options.lp);
+    result.lpMillis += millisSince(t0);
+    ++result.warm.coldSolves;
+    return solution;
   };
 
   Node root;
@@ -61,7 +328,8 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
     open.pop();
     ++result.nodesExplored;
 
-    if (node.bound >= result.objective - options.absoluteGap) {
+    if (std::max(node.bound, options.knownLowerBound) >=
+        result.objective - options.absoluteGap) {
       // Best-first order: every remaining node is at least as bad.
       minClosedBound = std::min(minClosedBound, node.bound);
       while (!open.empty()) {
@@ -85,29 +353,17 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
       continue;
     }
 
-    double lpBound = relax.objective;
-    if (options.objectiveGranularity > 0.0) {
-      // All feasible objectives are multiples of the granularity, so the
-      // subtree bound may be rounded up to the next one.
-      lpBound = std::ceil(lpBound / options.objectiveGranularity - 1e-6) *
-                options.objectiveGranularity;
-    }
+    const double lpBound = roundBound(relax.objective, options.objectiveGranularity);
     const double nodeBound = std::max(node.bound, lpBound);
-    if (nodeBound >= result.objective - options.absoluteGap) {
+    if (std::max(nodeBound, options.knownLowerBound) >=
+        result.objective - options.absoluteGap) {
       minClosedBound = std::min(minClosedBound, nodeBound);
       continue;
     }
 
-    // Most fractional integer variable.
-    int branchVar = -1;
-    double worst = options.integralityTol;
-    for (const int j : integers) {
-      const double f = fractionality(relax.values[static_cast<std::size_t>(j)]);
-      if (f > worst) {
-        worst = f;
-        branchVar = j;
-      }
-    }
+    const int branchVar = pickBranchVariable(relax.values, integers,
+                                             options.branchPriority,
+                                             options.integralityTol);
 
     if (branchVar < 0) {
       // Integral: new incumbent.
@@ -146,9 +402,6 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
     open.pop();
   }
   if (bound == kInfinity) {
-    // Every leaf was infeasible and no incumbent exists: the MIP is
-    // infeasible — unless an external upper bound was supplied, in which case
-    // that solution (not visible to us) is optimal.
     if (result.objective == kInfinity) {
       result.status = SolveStatus::Infeasible;
       result.proven = !sawIterationLimit;
@@ -157,11 +410,24 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
     }
     bound = result.objective;
   }
+  bound = std::max(bound, options.knownLowerBound);
   result.lowerBound = std::min(bound, result.objective);
   result.proven = result.nodesExplored < options.maxNodes && !sawIterationLimit &&
                   result.lowerBound >= result.objective - options.absoluteGap * 2;
   result.status = SolveStatus::Optimal;
   return result;
+}
+
+}  // namespace
+
+MipResult solveMip(const Model& model, const MipOptions& options) {
+  const std::vector<int> integers = model.integerVariables();
+  bool warmEligible = options.warmStart;
+  for (const int j : integers)
+    if (model.lower(j) == -kInfinity || model.upper(j) == kInfinity)
+      warmEligible = false;  // branching would change the standard-form shape
+  return warmEligible ? solveMipWarm(model, options, integers)
+                      : solveMipCold(model, options, integers);
 }
 
 }  // namespace treeplace::lp

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "lp/simplex.hpp"
+#include "lp/workspace.hpp"
 
 namespace treeplace::lp {
 
@@ -16,6 +17,21 @@ struct MipOptions {
   /// (e.g. 1 for integral costs), node bounds are rounded up to the next
   /// multiple, which closes gaps dramatically faster. 0 disables rounding.
   double objectiveGranularity = 0.0;
+  /// Externally proven lower bound on the optimum (e.g. a combinatorial
+  /// relaxation). Folded into every node bound: the search stops as soon as
+  /// the incumbent meets it. -infinity disables it.
+  double knownLowerBound = -kInfinity;
+  /// Re-solve node LPs with the dual simplex from the previous optimal basis
+  /// inside one persistent LpWorkspace (no per-node model copies). Off runs
+  /// every node LP cold from scratch — the oracle the equivalence tests
+  /// compare against.
+  bool warmStart = true;
+  /// Optional per-variable branching priority (size = variableCount, higher
+  /// branches first): among fractional integer variables the highest
+  /// priority class wins, most-fractional breaks ties. Empty keeps pure
+  /// most-fractional branching. Facility-location models branch their
+  /// placement indicators before the assignment variables this way.
+  std::vector<int> branchPriority;
 };
 
 /// Outcome of a branch-and-bound run. `lowerBound` is a valid global dual
@@ -31,13 +47,22 @@ struct MipResult {
                                   ///< external upper bound is known
   double lowerBound = -kInfinity;
   long nodesExplored = 0;
+  WarmStartStats warm;            ///< LP re-solve telemetry (lp/workspace)
+  double lpMillis = 0.0;          ///< wall time spent inside node LP solves
 
   bool hasIncumbent() const { return !values.empty(); }
+  /// Average LP re-solve cost per explored node, in milliseconds.
+  double resolveMillisPerNode() const {
+    return nodesExplored > 0 ? lpMillis / static_cast<double>(nodesExplored) : 0.0;
+  }
 };
 
-/// Best-first branch-and-bound over the integer variables of `model`,
-/// branching on the most fractional variable, with LP relaxations solved by
-/// the dense simplex. Minimisation.
+/// Best-bound branch-and-bound over the integer variables of `model`,
+/// branching on the most fractional variable. Node LPs run inside one
+/// arena-backed LpWorkspace: children re-solve with the dual simplex from the
+/// parent-side basis (bound changes only move the rhs), falling back to a
+/// cold two-phase primal on numerical trouble. Nodes store only their bound
+/// delta-chain — no per-node bound vectors, no model copies. Minimisation.
 MipResult solveMip(const Model& model, const MipOptions& options = {});
 
 }  // namespace treeplace::lp

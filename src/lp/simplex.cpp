@@ -1,9 +1,6 @@
 #include "lp/simplex.hpp"
 
-#include <algorithm>
-#include <cmath>
-
-#include "support/require.hpp"
+#include "lp/workspace.hpp"
 
 namespace treeplace::lp {
 
@@ -17,365 +14,13 @@ std::string_view toString(SolveStatus status) {
   return "?";
 }
 
-namespace {
-
-/// How a model variable maps onto non-negative structural columns.
-struct VarMap {
-  enum class Mode { Shift, Mirror, Split } mode = Mode::Shift;
-  int column = -1;     ///< primary structural column
-  int negColumn = -1;  ///< second column for Split
-  double offset = 0.0; ///< Shift: x = offset + t ; Mirror: x = offset - t
-};
-
-/// A row in "all columns on the left, rhs >= 0" form.
-struct StdRow {
-  std::vector<Term> terms;  ///< over structural columns
-  Sense sense = Sense::LessEqual;
-  double rhs = 0.0;
-};
-
-struct StandardForm {
-  int structuralColumns = 0;
-  std::vector<VarMap> map;        ///< per model variable
-  std::vector<double> cost;       ///< per structural column
-  std::vector<StdRow> rows;
-};
-
-StandardForm standardize(const Model& model) {
-  StandardForm f;
-  const int n = model.variableCount();
-  f.map.resize(static_cast<std::size_t>(n));
-
-  // Assign structural columns and record upper-bound rows to add.
-  struct PendingUpper {
-    int column;
-    double bound;
-  };
-  std::vector<PendingUpper> uppers;
-  for (int j = 0; j < n; ++j) {
-    VarMap& vm = f.map[static_cast<std::size_t>(j)];
-    const double lo = model.lower(j);
-    const double hi = model.upper(j);
-    const double c = model.objective(j);
-    if (lo != -kInfinity) {
-      vm.mode = VarMap::Mode::Shift;
-      vm.offset = lo;
-      vm.column = f.structuralColumns++;
-      f.cost.push_back(c);
-      if (hi != kInfinity) uppers.push_back({vm.column, hi - lo});
-    } else if (hi != kInfinity) {
-      // x = hi - t, t >= 0.
-      vm.mode = VarMap::Mode::Mirror;
-      vm.offset = hi;
-      vm.column = f.structuralColumns++;
-      f.cost.push_back(-c);
-    } else {
-      vm.mode = VarMap::Mode::Split;
-      vm.column = f.structuralColumns++;
-      vm.negColumn = f.structuralColumns++;
-      f.cost.push_back(c);
-      f.cost.push_back(-c);
-    }
-  }
-
-  // Model rows, rewritten over structural columns with shifted rhs.
-  for (int r = 0; r < model.constraintCount(); ++r) {
-    StdRow row;
-    row.sense = model.rowSense(r);
-    row.rhs = model.rowRhs(r);
-    for (const Term& t : model.rowTerms(r)) {
-      const VarMap& vm = f.map[static_cast<std::size_t>(t.variable)];
-      switch (vm.mode) {
-        case VarMap::Mode::Shift:
-          row.rhs -= t.coefficient * vm.offset;
-          row.terms.push_back({vm.column, t.coefficient});
-          break;
-        case VarMap::Mode::Mirror:
-          row.rhs -= t.coefficient * vm.offset;
-          row.terms.push_back({vm.column, -t.coefficient});
-          break;
-        case VarMap::Mode::Split:
-          row.terms.push_back({vm.column, t.coefficient});
-          row.terms.push_back({vm.negColumn, -t.coefficient});
-          break;
-      }
-    }
-    f.rows.push_back(std::move(row));
-  }
-
-  // Upper-bound rows (t <= hi - lo).
-  for (const PendingUpper& u : uppers) {
-    StdRow row;
-    row.sense = Sense::LessEqual;
-    row.rhs = u.bound;
-    row.terms.push_back({u.column, 1.0});
-    f.rows.push_back(std::move(row));
-  }
-
-  // Normalize rhs >= 0.
-  for (StdRow& row : f.rows) {
-    if (row.rhs < 0.0) {
-      row.rhs = -row.rhs;
-      for (Term& t : row.terms) t.coefficient = -t.coefficient;
-      if (row.sense == Sense::LessEqual) row.sense = Sense::GreaterEqual;
-      else if (row.sense == Sense::GreaterEqual) row.sense = Sense::LessEqual;
-    }
-  }
-  return f;
-}
-
-/// Full-tableau two-phase primal simplex over the standardised problem.
-class Tableau {
- public:
-  Tableau(const StandardForm& form, const SimplexOptions& options)
-      : form_(form), options_(options) {
-    m_ = static_cast<int>(form.rows.size());
-    nStruct_ = form.structuralColumns;
-
-    // Column layout: structural | slack/surplus | artificial.
-    int slackCount = 0;
-    int artificialCount = 0;
-    for (const StdRow& row : form.rows) {
-      if (row.sense != Sense::Equal) ++slackCount;
-      if (row.sense != Sense::LessEqual) ++artificialCount;
-    }
-    nCols_ = nStruct_ + slackCount + artificialCount;
-    width_ = nCols_ + 1;
-    a_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(width_), 0.0);
-    basis_.assign(static_cast<std::size_t>(m_), -1);
-    artificial_.assign(static_cast<std::size_t>(nCols_), 0);
-    deadRow_.assign(static_cast<std::size_t>(m_), 0);
-
-    int nextSlack = nStruct_;
-    int nextArtificial = nStruct_ + slackCount;
-    for (int i = 0; i < m_; ++i) {
-      const StdRow& row = form.rows[static_cast<std::size_t>(i)];
-      for (const Term& t : row.terms) at(i, t.variable) += t.coefficient;
-      at(i, nCols_) = row.rhs;
-      switch (row.sense) {
-        case Sense::LessEqual:
-          at(i, nextSlack) = 1.0;
-          basis_[static_cast<std::size_t>(i)] = nextSlack++;
-          break;
-        case Sense::GreaterEqual:
-          at(i, nextSlack) = -1.0;
-          ++nextSlack;
-          at(i, nextArtificial) = 1.0;
-          artificial_[static_cast<std::size_t>(nextArtificial)] = 1;
-          basis_[static_cast<std::size_t>(i)] = nextArtificial++;
-          break;
-        case Sense::Equal:
-          at(i, nextArtificial) = 1.0;
-          artificial_[static_cast<std::size_t>(nextArtificial)] = 1;
-          basis_[static_cast<std::size_t>(i)] = nextArtificial++;
-          break;
-      }
-    }
-  }
-
-  SolveStatus solve(std::vector<double>& structuralValues) {
-    // Phase 1: minimise the sum of artificial variables.
-    {
-      std::vector<double> phase1Cost(static_cast<std::size_t>(nCols_), 0.0);
-      for (int j = 0; j < nCols_; ++j)
-        if (artificial_[static_cast<std::size_t>(j)]) phase1Cost[static_cast<std::size_t>(j)] = 1.0;
-      buildCostRow(phase1Cost);
-      const SolveStatus st = iterate(/*blockArtificials=*/false);
-      if (st == SolveStatus::IterationLimit) return st;
-      // A phase-1 problem is bounded below by zero, so Unbounded cannot
-      // legitimately occur; treat it as a numerical failure.
-      if (st == SolveStatus::Unbounded) return SolveStatus::IterationLimit;
-      if (objectiveValue() > options_.feasTol) return SolveStatus::Infeasible;
-      purgeArtificialBasics();
-    }
-
-    // Phase 2: original costs, artificial columns blocked.
-    {
-      std::vector<double> cost(static_cast<std::size_t>(nCols_), 0.0);
-      for (int j = 0; j < nStruct_; ++j)
-        cost[static_cast<std::size_t>(j)] = form_.cost[static_cast<std::size_t>(j)];
-      buildCostRow(cost);
-      const SolveStatus st = iterate(/*blockArtificials=*/true);
-      if (st != SolveStatus::Optimal) return st;
-    }
-
-    structuralValues.assign(static_cast<std::size_t>(nStruct_), 0.0);
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (b < nStruct_) structuralValues[static_cast<std::size_t>(b)] = at(i, nCols_);
-    }
-    return SolveStatus::Optimal;
-  }
-
- private:
-  double& at(int i, int j) {
-    return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(width_) +
-              static_cast<std::size_t>(j)];
-  }
-  double at(int i, int j) const {
-    return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(width_) +
-              static_cast<std::size_t>(j)];
-  }
-
-  /// cost_[j] = reduced cost of column j; cost_[nCols_] = -objective.
-  void buildCostRow(const std::vector<double>& columnCost) {
-    cost_.assign(static_cast<std::size_t>(width_), 0.0);
-    for (int j = 0; j < nCols_; ++j) cost_[static_cast<std::size_t>(j)] = columnCost[static_cast<std::size_t>(j)];
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      const double cb = columnCost[static_cast<std::size_t>(b)];
-      if (cb == 0.0) continue;
-      for (int j = 0; j <= nCols_; ++j) cost_[static_cast<std::size_t>(j)] -= cb * at(i, j);
-    }
-  }
-
-  double objectiveValue() const { return -cost_[static_cast<std::size_t>(nCols_)]; }
-
-  void pivot(int row, int col) {
-    const double p = at(row, col);
-    const double inv = 1.0 / p;
-    for (int j = 0; j <= nCols_; ++j) at(row, j) *= inv;
-    at(row, col) = 1.0;  // kill round-off on the pivot itself
-    for (int i = 0; i < m_; ++i) {
-      if (i == row) continue;
-      const double factor = at(i, col);
-      if (factor == 0.0) continue;
-      for (int j = 0; j <= nCols_; ++j) at(i, j) -= factor * at(row, j);
-      at(i, col) = 0.0;
-    }
-    const double cfactor = cost_[static_cast<std::size_t>(col)];
-    if (cfactor != 0.0) {
-      for (int j = 0; j <= nCols_; ++j)
-        cost_[static_cast<std::size_t>(j)] -= cfactor * at(row, j);
-      cost_[static_cast<std::size_t>(col)] = 0.0;
-    }
-    basis_[static_cast<std::size_t>(row)] = col;
-  }
-
-  SolveStatus iterate(bool blockArtificials) {
-    bool useBland = false;
-    long sinceImprovement = 0;
-    double lastObjective = objectiveValue();
-    for (long iter = 0; iter < options_.maxIterations; ++iter) {
-      // Entering column.
-      int entering = -1;
-      if (useBland) {
-        for (int j = 0; j < nCols_; ++j) {
-          if (blockArtificials && artificial_[static_cast<std::size_t>(j)]) continue;
-          if (cost_[static_cast<std::size_t>(j)] < -options_.pivotTol) {
-            entering = j;
-            break;
-          }
-        }
-      } else {
-        double best = -options_.pivotTol;
-        for (int j = 0; j < nCols_; ++j) {
-          if (blockArtificials && artificial_[static_cast<std::size_t>(j)]) continue;
-          if (cost_[static_cast<std::size_t>(j)] < best) {
-            best = cost_[static_cast<std::size_t>(j)];
-            entering = j;
-          }
-        }
-      }
-      if (entering < 0) return SolveStatus::Optimal;
-
-      // Ratio test (ties broken towards the smallest basis index — the
-      // classic lexicographic-lite guard against cycling).
-      int leaving = -1;
-      double bestRatio = 0.0;
-      for (int i = 0; i < m_; ++i) {
-        if (deadRow_[static_cast<std::size_t>(i)]) continue;
-        const double aie = at(i, entering);
-        if (aie <= options_.pivotTol) continue;
-        const double ratio = at(i, nCols_) / aie;
-        if (leaving < 0 || ratio < bestRatio - 1e-12 ||
-            (ratio < bestRatio + 1e-12 &&
-             basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(leaving)])) {
-          leaving = i;
-          bestRatio = ratio;
-        }
-      }
-      if (leaving < 0) return SolveStatus::Unbounded;
-
-      pivot(leaving, entering);
-
-      const double obj = objectiveValue();
-      if (obj < lastObjective - 1e-12) {
-        lastObjective = obj;
-        sinceImprovement = 0;
-        useBland = false;
-      } else if (++sinceImprovement > options_.stallLimit) {
-        useBland = true;  // degeneracy suspected; Bland guarantees termination
-      }
-    }
-    return SolveStatus::IterationLimit;
-  }
-
-  /// After phase 1: pivot basic artificials out where possible, mark the
-  /// remaining (redundant) rows dead.
-  void purgeArtificialBasics() {
-    for (int i = 0; i < m_; ++i) {
-      const int b = basis_[static_cast<std::size_t>(i)];
-      if (!artificial_[static_cast<std::size_t>(b)]) continue;
-      int col = -1;
-      for (int j = 0; j < nCols_; ++j) {
-        if (artificial_[static_cast<std::size_t>(j)]) continue;
-        if (std::abs(at(i, j)) > options_.pivotTol) {
-          col = j;
-          break;
-        }
-      }
-      if (col >= 0) {
-        pivot(i, col);
-      } else {
-        deadRow_[static_cast<std::size_t>(i)] = 1;  // redundant constraint
-      }
-    }
-  }
-
-  const StandardForm& form_;
-  const SimplexOptions& options_;
-  int m_ = 0;
-  int nStruct_ = 0;
-  int nCols_ = 0;
-  int width_ = 0;
-  std::vector<double> a_;
-  std::vector<double> cost_;
-  std::vector<int> basis_;
-  std::vector<char> artificial_;
-  std::vector<char> deadRow_;
-};
-
-}  // namespace
-
 LpSolution solveLp(const Model& model, const SimplexOptions& options) {
-  const StandardForm form = standardize(model);
-  Tableau tableau(form, options);
-
+  LpWorkspace workspace(model, options);
   LpSolution solution;
-  std::vector<double> structural;
-  solution.status = tableau.solve(structural);
+  solution.status = workspace.solveCold();
   if (solution.status != SolveStatus::Optimal) return solution;
-
-  solution.values.assign(static_cast<std::size_t>(model.variableCount()), 0.0);
-  for (int j = 0; j < model.variableCount(); ++j) {
-    const VarMap& vm = form.map[static_cast<std::size_t>(j)];
-    double value = 0.0;
-    switch (vm.mode) {
-      case VarMap::Mode::Shift:
-        value = vm.offset + structural[static_cast<std::size_t>(vm.column)];
-        break;
-      case VarMap::Mode::Mirror:
-        value = vm.offset - structural[static_cast<std::size_t>(vm.column)];
-        break;
-      case VarMap::Mode::Split:
-        value = structural[static_cast<std::size_t>(vm.column)] -
-                structural[static_cast<std::size_t>(vm.negColumn)];
-        break;
-    }
-    solution.values[static_cast<std::size_t>(j)] = value;
-  }
-  solution.objective = model.evaluateObjective(solution.values);
+  solution.values.assign(workspace.values().begin(), workspace.values().end());
+  solution.objective = workspace.objective();
   return solution;
 }
 

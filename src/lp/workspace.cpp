@@ -1,0 +1,499 @@
+#include "lp/workspace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/require.hpp"
+
+namespace treeplace::lp {
+
+LpWorkspace::LpWorkspace(const Model& model, const SimplexOptions& options)
+    : options_(options) {
+  const int n = model.variableCount();
+  varMap_.resize(static_cast<std::size_t>(n));
+  rootLower_.resize(static_cast<std::size_t>(n));
+  rootUpper_.resize(static_cast<std::size_t>(n));
+  objCoef_.resize(static_cast<std::size_t>(n));
+
+  // Structural columns. Unlike a one-shot solve, the column layout is chosen
+  // from the ROOT bounds and never changes: tightened boxes reach the solver
+  // through offsets and upper-bound-row rhs values only.
+  for (int j = 0; j < n; ++j) {
+    VarMap& vm = varMap_[static_cast<std::size_t>(j)];
+    const double lo = model.lower(j);
+    const double hi = model.upper(j);
+    const double c = model.objective(j);
+    rootLower_[static_cast<std::size_t>(j)] = lo;
+    rootUpper_[static_cast<std::size_t>(j)] = hi;
+    objCoef_[static_cast<std::size_t>(j)] = c;
+    if (lo != -kInfinity) {
+      vm.mode = VarMap::Mode::Shift;  // x = lo + t, t >= 0
+      vm.column = nStruct_++;
+      cost0_.push_back(c);
+    } else if (hi != kInfinity) {
+      vm.mode = VarMap::Mode::Mirror;  // x = hi - t, t >= 0
+      vm.column = nStruct_++;
+      cost0_.push_back(-c);
+    } else {
+      vm.mode = VarMap::Mode::Split;  // x = t+ - t-
+      vm.column = nStruct_++;
+      vm.negColumn = nStruct_++;
+      cost0_.push_back(c);
+      cost0_.push_back(-c);
+    }
+  }
+
+  // Model rows, rewritten over structural columns. The current-bound offset
+  // contributions are kept symbolically (per-term variable ids) so the rhs
+  // can be recomputed for any box without touching the matrix.
+  modelRows_ = model.constraintCount();
+  rowStart_.push_back(0);
+  offsetStart_.push_back(0);
+  for (int r = 0; r < modelRows_; ++r) {
+    for (const Term& t : model.rowTerms(r)) {
+      const VarMap& vm = varMap_[static_cast<std::size_t>(t.variable)];
+      switch (vm.mode) {
+        case VarMap::Mode::Shift:
+          termCol_.push_back(vm.column);
+          termCoef_.push_back(t.coefficient);
+          offsetVar_.push_back(t.variable);
+          offsetCoef_.push_back(t.coefficient);
+          break;
+        case VarMap::Mode::Mirror:
+          termCol_.push_back(vm.column);
+          termCoef_.push_back(-t.coefficient);
+          offsetVar_.push_back(t.variable);
+          offsetCoef_.push_back(t.coefficient);
+          break;
+        case VarMap::Mode::Split:
+          termCol_.push_back(vm.column);
+          termCoef_.push_back(t.coefficient);
+          termCol_.push_back(vm.negColumn);
+          termCoef_.push_back(-t.coefficient);
+          break;
+      }
+    }
+    rowStart_.push_back(static_cast<int>(termCol_.size()));
+    offsetStart_.push_back(static_cast<int>(offsetVar_.size()));
+    baseRhs_.push_back(model.rowRhs(r));
+    sense_.push_back(model.rowSense(r));
+  }
+
+  // One dedicated upper-bound row per finite root range (t <= hi - lo). The
+  // row exists even when a later box fixes the variable (rhs 0), which is
+  // exactly what keeps the structure solve-invariant.
+  for (int j = 0; j < n; ++j) {
+    VarMap& vm = varMap_[static_cast<std::size_t>(j)];
+    if (vm.mode != VarMap::Mode::Shift ||
+        rootUpper_[static_cast<std::size_t>(j)] == kInfinity)
+      continue;
+    vm.upperRow = static_cast<int>(sense_.size());
+    termCol_.push_back(vm.column);
+    termCoef_.push_back(1.0);
+    rowStart_.push_back(static_cast<int>(termCol_.size()));
+    offsetStart_.push_back(static_cast<int>(offsetVar_.size()));
+    baseRhs_.push_back(0.0);  // unused: computeRhs writes the box width
+    sense_.push_back(Sense::LessEqual);
+    upperRowVar_.push_back(j);
+  }
+
+  m_ = static_cast<int>(sense_.size());
+
+  // Column layout: structural | slack/surplus | one artificial per row. The
+  // artificial block is only touched by cold starts; reserving a full row's
+  // worth keeps any row startable from any rhs sign.
+  int slackCount = 0;
+  slackCol_.assign(static_cast<std::size_t>(m_), -1);
+  for (int r = 0; r < m_; ++r)
+    if (sense_[static_cast<std::size_t>(r)] != Sense::Equal)
+      slackCol_[static_cast<std::size_t>(r)] = nStruct_ + slackCount++;
+  artificialStart_ = nStruct_ + slackCount;
+  nCols_ = artificialStart_ + m_;
+  width_ = nCols_ + 1;
+  activeCols_ = artificialStart_;  // artificial slots issued per cold solve
+
+  a_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(width_), 0.0);
+  cost_.assign(static_cast<std::size_t>(width_), 0.0);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  deadRow_.assign(static_cast<std::size_t>(m_), 0);
+  identityCol_.assign(static_cast<std::size_t>(m_), -1);
+  identityScale_.assign(static_cast<std::size_t>(m_), 1.0);
+  curLower_ = rootLower_;
+  curUpper_ = rootUpper_;
+  values_.assign(static_cast<std::size_t>(n), 0.0);
+}
+
+void LpWorkspace::setBounds(int variable, double lower, double upper) {
+  TREEPLACE_REQUIRE(variable >= 0 && variable < variableCount(),
+                    "workspace variable out of range");
+  TREEPLACE_REQUIRE(lower <= upper, "workspace bounds crossed");
+  const VarMap& vm = varMap_[static_cast<std::size_t>(variable)];
+  switch (vm.mode) {
+    case VarMap::Mode::Shift:
+      TREEPLACE_REQUIRE(lower != -kInfinity,
+                        "shifted variable requires a finite lower bound");
+      TREEPLACE_REQUIRE((upper != kInfinity) == (vm.upperRow >= 0),
+                        "upper-bound finiteness must match the root model");
+      break;
+    case VarMap::Mode::Mirror:
+      TREEPLACE_REQUIRE(lower == -kInfinity && upper != kInfinity,
+                        "mirrored variable bounds must stay (-inf, finite]");
+      break;
+    case VarMap::Mode::Split:
+      TREEPLACE_REQUIRE(lower == -kInfinity && upper == kInfinity,
+                        "free variable bounds cannot be tightened");
+      break;
+  }
+  curLower_[static_cast<std::size_t>(variable)] = lower;
+  curUpper_[static_cast<std::size_t>(variable)] = upper;
+}
+
+void LpWorkspace::computeRhs(std::vector<double>& b) const {
+  b.resize(static_cast<std::size_t>(m_));
+  for (int r = 0; r < modelRows_; ++r) {
+    double rhs = baseRhs_[static_cast<std::size_t>(r)];
+    for (int k = offsetStart_[static_cast<std::size_t>(r)];
+         k < offsetStart_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int v = offsetVar_[static_cast<std::size_t>(k)];
+      const VarMap& vm = varMap_[static_cast<std::size_t>(v)];
+      const double offset = vm.mode == VarMap::Mode::Shift
+                                ? curLower_[static_cast<std::size_t>(v)]
+                                : curUpper_[static_cast<std::size_t>(v)];
+      rhs -= offsetCoef_[static_cast<std::size_t>(k)] * offset;
+    }
+    b[static_cast<std::size_t>(r)] = rhs;
+  }
+  for (std::size_t u = 0; u < upperRowVar_.size(); ++u) {
+    const auto v = static_cast<std::size_t>(upperRowVar_[u]);
+    b[static_cast<std::size_t>(modelRows_) + u] = curUpper_[v] - curLower_[v];
+  }
+}
+
+void LpWorkspace::buildCostRow(std::span<const double> columnCost) {
+  // Columns in [activeCols_, nCols_) are unissued artificial slots: all-zero
+  // in every row and never eligible to enter, so every dense sweep stops at
+  // activeCols_ and touches the rhs cell separately.
+  for (int j = 0; j < activeCols_; ++j)
+    cost_[static_cast<std::size_t>(j)] = columnCost[static_cast<std::size_t>(j)];
+  cost_[static_cast<std::size_t>(nCols_)] = 0.0;
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    const double cb = columnCost[static_cast<std::size_t>(b)];
+    if (cb == 0.0) continue;
+    for (int j = 0; j < activeCols_; ++j)
+      cost_[static_cast<std::size_t>(j)] -= cb * at(i, j);
+    cost_[static_cast<std::size_t>(nCols_)] -= cb * at(i, nCols_);
+  }
+}
+
+void LpWorkspace::pivot(int row, int col) {
+  const double p = at(row, col);
+  const double inv = 1.0 / p;
+  for (int j = 0; j < activeCols_; ++j) at(row, j) *= inv;
+  at(row, nCols_) *= inv;
+  at(row, col) = 1.0;  // kill round-off on the pivot itself
+  for (int i = 0; i < m_; ++i) {
+    if (i == row) continue;
+    const double factor = at(i, col);
+    if (factor == 0.0) continue;
+    for (int j = 0; j < activeCols_; ++j) at(i, j) -= factor * at(row, j);
+    at(i, nCols_) -= factor * at(row, nCols_);
+    at(i, col) = 0.0;
+  }
+  const double cfactor = cost_[static_cast<std::size_t>(col)];
+  if (cfactor != 0.0) {
+    for (int j = 0; j < activeCols_; ++j)
+      cost_[static_cast<std::size_t>(j)] -= cfactor * at(row, j);
+    cost_[static_cast<std::size_t>(nCols_)] -= cfactor * at(row, nCols_);
+    cost_[static_cast<std::size_t>(col)] = 0.0;
+  }
+  basis_[static_cast<std::size_t>(row)] = col;
+}
+
+SolveStatus LpWorkspace::primalIterate() {
+  // Entering columns never include the artificial block: artificials that
+  // leave the basis are dropped for good (the classic restricted phase 1).
+  bool useBland = false;
+  long sinceImprovement = 0;
+  double lastObjective = -cost_[static_cast<std::size_t>(nCols_)];
+  for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    int entering = -1;
+    if (useBland) {
+      for (int j = 0; j < artificialStart_; ++j) {
+        if (cost_[static_cast<std::size_t>(j)] < -options_.pivotTol) {
+          entering = j;
+          break;
+        }
+      }
+    } else {
+      double best = -options_.pivotTol;
+      for (int j = 0; j < artificialStart_; ++j) {
+        if (cost_[static_cast<std::size_t>(j)] < best) {
+          best = cost_[static_cast<std::size_t>(j)];
+          entering = j;
+        }
+      }
+    }
+    if (entering < 0) return SolveStatus::Optimal;
+
+    int leaving = -1;
+    double bestRatio = 0.0;
+    for (int i = 0; i < m_; ++i) {
+      if (deadRow_[static_cast<std::size_t>(i)]) continue;
+      const double aie = at(i, entering);
+      if (aie <= options_.pivotTol) continue;
+      const double ratio = at(i, nCols_) / aie;
+      if (leaving < 0 || ratio < bestRatio - 1e-12 ||
+          (ratio < bestRatio + 1e-12 &&
+           basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(leaving)])) {
+        leaving = i;
+        bestRatio = ratio;
+      }
+    }
+    if (leaving < 0) return SolveStatus::Unbounded;
+
+    pivot(leaving, entering);
+    ++stats_.primalIterations;
+
+    const double obj = -cost_[static_cast<std::size_t>(nCols_)];
+    if (obj < lastObjective - 1e-12) {
+      lastObjective = obj;
+      sinceImprovement = 0;
+      useBland = false;
+    } else if (++sinceImprovement > options_.stallLimit) {
+      useBland = true;  // degeneracy suspected; Bland guarantees termination
+    }
+  }
+  return SolveStatus::IterationLimit;
+}
+
+/// After phase 1: pivot basic artificials out where possible, mark the
+/// remaining (linearly dependent) rows dead.
+void LpWorkspace::purgeArtificialBasics() {
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (b < artificialStart_) continue;
+    int col = -1;
+    for (int j = 0; j < artificialStart_; ++j) {
+      if (std::abs(at(i, j)) > options_.pivotTol) {
+        col = j;
+        break;
+      }
+    }
+    if (col >= 0) {
+      pivot(i, col);
+    } else {
+      deadRow_[static_cast<std::size_t>(i)] = 1;  // redundant constraint
+    }
+  }
+}
+
+SolveStatus LpWorkspace::solveCold() {
+  ++stats_.coldSolves;
+  basisValid_ = false;
+  computeRhs(bScratch_);
+
+  std::fill(a_.begin(), a_.end(), 0.0);
+  std::fill(deadRow_.begin(), deadRow_.end(), 0);
+  // Artificial slots are issued on demand: only rows whose slack starts
+  // infeasible get one, so <=-dominated one-shot solves keep the tableau as
+  // narrow as a dedicated one-shot build.
+  int nextArtificial = artificialStart_;
+  for (int r = 0; r < m_; ++r) {
+    for (int k = rowStart_[static_cast<std::size_t>(r)];
+         k < rowStart_[static_cast<std::size_t>(r) + 1]; ++k)
+      at(r, termCol_[static_cast<std::size_t>(k)]) += termCoef_[static_cast<std::size_t>(k)];
+    at(r, nCols_) = bScratch_[static_cast<std::size_t>(r)];
+    const int slack = slackCol_[static_cast<std::size_t>(r)];
+    const double slackSign =
+        sense_[static_cast<std::size_t>(r)] == Sense::LessEqual ? 1.0 : -1.0;
+    if (slack >= 0) at(r, slack) = slackSign;
+
+    // Initial basic variable: the slack when it starts feasible, else an
+    // artificial whose coefficient is chosen so its value is non-negative.
+    const double b = bScratch_[static_cast<std::size_t>(r)];
+    double scale;
+    if (slack >= 0 && slackSign * b >= 0.0) {
+      basis_[static_cast<std::size_t>(r)] = slack;
+      identityCol_[static_cast<std::size_t>(r)] = slack;
+      scale = slackSign;
+    } else {
+      const int art = nextArtificial++;
+      scale = b >= 0.0 ? 1.0 : -1.0;
+      at(r, art) = scale;
+      basis_[static_cast<std::size_t>(r)] = art;
+      identityCol_[static_cast<std::size_t>(r)] = art;
+    }
+    identityScale_[static_cast<std::size_t>(r)] = scale;
+    if (scale < 0.0) {
+      for (int j = 0; j < nextArtificial; ++j) at(r, j) = -at(r, j);
+      at(r, nCols_) = -at(r, nCols_);
+    }
+  }
+  activeCols_ = nextArtificial;
+
+  // Phase 1: minimise the sum of basic artificials.
+  {
+    costScratch_.assign(static_cast<std::size_t>(nCols_), 0.0);
+    for (int j = artificialStart_; j < activeCols_; ++j)
+      costScratch_[static_cast<std::size_t>(j)] = 1.0;
+    buildCostRow(costScratch_);
+    const SolveStatus st = primalIterate();
+    if (st == SolveStatus::IterationLimit) return st;
+    // A phase-1 problem is bounded below by zero, so Unbounded cannot
+    // legitimately occur; treat it as a numerical failure.
+    if (st == SolveStatus::Unbounded) return SolveStatus::IterationLimit;
+    if (-cost_[static_cast<std::size_t>(nCols_)] > options_.feasTol)
+      return SolveStatus::Infeasible;
+    purgeArtificialBasics();
+  }
+
+  // Phase 2: original costs.
+  {
+    costScratch_.assign(static_cast<std::size_t>(nCols_), 0.0);
+    for (int j = 0; j < nStruct_; ++j)
+      costScratch_[static_cast<std::size_t>(j)] = cost0_[static_cast<std::size_t>(j)];
+    buildCostRow(costScratch_);
+    const SolveStatus st = primalIterate();
+    if (st != SolveStatus::Optimal) return st;
+  }
+
+  extract();
+  basisValid_ = true;
+  return SolveStatus::Optimal;
+}
+
+SolveStatus LpWorkspace::solveDual() {
+  TREEPLACE_REQUIRE(basisValid_, "solveDual requires a prior optimal basis");
+  ++stats_.warmSolves;
+  computeRhs(bScratch_);
+
+  // New transformed rhs through the inverse basis, read off the initial
+  // identity columns: B^-1 e_k = (tableau column of identity k) / scale_k.
+  for (int i = 0; i < m_; ++i) {
+    double rhs = 0.0;
+    for (int k = 0; k < m_; ++k) {
+      const double bk = bScratch_[static_cast<std::size_t>(k)];
+      if (bk == 0.0) continue;
+      rhs += at(i, identityCol_[static_cast<std::size_t>(k)]) * bk /
+             identityScale_[static_cast<std::size_t>(k)];
+    }
+    at(i, nCols_) = rhs;
+  }
+
+  // Dead rows are linearly dependent on the live ones; a non-zero
+  // transformed rhs means the new system is inconsistent.
+  for (int i = 0; i < m_; ++i)
+    if (deadRow_[static_cast<std::size_t>(i)] &&
+        std::abs(at(i, nCols_)) > options_.feasTol)
+      return SolveStatus::Infeasible;
+
+  // The reduced-cost row survives (costs never change); only the objective
+  // cell tracks the new basic values.
+  double obj = 0.0;
+  for (int i = 0; i < m_; ++i)
+    obj += structuralCost(basis_[static_cast<std::size_t>(i)]) * at(i, nCols_);
+  cost_[static_cast<std::size_t>(nCols_)] = -obj;
+
+  long pivots = 0;
+  bool useBland = false;
+  long sinceImprovement = 0;
+  double lastWorst = -std::numeric_limits<double>::infinity();
+  for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    // Leaving row: most negative basic value (Bland: first one).
+    int leaving = -1;
+    double worst = -options_.feasTol;
+    for (int i = 0; i < m_; ++i) {
+      if (deadRow_[static_cast<std::size_t>(i)]) continue;
+      const double v = at(i, nCols_);
+      if (v < worst) {
+        worst = v;
+        leaving = i;
+        if (useBland) break;
+      }
+    }
+    if (leaving < 0) {
+      if (pivots == 0) ++stats_.warmAlreadyOptimal;
+      extract();
+      return SolveStatus::Optimal;
+    }
+
+    // Entering column: dual ratio test over structural + slack columns.
+    int entering = -1;
+    double bestRatio = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < artificialStart_; ++j) {
+      const double arj = at(leaving, j);
+      if (arj >= -options_.pivotTol) continue;
+      const double ratio = std::max(0.0, cost_[static_cast<std::size_t>(j)]) / -arj;
+      const bool better =
+          useBland ? (ratio < bestRatio - 1e-12)
+                   : (ratio < bestRatio - 1e-12 ||
+                      (ratio < bestRatio + 1e-12 &&
+                       (entering < 0 || arj < at(leaving, entering))));
+      if (entering < 0 || better) {
+        entering = j;
+        bestRatio = ratio;
+      }
+    }
+    if (entering < 0) {
+      // Row `leaving` reads sum(a_rj x_j) = rhs < 0 with every real
+      // coefficient >= 0 and x >= 0: primal infeasible. The basis is still
+      // dual feasible, so it remains warm-start material.
+      return SolveStatus::Infeasible;
+    }
+
+    pivot(leaving, entering);
+    ++pivots;
+    ++stats_.dualIterations;
+
+    if (worst > lastWorst + 1e-12) {
+      lastWorst = worst;
+      sinceImprovement = 0;
+    } else if (++sinceImprovement > options_.stallLimit) {
+      useBland = true;  // degeneracy suspected
+    }
+  }
+  basisValid_ = false;  // a cycling basis is not worth reusing
+  return SolveStatus::IterationLimit;
+}
+
+SolveStatus LpWorkspace::solve() {
+  if (warmReady()) {
+    const SolveStatus st = solveDual();
+    if (st != SolveStatus::IterationLimit) return st;
+    ++stats_.dualFallbacks;
+  }
+  return solveCold();
+}
+
+void LpWorkspace::extract() {
+  structValues_.assign(static_cast<std::size_t>(nStruct_), 0.0);
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (b < nStruct_) structValues_[static_cast<std::size_t>(b)] = at(i, nCols_);
+  }
+  objective_ = 0.0;
+  for (int j = 0; j < variableCount(); ++j) {
+    const VarMap& vm = varMap_[static_cast<std::size_t>(j)];
+    double value = 0.0;
+    switch (vm.mode) {
+      case VarMap::Mode::Shift:
+        value = curLower_[static_cast<std::size_t>(j)] +
+                structValues_[static_cast<std::size_t>(vm.column)];
+        break;
+      case VarMap::Mode::Mirror:
+        value = curUpper_[static_cast<std::size_t>(j)] -
+                structValues_[static_cast<std::size_t>(vm.column)];
+        break;
+      case VarMap::Mode::Split:
+        value = structValues_[static_cast<std::size_t>(vm.column)] -
+                structValues_[static_cast<std::size_t>(vm.negColumn)];
+        break;
+    }
+    values_[static_cast<std::size_t>(j)] = value;
+    objective_ += objCoef_[static_cast<std::size_t>(j)] * value;
+  }
+}
+
+}  // namespace treeplace::lp

@@ -1,0 +1,163 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace treeplace::lp {
+
+/// Telemetry of a warm-started solve sequence (one branch-and-bound run, or
+/// any caller that re-solves the same matrix under changing bounds).
+struct WarmStartStats {
+  long coldSolves = 0;        ///< two-phase primal solves from scratch
+  long warmSolves = 0;        ///< dual-simplex re-solves from a reused basis
+  long warmAlreadyOptimal = 0;///< warm solves that needed zero dual pivots
+  long dualFallbacks = 0;     ///< warm attempts that had to re-run cold
+  long primalIterations = 0;  ///< pivots spent in cold (phase 1 + 2) solves
+  long dualIterations = 0;    ///< pivots spent in dual re-solves
+
+  long totalSolves() const { return coldSolves + warmSolves; }
+  /// Fraction of node LPs served by a reused basis instead of a cold build.
+  double basisReuseRate() const {
+    const long total = totalSolves();
+    return total > 0 ? static_cast<double>(warmSolves) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+/// Persistent simplex workspace for repeated solves of one model under
+/// changing variable bounds — the branch-and-bound hot path.
+///
+/// The standard form (column layout, slack/artificial structure, constraint
+/// matrix) is built ONCE from the root model; per-node bound changes only
+/// move the right-hand side: shifted-variable offsets enter the transformed
+/// rhs and each finite root range owns a dedicated upper-bound row whose rhs
+/// is the current box width. A re-solve therefore never copies the model —
+/// it recomputes the transformed rhs through the inverse basis (read off the
+/// initial identity columns of the dense tableau) and runs the dual simplex
+/// from the parent basis, which stays dual-feasible because costs never
+/// change. Typical B&B children re-optimise in a handful of dual pivots
+/// instead of a full two-phase primal solve.
+///
+/// Restrictions: a bound may only be finite where the corresponding root
+/// bound was finite (branching tightens, never relaxes, so every integral
+/// branch-and-bound satisfies this as long as its integer variables start
+/// with finite ranges).
+class LpWorkspace {
+ public:
+  explicit LpWorkspace(const Model& model, const SimplexOptions& options = {});
+
+  int variableCount() const { return static_cast<int>(varMap_.size()); }
+
+  /// Set the box of `variable` for the next solve (model space).
+  void setBounds(int variable, double lower, double upper);
+
+  double currentLower(int variable) const {
+    return curLower_[static_cast<std::size_t>(variable)];
+  }
+  double currentUpper(int variable) const {
+    return curUpper_[static_cast<std::size_t>(variable)];
+  }
+
+  /// A previous solve left an optimal (dual-feasible) basis to warm-start
+  /// from.
+  bool warmReady() const { return basisValid_; }
+
+  /// Two-phase primal simplex from scratch under the current bounds.
+  SolveStatus solveCold();
+
+  /// Dual-simplex re-solve from the last optimal basis under the current
+  /// bounds. Requires warmReady(). Returns IterationLimit on numerical
+  /// trouble — the caller should fall back to solveCold().
+  SolveStatus solveDual();
+
+  /// solveDual() when a basis is available (falling back to solveCold() on
+  /// numerical failure), else solveCold().
+  SolveStatus solve();
+
+  /// Objective and point of the last Optimal solve, in model space.
+  double objective() const { return objective_; }
+  std::span<const double> values() const { return values_; }
+
+  const WarmStartStats& stats() const { return stats_; }
+
+ private:
+  /// How a model variable maps onto non-negative structural columns.
+  struct VarMap {
+    enum class Mode { Shift, Mirror, Split } mode = Mode::Shift;
+    int column = -1;     ///< primary structural column
+    int negColumn = -1;  ///< second column for Split
+    int upperRow = -1;   ///< dedicated upper-bound row (finite root range)
+  };
+
+  double& at(int i, int j) {
+    return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(j)];
+  }
+  double at(int i, int j) const {
+    return a_[static_cast<std::size_t>(i) * static_cast<std::size_t>(width_) +
+              static_cast<std::size_t>(j)];
+  }
+
+  void computeRhs(std::vector<double>& b) const;
+  void buildCostRow(std::span<const double> columnCost);
+  void pivot(int row, int col);
+  SolveStatus primalIterate();
+  void purgeArtificialBasics();
+  void extract();
+  double structuralCost(int column) const {
+    return column < nStruct_ ? cost0_[static_cast<std::size_t>(column)] : 0.0;
+  }
+
+  SimplexOptions options_;
+
+  // ---- fixed standard form (built once from the root model) ----
+  std::vector<VarMap> varMap_;
+  std::vector<double> rootLower_, rootUpper_;
+  std::vector<double> objCoef_;         ///< model-space objective
+  std::vector<double> cost0_;           ///< structural-column objective
+  int nStruct_ = 0;
+  int modelRows_ = 0;                   ///< model constraints (upper rows follow)
+  int m_ = 0;                           ///< total rows incl. upper-bound rows
+  int nCols_ = 0;                       ///< struct + slack + artificial capacity
+  int width_ = 0;                       ///< nCols_ + 1 (rhs)
+  int artificialStart_ = 0;
+  /// Columns in live use: artificial slots are handed out per cold solve
+  /// (only rows whose slack starts infeasible need one), so a one-shot
+  /// <=-dominated model pivots over the same width the dedicated one-shot
+  /// tableau used. Columns in [activeCols_, nCols_) stay all-zero.
+  int activeCols_ = 0;
+  // CSR matrix terms per row over structural columns.
+  std::vector<int> rowStart_;
+  std::vector<int> termCol_;
+  std::vector<double> termCoef_;
+  // CSR offset terms per row: rhs -= coeff * currentOffset(var).
+  std::vector<int> offsetStart_;
+  std::vector<int> offsetVar_;
+  std::vector<double> offsetCoef_;
+  std::vector<double> baseRhs_;         ///< model rhs per model row
+  std::vector<Sense> sense_;
+  std::vector<int> slackCol_;           ///< -1 when Sense::Equal
+  std::vector<int> upperRowVar_;        ///< model var of each upper-bound row
+
+  // ---- per-solve state ----
+  std::vector<double> curLower_, curUpper_;
+  std::vector<double> a_;               ///< dense tableau, m_ x width_
+  std::vector<double> cost_;            ///< reduced-cost row, width_
+  std::vector<int> basis_;
+  std::vector<char> deadRow_;           ///< redundant rows found in phase 1
+  std::vector<int> identityCol_;        ///< initial basic column per row
+  std::vector<double> identityScale_;   ///< its +-1 coefficient
+  std::vector<double> bScratch_;
+  std::vector<double> costScratch_;
+  std::vector<double> structValues_;
+  bool basisValid_ = false;
+
+  double objective_ = 0.0;
+  std::vector<double> values_;
+  WarmStartStats stats_;
+};
+
+}  // namespace treeplace::lp

@@ -74,6 +74,33 @@ TEST(FrontierRelaxation, ExactOnHomogeneousMultiple) {
   }
 }
 
+TEST(FrontierRelaxation, SharedArenaMatchesFreshAcrossInstances) {
+  // One arena reused across many related instances (the bench pattern) must
+  // reproduce the per-instance results exactly.
+  FrontierArena arena;
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        seed * 409 + 3, 0.55, /*hetero=*/seed % 2 == 0, /*unit=*/seed % 2 == 1,
+        6, 24);
+    const FrontierSubtreeRelaxation shared(inst, arena);
+    const FrontierSubtreeRelaxation fresh(inst);
+    ASSERT_EQ(shared.feasible(), fresh.feasible()) << "seed " << seed;
+    EXPECT_EQ(shared.minTotalReplicas(), fresh.minTotalReplicas()) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(shared.decompositionBound(), fresh.decompositionBound())
+        << "seed " << seed;
+    for (const VertexId v : inst.tree.internals())
+      ASSERT_EQ(shared.minReplicasIn(v), fresh.minReplicasIn(v))
+          << "seed " << seed << " vertex " << v;
+  }
+}
+
+TEST(Bounds, IntegralStorageCosts) {
+  EXPECT_TRUE(integralStorageCosts(testutil::chainInstance(5, 5, {4, 2})));
+  ProblemInstance inst = testutil::chainInstance(5, 5, {4, 2});
+  inst.storageCost[static_cast<std::size_t>(inst.tree.internals()[0])] = 1.5;
+  EXPECT_FALSE(integralStorageCosts(inst));
+}
+
 TEST(FrontierRelaxation, DecompositionBoundBelowHeterogeneousOptimum) {
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     const ProblemInstance inst = testutil::smallRandomInstance(

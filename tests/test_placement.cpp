@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "exact/multiple_homogeneous.hpp"
 #include "support/require.hpp"
 #include "test_util.hpp"
 
@@ -152,6 +153,66 @@ TEST(Placement, InterleavedAssignsKeepRunsConsistent) {
   }
   for (VertexId server = 0; server < 4; ++server)
     EXPECT_EQ(p.serverLoad(server), 6 + 3);
+}
+
+TEST(Placement, CompactRemovesHolesAndRestoresSequentialScans) {
+  // Interleaved (server-order-style) construction relocates runs and leaves
+  // holes behind; compact() must pack the pool back into client order.
+  Placement p(8);
+  for (int round = 1; round <= 3; ++round)
+    for (VertexId client = 4; client < 8; ++client)
+      p.assign(client, (client + round) % 4, 1);
+  Placement expected(8);
+  for (int round = 1; round <= 3; ++round)
+    for (VertexId client = 4; client < 8; ++client)
+      expected.assign(client, (client + round) % 4, 1);
+  ASSERT_GT(p.stats().holeSlots, 0u);
+
+  p.compact();
+  EXPECT_EQ(p.stats().holeSlots, 0u);
+  EXPECT_EQ(p, expected);  // logical content untouched
+  // Sequential client-order scans: each served client's run starts exactly
+  // where the previous one ended.
+  const ServedShare* cursor = nullptr;
+  for (VertexId client = 0; client < 8; ++client) {
+    const auto run = p.shares(client);
+    if (run.empty()) continue;
+    if (cursor != nullptr) EXPECT_EQ(run.data(), cursor);
+    cursor = run.data() + run.size();
+  }
+  // Idempotent and allocation-free the second time.
+  const std::size_t allocsAfterFirst = p.stats().heapAllocs;
+  p.compact();
+  EXPECT_EQ(p.stats().heapAllocs, allocsAfterFirst);
+}
+
+TEST(Placement, CompactOnCleanPlacementIsNoOp) {
+  Placement p(6);
+  p.assign(3, 1, 2);
+  p.assign(4, 0, 5);
+  const std::size_t allocs = p.stats().heapAllocs;
+  ASSERT_EQ(p.stats().holeSlots, 0u);
+  p.compact();
+  EXPECT_EQ(p.stats().heapAllocs, allocs);
+  EXPECT_EQ(p.shares(3).size(), 1u);
+  EXPECT_EQ(p.shares(4).size(), 1u);
+}
+
+TEST(Placement, MultiplePassThreeLeavesNoHoles) {
+  // The Multiple solver's pass 3 builds server-order and compacts on exit:
+  // every solve must come back hole-free with sequential client runs.
+  const ProblemInstance inst = testutil::smallRandomInstance(
+      4242, 0.6, /*hetero=*/false, /*unit=*/true, 40, 60);
+  const auto placement = solveMultipleHomogeneous(inst);
+  ASSERT_TRUE(placement.has_value());
+  EXPECT_EQ(placement->stats().holeSlots, 0u);
+  const ServedShare* cursor = nullptr;
+  for (const VertexId client : inst.tree.clients()) {
+    const auto run = placement->shares(client);
+    if (run.empty()) continue;
+    if (cursor != nullptr) EXPECT_EQ(run.data(), cursor);
+    cursor = run.data() + run.size();
+  }
 }
 
 TEST(Placement, StatsTrackSharesAndAllocations) {

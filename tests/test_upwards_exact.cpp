@@ -4,6 +4,7 @@
 
 #include "support/require.hpp"
 
+#include "core/frontier.hpp"
 #include "core/validate.hpp"
 #include "exact/exact_ilp.hpp"
 #include "test_util.hpp"
@@ -132,6 +133,97 @@ TEST(UpwardsExact, FrontierPruningNeverSearchesMore) {
     ASSERT_TRUE(withBound.proven && without.proven) << "m=" << m;
     EXPECT_EQ(withBound.feasible(), without.feasible()) << "m=" << m;
     EXPECT_LE(withBound.steps, without.steps) << "m=" << m;
+  }
+}
+
+TEST(UpwardsExact, PruningVariantsAgreeOnRandomInstances) {
+  // Every combination of the option-gated prunes must return the same
+  // feasibility and optimal cost as the fully plain search.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    for (const bool hetero : {false, true}) {
+      const ProblemInstance inst = testutil::smallRandomInstance(
+          seed * 157 + (hetero ? 29 : 0), 0.6, hetero, /*unit=*/!hetero,
+          /*minSize=*/6, /*maxSize=*/13);
+      UpwardsExactOptions plain;
+      plain.frontierPruning = false;
+      plain.perSubtreeFloors = false;
+      plain.reachabilityPruning = false;
+      const UpwardsExactResult reference = solveUpwardsExact(inst, plain);
+      ASSERT_TRUE(reference.proven);
+      for (const bool frontier : {false, true}) {
+        for (const bool floors : {false, true}) {
+          for (const bool reach : {false, true}) {
+            UpwardsExactOptions options;
+            options.frontierPruning = frontier;
+            options.perSubtreeFloors = floors;
+            options.reachabilityPruning = reach;
+            const UpwardsExactResult r = solveUpwardsExact(inst, options);
+            ASSERT_TRUE(r.proven) << "seed " << seed;
+            ASSERT_EQ(r.feasible(), reference.feasible())
+                << "seed " << seed << " frontier " << frontier << " floors "
+                << floors << " reach " << reach;
+            if (!r.feasible()) continue;
+            EXPECT_NEAR(r.placement->storageCost(inst),
+                        reference.placement->storageCost(inst), 1e-9)
+                << "seed " << seed << " frontier " << frontier << " floors "
+                << floors << " reach " << reach;
+            EXPECT_TRUE(
+                testutil::placementValid(inst, *r.placement, Policy::Upwards));
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(UpwardsExact, ThreePartitionThirtyClientsClosesWithProof) {
+  // The 30-client Theorem 2 NO-instance used to exhaust a 20M-step budget
+  // unproven; per-subtree floors + reachability pruning close it in a few
+  // thousand steps.
+  const int m = 10;
+  const Requests B = 16;
+  std::vector<Requests> values(static_cast<std::size_t>(3 * m - m / 2), 5);
+  values.resize(static_cast<std::size_t>(3 * m), 7);
+  const ProblemInstance inst = fig7ThreePartition(values, B);
+  UpwardsExactOptions options;
+  options.maxSteps = 200'000;
+  const UpwardsExactResult r = solveUpwardsExact(inst, options);
+  EXPECT_TRUE(r.proven);
+  EXPECT_FALSE(r.feasible());
+  EXPECT_LT(r.steps, 100'000);
+}
+
+TEST(UpwardsExact, ThreePartitionYesInstanceStillFound) {
+  // Values {4,5,7} tile B=16 exactly: the prunes must not cut the witness.
+  std::vector<Requests> values;
+  for (int j = 0; j < 4; ++j) {
+    values.push_back(4);
+    values.push_back(5);
+    values.push_back(7);
+  }
+  const ProblemInstance inst = fig7ThreePartition(values, 16);
+  const UpwardsExactResult r = solveUpwardsExact(inst);
+  ASSERT_TRUE(r.proven);
+  ASSERT_TRUE(r.feasible());
+  EXPECT_TRUE(testutil::placementValid(inst, *r.placement, Policy::Upwards));
+  EXPECT_EQ(r.placement->replicaCount(), 4u);  // all bins exactly full
+}
+
+TEST(UpwardsExact, SharedBoundsArenaMatchesFresh) {
+  FrontierArena arena;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const ProblemInstance inst =
+        testutil::smallRandomInstance(seed * 271, 0.6, seed % 2 == 0,
+                                      /*unit=*/seed % 2 == 1);
+    UpwardsExactOptions shared;
+    shared.boundsArena = &arena;
+    const UpwardsExactResult a = solveUpwardsExact(inst, shared);
+    const UpwardsExactResult b = solveUpwardsExact(inst);
+    ASSERT_EQ(a.feasible(), b.feasible()) << "seed " << seed;
+    EXPECT_EQ(a.steps, b.steps) << "seed " << seed;
+    if (a.feasible())
+      EXPECT_NEAR(a.placement->storageCost(inst),
+                  b.placement->storageCost(inst), 1e-12);
   }
 }
 
