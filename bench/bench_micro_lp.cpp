@@ -1,6 +1,7 @@
 // google-benchmark micro benchmarks for the LP/MIP substrate: simplex solve
-// time on the Section 5 relaxations and branch-and-bound cost of the refined
-// lower bound, as functions of instance size.
+// time on the Section 5 relaxations, warm dual re-solves of the bounded-
+// variable workspace against the explicit-row oracle layout, and branch-and-
+// bound cost of the refined lower bound, as functions of instance size.
 
 #include <benchmark/benchmark.h>
 
@@ -8,6 +9,7 @@
 #include "formulation/lower_bound.hpp"
 #include "heuristics/heuristic.hpp"
 #include "lp/simplex.hpp"
+#include "lp/workspace.hpp"
 #include "tree/generator.hpp"
 
 namespace treeplace {
@@ -61,6 +63,65 @@ void BM_SimplexUpwardsRelaxation(benchmark::State& state) {
   state.SetComplexityN(state.range(0));
 }
 BENCHMARK(BM_SimplexUpwardsRelaxation)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Complexity();
+
+/// Warm dual re-solve throughput under branching-style box updates: the
+/// branch-and-bound node loop in miniature. Counters report the tableau
+/// height and the pivot/flip mix, so the bounded-variable layout's saving
+/// (tableau_rows == structural rows instead of rows + ranges) is visible in
+/// the benchmark output, not just in end-to-end timings.
+void resolveLoop(benchmark::State& state, bool explicitBoundRows) {
+  const ProblemInstance inst = instanceOfSize(static_cast<int>(state.range(0)));
+  FormulationOptions fo;
+  fo.integrality = FormulationOptions::Integrality::Relaxed;
+  const IlpFormulation f(inst, Policy::Multiple, fo);
+  lp::SimplexOptions options;
+  options.explicitBoundRows = explicitBoundRows;
+  lp::LpWorkspace workspace(f.model(), options);
+  if (workspace.solveCold() != lp::SolveStatus::Optimal) {
+    state.SkipWithError("root LP not optimal");
+    return;
+  }
+  // Alternate one placement indicator between fixed-closed and free — the
+  // exact rhs-only perturbation a B&B node applies.
+  int flip = 0;
+  int branchVar = -1;
+  for (const VertexId v : inst.tree.internals()) {
+    branchVar = f.placementVar(v);
+    if (branchVar >= 0) break;
+  }
+  for (auto _ : state) {
+    workspace.setBounds(branchVar, 0.0, flip ? 0.0 : 1.0);
+    flip ^= 1;
+    lp::SolveStatus status = workspace.solveDual();
+    if (status == lp::SolveStatus::IterationLimit) status = workspace.solveCold();
+    benchmark::DoNotOptimize(status);
+  }
+  const lp::WarmStartStats& stats = workspace.stats();
+  state.counters["tableau_rows"] = static_cast<double>(stats.tableauRows);
+  state.counters["structural_rows"] = static_cast<double>(stats.structuralRows);
+  state.counters["dual_pivots_per_resolve"] =
+      stats.warmSolves > 0 ? static_cast<double>(stats.dualIterations) /
+                                 static_cast<double>(stats.warmSolves)
+                           : 0.0;
+  state.counters["bound_flips"] = static_cast<double>(stats.boundFlips);
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_WorkspaceResolveBoundedBoxes(benchmark::State& state) {
+  resolveLoop(state, /*explicitBoundRows=*/false);
+}
+BENCHMARK(BM_WorkspaceResolveBoundedBoxes)
+    ->RangeMultiplier(2)
+    ->Range(32, 256)
+    ->Complexity();
+
+void BM_WorkspaceResolveExplicitRows(benchmark::State& state) {
+  resolveLoop(state, /*explicitBoundRows=*/true);
+}
+BENCHMARK(BM_WorkspaceResolveExplicitRows)
     ->RangeMultiplier(2)
     ->Range(32, 256)
     ->Complexity();

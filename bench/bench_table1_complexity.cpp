@@ -240,6 +240,7 @@ int main(int argc, char** argv) {
           scanLegacyMs = millis(t4);
           static volatile Requests sink;  // keep the scans observable
           sink = total;
+          (void)sink;
         }
 
         const auto keepMin = [rep](double& slot, double value) {
@@ -315,7 +316,7 @@ int main(int argc, char** argv) {
     // the search has to refute an exponential number of near-ties.
     TextTable t;
     t.setHeader({"m", "B&B nodes", "ms", "optimal cost (> S+1)", "basis reuse",
-                 "LP µs/node"});
+                 "LP µs/node", "rows", "flips"});
     for (int m = 6; m <= reductionMax; m += 4) {
       std::vector<Requests> values(static_cast<std::size_t>(m - 1), 4);
       values.push_back(6);
@@ -340,7 +341,10 @@ int main(int argc, char** argv) {
                 formatDouble(ms, 2),
                 exact.feasible() ? formatDouble(exact.cost, 0) : "-",
                 formatDouble(row.warm.basisReuseRate(), 3),
-                formatDouble(row.resolveMsPerNode * 1000.0, 2)});
+                formatDouble(row.resolveMsPerNode * 1000.0, 2),
+                std::to_string(row.warm.tableauRows) + "/" +
+                    std::to_string(row.warm.structuralRows),
+                std::to_string(row.warm.boundFlips)});
       if (!exact.proven || ms > 30000.0) break;
     }
     std::cout << t.render()
@@ -420,6 +424,9 @@ int main(int argc, char** argv) {
           static_cast<std::int64_t>(row.warm.dualIterations));
       json.key("dual_fallbacks").value(
           static_cast<std::int64_t>(row.warm.dualFallbacks));
+      json.key("bound_flips").value(static_cast<std::int64_t>(row.warm.boundFlips));
+      json.key("tableau_rows").value(row.warm.tableauRows);
+      json.key("structural_rows").value(row.warm.structuralRows);
       json.endObject();
       json.endObject();
     }

@@ -20,9 +20,9 @@ int main() {
   // sites. Every internal node can serve 10 requests per time unit.
   //
   //            origin (W=10)
-  //            /           \
+  //            /           |
   //      east (W=10)    west (W=10)
-  //      /   |   \        /    \
+  //      /   |   |        /    |
   //   c:6   c:3  c:2    c:7    c:5
   TreeBuilder builder;
   const VertexId origin = builder.addRoot(10);

@@ -1,23 +1,48 @@
 #include "extensions/bandwidth_aware.hpp"
 
+#include <utility>
+
 #include "core/validate.hpp"
 #include "heuristics/heuristic.hpp"
 
 namespace treeplace {
 
-std::optional<Placement> solveMultipleWithBandwidth(const ProblemInstance& instance) {
+std::string_view toString(BandwidthStatus status) {
+  switch (status) {
+    case BandwidthStatus::Feasible: return "Feasible";
+    case BandwidthStatus::CapacityInfeasible: return "CapacityInfeasible";
+    case BandwidthStatus::BandwidthInfeasible: return "BandwidthInfeasible";
+  }
+  return "?";
+}
+
+BandwidthResult solveMultipleWithBandwidthStatus(const ProblemInstance& instance) {
   instance.validate();
+  BandwidthResult result;
   auto placement = runMG(instance);
-  if (!placement) return std::nullopt;  // capacity-infeasible
+  if (!placement) {
+    // MG is exact for plain Multiple feasibility: the server capacities
+    // alone already refute the instance, regardless of any link cap.
+    result.status = BandwidthStatus::CapacityInfeasible;
+    return result;
+  }
 
   // MG's link flows are pointwise minimal (see header), so a violation here
   // proves bandwidth infeasibility.
   ValidationOptions options;
   options.checkQos = false;  // bandwidth-only concern; QoS is a separate axis
   options.checkBandwidth = true;
-  if (!validatePlacement(instance, *placement, Policy::Multiple, options).ok())
-    return std::nullopt;
-  return placement;
+  if (!validatePlacement(instance, *placement, Policy::Multiple, options).ok()) {
+    result.status = BandwidthStatus::BandwidthInfeasible;
+    return result;
+  }
+  result.status = BandwidthStatus::Feasible;
+  result.placement = std::move(placement);
+  return result;
+}
+
+std::optional<Placement> solveMultipleWithBandwidth(const ProblemInstance& instance) {
+  return std::move(solveMultipleWithBandwidthStatus(instance).placement);
 }
 
 }  // namespace treeplace

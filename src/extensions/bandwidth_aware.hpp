@@ -1,11 +1,34 @@
 #pragma once
 
 #include <optional>
+#include <string_view>
 
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
+
+/// Outcome of the bandwidth-constrained Multiple feasibility procedure. The
+/// two infeasible cases are deliberately distinct: the Fig. 11/12 success
+/// experiments need to attribute a failure to the server capacities (the
+/// paper's axis) or to the link caps (the extension's axis), and collapsing
+/// both into one "no placement" answer makes the reported success rates
+/// unexplainable.
+enum class BandwidthStatus {
+  Feasible,             ///< placement returned; capacities and bandwidths hold
+  CapacityInfeasible,   ///< no complete assignment exists even with unlimited links
+  BandwidthInfeasible,  ///< capacities admit an assignment, some link cap cannot hold
+};
+
+std::string_view toString(BandwidthStatus status);
+
+struct BandwidthResult {
+  BandwidthStatus status = BandwidthStatus::CapacityInfeasible;
+  /// Engaged iff status == Feasible.
+  std::optional<Placement> placement;
+
+  bool feasible() const { return status == BandwidthStatus::Feasible; }
+};
 
 /// Bandwidth-constrained Multiple placement (the conclusion's "including
 /// bandwidth constraints" follow-up). Unlike QoS, bandwidth does not require
@@ -23,8 +46,13 @@ namespace treeplace {
 ///
 /// This routine is thus an *exact* feasibility procedure for the Multiple
 /// policy with server capacities and link bandwidths (tests cross-check it
-/// against the bandwidth-enforcing ILP). Returns a placement that satisfies
-/// capacities and bandwidths, or std::nullopt iff none exists.
+/// against the bandwidth-enforcing ILP), and its status tells WHICH family
+/// of constraints refuted the instance.
+BandwidthResult solveMultipleWithBandwidthStatus(const ProblemInstance& instance);
+
+/// Placement-only convenience wrapper around
+/// solveMultipleWithBandwidthStatus: a placement that satisfies capacities
+/// and bandwidths, or std::nullopt iff none exists.
 std::optional<Placement> solveMultipleWithBandwidth(const ProblemInstance& instance);
 
 }  // namespace treeplace

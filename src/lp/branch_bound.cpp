@@ -5,6 +5,7 @@
 #include <cmath>
 #include <queue>
 
+#include "lp/tolerances.hpp"
 #include "support/require.hpp"
 
 namespace treeplace::lp {
@@ -19,7 +20,7 @@ double roundBound(double bound, double granularity) {
   if (granularity <= 0.0) return bound;
   // All feasible objectives are multiples of the granularity, so the subtree
   // bound may be rounded up to the next one.
-  return std::ceil(bound / granularity - 1e-6) * granularity;
+  return std::ceil(bound / granularity - kGranularitySlack) * granularity;
 }
 
 /// Branch variable: highest priority class among the fractional integers,
@@ -175,10 +176,16 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
 
   double minClosedBound = kInfinity;  // min final bound over closed leaves
   bool sawIterationLimit = false;
+  bool hitNodeLimit = false;
   const double cutoffGap = options.absoluteGap;
 
   while (!open.empty()) {
-    if (result.nodesExplored >= options.maxNodes) break;
+    if (result.nodesExplored >= options.maxNodes) {
+      // Open nodes remain: the budget genuinely truncated the search. A pool
+      // that empties exactly at the budget is a completed (provable) search.
+      hitNodeLimit = true;
+      break;
+    }
     const int id = open.pop();
     const double inheritedBound = nodes[static_cast<std::size_t>(id)].bound;
     ++result.nodesExplored;
@@ -268,7 +275,7 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
   }
   bound = std::max(bound, options.knownLowerBound);
   result.lowerBound = std::min(bound, result.objective);
-  result.proven = result.nodesExplored < options.maxNodes && !sawIterationLimit &&
+  result.proven = !hitNodeLimit && !sawIterationLimit &&
                   result.lowerBound >= result.objective - cutoffGap * 2;
   result.status = SolveStatus::Optimal;
   return result;
@@ -276,9 +283,9 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
 
 /// Cold oracle engine: the pre-warm-start implementation — every node LP is
 /// built and solved from scratch on a model copy. Kept both as the fallback
-/// for models whose integer variables have infinite root ranges (the
-/// workspace's fixed standard form cannot absorb such branches) and as the
-/// independent reference the warm-vs-cold equivalence tests compare against.
+/// for models whose free integer variables the workspace's fixed standard
+/// form cannot absorb and as the independent reference the warm-vs-cold
+/// equivalence tests compare against.
 MipResult solveMipCold(const Model& model, const MipOptions& options,
                        const std::vector<int>& integers) {
   struct Node {
@@ -321,9 +328,14 @@ MipResult solveMipCold(const Model& model, const MipOptions& options,
 
   double minClosedBound = kInfinity;  // min final bound over closed leaves
   bool sawIterationLimit = false;
+  bool hitNodeLimit = false;
 
   while (!open.empty()) {
-    if (result.nodesExplored >= options.maxNodes) break;
+    if (result.nodesExplored >= options.maxNodes) {
+      // See solveMipWarm: only a truncation with open nodes left is unproven.
+      hitNodeLimit = true;
+      break;
+    }
     Node node = open.top();
     open.pop();
     ++result.nodesExplored;
@@ -412,7 +424,7 @@ MipResult solveMipCold(const Model& model, const MipOptions& options,
   }
   bound = std::max(bound, options.knownLowerBound);
   result.lowerBound = std::min(bound, result.objective);
-  result.proven = result.nodesExplored < options.maxNodes && !sawIterationLimit &&
+  result.proven = !hitNodeLimit && !sawIterationLimit &&
                   result.lowerBound >= result.objective - options.absoluteGap * 2;
   result.status = SolveStatus::Optimal;
   return result;
@@ -423,9 +435,18 @@ MipResult solveMipCold(const Model& model, const MipOptions& options,
 MipResult solveMip(const Model& model, const MipOptions& options) {
   const std::vector<int> integers = model.integerVariables();
   bool warmEligible = options.warmStart;
-  for (const int j : integers)
-    if (model.lower(j) == -kInfinity || model.upper(j) == kInfinity)
+  for (const int j : integers) {
+    // The workspace's column mapping is fixed by the root bounds. With
+    // bounded-variable columns any non-free integer absorbs both branch
+    // directions as box updates; the legacy explicit-row oracle additionally
+    // needs the finite range that owns its upper-bound row.
+    const bool freeVar =
+        model.lower(j) == -kInfinity && model.upper(j) == kInfinity;
+    const bool fullRange =
+        model.lower(j) != -kInfinity && model.upper(j) != kInfinity;
+    if (options.lp.explicitBoundRows ? !fullRange : freeVar)
       warmEligible = false;  // branching would change the standard-form shape
+  }
   return warmEligible ? solveMipWarm(model, options, integers)
                       : solveMipCold(model, options, integers);
 }

@@ -21,6 +21,12 @@ struct SimplexOptions {
   double feasTol = 1e-7;     ///< phase-1 objective above this means infeasible
   long maxIterations = 200000;
   long stallLimit = 256;     ///< degenerate pivots before switching to Bland's rule
+  /// Represent finite variable ranges as dedicated upper-bound rows instead
+  /// of column boxes handled in the ratio tests. This is the pre-bounded-
+  /// variable tableau layout (one extra row per finite range, m = rows +
+  /// ranges); it is kept as the independent oracle the boxes-vs-rows
+  /// equivalence tests compare against and should not be used on hot paths.
+  bool explicitBoundRows = false;
 };
 
 struct LpSolution {
@@ -34,8 +40,10 @@ struct LpSolution {
 /// Solve the continuous relaxation of `model` (integrality ignored) with a
 /// dense two-phase primal simplex. Handles general bounds: variables are
 /// shifted by finite lower bounds, mirrored when only the upper bound is
-/// finite, and split into positive parts when free; finite ranges become
-/// explicit upper-bound rows.
+/// finite, and split into positive parts when free; finite ranges stay out
+/// of the tableau as column boxes handled in the ratio tests (bound-flip
+/// pivots), unless options.explicitBoundRows requests the legacy
+/// row-per-range layout.
 LpSolution solveLp(const Model& model, const SimplexOptions& options = {});
 
 }  // namespace treeplace::lp

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lp/tolerances.hpp"
 #include "support/require.hpp"
 
 namespace treeplace::lp {
@@ -18,7 +19,8 @@ LpWorkspace::LpWorkspace(const Model& model, const SimplexOptions& options)
 
   // Structural columns. Unlike a one-shot solve, the column layout is chosen
   // from the ROOT bounds and never changes: tightened boxes reach the solver
-  // through offsets and upper-bound-row rhs values only.
+  // through offsets and column box widths (or, in explicitBoundRows mode,
+  // upper-bound-row rhs values) only.
   for (int j = 0; j < n; ++j) {
     VarMap& vm = varMap_[static_cast<std::size_t>(j)];
     const double lo = model.lower(j);
@@ -80,25 +82,31 @@ LpWorkspace::LpWorkspace(const Model& model, const SimplexOptions& options)
     sense_.push_back(model.rowSense(r));
   }
 
-  // One dedicated upper-bound row per finite root range (t <= hi - lo). The
-  // row exists even when a later box fixes the variable (rhs 0), which is
-  // exactly what keeps the structure solve-invariant.
-  for (int j = 0; j < n; ++j) {
-    VarMap& vm = varMap_[static_cast<std::size_t>(j)];
-    if (vm.mode != VarMap::Mode::Shift ||
-        rootUpper_[static_cast<std::size_t>(j)] == kInfinity)
-      continue;
-    vm.upperRow = static_cast<int>(sense_.size());
-    termCol_.push_back(vm.column);
-    termCoef_.push_back(1.0);
-    rowStart_.push_back(static_cast<int>(termCol_.size()));
-    offsetStart_.push_back(static_cast<int>(offsetVar_.size()));
-    baseRhs_.push_back(0.0);  // unused: computeRhs writes the box width
-    sense_.push_back(Sense::LessEqual);
-    upperRowVar_.push_back(j);
+  // Bounded-variable layout (the default): finite ranges live as column
+  // boxes, the tableau height stays at the model row count. The legacy
+  // oracle layout instead emits one dedicated upper-bound row per finite
+  // root range (t <= hi - lo), which exists even when a later box fixes the
+  // variable (rhs 0) so the structure stays solve-invariant.
+  if (options_.explicitBoundRows) {
+    for (int j = 0; j < n; ++j) {
+      VarMap& vm = varMap_[static_cast<std::size_t>(j)];
+      if (vm.mode != VarMap::Mode::Shift ||
+          rootUpper_[static_cast<std::size_t>(j)] == kInfinity)
+        continue;
+      vm.upperRow = static_cast<int>(sense_.size());
+      termCol_.push_back(vm.column);
+      termCoef_.push_back(1.0);
+      rowStart_.push_back(static_cast<int>(termCol_.size()));
+      offsetStart_.push_back(static_cast<int>(offsetVar_.size()));
+      baseRhs_.push_back(0.0);  // unused: computeRhs writes the box width
+      sense_.push_back(Sense::LessEqual);
+      upperRowVar_.push_back(j);
+    }
   }
 
   m_ = static_cast<int>(sense_.size());
+  stats_.tableauRows = m_;
+  stats_.structuralRows = modelRows_;
 
   // Column layout: structural | slack/surplus | one artificial per row. The
   // artificial block is only touched by cold starts; reserving a full row's
@@ -119,6 +127,8 @@ LpWorkspace::LpWorkspace(const Model& model, const SimplexOptions& options)
   deadRow_.assign(static_cast<std::size_t>(m_), 0);
   identityCol_.assign(static_cast<std::size_t>(m_), -1);
   identityScale_.assign(static_cast<std::size_t>(m_), 1.0);
+  colUpper_.assign(static_cast<std::size_t>(nCols_), kInfinity);
+  atUpper_.assign(static_cast<std::size_t>(nCols_), 0);
   curLower_ = rootLower_;
   curUpper_ = rootUpper_;
   values_.assign(static_cast<std::size_t>(n), 0.0);
@@ -133,12 +143,18 @@ void LpWorkspace::setBounds(int variable, double lower, double upper) {
     case VarMap::Mode::Shift:
       TREEPLACE_REQUIRE(lower != -kInfinity,
                         "shifted variable requires a finite lower bound");
-      TREEPLACE_REQUIRE((upper != kInfinity) == (vm.upperRow >= 0),
-                        "upper-bound finiteness must match the root model");
+      // Boxes absorb any upper bound; a dedicated row only exists where the
+      // root range was finite.
+      if (options_.explicitBoundRows)
+        TREEPLACE_REQUIRE((upper != kInfinity) == (vm.upperRow >= 0),
+                          "upper-bound finiteness must match the root model");
       break;
     case VarMap::Mode::Mirror:
-      TREEPLACE_REQUIRE(lower == -kInfinity && upper != kInfinity,
-                        "mirrored variable bounds must stay (-inf, finite]");
+      TREEPLACE_REQUIRE(upper != kInfinity,
+                        "mirrored variable requires a finite upper bound");
+      if (options_.explicitBoundRows)
+        TREEPLACE_REQUIRE(lower == -kInfinity,
+                          "mirrored variable bounds must stay (-inf, finite]");
       break;
     case VarMap::Mode::Split:
       TREEPLACE_REQUIRE(lower == -kInfinity && upper == kInfinity,
@@ -170,13 +186,32 @@ void LpWorkspace::computeRhs(std::vector<double>& b) const {
   }
 }
 
+void LpWorkspace::refreshColumnWidths() {
+  if (options_.explicitBoundRows) return;  // boxes live as rows; widths stay infinite
+  for (int j = 0; j < variableCount(); ++j) {
+    const VarMap& vm = varMap_[static_cast<std::size_t>(j)];
+    if (vm.mode == VarMap::Mode::Split) continue;  // both columns unbounded
+    // Shift and Mirror alike span [0, hi - lo] in column space (infinity-safe:
+    // an open end keeps the column a classic non-negative one).
+    colUpper_[static_cast<std::size_t>(vm.column)] =
+        curUpper_[static_cast<std::size_t>(j)] - curLower_[static_cast<std::size_t>(j)];
+  }
+}
+
 void LpWorkspace::buildCostRow(std::span<const double> columnCost) {
   // Columns in [activeCols_, nCols_) are unissued artificial slots: all-zero
   // in every row and never eligible to enter, so every dense sweep stops at
-  // activeCols_ and touches the rhs cell separately.
-  for (int j = 0; j < activeCols_; ++j)
+  // activeCols_ and touches the rhs cell separately. The rhs cell holds the
+  // negated objective over ALL column values — basic values from the rhs
+  // column plus the nonbasic at-upper columns resting at their widths.
+  double upperTerm = 0.0;
+  for (int j = 0; j < activeCols_; ++j) {
     cost_[static_cast<std::size_t>(j)] = columnCost[static_cast<std::size_t>(j)];
-  cost_[static_cast<std::size_t>(nCols_)] = 0.0;
+    if (atUpper_[static_cast<std::size_t>(j)])
+      upperTerm += columnCost[static_cast<std::size_t>(j)] *
+                   colUpper_[static_cast<std::size_t>(j)];
+  }
+  cost_[static_cast<std::size_t>(nCols_)] = -upperTerm;
   for (int i = 0; i < m_; ++i) {
     const int b = basis_[static_cast<std::size_t>(i)];
     const double cb = columnCost[static_cast<std::size_t>(b)];
@@ -187,28 +222,40 @@ void LpWorkspace::buildCostRow(std::span<const double> columnCost) {
   }
 }
 
-void LpWorkspace::pivot(int row, int col) {
+void LpWorkspace::pivotMatrix(int row, int col) {
   const double p = at(row, col);
   const double inv = 1.0 / p;
   for (int j = 0; j < activeCols_; ++j) at(row, j) *= inv;
-  at(row, nCols_) *= inv;
   at(row, col) = 1.0;  // kill round-off on the pivot itself
   for (int i = 0; i < m_; ++i) {
     if (i == row) continue;
     const double factor = at(i, col);
     if (factor == 0.0) continue;
     for (int j = 0; j < activeCols_; ++j) at(i, j) -= factor * at(row, j);
-    at(i, nCols_) -= factor * at(row, nCols_);
     at(i, col) = 0.0;
   }
   const double cfactor = cost_[static_cast<std::size_t>(col)];
   if (cfactor != 0.0) {
     for (int j = 0; j < activeCols_; ++j)
       cost_[static_cast<std::size_t>(j)] -= cfactor * at(row, j);
-    cost_[static_cast<std::size_t>(nCols_)] -= cfactor * at(row, nCols_);
     cost_[static_cast<std::size_t>(col)] = 0.0;
   }
   basis_[static_cast<std::size_t>(row)] = col;
+}
+
+void LpWorkspace::flipBound(int col) {
+  const double u = colUpper_[static_cast<std::size_t>(col)];
+  const double delta = atUpper_[static_cast<std::size_t>(col)] ? -u : u;
+  if (delta != 0.0) {
+    for (int i = 0; i < m_; ++i) {
+      const double aic = at(i, col);
+      if (aic != 0.0) at(i, nCols_) -= delta * aic;
+    }
+    cost_[static_cast<std::size_t>(nCols_)] -=
+        cost_[static_cast<std::size_t>(col)] * delta;
+  }
+  atUpper_[static_cast<std::size_t>(col)] ^= 1;
+  ++stats_.boundFlips;
 }
 
 SolveStatus LpWorkspace::primalIterate() {
@@ -218,46 +265,83 @@ SolveStatus LpWorkspace::primalIterate() {
   long sinceImprovement = 0;
   double lastObjective = -cost_[static_cast<std::size_t>(nCols_)];
   for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    // Entering column: an at-lower nonbasic may only rise (profitable when
+    // its reduced cost is negative), an at-upper one may only fall
+    // (profitable when positive). Basic columns have reduced cost zero and
+    // never qualify. Dantzig: most-profitable; Bland: first.
     int entering = -1;
-    if (useBland) {
-      for (int j = 0; j < artificialStart_; ++j) {
-        if (cost_[static_cast<std::size_t>(j)] < -options_.pivotTol) {
-          entering = j;
-          break;
-        }
-      }
-    } else {
-      double best = -options_.pivotTol;
-      for (int j = 0; j < artificialStart_; ++j) {
-        if (cost_[static_cast<std::size_t>(j)] < best) {
-          best = cost_[static_cast<std::size_t>(j)];
-          entering = j;
-        }
+    double best = options_.pivotTol;
+    for (int j = 0; j < artificialStart_; ++j) {
+      const double d = cost_[static_cast<std::size_t>(j)];
+      const double gain = atUpper_[static_cast<std::size_t>(j)] ? d : -d;
+      if (gain > best) {
+        best = gain;
+        entering = j;
+        if (useBland) break;
       }
     }
     if (entering < 0) return SolveStatus::Optimal;
+    const bool fromUpper = atUpper_[static_cast<std::size_t>(entering)] != 0;
+    const double sigma = fromUpper ? -1.0 : 1.0;
 
+    // Ratio test: basic columns block at both ends of their boxes, and the
+    // entering column's own width caps the step — when that cap binds the
+    // step degenerates to a bound flip that touches no basis column.
     int leaving = -1;
-    double bestRatio = 0.0;
+    bool leavingToUpper = false;
+    double rowRatio = kInfinity;
     for (int i = 0; i < m_; ++i) {
       if (deadRow_[static_cast<std::size_t>(i)]) continue;
-      const double aie = at(i, entering);
-      if (aie <= options_.pivotTol) continue;
-      const double ratio = at(i, nCols_) / aie;
-      if (leaving < 0 || ratio < bestRatio - 1e-12 ||
-          (ratio < bestRatio + 1e-12 &&
+      const double step = sigma * at(i, entering);
+      double ratio;
+      bool toUpper;
+      if (step > options_.pivotTol) {  // basic falls toward its lower bound 0
+        ratio = std::max(0.0, at(i, nCols_) / step);
+        toUpper = false;
+      } else if (step < -options_.pivotTol) {  // basic rises toward its box top
+        const double ub = colUpper_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+        if (ub == kInfinity) continue;
+        ratio = std::max(0.0, (ub - at(i, nCols_)) / -step);
+        toUpper = true;
+      } else {
+        continue;
+      }
+      if (leaving < 0 || ratio < rowRatio - kRatioTieTol ||
+          (ratio < rowRatio + kRatioTieTol &&
            basis_[static_cast<std::size_t>(i)] < basis_[static_cast<std::size_t>(leaving)])) {
         leaving = i;
-        bestRatio = ratio;
+        rowRatio = ratio;
+        leavingToUpper = toUpper;
       }
     }
-    if (leaving < 0) return SolveStatus::Unbounded;
 
-    pivot(leaving, entering);
-    ++stats_.primalIterations;
+    const double flipLimit = colUpper_[static_cast<std::size_t>(entering)];
+    if (leaving < 0 && flipLimit == kInfinity) return SolveStatus::Unbounded;
+    if (leaving < 0 || flipLimit <= rowRatio) {
+      // The entering column hits its opposite bound before any basic leaves.
+      // A flip cannot cycle: the flipped column stays ineligible until some
+      // pivot changes the reduced costs.
+      flipBound(entering);
+    } else {
+      const double delta = sigma * rowRatio;
+      const double enterValue = (fromUpper ? flipLimit : 0.0) + delta;
+      const int leavingCol = basis_[static_cast<std::size_t>(leaving)];
+      for (int i = 0; i < m_; ++i) {
+        if (i == leaving) continue;
+        const double aie = at(i, entering);
+        if (aie != 0.0) at(i, nCols_) -= delta * aie;
+      }
+      cost_[static_cast<std::size_t>(nCols_)] -=
+          cost_[static_cast<std::size_t>(entering)] * delta;
+      pivotMatrix(leaving, entering);
+      at(leaving, nCols_) = enterValue;
+      atUpper_[static_cast<std::size_t>(entering)] = 0;
+      atUpper_[static_cast<std::size_t>(leavingCol)] = leavingToUpper ? 1 : 0;
+      ++stats_.primalIterations;
+    }
 
     const double obj = -cost_[static_cast<std::size_t>(nCols_)];
-    if (obj < lastObjective - 1e-12) {
+    if (obj < lastObjective - kProgressTol) {
       lastObjective = obj;
       sinceImprovement = 0;
       useBland = false;
@@ -281,17 +365,34 @@ void LpWorkspace::purgeArtificialBasics() {
         break;
       }
     }
-    if (col >= 0) {
-      pivot(i, col);
-    } else {
+    if (col < 0) {
       deadRow_[static_cast<std::size_t>(i)] = 1;  // redundant constraint
+      continue;
     }
+    // Degenerate swap: the artificial sits at value ~0, so the entering
+    // column keeps (numerically) its nonbasic value.
+    const double t = at(i, nCols_) / at(i, col);
+    const double enterValue =
+        (atUpper_[static_cast<std::size_t>(col)] ? colUpper_[static_cast<std::size_t>(col)]
+                                                 : 0.0) +
+        t;
+    for (int k = 0; k < m_; ++k) {
+      if (k == i) continue;
+      const double akc = at(k, col);
+      if (akc != 0.0) at(k, nCols_) -= t * akc;
+    }
+    cost_[static_cast<std::size_t>(nCols_)] -= cost_[static_cast<std::size_t>(col)] * t;
+    pivotMatrix(i, col);
+    at(i, nCols_) = enterValue;
+    atUpper_[static_cast<std::size_t>(col)] = 0;
   }
 }
 
 SolveStatus LpWorkspace::solveCold() {
   ++stats_.coldSolves;
   basisValid_ = false;
+  refreshColumnWidths();
+  std::fill(atUpper_.begin(), atUpper_.end(), 0);  // every nonbasic starts at-lower
   computeRhs(bScratch_);
 
   std::fill(a_.begin(), a_.end(), 0.0);
@@ -367,6 +468,17 @@ SolveStatus LpWorkspace::solveCold() {
 SolveStatus LpWorkspace::solveDual() {
   TREEPLACE_REQUIRE(basisValid_, "solveDual requires a prior optimal basis");
   ++stats_.warmSolves;
+  refreshColumnWidths();
+
+  // A column parked at its upper bound whose box just became unbounded has
+  // no value to rest at; the warm statuses cannot represent the new boxes,
+  // so hand this solve to the cold path. Never hit by branch-and-bound
+  // (branching only tightens boxes) — only by ad-hoc re-solve sequences.
+  for (int j = 0; j < artificialStart_; ++j)
+    if (atUpper_[static_cast<std::size_t>(j)] &&
+        colUpper_[static_cast<std::size_t>(j)] == kInfinity)
+      return SolveStatus::IterationLimit;
+
   computeRhs(bScratch_);
 
   // New transformed rhs through the inverse basis, read off the initial
@@ -381,6 +493,17 @@ SolveStatus LpWorkspace::solveDual() {
     }
     at(i, nCols_) = rhs;
   }
+  // Basic values under the current statuses: x_B = B^-1 b minus the
+  // contribution of every nonbasic column resting at its (new) width.
+  for (int j = 0; j < artificialStart_; ++j) {
+    if (!atUpper_[static_cast<std::size_t>(j)]) continue;
+    const double u = colUpper_[static_cast<std::size_t>(j)];
+    if (u == 0.0) continue;
+    for (int i = 0; i < m_; ++i) {
+      const double aij = at(i, j);
+      if (aij != 0.0) at(i, nCols_) -= u * aij;
+    }
+  }
 
   // Dead rows are linearly dependent on the live ones; a non-zero
   // transformed rhs means the new system is inconsistent.
@@ -390,65 +513,132 @@ SolveStatus LpWorkspace::solveDual() {
       return SolveStatus::Infeasible;
 
   // The reduced-cost row survives (costs never change); only the objective
-  // cell tracks the new basic values.
+  // cell tracks the new basic + at-upper values.
   double obj = 0.0;
   for (int i = 0; i < m_; ++i)
     obj += structuralCost(basis_[static_cast<std::size_t>(i)]) * at(i, nCols_);
+  for (int j = 0; j < artificialStart_; ++j)
+    if (atUpper_[static_cast<std::size_t>(j)])
+      obj += structuralCost(j) * colUpper_[static_cast<std::size_t>(j)];
   cost_[static_cast<std::size_t>(nCols_)] = -obj;
 
   long pivots = 0;
   bool useBland = false;
   long sinceImprovement = 0;
-  double lastWorst = -std::numeric_limits<double>::infinity();
+  double lastViolation = kInfinity;
   for (long iter = 0; iter < options_.maxIterations; ++iter) {
-    // Leaving row: most negative basic value (Bland: first one).
+    // Leaving row: largest box violation — a basic below zero or beyond its
+    // width (Bland: first violating row).
     int leaving = -1;
-    double worst = -options_.feasTol;
+    bool aboveUpper = false;
+    double bestViol = options_.feasTol;
     for (int i = 0; i < m_; ++i) {
       if (deadRow_[static_cast<std::size_t>(i)]) continue;
       const double v = at(i, nCols_);
-      if (v < worst) {
-        worst = v;
-        leaving = i;
-        if (useBland) break;
+      const double ub = colUpper_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      double viol;
+      bool above;
+      if (v < -bestViol) {
+        viol = -v;
+        above = false;
+      } else if (ub != kInfinity && v > ub + bestViol) {
+        viol = v - ub;
+        above = true;
+      } else {
+        continue;
       }
+      bestViol = viol;
+      leaving = i;
+      aboveUpper = above;
+      if (useBland) break;
     }
     if (leaving < 0) {
       if (pivots == 0) ++stats_.warmAlreadyOptimal;
       extract();
       return SolveStatus::Optimal;
     }
+    const int leavingCol = basis_[static_cast<std::size_t>(leaving)];
+    const double target = aboveUpper ? colUpper_[static_cast<std::size_t>(leavingCol)] : 0.0;
 
-    // Entering column: dual ratio test over structural + slack columns.
-    int entering = -1;
-    double bestRatio = std::numeric_limits<double>::infinity();
+    // Dual ratio test over structural + slack columns, bound statuses
+    // deciding the admissible sign: a candidate must move the leaving basic
+    // back toward its violated bound while keeping every reduced cost on its
+    // dual-feasible side for as long as possible (smallest |d| / |a| first).
+    dualCandidates_.clear();
     for (int j = 0; j < artificialStart_; ++j) {
+      if (j == leavingCol) continue;
       const double arj = at(leaving, j);
-      if (arj >= -options_.pivotTol) continue;
-      const double ratio = std::max(0.0, cost_[static_cast<std::size_t>(j)]) / -arj;
-      const bool better =
-          useBland ? (ratio < bestRatio - 1e-12)
-                   : (ratio < bestRatio - 1e-12 ||
-                      (ratio < bestRatio + 1e-12 &&
-                       (entering < 0 || arj < at(leaving, entering))));
-      if (entering < 0 || better) {
-        entering = j;
-        bestRatio = ratio;
-      }
+      const bool up = atUpper_[static_cast<std::size_t>(j)] != 0;
+      const bool eligible = aboveUpper ? (up ? arj < -options_.pivotTol
+                                             : arj > options_.pivotTol)
+                                       : (up ? arj > options_.pivotTol
+                                             : arj < -options_.pivotTol);
+      if (!eligible) continue;
+      const double d = up ? std::min(0.0, cost_[static_cast<std::size_t>(j)])
+                          : std::max(0.0, cost_[static_cast<std::size_t>(j)]);
+      dualCandidates_.push_back({std::abs(d) / std::abs(arj), j});
     }
-    if (entering < 0) {
-      // Row `leaving` reads sum(a_rj x_j) = rhs < 0 with every real
-      // coefficient >= 0 and x >= 0: primal infeasible. The basis is still
-      // dual feasible, so it remains warm-start material.
+    if (dualCandidates_.empty()) {
+      // Row `leaving` cannot be pushed back inside its box by any admissible
+      // column move: primal infeasible. The basis (and the statuses as
+      // flipped so far) stay dual feasible, so it remains warm-start
+      // material.
       return SolveStatus::Infeasible;
     }
 
-    pivot(leaving, entering);
+    int entering = -1;
+    if (useBland) {
+      // Plain smallest-ratio rule, first index on ties, no flips: guarantees
+      // termination under degeneracy.
+      double bestRatio = kInfinity;
+      for (const auto& [ratio, j] : dualCandidates_) {
+        if (ratio < bestRatio - kRatioTieTol) {
+          bestRatio = ratio;
+          entering = j;
+        }
+      }
+    } else {
+      // Bound-flipping ratio test: walk candidates in ratio order; while the
+      // cheapest candidate's whole box cannot absorb the violation, flip it
+      // (rhs-only update, no pivot) and move on to the next.
+      std::sort(dualCandidates_.begin(), dualCandidates_.end());
+      for (std::size_t c = 0; c < dualCandidates_.size(); ++c) {
+        const int j = dualCandidates_[c].second;
+        const double u = colUpper_[static_cast<std::size_t>(j)];
+        if (u != kInfinity && c + 1 < dualCandidates_.size()) {
+          const double residual = std::abs(at(leaving, nCols_) - target);
+          if (std::abs(at(leaving, j)) * u < residual - options_.feasTol) {
+            flipBound(j);
+            continue;
+          }
+        }
+        entering = j;
+        break;
+      }
+    }
+
+    const double t = (at(leaving, nCols_) - target) / at(leaving, entering);
+    const double enterValue =
+        (atUpper_[static_cast<std::size_t>(entering)]
+             ? colUpper_[static_cast<std::size_t>(entering)]
+             : 0.0) +
+        t;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving) continue;
+      const double aie = at(i, entering);
+      if (aie != 0.0) at(i, nCols_) -= t * aie;
+    }
+    cost_[static_cast<std::size_t>(nCols_)] -=
+        cost_[static_cast<std::size_t>(entering)] * t;
+    pivotMatrix(leaving, entering);
+    at(leaving, nCols_) = enterValue;
+    atUpper_[static_cast<std::size_t>(entering)] = 0;
+    atUpper_[static_cast<std::size_t>(leavingCol)] = aboveUpper ? 1 : 0;
     ++pivots;
     ++stats_.dualIterations;
 
-    if (worst > lastWorst + 1e-12) {
-      lastWorst = worst;
+    if (bestViol < lastViolation - kProgressTol) {
+      lastViolation = bestViol;
       sinceImprovement = 0;
     } else if (++sinceImprovement > options_.stallLimit) {
       useBland = true;  // degeneracy suspected
@@ -469,6 +659,9 @@ SolveStatus LpWorkspace::solve() {
 
 void LpWorkspace::extract() {
   structValues_.assign(static_cast<std::size_t>(nStruct_), 0.0);
+  for (int j = 0; j < nStruct_; ++j)
+    if (atUpper_[static_cast<std::size_t>(j)])
+      structValues_[static_cast<std::size_t>(j)] = colUpper_[static_cast<std::size_t>(j)];
   for (int i = 0; i < m_; ++i) {
     const int b = basis_[static_cast<std::size_t>(i)];
     if (b < nStruct_) structValues_[static_cast<std::size_t>(b)] = at(i, nCols_);

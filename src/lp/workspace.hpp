@@ -17,6 +17,9 @@ struct WarmStartStats {
   long dualFallbacks = 0;     ///< warm attempts that had to re-run cold
   long primalIterations = 0;  ///< pivots spent in cold (phase 1 + 2) solves
   long dualIterations = 0;    ///< pivots spent in dual re-solves
+  long boundFlips = 0;        ///< box pivots that touched no basis column
+  int tableauRows = 0;        ///< dense tableau height m
+  int structuralRows = 0;     ///< model constraint rows inside m
 
   long totalSolves() const { return coldSolves + warmSolves; }
   /// Fraction of node LPs served by a reused basis instead of a cold build.
@@ -31,25 +34,41 @@ struct WarmStartStats {
 /// changing variable bounds — the branch-and-bound hot path.
 ///
 /// The standard form (column layout, slack/artificial structure, constraint
-/// matrix) is built ONCE from the root model; per-node bound changes only
-/// move the right-hand side: shifted-variable offsets enter the transformed
-/// rhs and each finite root range owns a dedicated upper-bound row whose rhs
-/// is the current box width. A re-solve therefore never copies the model —
-/// it recomputes the transformed rhs through the inverse basis (read off the
-/// initial identity columns of the dense tableau) and runs the dual simplex
-/// from the parent basis, which stays dual-feasible because costs never
-/// change. Typical B&B children re-optimise in a handful of dual pivots
+/// matrix) is built ONCE from the root model and the tableau holds exactly
+/// one row per model constraint: finite variable ranges never materialise as
+/// rows. Each structural column instead carries a box [0, width], nonbasic
+/// columns rest at either end of it (at-lower / at-upper), and both ratio
+/// tests respect the boxes — when a column's own width is the binding limit
+/// the step degenerates to a bound flip that moves no basis column at all.
+/// Per-node bound changes therefore only move offsets and box widths: a
+/// re-solve recomputes the transformed rhs through the inverse basis (read
+/// off the initial identity columns), subtracts the at-upper column
+/// contributions, and runs the bounded dual simplex from the parent basis,
+/// which stays dual-feasible because costs never change. Typical B&B
+/// children re-optimise in a handful of dual pivots or pure bound flips
 /// instead of a full two-phase primal solve.
 ///
-/// Restrictions: a bound may only be finite where the corresponding root
-/// bound was finite (branching tightens, never relaxes, so every integral
-/// branch-and-bound satisfies this as long as its integer variables start
-/// with finite ranges).
+/// SimplexOptions::explicitBoundRows re-enables the legacy layout (one
+/// dedicated <= row per finite root range, all column widths infinite) as
+/// the independent oracle for the boxes-vs-rows equivalence tests.
+///
+/// Restrictions: a variable mapped by its finite lower bound (Shift) must
+/// keep a finite lower bound in every box, one mapped by its upper (Mirror)
+/// a finite upper, and a free variable cannot be tightened at all. In
+/// explicitBoundRows mode upper-bound finiteness must additionally match the
+/// root model, since only root-finite ranges own a row.
 class LpWorkspace {
  public:
   explicit LpWorkspace(const Model& model, const SimplexOptions& options = {});
 
   int variableCount() const { return static_cast<int>(varMap_.size()); }
+
+  /// Dense tableau height: model rows, plus one row per finite root range in
+  /// explicitBoundRows mode only.
+  int tableauRows() const { return m_; }
+  /// Model constraint rows inside tableauRows(); the bounded-variable layout
+  /// guarantees tableauRows() == structuralRows().
+  int structuralRows() const { return modelRows_; }
 
   /// Set the box of `variable` for the next solve (model space).
   void setBounds(int variable, double lower, double upper);
@@ -89,7 +108,7 @@ class LpWorkspace {
     enum class Mode { Shift, Mirror, Split } mode = Mode::Shift;
     int column = -1;     ///< primary structural column
     int negColumn = -1;  ///< second column for Split
-    int upperRow = -1;   ///< dedicated upper-bound row (finite root range)
+    int upperRow = -1;   ///< dedicated upper-bound row (explicitBoundRows only)
   };
 
   double& at(int i, int j) {
@@ -102,8 +121,16 @@ class LpWorkspace {
   }
 
   void computeRhs(std::vector<double>& b) const;
+  void refreshColumnWidths();
   void buildCostRow(std::span<const double> columnCost);
-  void pivot(int row, int col);
+  /// Eliminate the pivot column from every row and the cost row, set
+  /// basis_[row] = col. Coefficient columns only — the rhs column holds
+  /// basic-variable VALUES (not B^-1 b) and is maintained by the callers,
+  /// which know the step length and the leaving bound.
+  void pivotMatrix(int row, int col);
+  /// Move nonbasic column `col` to its opposite bound: rhs and objective
+  /// update only, no basis change.
+  void flipBound(int col);
   SolveStatus primalIterate();
   void purgeArtificialBasics();
   void extract();
@@ -119,8 +146,9 @@ class LpWorkspace {
   std::vector<double> objCoef_;         ///< model-space objective
   std::vector<double> cost0_;           ///< structural-column objective
   int nStruct_ = 0;
-  int modelRows_ = 0;                   ///< model constraints (upper rows follow)
-  int m_ = 0;                           ///< total rows incl. upper-bound rows
+  int modelRows_ = 0;                   ///< model constraints
+  int m_ = 0;                           ///< tableau rows (== modelRows_ unless
+                                        ///< explicitBoundRows adds range rows)
   int nCols_ = 0;                       ///< struct + slack + artificial capacity
   int width_ = 0;                       ///< nCols_ + 1 (rhs)
   int artificialStart_ = 0;
@@ -144,7 +172,11 @@ class LpWorkspace {
 
   // ---- per-solve state ----
   std::vector<double> curLower_, curUpper_;
-  std::vector<double> a_;               ///< dense tableau, m_ x width_
+  std::vector<double> colUpper_;        ///< box width per column (kInfinity =
+                                        ///< classic non-negative column)
+  std::vector<char> atUpper_;           ///< nonbasic column rests at its upper
+  std::vector<double> a_;               ///< dense tableau, m_ x width_; the rhs
+                                        ///< column holds basic-variable values
   std::vector<double> cost_;            ///< reduced-cost row, width_
   std::vector<int> basis_;
   std::vector<char> deadRow_;           ///< redundant rows found in phase 1
@@ -153,6 +185,7 @@ class LpWorkspace {
   std::vector<double> bScratch_;
   std::vector<double> costScratch_;
   std::vector<double> structValues_;
+  std::vector<std::pair<double, int>> dualCandidates_;  ///< BFRT scratch
   bool basisValid_ = false;
 
   double objective_ = 0.0;

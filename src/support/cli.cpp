@@ -18,10 +18,16 @@ Options::Options(int argc, const char* const* argv, std::string envPrefix)
     }
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
+    // Move-assign named locals into the map slots: assigning a char* or a
+    // substr temporary into a slot indexed by a related string trips gcc
+    // 12's -Wrestrict false positive under -O2.
     if (eq == std::string::npos) {
-      values_[body] = "1";
+      std::string value = "1";
+      values_[body] = std::move(value);
     } else {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+      std::string key = body.substr(0, eq);
+      std::string value = body.substr(eq + 1);
+      values_[std::move(key)] = std::move(value);
     }
   }
 }

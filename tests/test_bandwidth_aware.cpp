@@ -19,7 +19,9 @@ TEST(BandwidthMultiple, MatchesMgWithoutBandwidthLimits) {
     const auto plain = runMG(inst);
     const auto constrained = solveMultipleWithBandwidth(inst);
     ASSERT_EQ(plain.has_value(), constrained.has_value()) << seed;
-    if (plain) EXPECT_EQ(*plain, *constrained) << seed;
+    if (plain) {
+      EXPECT_EQ(*plain, *constrained) << seed;
+    }
   }
 }
 
@@ -38,6 +40,53 @@ TEST(BandwidthMultiple, RoutesAroundThinLink) {
   EXPECT_EQ(placement->serverLoad(mid), 3);
   EXPECT_EQ(placement->serverLoad(root), 2);
   (void)client;
+}
+
+TEST(BandwidthMultiple, StatusAttributesFailureFamily) {
+  // Bandwidth-infeasible: capacities fine (2 local + up to 3 upstream >= 5
+  // with an uncapped link), but the 1-wide link cannot carry the remainder.
+  {
+    TreeBuilder b;
+    const VertexId root = b.addRoot(10);
+    const VertexId mid = b.addInternal(root, 2);
+    b.addClient(mid, 5);
+    b.setBandwidth(mid, 1);
+    const BandwidthResult r = solveMultipleWithBandwidthStatus(b.build());
+    EXPECT_EQ(r.status, BandwidthStatus::BandwidthInfeasible);
+    EXPECT_FALSE(r.feasible());
+    EXPECT_FALSE(r.placement.has_value());
+    (void)root;
+  }
+  // Capacity-infeasible: total server capacity is below the demand, so no
+  // link cap is ever to blame.
+  {
+    TreeBuilder b;
+    const VertexId root = b.addRoot(2);
+    const VertexId mid = b.addInternal(root, 1);
+    b.addClient(mid, 5);
+    b.setBandwidth(mid, 1);  // present but irrelevant
+    const BandwidthResult r = solveMultipleWithBandwidthStatus(b.build());
+    EXPECT_EQ(r.status, BandwidthStatus::CapacityInfeasible);
+    EXPECT_FALSE(r.feasible());
+    (void)root;
+  }
+  // Feasible: status carries the placement.
+  {
+    TreeBuilder b;
+    const VertexId root = b.addRoot(10);
+    const VertexId mid = b.addInternal(root, 3);
+    b.addClient(mid, 5);
+    b.setBandwidth(mid, 3);
+    const ProblemInstance inst = b.build();
+    const BandwidthResult r = solveMultipleWithBandwidthStatus(inst);
+    EXPECT_EQ(r.status, BandwidthStatus::Feasible);
+    ASSERT_TRUE(r.placement.has_value());
+    EXPECT_TRUE(testutil::placementValid(inst, *r.placement, Policy::Multiple));
+    (void)root;
+  }
+  EXPECT_EQ(toString(BandwidthStatus::Feasible), "Feasible");
+  EXPECT_EQ(toString(BandwidthStatus::CapacityInfeasible), "CapacityInfeasible");
+  EXPECT_EQ(toString(BandwidthStatus::BandwidthInfeasible), "BandwidthInfeasible");
 }
 
 TEST(BandwidthMultiple, DetectsBandwidthInfeasibility) {

@@ -127,6 +127,35 @@ TEST(BranchBound, LowerBoundValidUnderNodeBudget) {
   EXPECT_LE(r.lowerBound, trueOpt + 1e-6) << "dual bound must stay below the optimum";
 }
 
+/// A search whose node pool empties exactly when the budget is reached is a
+/// COMPLETED search: the limit never truncated anything. Regression test for
+/// the strict-< off-by-one that reported such runs unproven, in both the
+/// warm engine and the cold oracle.
+TEST(BranchBound, ProofSurvivesExactNodeBudgetBoundary) {
+  const Knapsack k{{10.0, 13.0, 7.0, 8.0}, {3.0, 4.0, 2.0, 3.0}, 7.0};
+  for (const bool warmStart : {true, false}) {
+    MipOptions unlimited;
+    unlimited.warmStart = warmStart;
+    const MipResult full = solveKnapsack(k, unlimited);
+    ASSERT_TRUE(full.proven);
+    ASSERT_GT(full.nodesExplored, 1);
+
+    // Exactly the node count of the completed search: still proven.
+    MipOptions exact = unlimited;
+    exact.maxNodes = full.nodesExplored;
+    const MipResult atBoundary = solveKnapsack(k, exact);
+    EXPECT_TRUE(atBoundary.proven) << "warmStart=" << warmStart;
+    EXPECT_EQ(atBoundary.nodesExplored, full.nodesExplored);
+    EXPECT_NEAR(atBoundary.objective, full.objective, 1e-9);
+
+    // One node short: genuinely truncated, must stay unproven.
+    MipOptions short1 = unlimited;
+    short1.maxNodes = full.nodesExplored - 1;
+    const MipResult truncated = solveKnapsack(k, short1);
+    EXPECT_FALSE(truncated.proven) << "warmStart=" << warmStart;
+  }
+}
+
 TEST(BranchBound, ExternalUpperBoundPrunes) {
   const Knapsack k{{10.0, 13.0, 7.0, 8.0}, {3.0, 4.0, 2.0, 3.0}, 7.0};
   const double opt = -knapsackByDp(k);

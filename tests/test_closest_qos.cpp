@@ -19,8 +19,9 @@ TEST(ClosestQos, MatchesQosFreeDpWithoutConstraints) {
     const auto plain = solveClosestHomogeneous(inst);
     const auto qos = solveClosestHomogeneousQos(inst);
     ASSERT_EQ(plain.has_value(), qos.has_value()) << seed;
-    if (plain)
+    if (plain) {
       EXPECT_EQ(plain->replicaCount(), qos->replicaCount()) << seed;
+    }
   }
 }
 

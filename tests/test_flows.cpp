@@ -45,8 +45,9 @@ TEST_P(FlowLemmas, HoldOnRandomTrees) {
     EXPECT_EQ(fa.tflow[v], tflow[v]);
     EXPECT_EQ(fa.cflow[v], fa.tflow[v] - static_cast<Requests>(fa.nsn[v]) * W)
         << "Lemma 2 at vertex " << v;
-    if (inst.tree.isInternal(static_cast<VertexId>(v)) && !fa.saturated[v])
+    if (inst.tree.isInternal(static_cast<VertexId>(v)) && !fa.saturated[v]) {
       EXPECT_LT(fa.cflow[v], W) << "Proposition 1 at vertex " << v;
+    }
     EXPECT_GE(fa.cflow[v], 0) << "canonical flow must stay non-negative";
   }
 }

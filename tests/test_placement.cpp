@@ -177,7 +177,9 @@ TEST(Placement, CompactRemovesHolesAndRestoresSequentialScans) {
   for (VertexId client = 0; client < 8; ++client) {
     const auto run = p.shares(client);
     if (run.empty()) continue;
-    if (cursor != nullptr) EXPECT_EQ(run.data(), cursor);
+    if (cursor != nullptr) {
+      EXPECT_EQ(run.data(), cursor);
+    }
     cursor = run.data() + run.size();
   }
   // Idempotent and allocation-free the second time.
@@ -210,7 +212,9 @@ TEST(Placement, MultiplePassThreeLeavesNoHoles) {
   for (const VertexId client : inst.tree.clients()) {
     const auto run = placement->shares(client);
     if (run.empty()) continue;
-    if (cursor != nullptr) EXPECT_EQ(run.data(), cursor);
+    if (cursor != nullptr) {
+      EXPECT_EQ(run.data(), cursor);
+    }
     cursor = run.data() + run.size();
   }
 }

@@ -41,10 +41,12 @@ TEST_P(Dominance, HomogeneousHierarchy) {
   const Optima o = solveAll(inst);
   if (o.closestFeasible) { EXPECT_TRUE(o.upwardsFeasible); }
   if (o.upwardsFeasible) { EXPECT_TRUE(o.multipleFeasible); }
-  if (o.closestFeasible && o.upwardsFeasible)
+  if (o.closestFeasible && o.upwardsFeasible) {
     EXPECT_LE(o.upwards, o.closest + 1e-9);
-  if (o.upwardsFeasible && o.multipleFeasible)
+  }
+  if (o.upwardsFeasible && o.multipleFeasible) {
     EXPECT_LE(o.multiple, o.upwards + 1e-9);
+  }
 }
 
 TEST_P(Dominance, HeterogeneousHierarchy) {
@@ -53,10 +55,12 @@ TEST_P(Dominance, HeterogeneousHierarchy) {
   const Optima o = solveAll(inst);
   if (o.closestFeasible) { EXPECT_TRUE(o.upwardsFeasible); }
   if (o.upwardsFeasible) { EXPECT_TRUE(o.multipleFeasible); }
-  if (o.closestFeasible && o.upwardsFeasible)
+  if (o.closestFeasible && o.upwardsFeasible) {
     EXPECT_LE(o.upwards, o.closest + 1e-9);
-  if (o.upwardsFeasible && o.multipleFeasible)
+  }
+  if (o.upwardsFeasible && o.multipleFeasible) {
     EXPECT_LE(o.multiple, o.upwards + 1e-9);
+  }
 }
 
 TEST_P(Dominance, DedicatedSolversAgreeWithIlp) {
@@ -70,8 +74,9 @@ TEST_P(Dominance, DedicatedSolversAgreeWithIlp) {
 
   const UpwardsExactResult upwards = solveUpwardsExact(inst);
   EXPECT_EQ(upwards.feasible(), o.upwardsFeasible);
-  if (upwards.feasible())
+  if (upwards.feasible()) {
     EXPECT_DOUBLE_EQ(upwards.placement->storageCost(inst), o.upwards);
+  }
 
   const auto multiple = solveMultipleHomogeneous(inst);
   EXPECT_EQ(multiple.has_value(), o.multipleFeasible);

@@ -167,12 +167,15 @@ TEST_P(QosSweep, AwareVariantsAlwaysQosValid) {
   config.qosMinHops = 1;
   config.qosMaxHops = 3;
   const ProblemInstance inst = generateInstance(config, GetParam(), 0);
-  if (const auto p = runQosAwareUBCF(inst))
+  if (const auto p = runQosAwareUBCF(inst)) {
     EXPECT_TRUE(testutil::placementValid(inst, *p, Policy::Upwards)) << "UBCF";
-  if (const auto p = runQosAwareMG(inst))
+  }
+  if (const auto p = runQosAwareMG(inst)) {
     EXPECT_TRUE(testutil::placementValid(inst, *p, Policy::Multiple)) << "MG";
-  if (const auto p = runQosAwareCBU(inst))
+  }
+  if (const auto p = runQosAwareCBU(inst)) {
     EXPECT_TRUE(testutil::placementValid(inst, *p, Policy::Closest)) << "CBU";
+  }
 }
 
 TEST_P(QosSweep, AwareMgNeverFailsWhenIlpFeasible) {

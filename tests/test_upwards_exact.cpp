@@ -221,9 +221,10 @@ TEST(UpwardsExact, SharedBoundsArenaMatchesFresh) {
     const UpwardsExactResult b = solveUpwardsExact(inst);
     ASSERT_EQ(a.feasible(), b.feasible()) << "seed " << seed;
     EXPECT_EQ(a.steps, b.steps) << "seed " << seed;
-    if (a.feasible())
+    if (a.feasible()) {
       EXPECT_NEAR(a.placement->storageCost(inst),
                   b.placement->storageCost(inst), 1e-12);
+    }
   }
 }
 

@@ -138,8 +138,9 @@ TEST(WarmBranchBound, MatchesColdOracleOnRandomMips) {
     ASSERT_EQ(warm.hasIncumbent(), cold.hasIncumbent()) << "seed " << seed;
     if (!warm.hasIncumbent()) continue;
     EXPECT_NEAR(warm.objective, cold.objective, 1e-9) << "seed " << seed;
-    if (warm.warm.totalSolves() > 1)
+    if (warm.warm.totalSolves() > 1) {
       EXPECT_GT(warm.warm.warmSolves, 0) << "seed " << seed;
+    }
     EXPECT_EQ(cold.warm.warmSolves, 0) << "seed " << seed;
   }
 }
@@ -191,7 +192,9 @@ TEST(WarmBranchBound, CutsPreserveOptimaAgainstBareOracle) {
     const ExactIlpResult b = solveExactViaIlp(inst, Policy::Multiple, bare);
     ASSERT_EQ(a.proven, b.proven) << "seed " << seed;
     ASSERT_EQ(a.feasible(), b.feasible()) << "seed " << seed;
-    if (a.feasible()) EXPECT_NEAR(a.cost, b.cost, 1e-9) << "seed " << seed;
+    if (a.feasible()) {
+      EXPECT_NEAR(a.cost, b.cost, 1e-9) << "seed " << seed;
+    }
   }
 }
 
