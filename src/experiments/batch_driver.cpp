@@ -1,0 +1,64 @@
+#include "experiments/batch_driver.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+BatchRunStats runBatch(std::size_t jobCount, const BatchJob& job,
+                       const BatchOptions& options) {
+  TREEPLACE_REQUIRE(static_cast<bool>(job), "runBatch requires a job");
+  BatchRunStats stats;
+  stats.jobs = jobCount;
+  if (jobCount == 0) return stats;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  const bool wantPool =
+      jobCount >= 2 &&
+      (options.pool != nullptr ? options.pool->threadCount() >= 2
+                               : options.threads != 1);
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = options.pool;
+  if (wantPool && pool == nullptr) {
+    owned.emplace(options.threads);
+    pool = &*owned;
+  }
+
+  if (!wantPool || pool->threadCount() < 2) {
+    // Sequential fast path: one arena set, no threads spawned.
+    BatchArenas arenas;
+    for (std::size_t i = 0; i < jobCount; ++i) job(i, arenas);
+    stats.arenaSets = 1;
+  } else {
+    // One arena set per pool worker, plus a spare for the calling thread
+    // (parallelFor runs a lane inline when the pool is mid-shutdown). The
+    // slot is keyed by (pool, index), not index alone: a lane run inline on
+    // a worker of a DIFFERENT pool must take the spare, or its index could
+    // alias — and race — a real worker's arenas.
+    const std::size_t slots = pool->threadCount() + 1;
+    std::vector<BatchArenas> arenas(slots);
+    std::vector<std::atomic<bool>> touched(slots);
+    pool->parallelFor(0, jobCount, [&](std::size_t i) {
+      const int worker = ThreadPool::currentWorkerIndex();
+      const std::size_t slot = ThreadPool::currentPool() == pool && worker >= 0
+                                   ? static_cast<std::size_t>(worker)
+                                   : slots - 1;
+      touched[slot].store(true, std::memory_order_relaxed);
+      job(i, arenas[slot]);
+    });
+    for (const auto& flag : touched)
+      if (flag.load(std::memory_order_relaxed)) ++stats.arenaSets;
+  }
+
+  stats.wallMs = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return stats;
+}
+
+}  // namespace treeplace

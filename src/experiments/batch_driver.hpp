@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "core/frontier.hpp"
+#include "core/placement.hpp"
+#include "support/thread_pool.hpp"
+
+namespace treeplace {
+
+/// One arena set owned by one batch worker and recycled across every
+/// instance that worker evaluates: the frontier DP slabs, the subtree-bound
+/// pre-pass slab, and the placement buffer pool. Solvers reset their slab at
+/// the start of each solve, so after the first instance a worker's steady
+/// state is allocation-free — the property tests/test_batch_driver.cpp pins
+/// down via PlacementStats/FrontierStats.
+struct BatchArenas {
+  FrontierArena frontier;      ///< 2-D (count, flow) DP slabs
+  QosFrontierArena qos;        ///< 3-D QoS sweep slab
+  FrontierArena bounds;        ///< FrontierSubtreeRelaxation pre-pass slab
+  PlacementArena placements;   ///< recycled Placement buffers
+};
+
+struct BatchOptions {
+  /// Worker threads for the internal pool; 0 picks the hardware concurrency.
+  /// Ignored when `pool` is set.
+  std::size_t threads = 0;
+  /// Run on an existing pool instead of creating one per batch. The driver
+  /// keys arena sets off ThreadPool::currentWorkerIndex(), so one long-lived
+  /// pool amortises both threads and arenas across many batches.
+  ThreadPool* pool = nullptr;
+};
+
+struct BatchRunStats {
+  std::size_t jobs = 0;       ///< indices dispatched
+  std::size_t arenaSets = 0;  ///< distinct worker arena sets touched
+  double wallMs = 0.0;        ///< wall-clock of the whole batch
+};
+
+/// A batch job: evaluate instance `index` using the calling worker's arenas.
+/// Jobs run concurrently and must only write to per-index result slots (the
+/// arenas are the one sanctioned per-worker mutable state).
+using BatchJob = std::function<void(std::size_t index, BatchArenas& arenas)>;
+
+/// Run `job(0..jobCount)` across a thread pool with one BatchArenas per
+/// worker — the inter-instance twin of the intra-instance worker-pool
+/// branch-and-bound (MipOptions::workers). Exceptions from jobs propagate
+/// (first one wins, remaining indices are abandoned).
+BatchRunStats runBatch(std::size_t jobCount, const BatchJob& job,
+                       const BatchOptions& options = {});
+
+}  // namespace treeplace

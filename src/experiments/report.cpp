@@ -159,4 +159,35 @@ void writePlacementStats(JsonWriter& json, const PlacementStats& stats) {
   json.endObject();
 }
 
+std::string renderWarmStartStats(const lp::WarmStartStats& stats) {
+  std::ostringstream os;
+  os << stats.warmSolves << " warm / " << stats.coldSolves << " cold solves ("
+     << static_cast<int>(stats.basisReuseRate() * 100.0 + 0.5) << "% reuse), "
+     << stats.dualIterations << " dual pivots, " << stats.boundFlips
+     << " bound flips, tableau " << stats.tableauRows << "/"
+     << stats.structuralRows;
+  if (stats.workers > 0)
+    os << "; " << stats.workers << " workers, " << stats.stealCount
+       << " steals, " << stats.idleMs << " ms idle";
+  return os.str();
+}
+
+void writeWarmStartStats(JsonWriter& json, const lp::WarmStartStats& stats) {
+  json.beginObject();
+  json.key("warm_solves").value(static_cast<std::int64_t>(stats.warmSolves));
+  json.key("cold_solves").value(static_cast<std::int64_t>(stats.coldSolves));
+  json.key("basis_reuse_rate").value(stats.basisReuseRate());
+  json.key("warm_already_optimal")
+      .value(static_cast<std::int64_t>(stats.warmAlreadyOptimal));
+  json.key("dual_iterations").value(static_cast<std::int64_t>(stats.dualIterations));
+  json.key("dual_fallbacks").value(static_cast<std::int64_t>(stats.dualFallbacks));
+  json.key("bound_flips").value(static_cast<std::int64_t>(stats.boundFlips));
+  json.key("tableau_rows").value(stats.tableauRows);
+  json.key("structural_rows").value(stats.structuralRows);
+  json.key("workers").value(stats.workers);
+  json.key("steal_count").value(static_cast<std::int64_t>(stats.stealCount));
+  json.key("idle_ms").value(stats.idleMs);
+  json.endObject();
+}
+
 }  // namespace treeplace

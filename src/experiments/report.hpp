@@ -6,6 +6,7 @@
 #include "core/frontier.hpp"
 #include "core/placement.hpp"
 #include "experiments/runner.hpp"
+#include "lp/workspace.hpp"
 
 namespace treeplace {
 
@@ -48,5 +49,16 @@ std::string renderPlacementStats(const PlacementStats& stats);
 /// "assign_calls":..,"heap_allocs":..,"legacy_heap_allocs":..} into an open
 /// writer position, so benches can track the allocation win across PRs.
 void writePlacementStats(JsonWriter& json, const PlacementStats& stats);
+
+/// One-line human rendering of a warm-started solve sequence's telemetry
+/// (lp/workspace.hpp): solve mix, basis reuse, bound flips, and — for the
+/// worker-pool engine — workers, steals, and summed idle time.
+std::string renderWarmStartStats(const lp::WarmStartStats& stats);
+
+/// Emit the telemetry as the `bb_warm` JSON object ({"warm_solves":..,
+/// "basis_reuse_rate":.., "workers":.., "steal_count":.., "idle_ms":..,
+/// ...}) into an open writer position; bench_table1_complexity commits it to
+/// BENCH_table1.json so the reuse/parallelism trajectory is tracked per PR.
+void writeWarmStartStats(JsonWriter& json, const lp::WarmStartStats& stats);
 
 }  // namespace treeplace

@@ -17,7 +17,8 @@ std::array<std::string, kSeriesCount> seriesNames() {
   return names;
 }
 
-TreeOutcome evaluateInstance(const ProblemInstance& instance, long lbMaxNodes) {
+TreeOutcome evaluateInstance(const ProblemInstance& instance, long lbMaxNodes,
+                             BatchArenas* arenas) {
   TreeOutcome outcome;
   outcome.vertices = static_cast<int>(instance.tree.vertexCount());
   outcome.lambda = instance.load();
@@ -46,6 +47,7 @@ TreeOutcome evaluateInstance(const ProblemInstance& instance, long lbMaxNodes) {
   LowerBoundOptions lbo;
   lbo.maxNodes = lbMaxNodes;
   lbo.knownUpperBound = bestCost;
+  if (arenas) lbo.boundsArena = &arenas->bounds;
   const LowerBoundResult lb = refinedLowerBound(instance, lbo);
   outcome.lpFeasible = lb.lpFeasible;
   outcome.lowerBound = lb.lpFeasible ? lb.bound : 0.0;
@@ -89,20 +91,19 @@ ExperimentResult runExperiment(const ExperimentPlan& plan, ThreadPool* pool) {
   ExperimentResult result;
   result.outcomes.resize(total);
 
-  const auto evaluateOne = [&](std::size_t flat) {
+  const auto evaluateOne = [&](std::size_t flat, BatchArenas& arenas) {
     const std::size_t li = flat / perLambda;
     GeneratorConfig config = plan.generator;
     config.lambda = plan.lambdas[li];
     const ProblemInstance instance = generateInstance(config, plan.seed, flat);
-    result.outcomes[flat] = evaluateInstance(instance, plan.lbMaxNodes);
+    result.outcomes[flat] = evaluateInstance(instance, plan.lbMaxNodes, &arenas);
     result.outcomes[flat].lambda = plan.lambdas[li];  // report the target point
   };
 
-  if (pool != nullptr && pool->threadCount() > 1) {
-    pool->parallelFor(0, total, evaluateOne);
-  } else {
-    for (std::size_t flat = 0; flat < total; ++flat) evaluateOne(flat);
-  }
+  BatchOptions batch;
+  batch.pool = pool;
+  if (pool == nullptr) batch.threads = 1;  // sequential without a pool
+  runBatch(total, evaluateOne, batch);
 
   result.perLambda.reserve(lambdaCount);
   for (std::size_t li = 0; li < lambdaCount; ++li) {

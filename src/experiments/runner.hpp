@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "experiments/batch_driver.hpp"
 #include "support/thread_pool.hpp"
 #include "tree/generator.hpp"
 
@@ -66,12 +67,15 @@ struct ExperimentResult {
 
 /// Evaluate one instance: run the eight heuristics + MixedBest, validate all
 /// results, and compute the refined lower bound (seeded with the best
-/// heuristic cost).
-TreeOutcome evaluateInstance(const ProblemInstance& instance, long lbMaxNodes);
+/// heuristic cost). Pass the calling batch worker's arenas to recycle the
+/// bound pre-pass slab across instances; nullptr allocates per call.
+TreeOutcome evaluateInstance(const ProblemInstance& instance, long lbMaxNodes,
+                             BatchArenas* arenas = nullptr);
 
-/// Run the full sweep; instances are generated deterministically from
-/// (plan.seed, lambda index, tree index) and evaluated in parallel when a
-/// pool is supplied.
+/// Run the full sweep through the batch driver; instances are generated
+/// deterministically from (plan.seed, lambda index, tree index), evaluated
+/// in parallel when a pool is supplied, and every worker recycles one
+/// BatchArenas set across its share of the fleet.
 ExperimentResult runExperiment(const ExperimentPlan& plan, ThreadPool* pool = nullptr);
 
 }  // namespace treeplace

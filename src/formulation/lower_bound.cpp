@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "core/bounds.hpp"
 #include "formulation/ilp.hpp"
@@ -47,8 +48,12 @@ LowerBoundResult refinedLowerBound(const ProblemInstance& instance,
   // for every policy, and the latter sees tree structure the LP relaxation
   // blurs). This also shields against a -infinity bound if the node budget
   // was exhausted at the root.
-  const FrontierSubtreeRelaxation frontier(instance);
-  result.frontierBound = frontier.decompositionBound();
+  std::optional<FrontierSubtreeRelaxation> frontier;
+  if (options.boundsArena)
+    frontier.emplace(instance, *options.boundsArena);
+  else
+    frontier.emplace(instance);
+  result.frontierBound = frontier->decompositionBound();
   result.bound = tighten(
       instance, std::max({mip.lowerBound, fractionalCoverLowerBound(instance),
                           result.frontierBound}));

@@ -1,5 +1,6 @@
 #pragma once
 
+#include "core/frontier_fwd.hpp"
 #include "core/policy.hpp"
 #include "lp/branch_bound.hpp"
 #include "tree/problem.hpp"
@@ -15,6 +16,10 @@ struct LowerBoundOptions {
   bool enforceQos = true;
   bool enforceBandwidth = true;
   lp::SimplexOptions lp;
+  /// Optional shared arena for the frontier floor pre-pass; the batch driver
+  /// hands every worker its own so fleet sweeps stop reallocating the slab
+  /// once per instance.
+  FrontierArena* boundsArena = nullptr;
 };
 
 struct LowerBoundResult {

@@ -5,139 +5,18 @@
 #include <cmath>
 #include <queue>
 
+#include "lp/bb_detail.hpp"
 #include "lp/tolerances.hpp"
 #include "support/require.hpp"
 
 namespace treeplace::lp {
 namespace {
 
-double fractionality(double v) {
-  const double f = v - std::floor(v);
-  return std::min(f, 1.0 - f);
-}
-
-double roundBound(double bound, double granularity) {
-  if (granularity <= 0.0) return bound;
-  // All feasible objectives are multiples of the granularity, so the subtree
-  // bound may be rounded up to the next one.
-  return std::ceil(bound / granularity - kGranularitySlack) * granularity;
-}
-
-/// Branch variable: highest priority class among the fractional integers,
-/// most-fractional within the class. -1 when the point is integral.
-int pickBranchVariable(std::span<const double> values, const std::vector<int>& integers,
-                       const std::vector<int>& priority, double integralityTol) {
-  int branchVar = -1;
-  int bestPriority = 0;
-  double worst = integralityTol;
-  for (const int j : integers) {
-    const double f = fractionality(values[static_cast<std::size_t>(j)]);
-    if (f <= integralityTol) continue;
-    const int p = priority.empty() ? 0 : priority[static_cast<std::size_t>(j)];
-    if (branchVar < 0 || p > bestPriority || (p == bestPriority && f > worst)) {
-      branchVar = j;
-      bestPriority = p;
-      worst = f;
-    }
-  }
-  return branchVar;
-}
-
-/// One branch-and-bound node: the bound delta it applies on top of its
-/// parent (the full box of `branchVar` after the branch) plus the inherited
-/// dual bound. Bounds of a node are reconstructed by walking the parent
-/// chain — no per-node bound vectors, no model copies.
-struct BbNode {
-  int parent = -1;
-  int branchVar = -1;
-  double lower = 0.0;
-  double upper = 0.0;
-  double bound = -kInfinity;
-};
-
-/// Best-bound open pool. With a known objective granularity every node bound
-/// is a multiple of it, so nodes bucket exactly by (bound - base) /
-/// granularity: pop scans a monotone cursor (child bounds never drop below
-/// their parent's), push is O(1), and ties pop LIFO — a dive order that
-/// keeps consecutive warm re-solves close in the tree. Without granularity a
-/// binary min-heap provides the same best-bound order.
-class NodePool {
- public:
-  explicit NodePool(double granularity) : granularity_(granularity) {}
-
-  void push(int id, double bound) {
-    if (granularity_ <= 0.0) {
-      heap_.push({bound, id});
-      return;
-    }
-    std::size_t bucket = 0;
-    if (bound != -kInfinity) {
-      if (!baseSet_) {
-        base_ = bound;
-        baseSet_ = true;
-      }
-      const long index = std::lround((bound - base_) / granularity_);
-      bucket = static_cast<std::size_t>(std::max(0L, index));
-    }
-    if (bucket >= buckets_.size()) buckets_.resize(bucket + 1);
-    buckets_[bucket].push_back(id);
-    ++size_;
-  }
-
-  bool empty() const {
-    return granularity_ > 0.0 ? size_ == 0 : heap_.empty();
-  }
-
-  int pop() {
-    if (granularity_ <= 0.0) {
-      const int id = heap_.top().second;
-      heap_.pop();
-      return id;
-    }
-    while (buckets_[cursor_].empty()) ++cursor_;
-    const int id = buckets_[cursor_].back();
-    buckets_[cursor_].pop_back();
-    --size_;
-    return id;
-  }
-
-  /// Minimum bound among the remaining nodes; the pool is consumed.
-  double drainMinBound(const std::vector<BbNode>& nodes) {
-    double best = kInfinity;
-    if (granularity_ <= 0.0) {
-      while (!heap_.empty()) {
-        best = std::min(best, heap_.top().first);
-        heap_.pop();
-      }
-      return best;
-    }
-    for (std::size_t b = cursor_; b < buckets_.size(); ++b)
-      for (const int id : buckets_[b])
-        best = std::min(best, nodes[static_cast<std::size_t>(id)].bound);
-    buckets_.clear();
-    size_ = 0;
-    return best;
-  }
-
- private:
-  double granularity_;
-  // Bucketed representation (granularity > 0).
-  std::vector<std::vector<int>> buckets_;
-  std::size_t cursor_ = 0;
-  std::size_t size_ = 0;
-  double base_ = 0.0;
-  bool baseSet_ = false;
-  // Heap representation (no granularity).
-  std::priority_queue<std::pair<double, int>, std::vector<std::pair<double, int>>,
-                      std::greater<>>
-      heap_;
-};
-
-double millisSince(std::chrono::steady_clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
-                                                   start)
-      .count();
-}
+using detail::BbNode;
+using detail::millisSince;
+using detail::NodePool;
+using detail::pickBranchVariable;
+using detail::roundBound;
 
 /// Warm-started engine: one persistent LpWorkspace, dual-simplex re-solves,
 /// delta-chain nodes, best-bound pool.
@@ -159,11 +38,11 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
   std::vector<unsigned> stamp(static_cast<std::size_t>(model.variableCount()), 0);
   std::vector<int> touched;
   unsigned epoch = 0;
-  const auto applyNodeBounds = [&](int id) {
+  const auto applyNodeBounds = [&](long id) {
     for (const int v : touched) workspace.setBounds(v, model.lower(v), model.upper(v));
     touched.clear();
     ++epoch;
-    for (int cur = id; cur >= 0; cur = nodes[static_cast<std::size_t>(cur)].parent) {
+    for (long cur = id; cur >= 0; cur = nodes[static_cast<std::size_t>(cur)].parent) {
       const BbNode& node = nodes[static_cast<std::size_t>(cur)];
       if (node.branchVar < 0) continue;
       auto& mark = stamp[static_cast<std::size_t>(node.branchVar)];
@@ -186,7 +65,7 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
       hitNodeLimit = true;
       break;
     }
-    const int id = open.pop();
+    const long id = open.pop().second;
     const double inheritedBound = nodes[static_cast<std::size_t>(id)].bound;
     ++result.nodesExplored;
 
@@ -194,7 +73,7 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
         result.objective - cutoffGap) {
       // Best-bound order: every remaining node is at least as bad.
       minClosedBound = std::min(minClosedBound, inheritedBound);
-      minClosedBound = std::min(minClosedBound, open.drainMinBound(nodes));
+      minClosedBound = std::min(minClosedBound, open.drainMinBound());
       break;
     }
 
@@ -249,18 +128,18 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
     const double upLo = std::ceil(value);
     if (curLo <= downHi) {
       nodes.push_back({id, branchVar, curLo, downHi, nodeBound});
-      open.push(static_cast<int>(nodes.size()) - 1, nodeBound);
+      open.push(static_cast<long>(nodes.size()) - 1, nodeBound);
     }
     if (upLo <= curHi) {
       nodes.push_back({id, branchVar, upLo, curHi, nodeBound});
-      open.push(static_cast<int>(nodes.size()) - 1, nodeBound);
+      open.push(static_cast<long>(nodes.size()) - 1, nodeBound);
     }
   }
 
   result.warm = workspace.stats();
 
   // Global dual bound: open nodes still count.
-  double bound = std::min(minClosedBound, open.drainMinBound(nodes));
+  double bound = std::min(minClosedBound, open.drainMinBound());
   if (bound == kInfinity) {
     // Every leaf was infeasible and no incumbent exists: the MIP is
     // infeasible — unless an external upper bound was supplied, in which case
@@ -434,7 +313,7 @@ MipResult solveMipCold(const Model& model, const MipOptions& options,
 
 MipResult solveMip(const Model& model, const MipOptions& options) {
   const std::vector<int> integers = model.integerVariables();
-  bool warmEligible = options.warmStart;
+  bool warmEligible = options.warmStart || options.workers >= 1;
   for (const int j : integers) {
     // The workspace's column mapping is fixed by the root bounds. With
     // bounded-variable columns any non-free integer absorbs both branch
@@ -447,6 +326,8 @@ MipResult solveMip(const Model& model, const MipOptions& options) {
     if (options.lp.explicitBoundRows ? !fullRange : freeVar)
       warmEligible = false;  // branching would change the standard-form shape
   }
+  if (warmEligible && options.workers >= 1)
+    return detail::solveMipParallel(model, options, integers);
   return warmEligible ? solveMipWarm(model, options, integers)
                       : solveMipCold(model, options, integers);
 }

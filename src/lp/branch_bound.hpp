@@ -32,6 +32,18 @@ struct MipOptions {
   /// most-fractional branching. Facility-location models branch their
   /// placement indicators before the assignment variables this way.
   std::vector<int> branchPriority;
+  /// Branch-and-bound worker threads. 0 (default) runs the single-threaded
+  /// engines exactly as before. N >= 1 runs the worker-pool engine: N
+  /// threads, each owning its own arena-backed LpWorkspace cloned from the
+  /// root standard form, claim best-bound nodes from a sharded pool (one
+  /// granularity-bucketed shard per worker, work stealing when a shard runs
+  /// dry), share the incumbent through an atomic objective, and detect
+  /// termination with an epoch-counted outstanding-node protocol.
+  /// workers == 1 reproduces the serial warm search bit-for-bit (same pop
+  /// order, same node count) — the determinism tests pin this down. The
+  /// pool engine needs a warm-eligible model (every integer variable
+  /// non-free); otherwise the serial fallback selected by `warmStart` runs.
+  int workers = 0;
 };
 
 /// Outcome of a branch-and-bound run. `lowerBound` is a valid global dual

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,11 @@ struct WarmStartStats {
   long boundFlips = 0;        ///< box pivots that touched no basis column
   int tableauRows = 0;        ///< dense tableau height m
   int structuralRows = 0;     ///< model constraint rows inside m
+  // Worker-pool telemetry (filled by the parallel branch-and-bound engine;
+  // zero on the single-threaded paths).
+  int workers = 0;            ///< pool threads used (0 = serial engine)
+  long stealCount = 0;        ///< nodes claimed from a foreign shard
+  double idleMs = 0.0;        ///< summed worker wall time spent waiting for work
 
   long totalSolves() const { return coldSolves + warmSolves; }
   /// Fraction of node LPs served by a reused basis instead of a cold build.
@@ -27,6 +33,21 @@ struct WarmStartStats {
     const long total = totalSolves();
     return total > 0 ? static_cast<double>(warmSolves) / static_cast<double>(total)
                      : 0.0;
+  }
+  /// Fold another worker's counters into this one (solve counters and pivot
+  /// counts add up; tableau geometry is shared, so it is kept, not summed).
+  void merge(const WarmStartStats& other) {
+    coldSolves += other.coldSolves;
+    warmSolves += other.warmSolves;
+    warmAlreadyOptimal += other.warmAlreadyOptimal;
+    dualFallbacks += other.dualFallbacks;
+    primalIterations += other.primalIterations;
+    dualIterations += other.dualIterations;
+    boundFlips += other.boundFlips;
+    tableauRows = std::max(tableauRows, other.tableauRows);
+    structuralRows = std::max(structuralRows, other.structuralRows);
+    stealCount += other.stealCount;
+    idleMs += other.idleMs;
   }
 };
 
@@ -60,6 +81,24 @@ struct WarmStartStats {
 class LpWorkspace {
  public:
   explicit LpWorkspace(const Model& model, const SimplexOptions& options = {});
+
+  /// Value copy of this workspace with fresh telemetry: the standard form,
+  /// current boxes, and any valid basis are duplicated, so a worker thread
+  /// gets the root model parse for the price of a memcpy. The clone is fully
+  /// independent — per-worker memory stays bounded by the tableau height.
+  LpWorkspace clone() const {
+    LpWorkspace copy(*this);
+    copy.resetStats();
+    return copy;
+  }
+
+  /// Zero the solve counters while keeping the tableau geometry fields, so a
+  /// recycled workspace reports only its next run.
+  void resetStats() {
+    stats_ = {};
+    stats_.tableauRows = m_;
+    stats_.structuralRows = modelRows_;
+  }
 
   int variableCount() const { return static_cast<int>(varMap_.size()); }
 

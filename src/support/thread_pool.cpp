@@ -7,6 +7,13 @@
 
 namespace treeplace {
 
+namespace {
+/// Set once per pool thread in workerLoop; a thread belongs to exactly one
+/// pool for its lifetime, so plain thread-locals are unambiguous.
+thread_local int tlsWorkerIndex = -1;
+thread_local const ThreadPool* tlsWorkerPool = nullptr;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::thread::hardware_concurrency();
@@ -14,27 +21,39 @@ ThreadPool::ThreadPool(std::size_t threads) {
   }
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { workerLoop(); });
+    workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { shutdown(); }
+
+int ThreadPool::currentWorkerIndex() { return tlsWorkerIndex; }
+
+const ThreadPool* ThreadPool::currentPool() { return tlsWorkerPool; }
+
+void ThreadPool::shutdown() {
   {
     const std::lock_guard<std::mutex> lock(mutex_);
+    if (joined_) return;
     stopping_ = true;
+    joined_ = true;
   }
+  // Workers only exit once the queue is empty, so every task accepted before
+  // the stopping_ cutoff runs to completion — a submit racing this join
+  // either made the cutoff (and is drained here) or returned false.
   wake_.notify_all();
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
+bool ThreadPool::submit(std::function<void()> task) {
   TREEPLACE_REQUIRE(static_cast<bool>(task), "cannot submit empty task");
   {
     const std::lock_guard<std::mutex> lock(mutex_);
-    TREEPLACE_REQUIRE(!stopping_, "submit after shutdown");
+    if (stopping_) return false;  // shutdown cutoff: reject, don't crash
     queue_.push(std::move(task));
     ++inFlight_;
   }
   wake_.notify_one();
+  return true;
 }
 
 void ThreadPool::waitIdle() {
@@ -51,36 +70,47 @@ void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
   std::mutex errorMutex;
 
   const std::size_t lanes = std::min(workers_.size(), end - begin);
-  std::atomic<std::size_t> lanesDone{0};
+  // Completion latch. lanesDone is guarded by doneMutex (NOT an atomic
+  // checked outside it): the last lane must still own the mutex when it
+  // makes the predicate true, otherwise a spuriously woken waiter could see
+  // completion, return, and destroy this frame while the lane is still
+  // touching the condition variable — a stack use-after-free TSan catches.
+  std::size_t lanesDone = 0;
   std::mutex doneMutex;
   std::condition_variable doneCv;
 
+  const auto laneBody = [&] {
+    for (;;) {
+      const std::size_t i = nextIndex.fetch_add(1);
+      if (i >= end || failed.load()) break;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(errorMutex);
+        if (!firstError) firstError = std::current_exception();
+        failed.store(true);
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(doneMutex);
+      if (++lanesDone == lanes) doneCv.notify_all();
+    }
+  };
+
   for (std::size_t lane = 0; lane < lanes; ++lane) {
-    submit([&] {
-      for (;;) {
-        const std::size_t i = nextIndex.fetch_add(1);
-        if (i >= end || failed.load()) break;
-        try {
-          fn(i);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(errorMutex);
-          if (!firstError) firstError = std::current_exception();
-          failed.store(true);
-        }
-      }
-      if (lanesDone.fetch_add(1) + 1 == lanes) {
-        const std::lock_guard<std::mutex> lock(doneMutex);
-        doneCv.notify_all();
-      }
-    });
+    // A pool mid-shutdown rejects the lane; run it inline so the range is
+    // still covered and the completion latch still fires.
+    if (!submit(laneBody)) laneBody();
   }
 
   std::unique_lock<std::mutex> lock(doneMutex);
-  doneCv.wait(lock, [&] { return lanesDone.load() == lanes; });
+  doneCv.wait(lock, [&] { return lanesDone == lanes; });
   if (firstError) std::rethrow_exception(firstError);
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(std::size_t index) {
+  tlsWorkerIndex = static_cast<int>(index);
+  tlsWorkerPool = this;
   for (;;) {
     std::function<void()> task;
     {

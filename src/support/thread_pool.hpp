@@ -12,7 +12,9 @@ namespace treeplace {
 
 /// Fixed-size worker pool. Tasks are arbitrary closures; parallelFor slices an
 /// index range across workers. Workers never share mutable state implicitly —
-/// callers are expected to write results into per-index slots.
+/// callers are expected to write results into per-index slots, or key
+/// per-worker state (e.g. the batch driver's arena sets) off
+/// currentWorkerIndex().
 class ThreadPool {
  public:
   /// threads == 0 selects std::thread::hardware_concurrency() (at least 1).
@@ -24,11 +26,31 @@ class ThreadPool {
 
   std::size_t threadCount() const { return workers_.size(); }
 
-  /// Enqueue a task; returns immediately. Pair with waitIdle().
-  void submit(std::function<void()> task);
+  /// Index of the calling pool worker in [0, threadCount()), or -1 when the
+  /// caller is not a pool thread. Lets callers maintain one mutable slot per
+  /// worker (arenas, scratch buffers) without locks. The index is only
+  /// meaningful relative to currentPool() — a worker of pool A has an index
+  /// that must not be used to slot into pool B's per-worker state.
+  static int currentWorkerIndex();
 
-  /// Block until every submitted task has finished.
+  /// The pool the calling thread belongs to, or nullptr off-pool. Pair with
+  /// currentWorkerIndex() when per-worker state is keyed by a specific pool.
+  static const ThreadPool* currentPool();
+
+  /// Enqueue a task. Returns true when the task was accepted (it WILL run
+  /// before shutdown()/the destructor returns); returns false — instead of
+  /// crashing — when shutdown has already begun, so racing producers can
+  /// stop gracefully. Pair accepted tasks with waitIdle().
+  [[nodiscard]] bool submit(std::function<void()> task);
+
+  /// Block until every accepted task has finished.
   void waitIdle();
+
+  /// Deterministic drain: stop accepting new tasks, run every task accepted
+  /// so far to completion, and join the workers. Idempotent; the destructor
+  /// calls it. Safe to race against submit() — a concurrent submit either
+  /// lands before the cutoff (and is drained) or returns false.
+  void shutdown();
 
   /// Run fn(i) for i in [begin, end) across the pool and wait for completion.
   /// Exceptions thrown by fn propagate out of parallelFor (first one wins).
@@ -36,7 +58,7 @@ class ThreadPool {
                    const std::function<void(std::size_t)>& fn);
 
  private:
-  void workerLoop();
+  void workerLoop(std::size_t index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
@@ -45,6 +67,7 @@ class ThreadPool {
   std::condition_variable idle_;
   std::size_t inFlight_ = 0;
   bool stopping_ = false;
+  bool joined_ = false;
 };
 
 }  // namespace treeplace

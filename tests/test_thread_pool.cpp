@@ -3,8 +3,13 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace treeplace {
@@ -13,9 +18,69 @@ namespace {
 TEST(ThreadPool, RunsSubmittedTasks) {
   ThreadPool pool(2);
   std::atomic<int> counter{0};
-  for (int i = 0; i < 50; ++i) pool.submit([&] { counter.fetch_add(1); });
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(pool.submit([&] { counter.fetch_add(1); }));
   pool.waitIdle();
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, WorkerIndexIdentifiesPoolThreads) {
+  EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1);  // not a pool thread
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::set<int> seen;
+  pool.parallelFor(0, 64, [&](std::size_t) {
+    const int index = ThreadPool::currentWorkerIndex();
+    const std::lock_guard<std::mutex> lock(mutex);
+    seen.insert(index);
+  });
+  for (const int index : seen) {
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 3);
+  }
+  EXPECT_EQ(ThreadPool::currentWorkerIndex(), -1);
+}
+
+// The shutdown race regression: producers hammering submit() while the pool
+// is being destroyed must never crash, and every task that submit() accepted
+// must have run by the time the destructor returns — the drain is
+// deterministic, not best-effort.
+TEST(ThreadPool, SubmitDuringShutdownDrainsDeterministically) {
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<long> accepted{0};
+    std::atomic<long> executed{0};
+    std::atomic<bool> quit{false};
+
+    ThreadPool pool(2);
+    std::vector<std::thread> producers;
+    for (int p = 0; p < 3; ++p) {
+      producers.emplace_back([&] {
+        while (!quit.load()) {
+          if (pool.submit([&] { executed.fetch_add(1); }))
+            accepted.fetch_add(1);
+          else
+            return;  // shutdown cutoff reached: stop producing
+        }
+      });
+    }
+    // Let the producers race the shutdown for real.
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * (round % 4)));
+    pool.shutdown();  // drains every accepted task, then joins the workers
+    quit.store(true);
+    for (auto& t : producers) t.join();
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, ShutdownIsIdempotentAndRejectsLateSubmits) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 1);
+  EXPECT_FALSE(pool.submit([&] { ran.fetch_add(1); }));
+  pool.shutdown();  // second call is a no-op
+  EXPECT_EQ(ran.load(), 1);
 }
 
 TEST(ThreadPool, ParallelForCoversRange) {

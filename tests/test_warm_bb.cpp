@@ -198,6 +198,95 @@ TEST(WarmBranchBound, CutsPreserveOptimaAgainstBareOracle) {
   }
 }
 
+/// PR 4 fixed the off-by-one where a search whose pool emptied exactly at
+/// maxNodes was reported unproven. The worker-pool engine must uphold the
+/// same boundary when several workers race the last budget slots: explored
+/// nodes never exceed the budget, every result stays sound (the reported
+/// lower bound never exceeds the true optimum, the incumbent never beats
+/// it), a proven result IS the optimum, and workers == 1 reproduces the
+/// serial boundary exactly — proven at budget == serial node count.
+TEST(WarmBranchBound, MaxNodesBoundaryHoldsUnderWorkerContention) {
+  for (const std::uint64_t seed : {5ULL, 23ULL, 77ULL}) {
+    Prng rng(seed);
+    Model m;
+    const int n = 9;
+    for (int j = 0; j < n; ++j)
+      m.addVariable(0.0, 1.0, -static_cast<double>(rng.uniformInt(1, 30)),
+                    VarType::Integer);
+    std::vector<Term> row;
+    for (int j = 0; j < n; ++j)
+      row.push_back(t(j, static_cast<double>(rng.uniformInt(1, 12))));
+    m.addConstraint(Sense::LessEqual,
+                    static_cast<double>(rng.uniformInt(12, 40)), row);
+
+    const MipResult reference = solveMip(m, {});  // serial, unlimited budget
+    ASSERT_TRUE(reference.proven) << "seed " << seed;
+    ASSERT_TRUE(reference.hasIncumbent()) << "seed " << seed;
+    const double optimum = reference.objective;
+    const long serialNodes = reference.nodesExplored;
+
+    // Serial boundary (the PR 4 fix): a budget of exactly the node count is
+    // a completed search; one short of it is not. The one-worker pool
+    // engine must agree bit for bit.
+    for (const int workers : {0, 1}) {
+      MipOptions exactBudget;
+      exactBudget.workers = workers;
+      exactBudget.maxNodes = serialNodes;
+      const MipResult complete = solveMip(m, exactBudget);
+      EXPECT_TRUE(complete.proven) << "seed " << seed << " workers " << workers;
+      EXPECT_EQ(complete.nodesExplored, serialNodes)
+          << "seed " << seed << " workers " << workers;
+      EXPECT_NEAR(complete.objective, optimum, 1e-9)
+          << "seed " << seed << " workers " << workers;
+      if (serialNodes > 1) {
+        MipOptions shortBudget = exactBudget;
+        shortBudget.maxNodes = serialNodes - 1;
+        const MipResult truncated = solveMip(m, shortBudget);
+        EXPECT_FALSE(truncated.proven)
+            << "seed " << seed << " workers " << workers;
+        EXPECT_EQ(truncated.nodesExplored, serialNodes - 1)
+            << "seed " << seed << " workers " << workers;
+      }
+    }
+
+    // Contention sweep: many workers, budgets from starvation to surplus —
+    // the pool-exhaustion race must never overdraw the budget, break
+    // soundness, or fake a proof.
+    for (const int workers : {2, 4, 8}) {
+      // 0/1 variables branch at most once per root-leaf path, so the full
+      // tree has < 2^(n+1) nodes: a 4096 budget must close the search no
+      // matter how the workers interleave.
+      for (const long budget :
+           {1L, 2L, 3L, serialNodes / 2 + 1, serialNodes, 4096L}) {
+        MipOptions po;
+        po.workers = workers;
+        po.maxNodes = budget;
+        const MipResult r = solveMip(m, po);
+        ASSERT_EQ(r.status, SolveStatus::Optimal)
+            << "seed " << seed << " workers " << workers << " budget " << budget;
+        EXPECT_LE(r.nodesExplored, budget)
+            << "seed " << seed << " workers " << workers << " budget " << budget;
+        EXPECT_LE(r.lowerBound, optimum + 1e-9)
+            << "seed " << seed << " workers " << workers << " budget " << budget;
+        if (r.hasIncumbent()) {
+          EXPECT_GE(r.objective, optimum - 1e-9)
+              << "seed " << seed << " workers " << workers << " budget " << budget;
+        }
+        if (r.proven) {
+          ASSERT_TRUE(r.hasIncumbent())
+              << "seed " << seed << " workers " << workers << " budget " << budget;
+          EXPECT_NEAR(r.objective, optimum, 1e-9)
+              << "seed " << seed << " workers " << workers << " budget " << budget;
+        }
+        if (budget >= 4096) {
+          EXPECT_TRUE(r.proven)
+              << "seed " << seed << " workers " << workers << " budget " << budget;
+        }
+      }
+    }
+  }
+}
+
 TEST(WarmBranchBound, ReductionFamilyReusesBases) {
   std::vector<Requests> values(9, 4);
   values.push_back(6);  // fig8TwoPartition m=10 NO-instance
