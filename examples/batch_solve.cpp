@@ -3,11 +3,19 @@
 //
 //   $ ./batch_solve instances/*.tp [--threads=0] [--lb-nodes=400]
 //                   [--workers=0] [--exact]
+//   $ ./batch_solve --nodes=1000000 --seed=7 --count=4 --stream
 //
 //   --threads   batch worker threads (0 = hardware concurrency)
 //   --lb-nodes  branch-and-bound budget of the refined lower bound
 //   --workers   per-instance worker-pool B&B threads for --exact (0 = serial)
 //   --exact     also prove the Multiple optimum via the ILP (small fleets!)
+//   --nodes     generate instances of this many vertices instead of reading
+//               files (O(s) generator, so s = 10^6 is fine)
+//   --seed      base seed of the generated fleet (default 1)
+//   --count     how many instances to generate (default 1)
+//   --stream    replace the heuristic/LP pipeline with the width-capped
+//               streaming frontier counts (Closest / Multiple / QoS) — the
+//               only solvers that scale to millions of vertices
 //
 // Per instance the driver runs MixedBest (the paper's best-of-eight
 // heuristic), the refined lower bound (recycling the worker's bound-slab
@@ -18,12 +26,16 @@
 #include <iostream>
 #include <vector>
 
+#include "exact/closest_homogeneous.hpp"
+#include "exact/closest_qos.hpp"
 #include "exact/exact_ilp.hpp"
+#include "exact/multiple_homogeneous.hpp"
 #include "experiments/batch_driver.hpp"
 #include "formulation/lower_bound.hpp"
 #include "heuristics/heuristic.hpp"
 #include "support/cli.hpp"
 #include "support/table.hpp"
+#include "tree/generator.hpp"
 #include "tree/io.hpp"
 
 using namespace treeplace;
@@ -44,10 +56,18 @@ struct FleetRow {
   bool exactProven = false;
   double exactCost = 0.0;
   long exactNodes = 0;
+  StreamCountResult streamClosest;
+  StreamCountResult streamMultiple;
+  StreamCountResult streamQos;
 };
 
 std::string formatCost(double value, int digits = 2) {
   return formatDouble(value, digits);
+}
+
+std::string formatStream(const StreamCountResult& r) {
+  if (!r.feasible) return "infeasible";
+  return std::to_string(r.replicas) + (r.stats.exact ? "" : " (capped)");
 }
 
 }  // namespace
@@ -55,38 +75,64 @@ std::string formatCost(double value, int digits = 2) {
 int main(int argc, char** argv) {
   const Options options(argc, argv);
   const auto& files = options.positionals();
-  if (files.empty()) {
+  const long genNodes = options.getIntOr("nodes", 0);
+  if (files.empty() && genNodes <= 0) {
     std::cerr << "usage: batch_solve <instance.tp>... [--threads=N] "
-                 "[--lb-nodes=N] [--workers=N] [--exact]\n";
+                 "[--lb-nodes=N] [--workers=N] [--exact]\n"
+                 "       batch_solve --nodes=N [--seed=S] [--count=K] "
+                 "[--stream] [--threads=N]\n";
     return 2;
   }
   const auto threads = static_cast<std::size_t>(options.getIntOr("threads", 0));
   const long lbNodes = options.getIntOr("lb-nodes", 400);
   const int bbWorkers = static_cast<int>(options.getIntOr("workers", 0));
   const bool exact = options.hasFlag("exact");
+  const auto seed = static_cast<std::uint64_t>(options.getIntOr("seed", 1));
+  const auto genCount =
+      static_cast<std::size_t>(options.getIntOr("count", 1));
+  const bool stream = options.hasFlag("stream");
 
-  std::vector<FleetRow> rows(files.size());
+  GeneratorConfig genConfig;
+  genConfig.minSize = static_cast<int>(genNodes);
+  genConfig.maxSize = static_cast<int>(genNodes);
+  genConfig.unitCosts = true;
+
+  const std::size_t jobs = genNodes > 0 ? genCount : files.size();
+  std::vector<FleetRow> rows(jobs);
   BatchOptions batchOptions;
   batchOptions.threads = threads;
   const BatchRunStats stats = runBatch(
-      files.size(),
+      jobs,
       [&](std::size_t i, BatchArenas& arenas) {
         FleetRow& row = rows[i];
-        row.name = files[i];
-        std::ifstream in(files[i]);
-        if (!in.good()) {
-          row.error = "cannot open";
-          return;
-        }
         ProblemInstance instance;
-        try {
-          instance = readInstance(in);
-        } catch (const ParseError& e) {
-          row.error = e.what();
-          return;
+        if (genNodes > 0) {
+          row.name = "gen(s=" + std::to_string(genNodes) +
+                     ", seed=" + std::to_string(seed) + "." + std::to_string(i) + ")";
+          instance = generateInstance(genConfig, seed, i);
+        } else {
+          row.name = files[i];
+          std::ifstream in(files[i]);
+          if (!in.good()) {
+            row.error = "cannot open";
+            return;
+          }
+          try {
+            instance = readInstance(in);
+          } catch (const ParseError& e) {
+            row.error = e.what();
+            return;
+          }
         }
         row.parsed = true;
         row.vertices = static_cast<int>(instance.tree.vertexCount());
+
+        if (stream) {
+          row.streamClosest = countClosestHomogeneousStreaming(instance);
+          row.streamMultiple = countMultipleHomogeneousStreaming(instance);
+          row.streamQos = countClosestQosStreaming(instance);
+          return;
+        }
 
         double bestCost = lp::kInfinity;
         if (const auto mb = runMixedBest(instance)) {
@@ -118,11 +164,19 @@ int main(int argc, char** argv) {
       batchOptions);
 
   TextTable t;
-  std::vector<std::string> header{"instance", "vertices", "MixedBest", "winner",
-                                  "lower bound"};
-  if (exact) {
-    header.push_back("exact (Multiple)");
-    header.push_back("B&B nodes");
+  std::vector<std::string> header{"instance", "vertices"};
+  if (stream) {
+    header.push_back("Closest");
+    header.push_back("Multiple");
+    header.push_back("Closest+QoS");
+  } else {
+    header.push_back("MixedBest");
+    header.push_back("winner");
+    header.push_back("lower bound");
+    if (exact) {
+      header.push_back("exact (Multiple)");
+      header.push_back("B&B nodes");
+    }
   }
   t.setHeader(header);
   int failures = 0;
@@ -132,17 +186,22 @@ int main(int argc, char** argv) {
       std::cerr << row.name << ": " << row.error << '\n';
       continue;
     }
-    std::vector<std::string> cells{
-        row.name, std::to_string(row.vertices),
-        row.mbSuccess ? formatCost(row.mbCost) : "-",
-        row.mbSuccess ? row.mbWinner : "-",
-        formatCost(row.lowerBound) + (row.lbExact ? " (exact)" : "")};
-    if (exact) {
-      cells.push_back(row.exactRan
-                          ? formatCost(row.exactCost) +
-                                (row.exactProven ? " (proven)" : " (budget)")
-                          : "-");
-      cells.push_back(std::to_string(row.exactNodes));
+    std::vector<std::string> cells{row.name, std::to_string(row.vertices)};
+    if (stream) {
+      cells.push_back(formatStream(row.streamClosest));
+      cells.push_back(formatStream(row.streamMultiple));
+      cells.push_back(formatStream(row.streamQos));
+    } else {
+      cells.push_back(row.mbSuccess ? formatCost(row.mbCost) : "-");
+      cells.push_back(row.mbSuccess ? row.mbWinner : "-");
+      cells.push_back(formatCost(row.lowerBound) + (row.lbExact ? " (exact)" : ""));
+      if (exact) {
+        cells.push_back(row.exactRan
+                            ? formatCost(row.exactCost) +
+                                  (row.exactProven ? " (proven)" : " (budget)")
+                            : "-");
+        cells.push_back(std::to_string(row.exactNodes));
+      }
     }
     t.addRow(cells);
   }

@@ -1,0 +1,224 @@
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Tuning knobs of the width-capped streaming frontier path.
+struct FrontierStreamOptions {
+  /// Maximum entries kept per frontier. A merge whose pruned result is wider
+  /// is downsampled to this many points (first and last always kept, interior
+  /// strided), trading exactness for an O(widthCap * depth) memory bound and
+  /// an O(widthCap^2) per-merge time bound. Every surviving point stays
+  /// achievable, so capped results are valid upper bounds.
+  std::int32_t widthCap = 512;
+};
+
+/// Telemetry of one streaming DP run.
+struct FrontierStreamStats {
+  std::size_t peakWidth = 0;        ///< widest frontier produced (pre-cap)
+  std::size_t peakStackEntries = 0; ///< slab high-water mark, in entries
+  std::size_t peakBytes = 0;        ///< slab + scratch high-water mark
+  std::size_t convolutions = 0;     ///< child merges + place/skip prunes
+  std::size_t pairsMerged = 0;      ///< candidate entries examined
+  std::size_t cappedMerges = 0;     ///< merges that hit widthCap
+  /// No merge was ever capped: the run explored the full Pareto frontier and
+  /// its answer matches the exact DP.
+  bool exact = true;
+};
+
+/// Result of a streaming (count-only) policy solve. The streaming DPs drop
+/// the reconstruction backpointers, so they return the replica count but no
+/// placement; `stats.exact` says whether the count is provably optimal or an
+/// achievable upper bound (some merge hit widthCap).
+struct StreamCountResult {
+  bool feasible = false;
+  std::int32_t replicas = 0;
+  FrontierStreamStats stats;
+};
+
+/// Stack machine for subtree frontier DPs at scales where the exact
+/// backpointer arena (core/frontier) cannot fit: frontiers live on one SoA
+/// slab under strict stack discipline — one accumulator per node on the
+/// current root path — so memory is O(widthCap * depth) instead of
+/// O(total entries), at the price of dropping reconstruction backpointers
+/// (the streaming DPs return counts, not placements).
+///
+/// Protocol, driven by the solver's postorder walk:
+///  - pushUnit() opens an internal node's accumulator {(0, 0)};
+///  - a child frontier is then built on top of the slab (pushEntry for a
+///    leaf, recursively for a subtree) and folded into the accumulator with
+///    foldChild(), which convolves the two top frontiers (counts add, flows
+///    add, bucket scatter + monotone sweep — no sort) and replaces them by
+///    the capped result;
+///  - the place/skip step either edits the finished accumulator in place
+///    through countAt/flowAt/resize/pushEntry (Closest's suffix trick) or
+///    rebuilds it through the candidate batch API (clearCandidates /
+///    addCandidate / commitPruned — Multiple's general prune).
+///
+/// The inner merge loop runs over the flow array of the denser input; when
+/// the child's counts are contiguous the bucket indices are too, and the
+/// min-scatter reduces to a stride-1 loop the compiler auto-vectorizes.
+class FrontierStreamer {
+ public:
+  explicit FrontierStreamer(FrontierStreamOptions options) : options_(options) {}
+
+  void reset() {
+    counts_.clear();
+    flows_.clear();
+    stats_ = {};
+  }
+
+  std::size_t top() const { return counts_.size(); }
+  std::int32_t countAt(std::size_t i) const { return counts_[i]; }
+  Requests flowAt(std::size_t i) const { return flows_[i]; }
+
+  /// Truncate the slab (only ever back to a frontier boundary).
+  void resize(std::size_t newTop) {
+    counts_.resize(newTop);
+    flows_.resize(newTop);
+  }
+
+  void pushEntry(std::int32_t count, Requests flow) {
+    counts_.push_back(count);
+    flows_.push_back(flow);
+    noteStack();
+  }
+
+  /// Open an accumulator with the neutral frontier {(0, 0)}; returns its
+  /// begin index, which stays valid until the owning node completes.
+  std::size_t pushUnit() {
+    const std::size_t begin = top();
+    pushEntry(0, 0);
+    return begin;
+  }
+
+  /// Convolve the accumulator [accBegin, childBegin) with the child frontier
+  /// [childBegin, top()): counts add, flows add, counts above maxCount are
+  /// discarded, the Pareto survivors replace both inputs at accBegin.
+  void foldChild(std::size_t accBegin, std::size_t childBegin, std::int32_t maxCount);
+
+  /// Candidate batch: collect arbitrary (count, flow) points, then replace
+  /// the top frontier [begin, top()) with their capped Pareto prune.
+  void clearCandidates() {
+    candCounts_.clear();
+    candFlows_.clear();
+  }
+  void addCandidate(std::int32_t count, Requests flow) {
+    candCounts_.push_back(count);
+    candFlows_.push_back(flow);
+  }
+  void commitPruned(std::size_t begin, std::int32_t maxCount);
+
+  const FrontierStreamStats& stats() const { return stats_; }
+
+ private:
+  void noteStack() {
+    stats_.peakStackEntries = std::max(stats_.peakStackEntries, counts_.size());
+    const std::size_t bytes =
+        counts_.capacity() * sizeof(std::int32_t) +
+        flows_.capacity() * sizeof(Requests) +
+        bucketFlow_.capacity() * sizeof(Requests) +
+        outCounts_.capacity() * sizeof(std::int32_t) +
+        outFlows_.capacity() * sizeof(Requests);
+    stats_.peakBytes = std::max(stats_.peakBytes, bytes);
+  }
+  /// Sweep bucketFlow_ (count range [minSum, minSum + range)) into the Pareto
+  /// survivors, cap to widthCap, and write the result at accBegin.
+  void sweepAndCommit(std::size_t accBegin, std::int32_t minSum, std::size_t range);
+
+  FrontierStreamOptions options_;
+  FrontierStreamStats stats_;
+  // SoA frontier slab: parallel count/flow arrays under stack discipline.
+  std::vector<std::int32_t> counts_;
+  std::vector<Requests> flows_;
+  // Merge scratch: count-indexed min-flow buckets, swept result, candidates.
+  std::vector<Requests> bucketFlow_;
+  std::vector<std::int32_t> outCounts_;
+  std::vector<Requests> outFlows_;
+  std::vector<std::int32_t> candCounts_;
+  std::vector<Requests> candFlows_;
+};
+
+/// Streaming counterpart of QosFrontierSweep: the same slab/stack protocol as
+/// FrontierStreamer with a slack lane added, pruned by per-count (flow,
+/// slack) staircases instead of single min-flow buckets (see
+/// QosFrontierSweep for the dominance rules mirrored here). foldChild charges
+/// the child's uplink latency and drops dead states, exactly like the exact
+/// QoS convolution; the width cap strides over the emitted (count, flow)
+/// order. A fold may legitimately produce an empty frontier (every pair
+/// dead) — callers must treat that as infeasible.
+class QosFrontierStreamer {
+ public:
+  explicit QosFrontierStreamer(FrontierStreamOptions options) : options_(options) {}
+
+  void reset();
+
+  std::size_t top() const { return counts_.size(); }
+  std::int32_t countAt(std::size_t i) const { return counts_[i]; }
+  Requests flowAt(std::size_t i) const { return flows_[i]; }
+  double slackAt(std::size_t i) const { return slacks_[i]; }
+
+  void resize(std::size_t newTop) {
+    counts_.resize(newTop);
+    flows_.resize(newTop);
+    slacks_.resize(newTop);
+  }
+
+  void pushEntry(std::int32_t count, Requests flow, double slack) {
+    counts_.push_back(count);
+    flows_.push_back(flow);
+    slacks_.push_back(slack);
+    noteStack();
+  }
+
+  /// Neutral accumulator {(0, 0, +inf)}; returns its begin index.
+  std::size_t pushUnit();
+
+  /// Fold the child frontier [childBegin, top()) into the accumulator
+  /// [accBegin, childBegin): the child first pays `uplink` latency on every
+  /// live (flow > 0) state, dead pairs are dropped, slacks combine by min.
+  void foldChild(std::size_t accBegin, std::size_t childBegin,
+                 std::int32_t maxCount, double uplink);
+
+  void clearCandidates();
+  void addCandidate(std::int32_t count, Requests flow, double slack);
+  void commitPruned(std::size_t begin, std::int32_t maxCount);
+
+  const FrontierStreamStats& stats() const { return stats_; }
+
+ private:
+  struct Step {  ///< one staircase point inside a count bucket
+    Requests flow;
+    double slack;
+  };
+
+  void noteStack();
+  void beginBuckets(std::int32_t maxCount);
+  void bucketAdd(std::int32_t count, Requests flow, double slack);
+  /// Cross-bucket dominance sweep (mirrors QosFrontierSweep::emit), cap,
+  /// write at accBegin.
+  void sweepAndCommit(std::size_t accBegin);
+  static bool staircaseInsert(std::vector<Step>& steps, const Step& entry);
+
+  FrontierStreamOptions options_;
+  FrontierStreamStats stats_;
+  std::vector<std::int32_t> counts_;
+  std::vector<Requests> flows_;
+  std::vector<double> slacks_;
+  std::vector<std::vector<Step>> buckets_;  ///< capacity recycled across folds
+  std::int32_t bucketsInUse_ = 0;
+  std::vector<Step> skyline_;
+  std::vector<std::int32_t> outCounts_;
+  std::vector<Requests> outFlows_;
+  std::vector<double> outSlacks_;
+  std::vector<std::int32_t> candCounts_;
+  std::vector<Requests> candFlows_;
+  std::vector<double> candSlacks_;
+};
+
+}  // namespace treeplace

@@ -104,4 +104,92 @@ std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance
   return placement;
 }
 
+StreamCountResult countClosestHomogeneousStreaming(
+    const ProblemInstance& instance, const FrontierStreamOptions& options) {
+  instance.validate();
+  const Requests W = instance.homogeneousCapacity();
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Tree& tree = instance.tree;
+
+  StreamCountResult result;
+  const VertexId root = tree.root();
+  if (tree.isClient(root)) {
+    // Degenerate single-vertex tree: feasible only with nothing to serve.
+    result.feasible = instance.requests[static_cast<std::size_t>(root)] == 0;
+    return result;
+  }
+
+  FrontierStreamer streamer(options);
+  // Iterative postorder: one frame (and one live accumulator on the slab)
+  // per internal node of the current root path.
+  struct Frame {
+    VertexId v;
+    std::uint32_t nextChild;
+    std::size_t accBegin;
+    std::int32_t forestCap;
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+
+  const auto open = [&](VertexId v) {
+    const std::size_t clientsBelow = tree.clientsInSubtree(v).size();
+    const std::size_t internalsBelow = tree.subtreeSize(v) - clientsBelow;
+    stack.push_back({v, 0, streamer.pushUnit(),
+                     widthCap(clientsBelow, internalsBelow - 1)});
+  };
+
+  // Same suffix trick as the exact solver: flows decrease strictly, so the
+  // keep entries form the prefix up to the first flow <= W, and only that
+  // entry yields a non-dominated place point (count + 1, flow 0).
+  const auto placeSkip = [&](std::size_t begin) {
+    const std::size_t size = streamer.top() - begin;
+    std::size_t k0 = size;
+    for (std::size_t k = 0; k < size; ++k) {
+      if (streamer.flowAt(begin + k) <= W) {
+        k0 = k;
+        break;
+      }
+    }
+    std::int32_t placeCount = -1;
+    if (k0 < size && streamer.flowAt(begin + k0) > 0)
+      placeCount = streamer.countAt(begin + k0) + 1;
+    streamer.resize(begin + std::min(k0 + 1, size));
+    if (placeCount >= 0) streamer.pushEntry(placeCount, 0);
+  };
+
+  open(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();  // open() reallocates: never touch f after it
+    const auto kids = tree.children(f.v);
+    if (f.nextChild < kids.size()) {
+      const VertexId c = kids[f.nextChild++];
+      if (tree.isClient(c)) {
+        const std::size_t childBegin = streamer.top();
+        streamer.pushEntry(0, instance.requests[static_cast<std::size_t>(c)]);
+        streamer.foldChild(f.accBegin, childBegin, f.forestCap);
+      } else {
+        open(c);
+      }
+      continue;
+    }
+    placeSkip(f.accBegin);
+    const std::size_t childBegin = f.accBegin;
+    stack.pop_back();
+    if (!stack.empty()) {
+      Frame& parent = stack.back();
+      streamer.foldChild(parent.accBegin, childBegin, parent.forestCap);
+    }
+  }
+
+  // The root frontier now occupies the whole slab; a zero-flow entry is
+  // unique and last, exactly as in the exact solver.
+  const std::size_t width = streamer.top();
+  result.stats = streamer.stats();
+  if (width > 0 && streamer.flowAt(width - 1) == 0) {
+    result.feasible = true;
+    result.replicas = streamer.countAt(width - 1);
+  }
+  return result;
+}
+
 }  // namespace treeplace

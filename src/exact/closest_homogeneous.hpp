@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/frontier.hpp"
+#include "core/frontier_stream.hpp"
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
@@ -28,5 +29,16 @@ namespace treeplace {
 /// exists. Requires a homogeneous instance.
 std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance,
                                                  FrontierStats* stats = nullptr);
+
+/// Width-capped streaming variant of the Closest DP (count only, no
+/// placement): the same recurrence runs through a FrontierStreamer stack
+/// machine, so memory is O(widthCap * depth) instead of the full backpointer
+/// arena and s = 10^6 trees fit comfortably. When `result.stats.exact` the
+/// count equals the exact DP's optimum; otherwise some merge hit widthCap and
+/// the count is an achievable upper bound (capping keeps only reachable
+/// states, and the minimum-flow point of every frontier survives, so a
+/// feasible instance is never misreported infeasible by the cap).
+StreamCountResult countClosestHomogeneousStreaming(
+    const ProblemInstance& instance, const FrontierStreamOptions& options = {});
 
 }  // namespace treeplace

@@ -116,4 +116,98 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
   return placement;
 }
 
+StreamCountResult countClosestQosStreaming(const ProblemInstance& instance,
+                                           const FrontierStreamOptions& options) {
+  instance.validate();
+  const Requests W = instance.homogeneousCapacity();
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Tree& tree = instance.tree;
+
+  StreamCountResult result;
+  const VertexId root = tree.root();
+  if (tree.isClient(root)) {
+    result.feasible = instance.requests[static_cast<std::size_t>(root)] == 0;
+    return result;
+  }
+
+  QosFrontierStreamer streamer(options);
+  struct Frame {
+    VertexId v;
+    std::uint32_t nextChild;
+    std::size_t accBegin;
+    std::int32_t countCap;  ///< internal-node count of subtree(v)
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+
+  const auto open = [&](VertexId v) {
+    const auto countCap = static_cast<std::int32_t>(
+        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+    stack.push_back({v, 0, streamer.pushUnit(), countCap});
+  };
+
+  const auto placeSkip = [&](std::size_t begin, VertexId v, std::int32_t countCap) {
+    const double comp = instance.compTime[static_cast<std::size_t>(v)];
+    streamer.clearCandidates();
+    const std::size_t size = streamer.top() - begin;
+    for (std::size_t k = 0; k < size; ++k) {
+      const std::int32_t c = streamer.countAt(begin + k);
+      const Requests f = streamer.flowAt(begin + k);
+      const double s = streamer.slackAt(begin + k);
+      streamer.addCandidate(c, f, s);
+      if (f <= W && s >= comp - 1e-9)
+        streamer.addCandidate(c + 1, 0,
+                              std::numeric_limits<double>::infinity());
+    }
+    streamer.commitPruned(begin, countCap);
+  };
+
+  // A fold can kill every state (some client unreachable in time): the
+  // accumulator vanishes and the instance is infeasible.
+  bool dead = false;
+  open(root);
+  while (!stack.empty() && !dead) {
+    Frame& f = stack.back();  // open() reallocates: never touch f after it
+    const auto kids = tree.children(f.v);
+    if (f.nextChild < kids.size()) {
+      const VertexId c = kids[f.nextChild++];
+      const double uplink = instance.commTime[static_cast<std::size_t>(c)];
+      if (tree.isClient(c)) {
+        const auto ci = static_cast<std::size_t>(c);
+        const Requests r = instance.requests[ci];
+        const std::size_t childBegin = streamer.top();
+        streamer.pushEntry(
+            0, r,
+            r > 0 ? instance.qos[ci] : std::numeric_limits<double>::infinity());
+        streamer.foldChild(f.accBegin, childBegin, f.countCap, uplink);
+        dead = streamer.top() == f.accBegin;
+      } else {
+        open(c);
+      }
+      continue;
+    }
+    placeSkip(f.accBegin, f.v, f.countCap);
+    const std::size_t childBegin = f.accBegin;
+    stack.pop_back();
+    if (!stack.empty()) {
+      Frame& parent = stack.back();
+      const double uplink = instance.commTime[static_cast<std::size_t>(
+          tree.children(parent.v)[parent.nextChild - 1])];
+      streamer.foldChild(parent.accBegin, childBegin, parent.countCap, uplink);
+      dead = streamer.top() == parent.accBegin;
+    }
+  }
+
+  result.stats = streamer.stats();
+  if (dead) return result;
+  // A zero-flow entry carries infinite slack, dominates everything after it,
+  // and is therefore last when present.
+  const std::size_t width = streamer.top();
+  if (width > 0 && streamer.flowAt(width - 1) == 0) {
+    result.feasible = true;
+    result.replicas = streamer.countAt(width - 1);
+  }
+  return result;
+}
+
 }  // namespace treeplace

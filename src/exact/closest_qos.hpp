@@ -3,6 +3,7 @@
 #include <optional>
 
 #include "core/frontier.hpp"
+#include "core/frontier_stream.hpp"
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
@@ -36,5 +37,12 @@ namespace treeplace {
 /// satisfies capacities and QoS. Requires a homogeneous instance.
 std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance,
                                                     FrontierStats* stats = nullptr);
+
+/// Width-capped streaming variant of the QoS DP (count only, no placement):
+/// the same recurrence through a QosFrontierStreamer stack machine, memory
+/// O(widthCap * depth). Exact when `result.stats.exact`, otherwise an
+/// achievable upper bound (see countClosestHomogeneousStreaming).
+StreamCountResult countClosestQosStreaming(const ProblemInstance& instance,
+                                           const FrontierStreamOptions& options = {});
 
 }  // namespace treeplace

@@ -263,4 +263,83 @@ std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& in
   return placement->replicaCount();
 }
 
+StreamCountResult countMultipleHomogeneousStreaming(
+    const ProblemInstance& instance, const FrontierStreamOptions& options) {
+  instance.validate();
+  const Requests W = instance.homogeneousCapacity();
+  TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
+  const Tree& tree = instance.tree;
+
+  StreamCountResult result;
+  const VertexId root = tree.root();
+  if (tree.isClient(root)) {
+    result.feasible = instance.requests[static_cast<std::size_t>(root)] == 0;
+    return result;
+  }
+
+  FrontierStreamer streamer(options);
+  struct Frame {
+    VertexId v;
+    std::uint32_t nextChild;
+    std::size_t accBegin;
+    std::int32_t forestCap;  ///< children-forest count bound (excludes v)
+    std::int32_t nodeCap;    ///< subtree count bound (includes v)
+  };
+  std::vector<Frame> stack;
+  stack.reserve(64);
+
+  const auto open = [&](VertexId v) {
+    const auto internalsBelow = static_cast<std::int32_t>(
+        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+    stack.push_back({v, 0, streamer.pushUnit(), internalsBelow - 1, internalsBelow});
+  };
+
+  // Place/skip: under Multiple a replica at v absorbs min(flow, W), so the
+  // place option is (count + 1, max(0, flow - W)) — not a suffix of the kept
+  // entries, hence the general candidate prune instead of Closest's trick.
+  const auto placeSkip = [&](std::size_t begin, std::int32_t nodeCap) {
+    streamer.clearCandidates();
+    const std::size_t size = streamer.top() - begin;
+    for (std::size_t k = 0; k < size; ++k) {
+      const std::int32_t c = streamer.countAt(begin + k);
+      const Requests f = streamer.flowAt(begin + k);
+      streamer.addCandidate(c, f);
+      if (f > 0) streamer.addCandidate(c + 1, std::max<Requests>(0, f - W));
+    }
+    streamer.commitPruned(begin, nodeCap);
+  };
+
+  open(root);
+  while (!stack.empty()) {
+    Frame& f = stack.back();  // open() reallocates: never touch f after it
+    const auto kids = tree.children(f.v);
+    if (f.nextChild < kids.size()) {
+      const VertexId c = kids[f.nextChild++];
+      if (tree.isClient(c)) {
+        const std::size_t childBegin = streamer.top();
+        streamer.pushEntry(0, instance.requests[static_cast<std::size_t>(c)]);
+        streamer.foldChild(f.accBegin, childBegin, f.forestCap);
+      } else {
+        open(c);
+      }
+      continue;
+    }
+    placeSkip(f.accBegin, f.nodeCap);
+    const std::size_t childBegin = f.accBegin;
+    stack.pop_back();
+    if (!stack.empty()) {
+      Frame& parent = stack.back();
+      streamer.foldChild(parent.accBegin, childBegin, parent.forestCap);
+    }
+  }
+
+  const std::size_t width = streamer.top();
+  result.stats = streamer.stats();
+  if (width > 0 && streamer.flowAt(width - 1) == 0) {
+    result.feasible = true;
+    result.replicas = streamer.countAt(width - 1);
+  }
+  return result;
+}
+
 }  // namespace treeplace

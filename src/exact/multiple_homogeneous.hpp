@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/frontier.hpp"
+#include "core/frontier_stream.hpp"
 #include "core/placement.hpp"
 #include "tree/problem.hpp"
 
@@ -40,5 +41,13 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
 
 /// Minimal number of replicas, or nullopt if infeasible — convenience wrapper.
 std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& instance);
+
+/// Width-capped streaming variant of the Multiple frontier DP (count only,
+/// no placement): the same recurrence as solveMultipleHomogeneousDP run
+/// through a FrontierStreamer stack machine — memory O(widthCap * depth)
+/// instead of the full backpointer arena. Exact when `result.stats.exact`,
+/// otherwise an achievable upper bound (see countClosestHomogeneousStreaming).
+StreamCountResult countMultipleHomogeneousStreaming(
+    const ProblemInstance& instance, const FrontierStreamOptions& options = {});
 
 }  // namespace treeplace

@@ -3,6 +3,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/frontier_stream.hpp"
 #include "support/csv.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
@@ -139,6 +140,45 @@ void writeFrontierStats(JsonWriter& json, const FrontierStats& stats) {
   json.endObject();
 }
 
+std::string renderByteSize(std::size_t bytes) {
+  static const char* const suffixes[] = {"B", "KiB", "MiB", "GiB", "TiB"};
+  double value = static_cast<double>(bytes);
+  std::size_t s = 0;
+  while (value >= 1024.0 && s + 1 < sizeof(suffixes) / sizeof(suffixes[0])) {
+    value /= 1024.0;
+    ++s;
+  }
+  std::ostringstream os;
+  os << formatDouble(value, s == 0 ? 0 : 1) << ' ' << suffixes[s];
+  return os.str();
+}
+
+std::string renderFrontierStreamStats(const FrontierStreamStats& stats) {
+  std::ostringstream os;
+  os << "peak width " << stats.peakWidth << ", slab high-water "
+     << stats.peakStackEntries << " entries / " << renderByteSize(stats.peakBytes)
+     << ", " << stats.pairsMerged << " pairs across " << stats.convolutions
+     << " merges";
+  if (stats.exact)
+    os << ", exact";
+  else
+    os << ", " << stats.cappedMerges << " capped (upper bound)";
+  return os.str();
+}
+
+void writeFrontierStreamStats(JsonWriter& json, const FrontierStreamStats& stats) {
+  json.beginObject();
+  json.key("peak_width").value(static_cast<std::int64_t>(stats.peakWidth));
+  json.key("peak_stack_entries")
+      .value(static_cast<std::int64_t>(stats.peakStackEntries));
+  json.key("peak_bytes").value(static_cast<std::int64_t>(stats.peakBytes));
+  json.key("convolutions").value(static_cast<std::int64_t>(stats.convolutions));
+  json.key("pairs_merged").value(static_cast<std::int64_t>(stats.pairsMerged));
+  json.key("capped_merges").value(static_cast<std::int64_t>(stats.cappedMerges));
+  json.key("exact").value(stats.exact);
+  json.endObject();
+}
+
 std::string renderPlacementStats(const PlacementStats& stats) {
   std::ostringstream os;
   os << stats.shareCount << " shares in " << stats.poolBytes << " B pool ("
@@ -166,6 +206,9 @@ std::string renderWarmStartStats(const lp::WarmStartStats& stats) {
      << stats.dualIterations << " dual pivots, " << stats.boundFlips
      << " bound flips, tableau " << stats.tableauRows << "/"
      << stats.structuralRows;
+  if (stats.etaCount > 0 || stats.refactorizations > 0 || stats.basisNnz > 0)
+    os << "; sparse: " << stats.etaCount << " etas, " << stats.refactorizations
+       << " refactorizations, " << stats.basisNnz << " basis nnz";
   if (stats.workers > 0)
     os << "; " << stats.workers << " workers, " << stats.stealCount
        << " steals, " << stats.idleMs << " ms idle";
@@ -182,6 +225,10 @@ void writeWarmStartStats(JsonWriter& json, const lp::WarmStartStats& stats) {
   json.key("dual_iterations").value(static_cast<std::int64_t>(stats.dualIterations));
   json.key("dual_fallbacks").value(static_cast<std::int64_t>(stats.dualFallbacks));
   json.key("bound_flips").value(static_cast<std::int64_t>(stats.boundFlips));
+  json.key("refactorizations")
+      .value(static_cast<std::int64_t>(stats.refactorizations));
+  json.key("eta_count").value(static_cast<std::int64_t>(stats.etaCount));
+  json.key("basis_nnz").value(static_cast<std::int64_t>(stats.basisNnz));
   json.key("tableau_rows").value(stats.tableauRows);
   json.key("structural_rows").value(stats.structuralRows);
   json.key("workers").value(stats.workers);

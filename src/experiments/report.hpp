@@ -35,6 +35,22 @@ void writeJson(std::ostream& out, const ExperimentResult& result);
 /// (core/frontier.hpp): peak width, arena footprint, merged candidate pairs.
 std::string renderFrontierStats(const FrontierStats& stats);
 
+/// Human rendering of a byte count with a binary suffix ("37.2 MiB");
+/// benches use it for peak-RSS and slab-footprint lines.
+std::string renderByteSize(std::size_t bytes);
+
+/// One-line human rendering of a streaming frontier solve
+/// (core/frontier_stream.hpp): peak width, slab high-water, and whether the
+/// width cap fired (answers become achievable upper bounds when it does).
+struct FrontierStreamStats;  // core/frontier_stream.hpp
+class JsonWriter;            // support/json.hpp
+std::string renderFrontierStreamStats(const FrontierStreamStats& stats);
+
+/// Emit the streaming telemetry as a JSON object {"peak_width":..,
+/// "peak_stack_entries":.., "peak_bytes":.., "convolutions":..,
+/// "pairs_merged":.., "capped_merges":.., "exact":..}.
+void writeFrontierStreamStats(JsonWriter& json, const FrontierStreamStats& stats);
+
 /// Emit the telemetry as a JSON object {"peak_width":..,"arena_bytes":..,
 /// "entries_merged":..,"convolutions":..} into an open writer position.
 class JsonWriter;  // support/json.hpp

@@ -1,0 +1,706 @@
+#include "lp/sparse_basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lp/tolerances.hpp"
+#include "lp/workspace.hpp"
+#include "support/require.hpp"
+
+namespace treeplace::lp {
+
+namespace {
+
+/// Threshold for partial pivoting: any row within this factor of the largest
+/// eliminable entry is admissible, and the sparsest admissible row wins — the
+/// classic compromise between stability (1.0 = strict partial pivoting) and
+/// Markowitz fill control.
+constexpr double kPivotThreshold = 0.1;
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SparseLu
+// ---------------------------------------------------------------------------
+
+bool SparseLu::factorize(int m, std::span<const int> colStart,
+                         std::span<const int> rowIdx,
+                         std::span<const double> values, double pivotTol) {
+  m_ = m;
+  const auto mz = static_cast<std::size_t>(m);
+  rowElim_.assign(mz, -1);
+  elimRow_.assign(mz, -1);
+  colOrder_.resize(mz);
+  lColStart_.assign(1, 0);
+  lRowIdx_.clear();
+  lVal_.clear();
+  uColStart_.assign(1, 0);
+  uRowIdx_.clear();
+  uVal_.clear();
+  uDiag_.assign(mz, 0.0);
+  etaStart_.assign(1, 0);
+  etaRow_.clear();
+  etaVal_.clear();
+  etaPivotPos_.clear();
+  etaPivotVal_.clear();
+
+  // Static Markowitz ordering: columns ascending by nnz (singleton logical
+  // columns triangularize first with zero fill), rows tie-broken by their
+  // count in the unfactored matrix.
+  rowCount_.assign(mz, 0);
+  for (int k = 0; k < colStart[mz]; ++k)
+    ++rowCount_[static_cast<std::size_t>(rowIdx[static_cast<std::size_t>(k)])];
+  for (int j = 0; j < m; ++j) colOrder_[static_cast<std::size_t>(j)] = j;
+  std::stable_sort(colOrder_.begin(), colOrder_.end(), [&](int a, int b) {
+    return colStart[static_cast<std::size_t>(a) + 1] - colStart[static_cast<std::size_t>(a)] <
+           colStart[static_cast<std::size_t>(b) + 1] - colStart[static_cast<std::size_t>(b)];
+  });
+
+  work_.assign(mz, 0.0);
+  touchedMark_.assign(mz, 0);
+  heapMark_.assign(mz, 0);
+  touched_.clear();
+  heap_.clear();
+  const auto pushElim = [&](int j) {
+    if (heapMark_[static_cast<std::size_t>(j)]) return;
+    heapMark_[static_cast<std::size_t>(j)] = 1;
+    heap_.push_back(j);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  };
+  const auto touch = [&](int r) {
+    if (touchedMark_[static_cast<std::size_t>(r)]) return;
+    touchedMark_[static_cast<std::size_t>(r)] = 1;
+    touched_.push_back(r);
+  };
+
+  for (int k = 0; k < m; ++k) {
+    const int col = colOrder_[static_cast<std::size_t>(k)];
+    touched_.clear();
+    heap_.clear();
+    // Scatter the basis column into the dense work row space.
+    for (int t = colStart[static_cast<std::size_t>(col)];
+         t < colStart[static_cast<std::size_t>(col) + 1]; ++t) {
+      const int r = rowIdx[static_cast<std::size_t>(t)];
+      touch(r);
+      work_[static_cast<std::size_t>(r)] += values[static_cast<std::size_t>(t)];
+      const int j = rowElim_[static_cast<std::size_t>(r)];
+      if (j >= 0) pushElim(j);
+    }
+    // Forward-eliminate with the already-factored columns, in ascending
+    // elimination order (Gilbert–Peierls reach, scheduled through a min-heap
+    // so only the symbolically reachable steps run).
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      const int j = heap_.back();
+      heap_.pop_back();
+      heapMark_[static_cast<std::size_t>(j)] = 0;
+      const double zj = work_[static_cast<std::size_t>(elimRow_[static_cast<std::size_t>(j)])];
+      if (zj == 0.0) continue;
+      for (int t = lColStart_[static_cast<std::size_t>(j)];
+           t < lColStart_[static_cast<std::size_t>(j) + 1]; ++t) {
+        const int r = lRowIdx_[static_cast<std::size_t>(t)];
+        touch(r);
+        work_[static_cast<std::size_t>(r)] -= lVal_[static_cast<std::size_t>(t)] * zj;
+        const int jr = rowElim_[static_cast<std::size_t>(r)];
+        if (jr >= 0) pushElim(jr);
+      }
+    }
+    // Threshold pivot among the uneliminated touched rows.
+    double maxAbs = 0.0;
+    for (const int r : touched_)
+      if (rowElim_[static_cast<std::size_t>(r)] < 0)
+        maxAbs = std::max(maxAbs, std::abs(work_[static_cast<std::size_t>(r)]));
+    if (maxAbs <= pivotTol) {
+      for (const int r : touched_) {
+        work_[static_cast<std::size_t>(r)] = 0.0;
+        touchedMark_[static_cast<std::size_t>(r)] = 0;
+      }
+      return false;  // structurally or numerically singular basis
+    }
+    int pivotRow = -1;
+    int bestCount = 0;
+    for (const int r : touched_) {
+      if (rowElim_[static_cast<std::size_t>(r)] >= 0) continue;
+      if (std::abs(work_[static_cast<std::size_t>(r)]) < kPivotThreshold * maxAbs) continue;
+      const int count = rowCount_[static_cast<std::size_t>(r)];
+      if (pivotRow < 0 || count < bestCount || (count == bestCount && r < pivotRow)) {
+        pivotRow = r;
+        bestCount = count;
+      }
+    }
+    const double pivot = work_[static_cast<std::size_t>(pivotRow)];
+    rowElim_[static_cast<std::size_t>(pivotRow)] = k;
+    elimRow_[static_cast<std::size_t>(k)] = pivotRow;
+    uDiag_[static_cast<std::size_t>(k)] = pivot;
+    for (const int r : touched_) {
+      const double v = work_[static_cast<std::size_t>(r)];
+      work_[static_cast<std::size_t>(r)] = 0.0;
+      touchedMark_[static_cast<std::size_t>(r)] = 0;
+      if (r == pivotRow || v == 0.0) continue;
+      const int j = rowElim_[static_cast<std::size_t>(r)];
+      if (j >= 0) {
+        uRowIdx_.push_back(j);
+        uVal_.push_back(v);
+      } else {
+        lRowIdx_.push_back(r);
+        lVal_.push_back(v / pivot);
+      }
+    }
+    lColStart_.push_back(static_cast<int>(lRowIdx_.size()));
+    uColStart_.push_back(static_cast<int>(uRowIdx_.size()));
+  }
+  return true;
+}
+
+void SparseLu::ftran(std::span<double> x) const {
+  // L z = x (x indexed by original row; z by elimination position).
+  solveZ_.resize(static_cast<std::size_t>(m_));
+  for (int k = 0; k < m_; ++k) {
+    const double zk = x[static_cast<std::size_t>(elimRow_[static_cast<std::size_t>(k)])];
+    solveZ_[static_cast<std::size_t>(k)] = zk;
+    if (zk == 0.0) continue;
+    for (int t = lColStart_[static_cast<std::size_t>(k)];
+         t < lColStart_[static_cast<std::size_t>(k) + 1]; ++t)
+      x[static_cast<std::size_t>(lRowIdx_[static_cast<std::size_t>(t)])] -=
+          lVal_[static_cast<std::size_t>(t)] * zk;
+  }
+  // U w = z (backward, column-oriented).
+  for (int k = m_ - 1; k >= 0; --k) {
+    double wk = solveZ_[static_cast<std::size_t>(k)];
+    if (wk != 0.0) {
+      wk /= uDiag_[static_cast<std::size_t>(k)];
+      for (int t = uColStart_[static_cast<std::size_t>(k)];
+           t < uColStart_[static_cast<std::size_t>(k) + 1]; ++t)
+        solveZ_[static_cast<std::size_t>(uRowIdx_[static_cast<std::size_t>(t)])] -=
+            uVal_[static_cast<std::size_t>(t)] * wk;
+    }
+    solveZ_[static_cast<std::size_t>(k)] = wk;
+  }
+  // Scatter back to basis positions (w_k belongs to basis column colOrder_[k]).
+  for (int k = 0; k < m_; ++k)
+    x[static_cast<std::size_t>(colOrder_[static_cast<std::size_t>(k)])] =
+        solveZ_[static_cast<std::size_t>(k)];
+  // Eta file, oldest first: x <- E^-1 x per recorded pivot.
+  for (std::size_t e = 0; e < etaPivotPos_.size(); ++e) {
+    const auto p = static_cast<std::size_t>(etaPivotPos_[e]);
+    const double t = x[p] / etaPivotVal_[e];
+    x[p] = t;
+    if (t == 0.0) continue;
+    for (int q = etaStart_[e]; q < etaStart_[e + 1]; ++q)
+      x[static_cast<std::size_t>(etaRow_[static_cast<std::size_t>(q)])] -=
+          etaVal_[static_cast<std::size_t>(q)] * t;
+  }
+}
+
+void SparseLu::btran(std::span<double> y) const {
+  // Eta file transposed, newest first: c_p <- (c_p - sum w_i c_i) / w_p.
+  for (std::size_t e = etaPivotPos_.size(); e-- > 0;) {
+    const auto p = static_cast<std::size_t>(etaPivotPos_[e]);
+    double s = y[p];
+    for (int q = etaStart_[e]; q < etaStart_[e + 1]; ++q)
+      s -= etaVal_[static_cast<std::size_t>(q)] *
+           y[static_cast<std::size_t>(etaRow_[static_cast<std::size_t>(q)])];
+    y[p] = s / etaPivotVal_[e];
+  }
+  // U^T z = c' with c'_k = y[colOrder_[k]] (forward in elimination order).
+  solveZ_.resize(static_cast<std::size_t>(m_));
+  for (int k = 0; k < m_; ++k) {
+    double s = y[static_cast<std::size_t>(colOrder_[static_cast<std::size_t>(k)])];
+    for (int t = uColStart_[static_cast<std::size_t>(k)];
+         t < uColStart_[static_cast<std::size_t>(k) + 1]; ++t)
+      s -= uVal_[static_cast<std::size_t>(t)] *
+           solveZ_[static_cast<std::size_t>(uRowIdx_[static_cast<std::size_t>(t)])];
+    solveZ_[static_cast<std::size_t>(k)] = s / uDiag_[static_cast<std::size_t>(k)];
+  }
+  // L^T y = z, written by original row (backward: L column k only holds rows
+  // eliminated after step k, whose y component is already final).
+  work_.resize(static_cast<std::size_t>(m_));
+  for (int k = m_ - 1; k >= 0; --k) {
+    double s = solveZ_[static_cast<std::size_t>(k)];
+    for (int t = lColStart_[static_cast<std::size_t>(k)];
+         t < lColStart_[static_cast<std::size_t>(k) + 1]; ++t)
+      s -= lVal_[static_cast<std::size_t>(t)] *
+           work_[static_cast<std::size_t>(lRowIdx_[static_cast<std::size_t>(t)])];
+    work_[static_cast<std::size_t>(elimRow_[static_cast<std::size_t>(k)])] = s;
+  }
+  std::copy(work_.begin(), work_.end(), y.begin());
+}
+
+bool SparseLu::appendEta(int p, std::span<const double> w, double pivotTol) {
+  const double pivot = w[static_cast<std::size_t>(p)];
+  if (std::abs(pivot) <= pivotTol) return false;
+  for (int i = 0; i < m_; ++i) {
+    if (i == p) continue;
+    const double v = w[static_cast<std::size_t>(i)];
+    if (v != 0.0) {
+      etaRow_.push_back(i);
+      etaVal_.push_back(v);
+    }
+  }
+  etaStart_.push_back(static_cast<int>(etaRow_.size()));
+  etaPivotPos_.push_back(p);
+  etaPivotVal_.push_back(pivot);
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// SparseSimplex
+// ---------------------------------------------------------------------------
+
+void SparseSimplex::build(int m, int nStruct, int artificialStart,
+                          std::vector<int> colStart, std::vector<int> rowIdx,
+                          std::vector<double> values, std::vector<double> cost0,
+                          std::vector<int> slackCol, std::vector<double> slackSign,
+                          const SimplexOptions& options) {
+  options_ = options;
+  m_ = m;
+  nStruct_ = nStruct;
+  artificialStart_ = artificialStart;
+  colStart_ = std::move(colStart);
+  rowIdx_ = std::move(rowIdx);
+  colVal_ = std::move(values);
+  cost0_ = std::move(cost0);
+  slackCol_ = std::move(slackCol);
+  slackSign_ = std::move(slackSign);
+
+  const auto nc = static_cast<std::size_t>(columnCount());
+  colUpper_.assign(nc, kInfinity);
+  artScale_.assign(static_cast<std::size_t>(m_), 1.0);
+  basis_.assign(static_cast<std::size_t>(m_), -1);
+  basisPos_.assign(nc, -1);
+  atUpper_.assign(nc, 0);
+  xB_.assign(static_cast<std::size_t>(m_), 0.0);
+  d_.assign(nc, 0.0);
+  ready_ = false;
+}
+
+void SparseSimplex::setWidths(std::span<const double> upper) {
+  std::copy(upper.begin(), upper.begin() + nStruct_, colUpper_.begin());
+}
+
+double SparseSimplex::dot(std::span<const double> rowVec, int col) const {
+  double s = 0.0;
+  forColumn(col, [&](int r, double v) { s += rowVec[static_cast<std::size_t>(r)] * v; });
+  return s;
+}
+
+void SparseSimplex::ftranColumn(int col, std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(m_), 0.0);
+  forColumn(col, [&](int r, double v) { out[static_cast<std::size_t>(r)] += v; });
+  lu_.ftran(out);
+}
+
+bool SparseSimplex::factorizeBasis(WarmStartStats& stats, bool isRefactor) {
+  scratchStart_.assign(1, 0);
+  scratchRow_.clear();
+  scratchVal_.clear();
+  for (int i = 0; i < m_; ++i) {
+    forColumn(basis_[static_cast<std::size_t>(i)], [&](int r, double v) {
+      scratchRow_.push_back(r);
+      scratchVal_.push_back(v);
+    });
+    scratchStart_.push_back(static_cast<int>(scratchRow_.size()));
+  }
+  if (isRefactor) ++stats.refactorizations;
+  if (!lu_.factorize(m_, scratchStart_, scratchRow_, scratchVal_, options_.pivotTol))
+    return false;
+  stats.basisNnz = std::max(stats.basisNnz, lu_.factorEntries());
+  return true;
+}
+
+bool SparseSimplex::recordPivot(int leavingPos, std::span<const double> w,
+                                WarmStartStats& stats) {
+  if (!lu_.appendEta(leavingPos, w, options_.pivotTol))
+    return factorizeBasis(stats, true);
+  ++stats.etaCount;
+  if (lu_.etaCount() >= options_.refactorEtaLimit ||
+      static_cast<double>(lu_.etaEntries()) >
+          options_.refactorGrowthLimit * static_cast<double>(lu_.factorEntries()))
+    return factorizeBasis(stats, true);
+  return true;
+}
+
+double SparseSimplex::objectiveOf(std::span<const double> phaseCost) const {
+  double obj = 0.0;
+  for (int i = 0; i < m_; ++i)
+    obj += phaseCost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])] *
+           xB_[static_cast<std::size_t>(i)];
+  for (int j = 0; j < artificialStart_; ++j)
+    if (atUpper_[static_cast<std::size_t>(j)])
+      obj += phaseCost[static_cast<std::size_t>(j)] * colUpper_[static_cast<std::size_t>(j)];
+  return obj;
+}
+
+SolveStatus SparseSimplex::primalIterate(std::span<const double> phaseCost,
+                                         WarmStartStats& stats) {
+  bool useBland = false;
+  long sinceImprovement = 0;
+  double lastObjective = objectiveOf(phaseCost);
+  for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    // Price every nonbasic column: y = B^-T c_B, d_j = c_j - y a_j. An
+    // at-lower column may only rise (profitable when d < 0), an at-upper one
+    // only fall (profitable when d > 0). Artificials never re-enter.
+    yScratch_.assign(static_cast<std::size_t>(m_), 0.0);
+    for (int i = 0; i < m_; ++i)
+      yScratch_[static_cast<std::size_t>(i)] =
+          phaseCost[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+    lu_.btran(yScratch_);
+    int entering = -1;
+    double best = options_.pivotTol;
+    for (int j = 0; j < artificialStart_; ++j) {
+      if (basisPos_[static_cast<std::size_t>(j)] >= 0) continue;
+      const double dj = phaseCost[static_cast<std::size_t>(j)] - dot(yScratch_, j);
+      const double gain = atUpper_[static_cast<std::size_t>(j)] ? dj : -dj;
+      if (gain > best) {
+        best = gain;
+        entering = j;
+        if (useBland) break;
+      }
+    }
+    if (entering < 0) return SolveStatus::Optimal;
+    const bool fromUpper = atUpper_[static_cast<std::size_t>(entering)] != 0;
+    const double sigma = fromUpper ? -1.0 : 1.0;
+
+    ftranColumn(entering, wScratch_);
+
+    // Bounded ratio test: basic columns block at both box ends; the entering
+    // column's own width caps the step (a binding cap degenerates the pivot
+    // to a bound flip).
+    int leaving = -1;
+    bool leavingToUpper = false;
+    double rowRatio = kInfinity;
+    for (int i = 0; i < m_; ++i) {
+      const double step = sigma * wScratch_[static_cast<std::size_t>(i)];
+      double ratio;
+      bool toUpper;
+      if (step > options_.pivotTol) {
+        ratio = std::max(0.0, xB_[static_cast<std::size_t>(i)] / step);
+        toUpper = false;
+      } else if (step < -options_.pivotTol) {
+        const double ub =
+            colUpper_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+        if (ub == kInfinity) continue;
+        ratio = std::max(0.0, (ub - xB_[static_cast<std::size_t>(i)]) / -step);
+        toUpper = true;
+      } else {
+        continue;
+      }
+      if (leaving < 0 || ratio < rowRatio - kRatioTieTol ||
+          (ratio < rowRatio + kRatioTieTol &&
+           basis_[static_cast<std::size_t>(i)] <
+               basis_[static_cast<std::size_t>(leaving)])) {
+        leaving = i;
+        rowRatio = ratio;
+        leavingToUpper = toUpper;
+      }
+    }
+
+    const double flipLimit = colUpper_[static_cast<std::size_t>(entering)];
+    if (leaving < 0 && flipLimit == kInfinity) return SolveStatus::Unbounded;
+    if (leaving < 0 || flipLimit <= rowRatio) {
+      const double delta = fromUpper ? -flipLimit : flipLimit;
+      if (delta != 0.0)
+        for (int i = 0; i < m_; ++i)
+          xB_[static_cast<std::size_t>(i)] -=
+              delta * wScratch_[static_cast<std::size_t>(i)];
+      atUpper_[static_cast<std::size_t>(entering)] ^= 1;
+      ++stats.boundFlips;
+    } else {
+      const double delta = sigma * rowRatio;
+      const double enterValue = (fromUpper ? flipLimit : 0.0) + delta;
+      const int leavingCol = basis_[static_cast<std::size_t>(leaving)];
+      for (int i = 0; i < m_; ++i) {
+        if (i == leaving) continue;
+        xB_[static_cast<std::size_t>(i)] -=
+            delta * wScratch_[static_cast<std::size_t>(i)];
+      }
+      xB_[static_cast<std::size_t>(leaving)] = enterValue;
+      basis_[static_cast<std::size_t>(leaving)] = entering;
+      basisPos_[static_cast<std::size_t>(entering)] = leaving;
+      basisPos_[static_cast<std::size_t>(leavingCol)] = -1;
+      atUpper_[static_cast<std::size_t>(entering)] = 0;
+      atUpper_[static_cast<std::size_t>(leavingCol)] = leavingToUpper ? 1 : 0;
+      ++stats.primalIterations;
+      if (!recordPivot(leaving, wScratch_, stats)) return SolveStatus::IterationLimit;
+    }
+
+    const double obj = objectiveOf(phaseCost);
+    if (obj < lastObjective - kProgressTol) {
+      lastObjective = obj;
+      sinceImprovement = 0;
+      useBland = false;
+    } else if (++sinceImprovement > options_.stallLimit) {
+      useBland = true;  // degeneracy suspected; Bland guarantees termination
+    }
+  }
+  return SolveStatus::IterationLimit;
+}
+
+SolveStatus SparseSimplex::solveCold(std::span<const double> rhs,
+                                     WarmStartStats& stats) {
+  ready_ = false;
+  const auto nc = static_cast<std::size_t>(columnCount());
+  std::fill(atUpper_.begin(), atUpper_.end(), 0);
+  std::fill(basisPos_.begin(), basisPos_.end(), -1);
+  // Artificial boxes reopen for phase 1 (they are pinned to zero afterwards).
+  for (int j = artificialStart_; j < columnCount(); ++j)
+    colUpper_[static_cast<std::size_t>(j)] = kInfinity;
+  phaseCost_.assign(nc, 0.0);
+
+  // Diagonal starting basis: the slack when it starts feasible, else the
+  // row's artificial with its coefficient signed so the value is >= 0.
+  for (int r = 0; r < m_; ++r) {
+    const int slack = slackCol_[static_cast<std::size_t>(r)];
+    const double sign = slackSign_[static_cast<std::size_t>(r)];
+    const double b = rhs[static_cast<std::size_t>(r)];
+    if (slack >= 0 && sign * b >= 0.0) {
+      basis_[static_cast<std::size_t>(r)] = slack;
+      xB_[static_cast<std::size_t>(r)] = sign * b;
+    } else {
+      const int art = artificialStart_ + r;
+      artScale_[static_cast<std::size_t>(r)] = b >= 0.0 ? 1.0 : -1.0;
+      basis_[static_cast<std::size_t>(r)] = art;
+      xB_[static_cast<std::size_t>(r)] = std::abs(b);
+      phaseCost_[static_cast<std::size_t>(art)] = 1.0;
+    }
+    basisPos_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(r)])] = r;
+  }
+  if (!factorizeBasis(stats, false)) return SolveStatus::IterationLimit;
+
+  // Phase 1: minimise the sum of the issued artificials.
+  {
+    const SolveStatus st = primalIterate(phaseCost_, stats);
+    if (st == SolveStatus::IterationLimit) return st;
+    // Bounded below by zero, so Unbounded is a numerical failure.
+    if (st == SolveStatus::Unbounded) return SolveStatus::IterationLimit;
+    if (objectiveOf(phaseCost_) > options_.feasTol) return SolveStatus::Infeasible;
+  }
+
+  // Pin every artificial into the box [0, 0] instead of pivoting leftover
+  // basics out row by row: a still-basic artificial simply carries a
+  // zero-width box, and any later rhs that would need it nonzero surfaces as
+  // dual infeasibility — the sparse analogue of the dense dead-row check.
+  for (int j = artificialStart_; j < columnCount(); ++j)
+    colUpper_[static_cast<std::size_t>(j)] = 0.0;
+
+  // Phase 2: original costs.
+  phaseCost_.assign(nc, 0.0);
+  for (int j = 0; j < nStruct_; ++j)
+    phaseCost_[static_cast<std::size_t>(j)] = cost0_[static_cast<std::size_t>(j)];
+  const SolveStatus st = primalIterate(phaseCost_, stats);
+  if (st != SolveStatus::Optimal) return st;
+  ready_ = true;
+  return SolveStatus::Optimal;
+}
+
+SolveStatus SparseSimplex::solveDual(std::span<const double> rhs,
+                                     WarmStartStats& stats) {
+  TREEPLACE_REQUIRE(ready_, "sparse solveDual requires a prior optimal basis");
+
+  // A column parked at its upper bound whose box just became unbounded has no
+  // value to rest at; hand this solve back to the cold path.
+  for (int j = 0; j < artificialStart_; ++j)
+    if (atUpper_[static_cast<std::size_t>(j)] &&
+        colUpper_[static_cast<std::size_t>(j)] == kInfinity)
+      return SolveStatus::IterationLimit;
+
+  // x_B = B^-1 (b - sum over at-upper nonbasics of width * a_j).
+  bScratch_.assign(rhs.begin(), rhs.end());
+  for (int j = 0; j < artificialStart_; ++j) {
+    if (!atUpper_[static_cast<std::size_t>(j)]) continue;
+    const double u = colUpper_[static_cast<std::size_t>(j)];
+    if (u == 0.0) continue;
+    forColumn(j, [&](int r, double v) { bScratch_[static_cast<std::size_t>(r)] -= u * v; });
+  }
+  xB_.assign(bScratch_.begin(), bScratch_.end());
+  lu_.ftran(xB_);
+
+  // Fresh reduced costs (costs never change, but rebuilding them per warm
+  // solve keeps drift from compounding across a branch-and-bound dive).
+  yScratch_.assign(static_cast<std::size_t>(m_), 0.0);
+  for (int i = 0; i < m_; ++i)
+    yScratch_[static_cast<std::size_t>(i)] =
+        columnCost(basis_[static_cast<std::size_t>(i)]);
+  lu_.btran(yScratch_);
+  for (int j = 0; j < artificialStart_; ++j)
+    d_[static_cast<std::size_t>(j)] =
+        basisPos_[static_cast<std::size_t>(j)] >= 0
+            ? 0.0
+            : columnCost(j) - dot(yScratch_, j);
+
+  long pivots = 0;
+  bool useBland = false;
+  long sinceImprovement = 0;
+  double lastViolation = kInfinity;
+  for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    // Leaving position: largest box violation (Bland: first violating).
+    int leaving = -1;
+    bool aboveUpper = false;
+    double bestViol = options_.feasTol;
+    for (int i = 0; i < m_; ++i) {
+      const double v = xB_[static_cast<std::size_t>(i)];
+      const double ub =
+          colUpper_[static_cast<std::size_t>(basis_[static_cast<std::size_t>(i)])];
+      double viol;
+      bool above;
+      if (v < -bestViol) {
+        viol = -v;
+        above = false;
+      } else if (ub != kInfinity && v > ub + bestViol) {
+        viol = v - ub;
+        above = true;
+      } else {
+        continue;
+      }
+      bestViol = viol;
+      leaving = i;
+      aboveUpper = above;
+      if (useBland) break;
+    }
+    if (leaving < 0) {
+      if (pivots == 0) ++stats.warmAlreadyOptimal;
+      return SolveStatus::Optimal;
+    }
+    const int leavingCol = basis_[static_cast<std::size_t>(leaving)];
+    const double target =
+        aboveUpper ? colUpper_[static_cast<std::size_t>(leavingCol)] : 0.0;
+
+    // Tableau row `leaving` via one btran: alpha_j = rho a_j with
+    // rho = B^-T e_leaving — the O(nnz) replacement for the dense row read.
+    yScratch_.assign(static_cast<std::size_t>(m_), 0.0);
+    yScratch_[static_cast<std::size_t>(leaving)] = 1.0;
+    lu_.btran(yScratch_);
+    alpha_.assign(static_cast<std::size_t>(artificialStart_), 0.0);
+    dualCandidates_.clear();
+    for (int j = 0; j < artificialStart_; ++j) {
+      if (basisPos_[static_cast<std::size_t>(j)] >= 0) continue;
+      const double arj = dot(yScratch_, j);
+      alpha_[static_cast<std::size_t>(j)] = arj;
+      const bool up = atUpper_[static_cast<std::size_t>(j)] != 0;
+      const bool eligible = aboveUpper ? (up ? arj < -options_.pivotTol
+                                             : arj > options_.pivotTol)
+                                       : (up ? arj > options_.pivotTol
+                                             : arj < -options_.pivotTol);
+      if (!eligible) continue;
+      const double dj = up ? std::min(0.0, d_[static_cast<std::size_t>(j)])
+                           : std::max(0.0, d_[static_cast<std::size_t>(j)]);
+      dualCandidates_.push_back({std::abs(dj) / std::abs(arj), j});
+    }
+    if (dualCandidates_.empty()) {
+      // No admissible column can push the leaving basic back inside its box:
+      // primal infeasible. The basis stays dual feasible, hence warm.
+      return SolveStatus::Infeasible;
+    }
+
+    int entering = -1;
+    if (useBland) {
+      double bestRatio = kInfinity;
+      for (const auto& [ratio, j] : dualCandidates_) {
+        if (ratio < bestRatio - kRatioTieTol) {
+          bestRatio = ratio;
+          entering = j;
+        }
+      }
+    } else {
+      // Bound-flipping ratio test: while the cheapest candidate's whole box
+      // cannot absorb the violation, flip it and move on. Flips are batched
+      // into one raw-space delta and applied with a single ftran.
+      std::sort(dualCandidates_.begin(), dualCandidates_.end());
+      double leavingVal = xB_[static_cast<std::size_t>(leaving)];
+      bool flipped = false;
+      for (std::size_t c = 0; c < dualCandidates_.size(); ++c) {
+        const int j = dualCandidates_[c].second;
+        const double u = colUpper_[static_cast<std::size_t>(j)];
+        if (u != kInfinity && c + 1 < dualCandidates_.size()) {
+          const double residual = std::abs(leavingVal - target);
+          if (std::abs(alpha_[static_cast<std::size_t>(j)]) * u <
+              residual - options_.feasTol) {
+            const double delta = atUpper_[static_cast<std::size_t>(j)] ? -u : u;
+            if (!flipped) {
+              flipScratch_.assign(static_cast<std::size_t>(m_), 0.0);
+              flipped = true;
+            }
+            forColumn(j, [&](int r, double v) {
+              flipScratch_[static_cast<std::size_t>(r)] += delta * v;
+            });
+            leavingVal -= delta * alpha_[static_cast<std::size_t>(j)];
+            atUpper_[static_cast<std::size_t>(j)] ^= 1;
+            ++stats.boundFlips;
+            continue;
+          }
+        }
+        entering = j;
+        break;
+      }
+      if (flipped) {
+        lu_.ftran(flipScratch_);
+        for (int i = 0; i < m_; ++i)
+          xB_[static_cast<std::size_t>(i)] -= flipScratch_[static_cast<std::size_t>(i)];
+      }
+    }
+
+    ftranColumn(entering, wScratch_);
+    const double pivotVal = wScratch_[static_cast<std::size_t>(leaving)];
+    if (std::abs(pivotVal) <= options_.pivotTol) {
+      // The recomputed column disagrees with the priced row — numerical
+      // trouble; let the caller rebuild from scratch.
+      ready_ = false;
+      return SolveStatus::IterationLimit;
+    }
+    const double t = (xB_[static_cast<std::size_t>(leaving)] - target) / pivotVal;
+    const double enterValue =
+        (atUpper_[static_cast<std::size_t>(entering)]
+             ? colUpper_[static_cast<std::size_t>(entering)]
+             : 0.0) +
+        t;
+    for (int i = 0; i < m_; ++i) {
+      if (i == leaving) continue;
+      xB_[static_cast<std::size_t>(i)] -= t * wScratch_[static_cast<std::size_t>(i)];
+    }
+    xB_[static_cast<std::size_t>(leaving)] = enterValue;
+
+    // Dual price update: theta = d_e / alpha_e, d_j -= theta alpha_j.
+    const double thetaD = d_[static_cast<std::size_t>(entering)] / pivotVal;
+    if (thetaD != 0.0)
+      for (int j = 0; j < artificialStart_; ++j)
+        if (basisPos_[static_cast<std::size_t>(j)] < 0)
+          d_[static_cast<std::size_t>(j)] -= thetaD * alpha_[static_cast<std::size_t>(j)];
+    d_[static_cast<std::size_t>(entering)] = 0.0;
+    if (leavingCol < artificialStart_)
+      d_[static_cast<std::size_t>(leavingCol)] = -thetaD;
+
+    basis_[static_cast<std::size_t>(leaving)] = entering;
+    basisPos_[static_cast<std::size_t>(entering)] = leaving;
+    basisPos_[static_cast<std::size_t>(leavingCol)] = -1;
+    atUpper_[static_cast<std::size_t>(entering)] = 0;
+    atUpper_[static_cast<std::size_t>(leavingCol)] = aboveUpper ? 1 : 0;
+    ++pivots;
+    ++stats.dualIterations;
+    if (!recordPivot(leaving, wScratch_, stats)) {
+      ready_ = false;
+      return SolveStatus::IterationLimit;
+    }
+
+    if (bestViol < lastViolation - kProgressTol) {
+      lastViolation = bestViol;
+      sinceImprovement = 0;
+    } else if (++sinceImprovement > options_.stallLimit) {
+      useBland = true;  // degeneracy suspected
+    }
+  }
+  ready_ = false;  // a cycling basis is not worth reusing
+  return SolveStatus::IterationLimit;
+}
+
+void SparseSimplex::structuralValues(std::vector<double>& out) const {
+  out.assign(static_cast<std::size_t>(nStruct_), 0.0);
+  for (int j = 0; j < nStruct_; ++j)
+    if (atUpper_[static_cast<std::size_t>(j)])
+      out[static_cast<std::size_t>(j)] = colUpper_[static_cast<std::size_t>(j)];
+  for (int i = 0; i < m_; ++i) {
+    const int b = basis_[static_cast<std::size_t>(i)];
+    if (b < nStruct_) out[static_cast<std::size_t>(b)] = xB_[static_cast<std::size_t>(i)];
+  }
+}
+
+}  // namespace treeplace::lp

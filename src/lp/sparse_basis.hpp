@@ -1,0 +1,178 @@
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "lp/simplex.hpp"
+
+namespace treeplace::lp {
+
+struct WarmStartStats;  // defined in lp/workspace.hpp
+
+/// Sparse LU factorization of a simplex basis with product-form (eta-file)
+/// updates — the representation behind the revised-simplex engine.
+///
+/// factorize() runs a left-looking elimination over the basis columns taken
+/// in ascending-nnz order (the static Markowitz choice: singleton logical
+/// columns eliminate first with zero fill, which triangularizes the bulk of
+/// an LP basis before any arithmetic), with threshold partial pivoting that
+/// prefers the sparsest admissible row — so fill-in stays near the
+/// Markowitz minimum without the dynamic count bookkeeping.
+///
+/// Each pivot afterwards appends one eta column (PFI): B_new = B * E with E
+/// the identity except column p = w = B^-1 a_q, so ftran applies the LU
+/// solve then the eta file in order, and btran the eta file in reverse then
+/// the transposed LU solve. The eta file grows by one sparse column per
+/// pivot; the owning engine refactorizes when it gets long or dense (see
+/// SimplexOptions::refactorEtaLimit / refactorGrowthLimit).
+class SparseLu {
+ public:
+  /// Factor the m x m matrix given in CSC (colStart has m+1 entries; column k
+  /// is the basis column at position k). Returns false when numerically
+  /// singular. Clears the eta file.
+  bool factorize(int m, std::span<const int> colStart, std::span<const int> rowIdx,
+                 std::span<const double> values, double pivotTol);
+
+  /// Solve B x = b in place (b indexed by row, x by basis position).
+  void ftran(std::span<double> x) const;
+
+  /// Solve B^T y = c in place (c indexed by basis position, y by row).
+  void btran(std::span<double> y) const;
+
+  /// Record a pivot: basis position `p` received a column whose ftran image
+  /// is the dense vector `w` (the caller already has it from the ratio
+  /// test). Returns false when the pivot element |w[p]| is too small to
+  /// apply stably — the caller should refactorize instead.
+  bool appendEta(int p, std::span<const double> w, double pivotTol);
+
+  int etaCount() const { return static_cast<int>(etaPivotPos_.size()); }
+  long etaEntries() const { return static_cast<long>(etaRow_.size()); }
+  /// L + U entries of the last factorization (fill-in included).
+  long factorEntries() const {
+    return static_cast<long>(lRowIdx_.size() + uRowIdx_.size()) + m_;
+  }
+
+ private:
+  int m_ = 0;
+  // Row permutation: elimination position per original row and its inverse.
+  std::vector<int> rowElim_, elimRow_;
+  // Column order: basis position factored at elimination step k.
+  std::vector<int> colOrder_;
+  // L (unit diagonal, entries below it) in elimination-step CSC; row ids are
+  // original rows, mapped through rowElim_ during solves.
+  std::vector<int> lColStart_, lRowIdx_;
+  std::vector<double> lVal_;
+  // U in elimination-step CSC; row ids are elimination positions < k.
+  std::vector<int> uColStart_, uRowIdx_;
+  std::vector<double> uVal_, uDiag_;
+  // Eta file: one sparse column per pivot, entries indexed by basis position.
+  std::vector<int> etaStart_, etaRow_, etaPivotPos_;
+  std::vector<double> etaVal_, etaPivotVal_;
+  // Dense scratch for factorize/ftran/btran (by original row / by elim pos).
+  mutable std::vector<double> work_, solveZ_;
+  // factorize() scratch: touched-row list and the pending-elimination heap.
+  std::vector<int> touched_, heap_, rowCount_;
+  std::vector<char> touchedMark_, heapMark_;
+};
+
+/// Bounded-variable revised simplex over a sparse column store — the engine
+/// behind LpWorkspace's default path. The constraint matrix lives in CSC
+/// form (structural + slack columns; artificials are implicit +-e_r
+/// singletons issued per cold solve), the basis in a SparseLu with eta
+/// updates, and both solve paths price through ftran/btran instead of dense
+/// tableau sweeps: a warm dual re-solve costs O(nnz) per pivot where the
+/// dense tableau paid O(rows * columns).
+///
+/// The pivot rules mirror the dense engine rule for rule (Dantzig / bounded
+/// ratio tests / bound-flipping dual ratio test / stall detection falling
+/// back to Bland), so the two engines are interchangeable oracles for each
+/// other — see tests/test_sparse_simplex.
+class SparseSimplex {
+ public:
+  /// Bind the fixed standard form. Columns [0, nStruct) are structural with
+  /// objective `cost0`; [nStruct, artificialStart) are slack/surplus columns
+  /// (one entry, +-1); artificial columns are implicit, one per row.
+  /// `slackCol`/`slackSign` give the logical column and its sign per row
+  /// (-1 when Sense::Equal). The CSC spans stay owned by this object.
+  void build(int m, int nStruct, int artificialStart,
+             std::vector<int> colStart, std::vector<int> rowIdx,
+             std::vector<double> values, std::vector<double> cost0,
+             std::vector<int> slackCol, std::vector<double> slackSign,
+             const SimplexOptions& options);
+
+  bool ready() const { return ready_; }
+  void invalidate() { ready_ = false; }
+
+  /// Per-solve column boxes, indexed like the workspace's columns (only the
+  /// structural prefix is read; slack and artificial widths are internal).
+  void setWidths(std::span<const double> upper);
+
+  /// Two-phase primal from an all-logical basis. `rhs` is the model-space
+  /// right-hand side under the current bound offsets.
+  SolveStatus solveCold(std::span<const double> rhs, WarmStartStats& stats);
+
+  /// Dual re-solve from the previous optimal basis under new rhs/boxes.
+  /// Requires ready(). IterationLimit signals numerical trouble — fall back
+  /// to solveCold().
+  SolveStatus solveDual(std::span<const double> rhs, WarmStartStats& stats);
+
+  /// Structural column values of the last Optimal solve.
+  void structuralValues(std::vector<double>& out) const;
+
+ private:
+  int columnCount() const { return artificialStart_ + m_; }
+  bool isArtificial(int col) const { return col >= artificialStart_; }
+  double columnCost(int col) const {
+    return col < nStruct_ ? cost0_[static_cast<std::size_t>(col)] : 0.0;
+  }
+  /// Iterate the entries of column `col` (artificials included).
+  template <typename Fn>
+  void forColumn(int col, Fn&& fn) const {
+    if (isArtificial(col)) {
+      const int r = col - artificialStart_;
+      fn(r, artScale_[static_cast<std::size_t>(r)]);
+      return;
+    }
+    for (int k = colStart_[static_cast<std::size_t>(col)];
+         k < colStart_[static_cast<std::size_t>(col) + 1]; ++k)
+      fn(rowIdx_[static_cast<std::size_t>(k)], colVal_[static_cast<std::size_t>(k)]);
+  }
+  double dot(std::span<const double> rowVec, int col) const;
+  void ftranColumn(int col, std::vector<double>& out) const;
+  bool factorizeBasis(WarmStartStats& stats, bool isRefactor);
+  bool recordPivot(int leavingPos, std::span<const double> w, WarmStartStats& stats);
+  SolveStatus primalIterate(std::span<const double> phaseCost, WarmStartStats& stats);
+  double objectiveOf(std::span<const double> phaseCost) const;
+
+  SimplexOptions options_;
+
+  // ---- fixed standard form ----
+  int m_ = 0;
+  int nStruct_ = 0;
+  int artificialStart_ = 0;
+  std::vector<int> colStart_, rowIdx_;
+  std::vector<double> colVal_;
+  std::vector<double> cost0_;
+  std::vector<int> slackCol_;
+  std::vector<double> slackSign_;
+
+  // ---- per-solve state ----
+  std::vector<double> colUpper_;   ///< box width per column (kInfinity = open)
+  std::vector<double> artScale_;   ///< +-1 artificial coefficient per row
+  std::vector<int> basis_;         ///< column id per basis position
+  std::vector<int> basisPos_;      ///< basis position per column, -1 nonbasic
+  std::vector<char> atUpper_;
+  std::vector<double> xB_;         ///< basic-variable values per position
+  std::vector<double> d_;          ///< reduced costs (rebuilt per dual solve)
+  SparseLu lu_;
+  bool ready_ = false;
+
+  // scratch
+  std::vector<double> wScratch_, yScratch_, bScratch_, flipScratch_;
+  std::vector<double> alpha_, phaseCost_;
+  std::vector<int> scratchStart_, scratchRow_;
+  std::vector<double> scratchVal_;
+  std::vector<std::pair<double, int>> dualCandidates_;
+};
+
+}  // namespace treeplace::lp

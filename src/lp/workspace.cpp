@@ -121,17 +121,56 @@ LpWorkspace::LpWorkspace(const Model& model, const SimplexOptions& options)
   width_ = nCols_ + 1;
   activeCols_ = artificialStart_;  // artificial slots issued per cold solve
 
-  a_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(width_), 0.0);
-  cost_.assign(static_cast<std::size_t>(width_), 0.0);
-  basis_.assign(static_cast<std::size_t>(m_), -1);
-  deadRow_.assign(static_cast<std::size_t>(m_), 0);
-  identityCol_.assign(static_cast<std::size_t>(m_), -1);
-  identityScale_.assign(static_cast<std::size_t>(m_), 1.0);
   colUpper_.assign(static_cast<std::size_t>(nCols_), kInfinity);
-  atUpper_.assign(static_cast<std::size_t>(nCols_), 0);
   curLower_ = rootLower_;
   curUpper_ = rootUpper_;
   values_.assign(static_cast<std::size_t>(n), 0.0);
+
+  if (useDense()) {
+    a_.assign(static_cast<std::size_t>(m_) * static_cast<std::size_t>(width_), 0.0);
+    cost_.assign(static_cast<std::size_t>(width_), 0.0);
+    basis_.assign(static_cast<std::size_t>(m_), -1);
+    deadRow_.assign(static_cast<std::size_t>(m_), 0);
+    identityCol_.assign(static_cast<std::size_t>(m_), -1);
+    identityScale_.assign(static_cast<std::size_t>(m_), 1.0);
+    atUpper_.assign(static_cast<std::size_t>(nCols_), 0);
+    return;
+  }
+
+  // Sparse engine: transpose the CSR rows into a CSC column store over
+  // structural + slack columns (duplicate terms stay as repeated entries —
+  // every consumer accumulates). Artificial columns are implicit +-e_r.
+  std::vector<int> colStart(static_cast<std::size_t>(artificialStart_) + 1, 0);
+  for (const int c : termCol_) ++colStart[static_cast<std::size_t>(c) + 1];
+  std::vector<double> slackSign(static_cast<std::size_t>(m_), 1.0);
+  for (int r = 0; r < m_; ++r) {
+    slackSign[static_cast<std::size_t>(r)] =
+        sense_[static_cast<std::size_t>(r)] == Sense::LessEqual ? 1.0 : -1.0;
+    if (slackCol_[static_cast<std::size_t>(r)] >= 0)
+      ++colStart[static_cast<std::size_t>(slackCol_[static_cast<std::size_t>(r)]) + 1];
+  }
+  for (std::size_t j = 1; j < colStart.size(); ++j) colStart[j] += colStart[j - 1];
+  std::vector<int> cursor(colStart.begin(), colStart.end() - 1);
+  std::vector<int> rowIdx(static_cast<std::size_t>(colStart.back()));
+  std::vector<double> colVal(rowIdx.size());
+  for (int r = 0; r < m_; ++r) {
+    for (int k = rowStart_[static_cast<std::size_t>(r)];
+         k < rowStart_[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int c = termCol_[static_cast<std::size_t>(k)];
+      const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++);
+      rowIdx[slot] = r;
+      colVal[slot] = termCoef_[static_cast<std::size_t>(k)];
+    }
+    const int slack = slackCol_[static_cast<std::size_t>(r)];
+    if (slack >= 0) {
+      const auto slot = static_cast<std::size_t>(cursor[static_cast<std::size_t>(slack)]++);
+      rowIdx[slot] = r;
+      colVal[slot] = slackSign[static_cast<std::size_t>(r)];
+    }
+  }
+  sparse_.build(m_, nStruct_, artificialStart_, std::move(colStart),
+                std::move(rowIdx), std::move(colVal), cost0_, slackCol_,
+                std::move(slackSign), options_);
 }
 
 void LpWorkspace::setBounds(int variable, double lower, double upper) {
@@ -388,7 +427,33 @@ void LpWorkspace::purgeArtificialBasics() {
   }
 }
 
+SolveStatus LpWorkspace::solveColdSparse() {
+  ++stats_.coldSolves;
+  basisValid_ = false;
+  refreshColumnWidths();
+  computeRhs(bScratch_);
+  sparse_.setWidths({colUpper_.data(), static_cast<std::size_t>(nStruct_)});
+  const SolveStatus st = sparse_.solveCold(bScratch_, stats_);
+  if (st != SolveStatus::Optimal) return st;
+  extract();
+  basisValid_ = true;
+  return SolveStatus::Optimal;
+}
+
+SolveStatus LpWorkspace::solveDualSparse() {
+  TREEPLACE_REQUIRE(basisValid_, "solveDual requires a prior optimal basis");
+  ++stats_.warmSolves;
+  refreshColumnWidths();
+  computeRhs(bScratch_);
+  sparse_.setWidths({colUpper_.data(), static_cast<std::size_t>(nStruct_)});
+  const SolveStatus st = sparse_.solveDual(bScratch_, stats_);
+  basisValid_ = sparse_.ready();
+  if (st == SolveStatus::Optimal) extract();
+  return st;
+}
+
 SolveStatus LpWorkspace::solveCold() {
+  if (!useDense()) return solveColdSparse();
   ++stats_.coldSolves;
   basisValid_ = false;
   refreshColumnWidths();
@@ -466,6 +531,7 @@ SolveStatus LpWorkspace::solveCold() {
 }
 
 SolveStatus LpWorkspace::solveDual() {
+  if (!useDense()) return solveDualSparse();
   TREEPLACE_REQUIRE(basisValid_, "solveDual requires a prior optimal basis");
   ++stats_.warmSolves;
   refreshColumnWidths();
@@ -658,13 +724,18 @@ SolveStatus LpWorkspace::solve() {
 }
 
 void LpWorkspace::extract() {
-  structValues_.assign(static_cast<std::size_t>(nStruct_), 0.0);
-  for (int j = 0; j < nStruct_; ++j)
-    if (atUpper_[static_cast<std::size_t>(j)])
-      structValues_[static_cast<std::size_t>(j)] = colUpper_[static_cast<std::size_t>(j)];
-  for (int i = 0; i < m_; ++i) {
-    const int b = basis_[static_cast<std::size_t>(i)];
-    if (b < nStruct_) structValues_[static_cast<std::size_t>(b)] = at(i, nCols_);
+  if (useDense()) {
+    structValues_.assign(static_cast<std::size_t>(nStruct_), 0.0);
+    for (int j = 0; j < nStruct_; ++j)
+      if (atUpper_[static_cast<std::size_t>(j)])
+        structValues_[static_cast<std::size_t>(j)] =
+            colUpper_[static_cast<std::size_t>(j)];
+    for (int i = 0; i < m_; ++i) {
+      const int b = basis_[static_cast<std::size_t>(i)];
+      if (b < nStruct_) structValues_[static_cast<std::size_t>(b)] = at(i, nCols_);
+    }
+  } else {
+    sparse_.structuralValues(structValues_);
   }
   objective_ = 0.0;
   for (int j = 0; j < variableCount(); ++j) {

@@ -6,6 +6,7 @@
 
 #include "lp/model.hpp"
 #include "lp/simplex.hpp"
+#include "lp/sparse_basis.hpp"
 
 namespace treeplace::lp {
 
@@ -19,7 +20,11 @@ struct WarmStartStats {
   long primalIterations = 0;  ///< pivots spent in cold (phase 1 + 2) solves
   long dualIterations = 0;    ///< pivots spent in dual re-solves
   long boundFlips = 0;        ///< box pivots that touched no basis column
-  int tableauRows = 0;        ///< dense tableau height m
+  // Sparse-engine telemetry (zero on the dense tableau paths).
+  long refactorizations = 0;  ///< basis refactorizations forced by eta growth
+  long etaCount = 0;          ///< product-form eta columns appended per pivot
+  long basisNnz = 0;          ///< peak L+U fill of the factorized basis
+  int tableauRows = 0;        ///< tableau height m
   int structuralRows = 0;     ///< model constraint rows inside m
   // Worker-pool telemetry (filled by the parallel branch-and-bound engine;
   // zero on the single-threaded paths).
@@ -44,6 +49,9 @@ struct WarmStartStats {
     primalIterations += other.primalIterations;
     dualIterations += other.dualIterations;
     boundFlips += other.boundFlips;
+    refactorizations += other.refactorizations;
+    etaCount += other.etaCount;
+    basisNnz = std::max(basisNnz, other.basisNnz);
     tableauRows = std::max(tableauRows, other.tableauRows);
     structuralRows = std::max(structuralRows, other.structuralRows);
     stealCount += other.stealCount;
@@ -62,16 +70,20 @@ struct WarmStartStats {
 /// tests respect the boxes — when a column's own width is the binding limit
 /// the step degenerates to a bound flip that moves no basis column at all.
 /// Per-node bound changes therefore only move offsets and box widths: a
-/// re-solve recomputes the transformed rhs through the inverse basis (read
-/// off the initial identity columns), subtracts the at-upper column
-/// contributions, and runs the bounded dual simplex from the parent basis,
-/// which stays dual-feasible because costs never change. Typical B&B
-/// children re-optimise in a handful of dual pivots or pure bound flips
-/// instead of a full two-phase primal solve.
+/// re-solve recomputes the transformed rhs through the basis inverse,
+/// subtracts the at-upper column contributions, and runs the bounded dual
+/// simplex from the parent basis, which stays dual-feasible because costs
+/// never change. Typical B&B children re-optimise in a handful of dual
+/// pivots or pure bound flips instead of a full two-phase primal solve.
 ///
-/// SimplexOptions::explicitBoundRows re-enables the legacy layout (one
-/// dedicated <= row per finite root range, all column widths infinite) as
-/// the independent oracle for the boxes-vs-rows equivalence tests.
+/// By default the basis inverse lives in a SparseLu factorization with
+/// product-form eta updates (lp/sparse_basis): the constraint matrix is kept
+/// in CSC form, every pivot appends one eta column, and ftran/btran replace
+/// the dense tableau sweeps, so a warm re-solve costs O(nnz) instead of
+/// O(rows^2). SimplexOptions::denseTableau re-enables the dense tableau
+/// engine as the independent sparse-vs-dense oracle, and
+/// SimplexOptions::explicitBoundRows the legacy row-per-range layout (dense
+/// by construction) for the boxes-vs-rows equivalence tests.
 ///
 /// Restrictions: a variable mapped by its finite lower bound (Shift) must
 /// keep a finite lower bound in every box, one mapped by its upper (Mirror)
@@ -173,6 +185,11 @@ class LpWorkspace {
   SolveStatus primalIterate();
   void purgeArtificialBasics();
   void extract();
+  /// Dense tableau selected? explicitBoundRows has no sparse equivalent, so
+  /// it forces the dense engine too.
+  bool useDense() const { return options_.denseTableau || options_.explicitBoundRows; }
+  SolveStatus solveColdSparse();
+  SolveStatus solveDualSparse();
   double structuralCost(int column) const {
     return column < nStruct_ ? cost0_[static_cast<std::size_t>(column)] : 0.0;
   }
@@ -225,6 +242,7 @@ class LpWorkspace {
   std::vector<double> costScratch_;
   std::vector<double> structValues_;
   std::vector<std::pair<double, int>> dualCandidates_;  ///< BFRT scratch
+  SparseSimplex sparse_;  ///< default engine (vectors only, so clone() copies)
   bool basisValid_ = false;
 
   double objective_ = 0.0;

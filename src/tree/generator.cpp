@@ -28,14 +28,33 @@ Shape drawShape(const GeneratorConfig& config, Prng& rng) {
   shape.internals = internals;
   shape.internalParent.assign(static_cast<std::size_t>(internals), -1);
   std::vector<int> fanout(static_cast<std::size_t>(internals), 0);
-  for (int i = 1; i < internals; ++i) {
-    int parent;
-    do {
-      parent = static_cast<int>(rng.uniformInt(0, i - 1));
-    } while (config.maxChildren > 0 &&
-             fanout[static_cast<std::size_t>(parent)] >= config.maxChildren);
-    ++fanout[static_cast<std::size_t>(parent)];
-    shape.internalParent[static_cast<std::size_t>(i)] = parent;
+  if (config.maxChildren > 0) {
+    // Uniform draw over the unsaturated parents via a swap-removed candidate
+    // pool: every internal node enters the pool once and leaves at most once,
+    // so attachment is O(s) overall. The rejection loop this replaces drew
+    // the same distribution but degenerated to O(s^2) redraws once most of
+    // the prefix was saturated. The pool can never run dry: node i joins it
+    // unsaturated right after attaching.
+    std::vector<int> open;
+    open.reserve(static_cast<std::size_t>(internals));
+    open.push_back(0);
+    for (int i = 1; i < internals; ++i) {
+      const auto pick = static_cast<std::size_t>(
+          rng.uniformInt(0, static_cast<std::int64_t>(open.size()) - 1));
+      const int parent = open[pick];
+      if (++fanout[static_cast<std::size_t>(parent)] >= config.maxChildren) {
+        open[pick] = open.back();
+        open.pop_back();
+      }
+      shape.internalParent[static_cast<std::size_t>(i)] = parent;
+      open.push_back(i);
+    }
+  } else {
+    for (int i = 1; i < internals; ++i) {
+      const auto parent = static_cast<int>(rng.uniformInt(0, i - 1));
+      ++fanout[static_cast<std::size_t>(parent)];
+      shape.internalParent[static_cast<std::size_t>(i)] = parent;
+    }
   }
 
   // Childless internal nodes must receive a client (internal leaves are

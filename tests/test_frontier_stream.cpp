@@ -1,0 +1,147 @@
+#include "core/frontier_stream.hpp"
+
+#include <gtest/gtest.h>
+
+#include "exact/closest_homogeneous.hpp"
+#include "exact/closest_qos.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "test_util.hpp"
+#include "tree/generator.hpp"
+
+namespace treeplace {
+namespace {
+
+ProblemInstance randomHomogeneous(std::uint64_t seed, double lambda,
+                                  double qosFraction = 0.0) {
+  GeneratorConfig config;
+  config.minSize = 10;
+  config.maxSize = 60;
+  config.clientFraction = 0.55;
+  config.maxRequests = 8;
+  config.lambda = lambda;
+  config.unitCosts = true;
+  config.qosFraction = qosFraction;
+  // Loose deadlines: tight hop bounds make nearly every draw infeasible and
+  // would starve the feasible branch of the QoS sweep below.
+  config.qosMinHops = 3;
+  config.qosMaxHops = 8;
+  Prng rng(seed);
+  return generateInstance(config, rng);
+}
+
+// With a generous width cap no merge is ever downsampled, so the streaming
+// DP must reproduce the exact solver bit for bit: same feasibility verdict,
+// same optimal count, exact flag set.
+TEST(FrontierStream, ClosestMatchesExactSolver) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    const ProblemInstance inst = randomHomogeneous(seed * 131, 0.4 + 0.01 * static_cast<double>(seed % 40));
+    const auto exact = solveClosestHomogeneous(inst);
+    const StreamCountResult stream = countClosestHomogeneousStreaming(inst);
+    ASSERT_TRUE(stream.stats.exact) << seed;
+    ASSERT_EQ(exact.has_value(), stream.feasible) << seed;
+    if (exact) {
+      EXPECT_EQ(exact->replicaCount(),
+                static_cast<std::size_t>(stream.replicas))
+          << seed;
+    }
+  }
+}
+
+TEST(FrontierStream, MultipleMatchesExactSolver) {
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    const ProblemInstance inst = randomHomogeneous(seed * 257, 0.5 + 0.01 * static_cast<double>(seed % 45));
+    const auto exact = solveMultipleHomogeneousDP(inst);
+    const StreamCountResult stream = countMultipleHomogeneousStreaming(inst);
+    ASSERT_TRUE(stream.stats.exact) << seed;
+    ASSERT_EQ(exact.has_value(), stream.feasible) << seed;
+    if (exact) {
+      EXPECT_EQ(exact->replicaCount(),
+                static_cast<std::size_t>(stream.replicas))
+          << seed;
+    }
+  }
+}
+
+TEST(FrontierStream, QosMatchesExactSolver) {
+  int feasible = 0;
+  for (std::uint64_t seed = 1; seed <= 150; ++seed) {
+    const ProblemInstance inst =
+        randomHomogeneous(seed * 389, 0.3 + 0.01 * static_cast<double>(seed % 35),
+                          /*qosFraction=*/0.4);
+    const auto exact = solveClosestHomogeneousQos(inst);
+    const StreamCountResult stream = countClosestQosStreaming(inst);
+    ASSERT_TRUE(stream.stats.exact) << seed;
+    ASSERT_EQ(exact.has_value(), stream.feasible) << seed;
+    if (exact) {
+      ++feasible;
+      EXPECT_EQ(exact->replicaCount(),
+                static_cast<std::size_t>(stream.replicas))
+          << seed;
+    }
+  }
+  EXPECT_GE(feasible, 20);  // the sweep exercises the feasible path too
+}
+
+// A brutal width cap loses optimality but never soundness: capped frontiers
+// only keep reachable states (so a feasible answer is a real placement's
+// count, an upper bound on the optimum) and always retain the minimum-flow
+// point (so feasible instances are still reported feasible).
+TEST(FrontierStream, TinyWidthCapStaysAchievable) {
+  FrontierStreamOptions tiny;
+  tiny.widthCap = 2;
+  int capped = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ProblemInstance inst = randomHomogeneous(seed * 643, 0.55);
+    const auto exact = solveClosestHomogeneous(inst);
+    const StreamCountResult stream = countClosestHomogeneousStreaming(inst, tiny);
+    if (!stream.stats.exact) ++capped;
+    if (exact) {
+      ASSERT_TRUE(stream.feasible) << seed;
+      EXPECT_GE(static_cast<std::size_t>(stream.replicas),
+                exact->replicaCount())
+          << seed;
+    }
+  }
+  EXPECT_GT(capped, 0);  // the cap must actually have fired somewhere
+}
+
+TEST(FrontierStream, MultipleTinyWidthCapStaysAchievable) {
+  FrontierStreamOptions tiny;
+  tiny.widthCap = 2;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ProblemInstance inst = randomHomogeneous(seed * 769, 0.6);
+    const auto exact = solveMultipleHomogeneousDP(inst);
+    const StreamCountResult stream = countMultipleHomogeneousStreaming(inst, tiny);
+    if (exact) {
+      ASSERT_TRUE(stream.feasible) << seed;
+      EXPECT_GE(static_cast<std::size_t>(stream.replicas),
+                exact->replicaCount())
+          << seed;
+    }
+  }
+}
+
+// The streamer's memory bound is the whole point: peak slab entries stay
+// within widthCap * (tree depth + 1) even when the exact arena would be far
+// wider.
+TEST(FrontierStream, PeakMemoryTracksDepthTimesCap) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ProblemInstance inst = randomHomogeneous(seed * 911, 0.5);
+    const Tree& tree = inst.tree;
+    int maxDepth = 0;
+    for (const VertexId v : tree.preorder()) maxDepth = std::max(maxDepth, tree.depth(v));
+    FrontierStreamOptions options;
+    options.widthCap = 8;
+    const StreamCountResult stream = countClosestHomogeneousStreaming(inst, options);
+    // Each root-path accumulator holds at most widthCap + 1 entries (the cap
+    // plus one place point), and one child frontier rides on top during a
+    // fold — hence the +2 fudge on both factors.
+    EXPECT_LE(stream.stats.peakStackEntries,
+              static_cast<std::size_t>(options.widthCap + 2) *
+                  (static_cast<std::size_t>(maxDepth) + 2))
+        << seed;
+  }
+}
+
+}  // namespace
+}  // namespace treeplace
