@@ -3,19 +3,29 @@
 //
 //   $ ./batch_solve instances/*.tp [--threads=0] [--lb-nodes=400]
 //                   [--workers=0] [--exact]
-//   $ ./batch_solve --nodes=1000000 --seed=7 --count=4 --stream
+//   $ ./batch_solve --nodes=1000000 --seed=7 --count=4 --stream --width-cap=256
+//   $ ./batch_solve --nodes=10000 --mutate=50
 //
-//   --threads   batch worker threads (0 = hardware concurrency)
-//   --lb-nodes  branch-and-bound budget of the refined lower bound
-//   --workers   per-instance worker-pool B&B threads for --exact (0 = serial)
-//   --exact     also prove the Multiple optimum via the ILP (small fleets!)
-//   --nodes     generate instances of this many vertices instead of reading
-//               files (O(s) generator, so s = 10^6 is fine)
-//   --seed      base seed of the generated fleet (default 1)
-//   --count     how many instances to generate (default 1)
-//   --stream    replace the heuristic/LP pipeline with the width-capped
-//               streaming frontier counts (Closest / Multiple / QoS) — the
-//               only solvers that scale to millions of vertices
+//   --threads    batch worker threads (0 = hardware concurrency)
+//   --lb-nodes   branch-and-bound budget of the refined lower bound
+//   --workers    per-instance worker-pool B&B threads for --exact (0 = serial)
+//   --exact      also prove the Multiple optimum via the ILP (small fleets!)
+//   --nodes      generate instances of this many vertices instead of reading
+//                files (O(s) generator, so s = 10^6 is fine)
+//   --seed       base seed of the generated fleet (default 1)
+//   --count      how many instances to generate (default 1)
+//   --lambda     target load factor of the generated fleet (generator
+//                default otherwise; lighter loads keep long mutation
+//                streams feasible)
+//   --stream     replace the heuristic/LP pipeline with the width-capped
+//                streaming frontier counts (Closest / Multiple / QoS) — the
+//                only solvers that scale to millions of vertices
+//   --width-cap  per-frontier width cap of --stream (default 512); capped
+//                runs print the certified [floor, answer] bracket
+//   --mutate=K   replay K random single-client mutations per instance through
+//                the incremental re-optimizer (Closest and Multiple), one
+//                line per step with the incremental vs from-scratch re-solve
+//                latency, each step verified against the scratch optimum
 //
 // Per instance the driver runs MixedBest (the paper's best-of-eight
 // heuristic), the refined lower bound (recycling the worker's bound-slab
@@ -24,6 +34,8 @@
 
 #include <fstream>
 #include <iostream>
+#include <optional>
+#include <string_view>
 #include <vector>
 
 #include "exact/closest_homogeneous.hpp"
@@ -31,6 +43,7 @@
 #include "exact/exact_ilp.hpp"
 #include "exact/multiple_homogeneous.hpp"
 #include "experiments/batch_driver.hpp"
+#include "experiments/mutation_driver.hpp"
 #include "formulation/lower_bound.hpp"
 #include "heuristics/heuristic.hpp"
 #include "support/cli.hpp"
@@ -67,7 +80,23 @@ std::string formatCost(double value, int digits = 2) {
 
 std::string formatStream(const StreamCountResult& r) {
   if (!r.feasible) return "infeasible";
-  return std::to_string(r.replicas) + (r.stats.exact ? "" : " (capped)");
+  if (r.stats.exact) return std::to_string(r.replicas);
+  // Capped runs carry the certified bracket (2-D policies; telemetry-only
+  // for QoS, see FrontierStreamStats::capGapBound).
+  return "[" + std::to_string(r.replicasFloor()) + ", " +
+         std::to_string(r.replicas) + "] (capped)";
+}
+
+std::string_view kindName(DeltaKind kind) {
+  switch (kind) {
+    case DeltaKind::RateChange: return "RateChange";
+    case DeltaKind::ClientJoin: return "ClientJoin";
+    case DeltaKind::ClientLeave: return "ClientLeave";
+    case DeltaKind::CapacityChange: return "CapacityChange";
+    case DeltaKind::SubtreeAttach: return "SubtreeAttach";
+    case DeltaKind::SubtreeDetach: return "SubtreeDetach";
+  }
+  return "?";
 }
 
 }  // namespace
@@ -80,7 +109,9 @@ int main(int argc, char** argv) {
     std::cerr << "usage: batch_solve <instance.tp>... [--threads=N] "
                  "[--lb-nodes=N] [--workers=N] [--exact]\n"
                  "       batch_solve --nodes=N [--seed=S] [--count=K] "
-                 "[--stream] [--threads=N]\n";
+                 "[--stream] [--width-cap=N] [--threads=N]\n"
+                 "       batch_solve --nodes=N [--seed=S] [--count=K] "
+                 "--mutate=K\n";
     return 2;
   }
   const auto threads = static_cast<std::size_t>(options.getIntOr("threads", 0));
@@ -91,13 +122,91 @@ int main(int argc, char** argv) {
   const auto genCount =
       static_cast<std::size_t>(options.getIntOr("count", 1));
   const bool stream = options.hasFlag("stream");
+  const long widthCap = options.getIntOr("width-cap", 0);
+  FrontierStreamOptions streamOptions;
+  if (widthCap > 0) streamOptions.widthCap = static_cast<std::int32_t>(widthCap);
+  const long mutateSteps = options.getIntOr("mutate", 0);
 
   GeneratorConfig genConfig;
   genConfig.minSize = static_cast<int>(genNodes);
   genConfig.maxSize = static_cast<int>(genNodes);
   genConfig.unitCosts = true;
+  genConfig.lambda = options.getDoubleOr("lambda", genConfig.lambda);
 
   const std::size_t jobs = genNodes > 0 ? genCount : files.size();
+
+  const auto loadInstance = [&](std::size_t i, std::string& name,
+                                std::string& error) -> std::optional<ProblemInstance> {
+    if (genNodes > 0) {
+      name = "gen(s=" + std::to_string(genNodes) +
+             ", seed=" + std::to_string(seed) + "." + std::to_string(i) + ")";
+      return generateInstance(genConfig, seed, i);
+    }
+    name = files[i];
+    std::ifstream in(files[i]);
+    if (!in.good()) {
+      error = "cannot open";
+      return std::nullopt;
+    }
+    try {
+      return readInstance(in);
+    } catch (const ParseError& e) {
+      error = e.what();
+      return std::nullopt;
+    }
+  };
+
+  if (mutateSteps > 0) {
+    // Sequential by design: the per-step trace would interleave under the
+    // batch workers, and every step already runs a scratch verification
+    // solve, so the interesting cost is per step, not per fleet.
+    int failures = 0;
+    TextTable summary;
+    summary.setHeader({"instance", "policy", "steps", "inc p50 (ms)",
+                       "inc p99", "scratch p50", "scratch p99", "x p50",
+                       "x p99", "match", "hit rate"});
+    for (std::size_t i = 0; i < jobs; ++i) {
+      std::string name, error;
+      const auto base = loadInstance(i, name, error);
+      if (!base) {
+        ++failures;
+        std::cerr << name << ": " << error << '\n';
+        continue;
+      }
+      for (const OnlinePolicy policy :
+           {OnlinePolicy::Closest, OnlinePolicy::Multiple}) {
+        ProblemInstance instance = *base;  // each policy replays its own copy
+        MutationWorkloadConfig mc;
+        mc.policy = policy;
+        mc.steps = static_cast<int>(mutateSteps);
+        mc.seed = seed + 7919 * i;
+        mc.rateCap = 0.1;  // keep long streams feasible (see rateCap doc)
+        const MutationRunResult run = runMutationWorkload(instance, mc);
+        std::cout << name << " / " << toString(policy) << ":\n";
+        for (std::size_t k = 0; k < run.steps.size(); ++k) {
+          const MutationStepRecord& step = run.steps[k];
+          std::cout << "  step " << k << " " << kindName(step.kind)
+                    << (step.feasible ? "" : " [infeasible]") << ": inc "
+                    << formatDouble(step.incrementalMs, 3) << " ms, scratch "
+                    << formatDouble(step.scratchMs, 3) << " ms"
+                    << (step.match ? "" : "  MISMATCH") << '\n';
+        }
+        summary.addRow({name, std::string(toString(policy)),
+                        std::to_string(run.steps.size()),
+                        formatDouble(run.p50IncrementalMs, 3),
+                        formatDouble(run.p99IncrementalMs, 3),
+                        formatDouble(run.p50ScratchMs, 3),
+                        formatDouble(run.p99ScratchMs, 3),
+                        formatDouble(run.speedupP50(), 1),
+                        formatDouble(run.speedupP99(), 1),
+                        run.allMatch ? "yes" : "NO",
+                        formatDouble(run.cache.hitRate(), 3)});
+        if (!run.allMatch) ++failures;
+      }
+    }
+    std::cout << summary.render();
+    return failures == 0 ? 0 : 1;
+  }
   std::vector<FleetRow> rows(jobs);
   BatchOptions batchOptions;
   batchOptions.threads = threads;
@@ -105,32 +214,16 @@ int main(int argc, char** argv) {
       jobs,
       [&](std::size_t i, BatchArenas& arenas) {
         FleetRow& row = rows[i];
-        ProblemInstance instance;
-        if (genNodes > 0) {
-          row.name = "gen(s=" + std::to_string(genNodes) +
-                     ", seed=" + std::to_string(seed) + "." + std::to_string(i) + ")";
-          instance = generateInstance(genConfig, seed, i);
-        } else {
-          row.name = files[i];
-          std::ifstream in(files[i]);
-          if (!in.good()) {
-            row.error = "cannot open";
-            return;
-          }
-          try {
-            instance = readInstance(in);
-          } catch (const ParseError& e) {
-            row.error = e.what();
-            return;
-          }
-        }
+        auto loaded = loadInstance(i, row.name, row.error);
+        if (!loaded) return;
+        ProblemInstance instance = std::move(*loaded);
         row.parsed = true;
         row.vertices = static_cast<int>(instance.tree.vertexCount());
 
         if (stream) {
-          row.streamClosest = countClosestHomogeneousStreaming(instance);
-          row.streamMultiple = countMultipleHomogeneousStreaming(instance);
-          row.streamQos = countClosestQosStreaming(instance);
+          row.streamClosest = countClosestHomogeneousStreaming(instance, streamOptions);
+          row.streamMultiple = countMultipleHomogeneousStreaming(instance, streamOptions);
+          row.streamQos = countClosestQosStreaming(instance, streamOptions);
           return;
         }
 

@@ -264,7 +264,7 @@ class BasicFrontierDp {
       const Entry& entry = arena_.at(
           frontier(todo.node), static_cast<std::size_t>(todo.entryIndex));
       if (entry.child == 1) onReplica(todo.node);
-      const std::span<const VertexId> children = tree_.children(todo.node);
+      const std::span<const VertexId> children = tree_.mergeChildren(todo.node);
       std::int32_t combIdx = entry.prev;
       for (std::size_t ci = children.size(); ci-- > 0;) {
         const Entry& comb = arena_.at(

@@ -133,13 +133,24 @@ void FrontierStreamer::sweepAndCommit(std::size_t accBegin, std::int32_t minSum,
   }
   ++stats_.cappedMerges;
   stats_.exact = false;
+  // Dropping an interior point can cost later steps at most the count gap to
+  // the next kept point (whose flow is no worse, flows being strictly
+  // decreasing); the merge's worst case is the max such gap, and the gaps of
+  // successive capped merges add. See FrontierStreamStats::capGapBound.
+  std::size_t kept = 0;
+  std::int32_t maxGap = 0;
   std::size_t last = width;  // sentinel: nothing pushed yet
   for (std::size_t k = 0; k < cap; ++k) {
     const std::size_t idx = k * (width - 1) / (cap - 1);
     if (idx == last) continue;
+    if (last != width && idx > last + 1)
+      maxGap = std::max(maxGap, outCounts_[idx] - outCounts_[last] - 1);
     last = idx;
+    ++kept;
     pushEntry(outCounts_[idx], outFlows_[idx]);
   }
+  stats_.droppedPoints += width - kept;
+  stats_.capGapBound += maxGap;
 }
 
 // --------------------------------------------------------------------------
@@ -287,13 +298,23 @@ void QosFrontierStreamer::sweepAndCommit(std::size_t accBegin) {
   }
   ++stats_.cappedMerges;
   stats_.exact = false;
+  // Same count-gap telemetry as the 2-D streamer; with the slack dimension
+  // the next kept point may carry worse slack than a dropped one, so here the
+  // accumulated gap is diagnostic only, not a certified bracket.
+  std::size_t kept = 0;
+  std::int32_t maxGap = 0;
   std::size_t last = width;  // sentinel: nothing pushed yet
   for (std::size_t k = 0; k < cap; ++k) {
     const std::size_t idx = k * (width - 1) / (cap - 1);
     if (idx == last) continue;
+    if (last != width && idx > last + 1)
+      maxGap = std::max(maxGap, outCounts_[idx] - outCounts_[last] - 1);
     last = idx;
+    ++kept;
     pushEntry(outCounts_[idx], outFlows_[idx], outSlacks_[idx]);
   }
+  stats_.droppedPoints += width - kept;
+  stats_.capGapBound += maxGap;
   noteStack();
 }
 

@@ -26,6 +26,18 @@ struct FrontierStreamStats {
   std::size_t convolutions = 0;     ///< child merges + place/skip prunes
   std::size_t pairsMerged = 0;      ///< candidate entries examined
   std::size_t cappedMerges = 0;     ///< merges that hit widthCap
+  std::size_t droppedPoints = 0;    ///< Pareto points discarded by capped merges
+  /// Quantified cap damage: per capped merge, the largest replica-count gap
+  /// between consecutive kept points that had points dropped between them,
+  /// summed over all capped merges. Dropping a point forces later steps onto
+  /// the next kept point, whose flow is no worse (flows strictly decrease
+  /// along a 2-D frontier) and whose count exceeds the dropped one by at most
+  /// that gap — so for the 2-D DPs (Closest/Multiple)
+  ///   exact optimum >= capped answer - capGapBound.
+  /// The 3-D QoS streamer tracks the same quantity as telemetry, but the
+  /// slack dimension breaks the no-worse-flow argument, so there it is NOT a
+  /// certified bracket.
+  std::int64_t capGapBound = 0;
   /// No merge was ever capped: the run explored the full Pareto frontier and
   /// its answer matches the exact DP.
   bool exact = true;
@@ -34,11 +46,21 @@ struct FrontierStreamStats {
 /// Result of a streaming (count-only) policy solve. The streaming DPs drop
 /// the reconstruction backpointers, so they return the replica count but no
 /// placement; `stats.exact` says whether the count is provably optimal or an
-/// achievable upper bound (some merge hit widthCap).
+/// achievable upper bound (some merge hit widthCap). A capped run is
+/// bracketed: for the 2-D policies the optimum lies in
+/// [replicasFloor(), replicas] (see FrontierStreamStats::capGapBound).
 struct StreamCountResult {
   bool feasible = false;
   std::int32_t replicas = 0;
   FrontierStreamStats stats;
+
+  /// Certified lower bound on the exact optimum for the 2-D DPs
+  /// (Closest/Multiple): the capped count minus the accumulated cap gap.
+  /// Equals `replicas` on uncapped runs. Not certified for the QoS streamer.
+  std::int32_t replicasFloor() const {
+    const std::int64_t floor = static_cast<std::int64_t>(replicas) - stats.capGapBound;
+    return floor > 0 ? static_cast<std::int32_t>(floor) : 0;
+  }
 };
 
 /// Stack machine for subtree frontier DPs at scales where the exact

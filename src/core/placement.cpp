@@ -40,6 +40,16 @@ void Placement::addReplica(VertexId node) {
   }
 }
 
+void Placement::removeReplica(VertexId node) {
+  TREEPLACE_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < runs_.size(),
+                    "replica id out of range");
+  auto& flag = isReplica_[static_cast<std::size_t>(node)];
+  if (flag) {
+    flag = 0;
+    --replicaCount_;
+  }
+}
+
 bool Placement::hasReplica(VertexId node) const {
   TREEPLACE_REQUIRE(node >= 0 && static_cast<std::size_t>(node) < runs_.size(),
                     "replica id out of range");
@@ -107,6 +117,36 @@ void Placement::assign(VertexId client, VertexId server, Requests amount) {
   growRun(run, {server, amount});
   ++liveShares_;
   serverLoad_[static_cast<std::size_t>(server)] += amount;
+}
+
+Requests Placement::unassign(VertexId client, VertexId server) {
+  TREEPLACE_REQUIRE(client >= 0 && static_cast<std::size_t>(client) < runs_.size(),
+                    "client id out of range");
+  TREEPLACE_REQUIRE(server >= 0 && static_cast<std::size_t>(server) < runs_.size(),
+                    "server id out of range");
+  ShareRun& run = runs_[static_cast<std::size_t>(client)];
+  ServedShare* data = runData(run);
+  for (std::uint32_t k = 0; k < run.size; ++k) {
+    if (data[k].server != server) continue;
+    const Requests amount = data[k].amount;
+    data[k] = data[run.size - 1];
+    --run.size;
+    --liveShares_;
+    serverLoad_[static_cast<std::size_t>(server)] -= amount;
+    return amount;
+  }
+  return 0;
+}
+
+void Placement::clearClient(VertexId client) {
+  TREEPLACE_REQUIRE(client >= 0 && static_cast<std::size_t>(client) < runs_.size(),
+                    "client id out of range");
+  ShareRun& run = runs_[static_cast<std::size_t>(client)];
+  const ServedShare* data = runData(run);
+  for (std::uint32_t k = 0; k < run.size; ++k)
+    serverLoad_[static_cast<std::size_t>(data[k].server)] -= data[k].amount;
+  liveShares_ -= run.size;
+  run.size = 0;
 }
 
 void Placement::assignRun(VertexId client, std::span<const ServedShare> run) {

@@ -58,6 +58,7 @@ class Placement {
   std::size_t vertexCount() const { return runs_.size(); }
 
   void addReplica(VertexId node);
+  void removeReplica(VertexId node);
   bool hasReplica(VertexId node) const;
   std::size_t replicaCount() const { return replicaCount_; }
 
@@ -67,6 +68,16 @@ class Placement {
   /// Record `amount` requests of `client` served by `server`; accumulates
   /// when called twice with the same pair. Requires amount > 0.
   void assign(VertexId client, VertexId server, Requests amount);
+
+  /// Remove the client's share on `server` and return the removed amount
+  /// (0 when no such share exists). The share order within the run is
+  /// unspecified, so removal swaps with the run tail; server loads stay
+  /// consistent. The incremental repair paths use this to undo assignments.
+  Requests unassign(VertexId client, VertexId server);
+
+  /// Drop every share of `client` (server loads updated, run capacity kept
+  /// for the re-assign that typically follows).
+  void clearClient(VertexId client);
 
   /// Bulk path: record a whole run of shares for a client that has none yet.
   /// Servers must be distinct and amounts positive; the run must not alias

@@ -53,7 +53,7 @@ std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance
     // Convolve children frontiers: counts add, flows add. Each prefix result
     // is already pruned; keep its span for the backpointer walk.
     FrontierSpan acc = conv.unit();
-    const auto children = tree.children(v);
+    const auto children = tree.mergeChildren(v);
     for (std::size_t ci = 0; ci < children.size(); ++ci) {
       acc = conv.convolve(acc, dp.frontier(children[ci]), forestCap);
       dp.setCombo(v, ci, acc);

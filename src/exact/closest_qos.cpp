@@ -53,7 +53,7 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
     std::uint32_t accBegin = arena.beginSpan();
     arena.push({0, 0, kInfiniteSlack, -1, -1});
     FrontierSpan acc = arena.endSpan(accBegin);
-    const auto children = tree.children(v);
+    const auto children = tree.mergeChildren(v);
     for (std::size_t ci = 0; ci < children.size(); ++ci) {
       const VertexId child = children[ci];
       const double uplink = instance.commTime[static_cast<std::size_t>(child)];

@@ -5,7 +5,6 @@
 #include "support/require.hpp"
 
 namespace treeplace {
-namespace {
 
 /// Pass 3: greedy bottom-up assignment. Every replica, taken in postorder,
 /// absorbs as much of its subtree's still-unassigned requests as fits
@@ -14,8 +13,8 @@ namespace {
 /// is feasible. Exhausted clients are skipped through path-halved skip
 /// pointers, so the total scan work stays near-linear in clients + replicas
 /// instead of replicas x clients.
-Placement assignRequests(const ProblemInstance& instance,
-                         const std::vector<char>& isReplica) {
+Placement assignMultipleRequests(const ProblemInstance& instance,
+                                 const std::vector<char>& isReplica) {
   const Tree& tree = instance.tree;
   Placement placement(tree.vertexCount());
   // Every client ends with one share plus at most one extra per replica (only
@@ -75,8 +74,6 @@ Placement assignRequests(const ProblemInstance& instance,
   placement.compact(tree.clients());
   return placement;
 }
-
-}  // namespace
 
 std::optional<Placement> solveMultipleHomogeneous(const ProblemInstance& instance,
                                                   MultipleHomogeneousTrace* trace) {
@@ -187,7 +184,7 @@ std::optional<Placement> solveMultipleHomogeneous(const ProblemInstance& instanc
       flow[static_cast<std::size_t>(v)] -= absorbed;
   }
 
-  return assignRequests(instance, isReplica);
+  return assignMultipleRequests(instance, isReplica);
 }
 
 std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& instance,
@@ -219,7 +216,7 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
     const auto forestCap = static_cast<std::int32_t>(internalsBelow - 1);
 
     FrontierSpan acc = conv.unit();
-    const auto children = tree.children(v);
+    const auto children = tree.mergeChildren(v);
     for (std::size_t ci = 0; ci < children.size(); ++ci) {
       acc = conv.convolve(acc, dp.frontier(children[ci]), forestCap);
       dp.setCombo(v, ci, acc);
@@ -254,7 +251,7 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
                    isReplica[static_cast<std::size_t>(node)] = 1;
                  });
 
-  return assignRequests(instance, isReplica);
+  return assignMultipleRequests(instance, isReplica);
 }
 
 std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& instance) {

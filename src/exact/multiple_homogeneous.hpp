@@ -42,6 +42,15 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
 /// Minimal number of replicas, or nullopt if infeasible — convenience wrapper.
 std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& instance);
 
+/// Pass 3 of the Multiple solvers, exposed for consumers that derive the
+/// replica set elsewhere (the incremental re-solve engine reconstructs it
+/// from cached frontiers): greedy bottom-up assignment of concrete requests
+/// to a feasible replica set — every replica, in postorder, absorbs as much
+/// of its subtree's unassigned requests as fits. Throws when the set cannot
+/// serve all requests.
+Placement assignMultipleRequests(const ProblemInstance& instance,
+                                 const std::vector<char>& isReplica);
+
 /// Width-capped streaming variant of the Multiple frontier DP (count only,
 /// no placement): the same recurrence as solveMultipleHomogeneousDP run
 /// through a FrontierStreamer stack machine — memory O(widthCap * depth)

@@ -1,0 +1,163 @@
+#include "experiments/mutation_driver.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <optional>
+
+#include "exact/closest_homogeneous.hpp"
+#include "exact/closest_qos.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "support/require.hpp"
+#include "support/stats.hpp"
+
+namespace treeplace {
+namespace {
+
+double millis(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// The exact solver the incremental engine mirrors (NOT the 3-pass greedy:
+/// only the frontier DP twin reconstructs the same replica set bit-for-bit).
+std::optional<Placement> scratchSolve(const ProblemInstance& instance,
+                                      OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::Closest: return solveClosestHomogeneous(instance);
+    case OnlinePolicy::Multiple: return solveMultipleHomogeneousDP(instance);
+    case OnlinePolicy::ClosestQos: return solveClosestHomogeneousQos(instance);
+  }
+  TREEPLACE_REQUIRE(false, "unknown online policy");
+  return std::nullopt;
+}
+
+VertexId randomClient(const ProblemInstance& instance, Prng& rng) {
+  const auto& clients = instance.tree.clients();
+  return clients[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(clients.size()) - 1))];
+}
+
+VertexId randomInternal(const ProblemInstance& instance, Prng& rng) {
+  const auto& internals = instance.tree.internals();
+  return internals[static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(internals.size()) - 1))];
+}
+
+}  // namespace
+
+InstanceDelta drawMutation(const ProblemInstance& instance,
+                           const MutationWorkloadConfig& config, Prng& rng) {
+  const Requests W = instance.homogeneousCapacity();
+  double wRate = config.rateWeight;
+  double wLeave = config.leaveWeight;
+  double wCapacity = config.capacityWeight;
+  double wJoin = config.structural ? config.joinWeight : 0.0;
+  double wAttach = config.structural ? config.attachWeight : 0.0;
+  double wDetach = config.structural ? config.detachWeight : 0.0;
+  const double total =
+      wRate + wLeave + wCapacity + wJoin + wAttach + wDetach;
+  TREEPLACE_REQUIRE(total > 0.0, "mutation mixture needs a positive weight");
+
+  InstanceDelta delta;
+  double draw = rng.uniformReal(0.0, total);
+  if ((draw -= wRate) < 0.0) {
+    delta.kind = DeltaKind::RateChange;
+    delta.node = randomClient(instance, rng);
+    const auto cap = std::max<Requests>(
+        1, static_cast<Requests>(std::llround(config.rateCap * static_cast<double>(W))));
+    delta.rate = rng.uniformInt(0, cap);
+    return delta;
+  }
+  if ((draw -= wLeave) < 0.0) {
+    delta.kind = DeltaKind::ClientLeave;
+    delta.node = randomClient(instance, rng);
+    return delta;
+  }
+  if ((draw -= wCapacity) < 0.0) {
+    // Global shift of the one homogeneous W (a per-node change would leave
+    // the homogeneous solvers' domain). Bounded below by 1.
+    delta.kind = DeltaKind::CapacityChange;
+    delta.node = kNoVertex;
+    delta.capacity = std::max<Requests>(1, W + rng.uniformInt(-2, 2));
+    return delta;
+  }
+  if ((draw -= wJoin) < 0.0) {
+    delta.kind = DeltaKind::ClientJoin;
+    delta.node = randomInternal(instance, rng);
+    delta.rate = rng.uniformInt(0, std::max<Requests>(1, W / 2));
+    return delta;
+  }
+  if ((draw -= wAttach) < 0.0) {
+    delta.kind = DeltaKind::SubtreeAttach;
+    delta.node = randomInternal(instance, rng);
+    delta.capacity = W;      // pods inherit the homogeneous capacity
+    delta.storageCost = 1.0;
+    const std::int64_t pod = rng.uniformInt(1, 3);
+    for (std::int64_t k = 0; k < pod; ++k)
+      delta.podRates.push_back(rng.uniformInt(0, std::max<Requests>(1, W / 2)));
+    return delta;
+  }
+  delta.kind = DeltaKind::SubtreeDetach;
+  delta.node = rng.bernoulli(0.5) ? randomClient(instance, rng)
+                                  : randomInternal(instance, rng);
+  return delta;
+}
+
+MutationRunResult runMutationWorkload(ProblemInstance& instance,
+                                      const MutationWorkloadConfig& config) {
+  IncrementalSolver solver(instance, config.policy);
+  Prng rng(config.seed);
+  MutationRunResult result;
+  result.steps.reserve(static_cast<std::size_t>(config.steps));
+
+  (void)solver.resolve();  // warm the cache; steps measure steady state
+
+  std::vector<double> incrementalMs;
+  std::vector<double> scratchMs;
+  incrementalMs.reserve(static_cast<std::size_t>(config.steps));
+  scratchMs.reserve(static_cast<std::size_t>(config.steps));
+
+  for (int step = 0; step < config.steps; ++step) {
+    const InstanceDelta delta = drawMutation(instance, config, rng);
+    solver.apply(delta);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::optional<Placement> incremental = solver.resolve();
+    const double incMs = millis(t0);
+
+    MutationStepRecord record;
+    record.kind = delta.kind;
+    record.feasible = incremental.has_value();
+    record.incrementalMs = incMs;
+    if (incremental) record.replicas = incremental->replicaCount();
+    incrementalMs.push_back(incMs);
+
+    if (config.verifyScratch) {
+      const auto t1 = std::chrono::steady_clock::now();
+      const std::optional<Placement> scratch = scratchSolve(instance, config.policy);
+      record.scratchMs = millis(t1);
+      scratchMs.push_back(record.scratchMs);
+      record.scratchFeasible = scratch.has_value();
+      record.match = incremental.has_value() == scratch.has_value() &&
+                     (!incremental || (*incremental == *scratch &&
+                                       incremental->storageCost(instance) ==
+                                           scratch->storageCost(instance)));
+      result.allMatch = result.allMatch && record.match;
+    }
+    result.steps.push_back(std::move(record));
+  }
+
+  if (!incrementalMs.empty()) {
+    result.p50IncrementalMs = percentile(incrementalMs, 50.0);
+    result.p99IncrementalMs = percentile(incrementalMs, 99.0);
+  }
+  if (!scratchMs.empty()) {
+    result.p50ScratchMs = percentile(scratchMs, 50.0);
+    result.p99ScratchMs = percentile(scratchMs, 99.0);
+  }
+  result.cache = solver.cacheStats();
+  return result;
+}
+
+}  // namespace treeplace

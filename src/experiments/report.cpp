@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "core/frontier_stream.hpp"
+#include "online/incremental.hpp"
 #include "support/csv.hpp"
 #include "support/json.hpp"
 #include "support/table.hpp"
@@ -162,7 +163,8 @@ std::string renderFrontierStreamStats(const FrontierStreamStats& stats) {
   if (stats.exact)
     os << ", exact";
   else
-    os << ", " << stats.cappedMerges << " capped (upper bound)";
+    os << ", " << stats.cappedMerges << " capped / " << stats.droppedPoints
+       << " dropped (upper bound, gap <= " << stats.capGapBound << ")";
   return os.str();
 }
 
@@ -175,7 +177,38 @@ void writeFrontierStreamStats(JsonWriter& json, const FrontierStreamStats& stats
   json.key("convolutions").value(static_cast<std::int64_t>(stats.convolutions));
   json.key("pairs_merged").value(static_cast<std::int64_t>(stats.pairsMerged));
   json.key("capped_merges").value(static_cast<std::int64_t>(stats.cappedMerges));
+  json.key("dropped_points")
+      .value(static_cast<std::int64_t>(stats.droppedPoints));
+  json.key("cap_gap_bound").value(stats.capGapBound);
   json.key("exact").value(stats.exact);
+  json.endObject();
+}
+
+std::string renderFrontierCacheStats(const FrontierCacheStats& stats) {
+  std::ostringstream os;
+  os << stats.hits << " hits / " << stats.misses << " misses ("
+     << static_cast<int>(stats.hitRate() * 100.0 + 0.5) << "% over "
+     << stats.trackedVertices << " vertices), " << stats.invalidations
+     << " invalidations (" << stats.globalInvalidations << " global), arena "
+     << stats.arenaEntries << " entries / " << renderByteSize(stats.arenaBytes)
+     << ", " << stats.compactions << " compactions";
+  return os.str();
+}
+
+void writeFrontierCacheStats(JsonWriter& json, const FrontierCacheStats& stats) {
+  json.beginObject();
+  json.key("tracked_vertices")
+      .value(static_cast<std::int64_t>(stats.trackedVertices));
+  json.key("hits").value(static_cast<std::int64_t>(stats.hits));
+  json.key("misses").value(static_cast<std::int64_t>(stats.misses));
+  json.key("hit_rate").value(stats.hitRate());
+  json.key("invalidations")
+      .value(static_cast<std::int64_t>(stats.invalidations));
+  json.key("global_invalidations")
+      .value(static_cast<std::int64_t>(stats.globalInvalidations));
+  json.key("compactions").value(static_cast<std::int64_t>(stats.compactions));
+  json.key("arena_entries").value(static_cast<std::int64_t>(stats.arenaEntries));
+  json.key("arena_bytes").value(static_cast<std::int64_t>(stats.arenaBytes));
   json.endObject();
 }
 

@@ -48,8 +48,22 @@ std::string renderFrontierStreamStats(const FrontierStreamStats& stats);
 
 /// Emit the streaming telemetry as a JSON object {"peak_width":..,
 /// "peak_stack_entries":.., "peak_bytes":.., "convolutions":..,
-/// "pairs_merged":.., "capped_merges":.., "exact":..}.
+/// "pairs_merged":.., "capped_merges":.., "dropped_points":..,
+/// "cap_gap_bound":.., "exact":..}.
 void writeFrontierStreamStats(JsonWriter& json, const FrontierStreamStats& stats);
+
+/// One-line human rendering of the incremental layer's frontier-cache
+/// telemetry (online/incremental.hpp): hit rate, invalidation counts, and
+/// the persistent arena footprint.
+struct FrontierCacheStats;  // online/incremental.hpp
+std::string renderFrontierCacheStats(const FrontierCacheStats& stats);
+
+/// Emit the cache telemetry as a JSON object {"tracked_vertices":..,
+/// "hits":.., "misses":.., "hit_rate":.., "invalidations":..,
+/// "global_invalidations":.., "compactions":.., "arena_entries":..,
+/// "arena_bytes":..} into an open writer position; the mutation bench
+/// commits it to BENCH_table1.json so cache effectiveness is tracked per PR.
+void writeFrontierCacheStats(JsonWriter& json, const FrontierCacheStats& stats);
 
 /// Emit the telemetry as a JSON object {"peak_width":..,"arena_bytes":..,
 /// "entries_merged":..,"convolutions":..} into an open writer position.

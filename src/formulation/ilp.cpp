@@ -150,6 +150,8 @@ void IlpFormulation::build(const FormulationOptions& options) {
   const bool integerY = integrality_ == FormulationOptions::Integrality::Exact;
 
   xVar_.assign(tree.vertexCount(), -1);
+  if (options.elasticCapacity) uVar_.assign(tree.vertexCount(), -1);
+  assignRow_.assign(tree.vertexCount(), -1);
   yVar_.assign(tree.vertexCount(), {});
   yServer_.assign(tree.vertexCount(), {});
 
@@ -164,7 +166,7 @@ void IlpFormulation::build(const FormulationOptions& options) {
   // y_{i,j}: per client, one variable per QoS-admissible ancestor.
   for (const VertexId i : tree.clients()) {
     const auto ii = static_cast<std::size_t>(i);
-    if (instance_.requests[ii] == 0) continue;
+    if (instance_.requests[ii] == 0 && !options.keepZeroRateClients) continue;
     for (const VertexId j : tree.ancestors(i)) {
       if (options.enforceQos && instance_.qos[ii] != kNoQos &&
           instance_.qosLatency(i, j) > instance_.qos[ii] + 1e-9)
@@ -181,13 +183,14 @@ void IlpFormulation::build(const FormulationOptions& options) {
   // Every client is fully assigned: sum_j y_{i,j} = 1 (single server) or r_i.
   for (const VertexId i : tree.clients()) {
     const auto ii = static_cast<std::size_t>(i);
-    if (instance_.requests[ii] == 0) continue;
+    if (instance_.requests[ii] == 0 && !options.keepZeroRateClients) continue;
     std::vector<Term> terms;
     terms.reserve(yVar_[ii].size());
     for (const int var : yVar_[ii]) terms.push_back({var, 1.0});
     const double rhs =
         singleServer ? 1.0 : static_cast<double>(instance_.requests[ii]);
-    model_.addConstraint(Sense::Equal, rhs, terms, "assign_" + std::to_string(i));
+    assignRow_[ii] = model_.addConstraint(Sense::Equal, rhs, terms,
+                                          "assign_" + std::to_string(i));
   }
 
   // Capacity: sum_i (r_i) y_{i,j} <= W_j x_j.
@@ -202,10 +205,22 @@ void IlpFormulation::build(const FormulationOptions& options) {
             {yVar_[ii][k], mult});
     }
     for (const VertexId j : tree.internals()) {
-      auto& terms = capacityTerms[static_cast<std::size_t>(j)];
-      terms.push_back({xVar_[static_cast<std::size_t>(j)],
-                       -static_cast<double>(instance_.capacity[static_cast<std::size_t>(j)])});
-      model_.addConstraint(Sense::LessEqual, 0.0, terms, "cap_" + std::to_string(j));
+      const auto ji = static_cast<std::size_t>(j);
+      auto& terms = capacityTerms[ji];
+      const double cap = static_cast<double>(instance_.capacity[ji]);
+      if (options.elasticCapacity) {
+        // Elastic form: sum y <= u_j <= W_j and u_j <= M_j x_j, with M_j the
+        // build-time capacity. Later capacity changes are box updates on u_j.
+        uVar_[ji] = model_.addVariable(0.0, cap, 0.0, VarType::Continuous,
+                                       "u_" + std::to_string(j));
+        terms.push_back({uVar_[ji], -1.0});
+        model_.addConstraint(Sense::LessEqual, 0.0, terms, "cap_" + std::to_string(j));
+        const Term link[2] = {{uVar_[ji], 1.0}, {xVar_[ji], -cap}};
+        model_.addConstraint(Sense::LessEqual, 0.0, link, "capx_" + std::to_string(j));
+      } else {
+        terms.push_back({xVar_[ji], -cap});
+        model_.addConstraint(Sense::LessEqual, 0.0, terms, "cap_" + std::to_string(j));
+      }
     }
   }
 

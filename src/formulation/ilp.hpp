@@ -24,6 +24,22 @@ struct FormulationOptions {
 
   bool enforceQos = true;        ///< drop client/server pairs beyond q_i
   bool enforceBandwidth = true;  ///< emit per-link flow rows for finite BW_l
+
+  /// Build assignment variables and the assign row even for clients whose
+  /// current request rate is zero (normally they contribute nothing and are
+  /// skipped entirely). The online warm re-solve layer needs the columns and
+  /// rows to exist so a later rate change is a pure rhs/box patch instead of
+  /// a structural rebuild. Under Multiple the zero-rate rows read
+  /// sum y = 0 with y boxed to [0, 0] — trivially satisfied.
+  bool keepZeroRateClients = false;
+
+  /// Reformulate capacity with an elastic node-throughput variable:
+  ///   sum_i y_{i,j} - u_j <= 0,   u_j - M_j x_j <= 0,   0 <= u_j <= W_j,
+  /// where M_j is the build-time W_j. Equivalent to the classic
+  /// sum y <= W_j x_j row, but W_j now lives in a variable BOX instead of a
+  /// matrix coefficient — so capacity shrinks (and re-growth up to M_j)
+  /// patch into a live LpWorkspace without rebuilding the standard form.
+  bool elasticCapacity = false;
 };
 
 /// A built program plus the variable maps needed to decode solutions.
@@ -67,6 +83,27 @@ class IlpFormulation {
   /// QoS-excluded).
   int assignmentVar(VertexId client, VertexId server) const;
 
+  /// Column of the elastic throughput u_j (elasticCapacity builds only); -1
+  /// when `node` is not internal or the formulation is classic.
+  int capacityVar(VertexId node) const {
+    return uVar_.empty() ? -1 : uVar_.at(static_cast<std::size_t>(node));
+  }
+
+  /// Row index of `client`'s assignment constraint (sum y = rhs); -1 when the
+  /// client has no row (zero rate without keepZeroRateClients). The online
+  /// layer patches rate changes through Model::setRowRhs on this row.
+  int assignRow(VertexId client) const {
+    return assignRow_.at(static_cast<std::size_t>(client));
+  }
+
+  /// The QoS-admissible servers of `client`, parallel to assignmentVars().
+  std::span<const VertexId> assignmentServers(VertexId client) const {
+    return yServer_.at(static_cast<std::size_t>(client));
+  }
+  std::span<const int> assignmentVars(VertexId client) const {
+    return yVar_.at(static_cast<std::size_t>(client));
+  }
+
   /// Turn an integral solution vector into a Placement (replicas that serve
   /// no requests are dropped, which preserves validity and never increases
   /// cost). Requires the solve to have used Integrality::Exact.
@@ -80,6 +117,8 @@ class IlpFormulation {
   FormulationOptions::Integrality integrality_;
   lp::Model model_;
   std::vector<int> xVar_;                 // per vertex
+  std::vector<int> uVar_;                 // per vertex (elasticCapacity only)
+  std::vector<int> assignRow_;            // per vertex: client assign-row index
   std::vector<std::vector<int>> yVar_;    // per client vertex: parallel to ancestor list
   std::vector<std::vector<VertexId>> yServer_;  // ancestor ids per client
 };

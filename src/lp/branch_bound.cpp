@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <optional>
 #include <queue>
 
 #include "lp/bb_detail.hpp"
@@ -18,14 +19,45 @@ using detail::NodePool;
 using detail::pickBranchVariable;
 using detail::roundBound;
 
+/// Install options.initialIncumbent (a caller-guaranteed feasible point) as
+/// the starting incumbent when it beats the plain initialUpperBound: its
+/// objective prunes from node one, and the point itself is returned when the
+/// search finds nothing strictly better.
+void seedIncumbent(const Model& model, const MipOptions& options,
+                   const std::vector<int>& integers, MipResult& result) {
+  if (options.initialIncumbent.empty()) return;
+  TREEPLACE_REQUIRE(
+      static_cast<int>(options.initialIncumbent.size()) == model.variableCount(),
+      "initialIncumbent size must match the model's variable count");
+  const double objective = model.evaluateObjective(options.initialIncumbent);
+  if (objective >= result.objective) return;
+  result.objective = objective;
+  result.values = options.initialIncumbent;
+  for (const int j : integers)
+    result.values[static_cast<std::size_t>(j)] =
+        std::round(result.values[static_cast<std::size_t>(j)]);
+}
+
 /// Warm-started engine: one persistent LpWorkspace, dual-simplex re-solves,
 /// delta-chain nodes, best-bound pool.
 MipResult solveMipWarm(const Model& model, const MipOptions& options,
                        const std::vector<int>& integers) {
   MipResult result;
   result.objective = options.initialUpperBound;
+  seedIncumbent(model, options, integers, result);
 
-  LpWorkspace workspace(model, options.lp);
+  // Caller-owned workspaces persist across solveMip calls: re-align the boxes
+  // and rhs with the (possibly patched) model, keep the final basis of the
+  // previous run — the root LP then re-solves with the dual simplex instead
+  // of a cold two-phase build.
+  std::optional<LpWorkspace> owned;
+  if (options.workspace != nullptr) {
+    options.workspace->syncFromModel(model);
+    options.workspace->resetStats();
+  } else {
+    owned.emplace(model, options.lp);
+  }
+  LpWorkspace& workspace = options.workspace != nullptr ? *options.workspace : *owned;
 
   std::vector<BbNode> nodes;
   nodes.push_back({});  // root: no delta
@@ -179,6 +211,7 @@ MipResult solveMipCold(const Model& model, const MipOptions& options,
 
   MipResult result;
   result.objective = options.initialUpperBound;
+  seedIncumbent(model, options, integers, result);
 
   Model working = model;
 

@@ -32,6 +32,22 @@ struct MipOptions {
   /// most-fractional branching. Facility-location models branch their
   /// placement indicators before the assignment variables this way.
   std::vector<int> branchPriority;
+  /// A feasible point of the model (size == variableCount) seeding the
+  /// incumbent: its objective becomes the initial upper bound AND the point
+  /// is returned when the search finds nothing better. Feasibility is the
+  /// caller's contract (integer entries must be integral within tolerance);
+  /// the online layer seeds the previous placement here so a re-solve after
+  /// a small mutation often closes at the root node. Empty disables seeding.
+  std::vector<double> initialIncumbent;
+  /// Caller-owned persistent workspace reused across solveMip calls on the
+  /// SAME standard form (bounds/rhs may differ; the matrix may not). The
+  /// engine re-syncs boxes and rhs from the model at entry and then re-solves
+  /// the root LP with the dual simplex from the previous run's final basis —
+  /// the cross-solve analogue of the per-node warm start. Only honoured by
+  /// the serial warm engine (workers == 0, warm-eligible model); other paths
+  /// ignore it. The workspace must have been built from this model (or one
+  /// sharing its standard form) with the same SimplexOptions.
+  LpWorkspace* workspace = nullptr;
   /// Branch-and-bound worker threads. 0 (default) runs the single-threaded
   /// engines exactly as before. N >= 1 runs the worker-pool engine: N
   /// threads, each owning its own arena-backed LpWorkspace cloned from the

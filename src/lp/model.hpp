@@ -36,6 +36,11 @@ class Model {
 
   void setBounds(int variable, double lower, double upper);
   void setObjectiveCoefficient(int variable, double objective);
+  /// Replace a row's right-hand side in place. The online re-solve layer
+  /// patches demand/capacity deltas this way instead of rebuilding the model.
+  void setRowRhs(int row, double rhs) {
+    rows_.at(static_cast<std::size_t>(row)).rhs = rhs;
+  }
 
   int variableCount() const { return static_cast<int>(objective_.size()); }
   int constraintCount() const { return static_cast<int>(rows_.size()); }

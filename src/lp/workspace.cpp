@@ -204,6 +204,16 @@ void LpWorkspace::setBounds(int variable, double lower, double upper) {
   curUpper_[static_cast<std::size_t>(variable)] = upper;
 }
 
+void LpWorkspace::syncFromModel(const Model& model) {
+  TREEPLACE_REQUIRE(model.variableCount() == variableCount(),
+                    "syncFromModel: variable count changed — rebuild the workspace");
+  TREEPLACE_REQUIRE(model.constraintCount() == modelRows_,
+                    "syncFromModel: constraint count changed — rebuild the workspace");
+  for (int r = 0; r < modelRows_; ++r) setRhs(r, model.rowRhs(r));
+  for (int j = 0; j < variableCount(); ++j)
+    setBounds(j, model.lower(j), model.upper(j));
+}
+
 void LpWorkspace::computeRhs(std::vector<double>& b) const {
   b.resize(static_cast<std::size_t>(m_));
   for (int r = 0; r < modelRows_; ++r) {

@@ -124,6 +124,23 @@ class LpWorkspace {
   /// Set the box of `variable` for the next solve (model space).
   void setBounds(int variable, double lower, double upper);
 
+  /// Replace the right-hand side of model constraint `row` for the next
+  /// solve. The transformed rhs is recomputed from baseRhs_ through the basis
+  /// inverse on every solve, and costs are untouched, so a warm basis stays
+  /// dual-feasible: rhs deltas re-optimise in a few dual pivots exactly like
+  /// bound changes. This is what lets the online layer patch demand changes
+  /// into a live workspace instead of rebuilding the standard form.
+  void setRhs(int row, double rhs) {
+    baseRhs_.at(static_cast<std::size_t>(row)) = rhs;
+  }
+
+  /// Re-align every box and rhs with `model`, which must be the model this
+  /// workspace was built from (same rows/columns; only bounds and rhs may
+  /// have changed — matrix coefficients and objective are fixed at build).
+  /// Any valid basis survives: see setRhs()/setBounds(). The warm MIP driver
+  /// calls this at entry when reusing a caller-owned workspace across solves.
+  void syncFromModel(const Model& model);
+
   double currentLower(int variable) const {
     return curLower_[static_cast<std::size_t>(variable)];
   }

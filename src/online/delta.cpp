@@ -1,0 +1,133 @@
+#include "online/delta.hpp"
+
+#include <utility>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+namespace {
+
+/// Rebuild the Tree with `extraParents`/`extraKinds` appended. Existing ids,
+/// children orders and subtree contents are untouched (children are id-
+/// ordered and new ids are maximal), so only the attach path changes.
+void appendVertices(ProblemInstance& instance,
+                    const std::vector<VertexId>& extraParents,
+                    const std::vector<VertexKind>& extraKinds) {
+  const Tree& tree = instance.tree;
+  const std::size_t n = tree.vertexCount();
+  std::vector<VertexId> parents(n + extraParents.size());
+  std::vector<VertexKind> kinds(n + extraKinds.size());
+  for (std::size_t v = 0; v < n; ++v) {
+    parents[v] = tree.parent(static_cast<VertexId>(v));
+    kinds[v] = tree.kind(static_cast<VertexId>(v));
+  }
+  for (std::size_t k = 0; k < extraParents.size(); ++k) {
+    parents[n + k] = extraParents[k];
+    kinds[n + k] = extraKinds[k];
+  }
+  instance.tree = Tree::fromParents(std::move(parents), std::move(kinds));
+  const std::size_t grown = instance.tree.vertexCount();
+  instance.requests.resize(grown, 0);
+  instance.capacity.resize(grown, 0);
+  instance.storageCost.resize(grown, 0.0);
+  instance.commTime.resize(grown, 0.0);
+  instance.bandwidth.resize(grown, kUnlimitedBandwidth);
+  instance.qos.resize(grown, kNoQos);
+  instance.compTime.resize(grown, 0.0);
+}
+
+}  // namespace
+
+DeltaApplication applyDelta(ProblemInstance& instance, const InstanceDelta& delta) {
+  const Tree& tree = instance.tree;
+  DeltaApplication app;
+  app.kind = delta.kind;
+
+  switch (delta.kind) {
+    case DeltaKind::RateChange: {
+      TREEPLACE_REQUIRE(tree.isClient(delta.node), "RateChange needs a client");
+      TREEPLACE_REQUIRE(delta.rate >= 0, "request rate must be non-negative");
+      instance.requests[static_cast<std::size_t>(delta.node)] = delta.rate;
+      app.touched.push_back(delta.node);
+      return app;
+    }
+    case DeltaKind::ClientLeave: {
+      TREEPLACE_REQUIRE(tree.isClient(delta.node), "ClientLeave needs a client");
+      instance.requests[static_cast<std::size_t>(delta.node)] = 0;
+      app.touched.push_back(delta.node);
+      return app;
+    }
+    case DeltaKind::CapacityChange: {
+      TREEPLACE_REQUIRE(delta.capacity > 0, "capacity must stay positive");
+      if (delta.node == kNoVertex) {
+        // Homogeneous capacity shift: W appears in every place step, so no
+        // subtree result survives.
+        for (const VertexId j : tree.internals())
+          instance.capacity[static_cast<std::size_t>(j)] = delta.capacity;
+        app.global = true;
+      } else {
+        TREEPLACE_REQUIRE(tree.isInternal(delta.node),
+                          "per-node CapacityChange needs an internal node");
+        instance.capacity[static_cast<std::size_t>(delta.node)] = delta.capacity;
+        app.touched.push_back(delta.node);
+      }
+      return app;
+    }
+    case DeltaKind::ClientJoin: {
+      TREEPLACE_REQUIRE(tree.isInternal(delta.node), "ClientJoin attaches under an internal node");
+      TREEPLACE_REQUIRE(delta.rate >= 0, "request rate must be non-negative");
+      app.structural = true;
+      app.firstNewVertex = static_cast<VertexId>(tree.vertexCount());
+      appendVertices(instance, {delta.node}, {VertexKind::Client});
+      const auto c = static_cast<std::size_t>(app.firstNewVertex);
+      instance.requests[c] = delta.rate;
+      instance.commTime[c] = delta.commTime;
+      instance.qos[c] = delta.qos;
+      app.touched.push_back(app.firstNewVertex);
+      return app;
+    }
+    case DeltaKind::SubtreeAttach: {
+      TREEPLACE_REQUIRE(tree.isInternal(delta.node),
+                        "SubtreeAttach attaches under an internal node");
+      TREEPLACE_REQUIRE(!delta.podRates.empty(), "a pod needs at least one client");
+      TREEPLACE_REQUIRE(delta.capacity > 0, "pod capacity must be positive");
+      app.structural = true;
+      app.firstNewVertex = static_cast<VertexId>(tree.vertexCount());
+      std::vector<VertexId> parents{delta.node};
+      std::vector<VertexKind> kinds{VertexKind::Internal};
+      for (std::size_t k = 0; k < delta.podRates.size(); ++k) {
+        parents.push_back(app.firstNewVertex);
+        kinds.push_back(VertexKind::Client);
+      }
+      appendVertices(instance, parents, kinds);
+      const auto pod = static_cast<std::size_t>(app.firstNewVertex);
+      instance.capacity[pod] = delta.capacity;
+      instance.storageCost[pod] = delta.storageCost;
+      instance.commTime[pod] = delta.commTime;
+      for (std::size_t k = 0; k < delta.podRates.size(); ++k) {
+        TREEPLACE_REQUIRE(delta.podRates[k] >= 0, "request rate must be non-negative");
+        instance.requests[pod + 1 + k] = delta.podRates[k];
+        instance.commTime[pod + 1 + k] = delta.commTime;
+      }
+      // Dirtying the pod root covers the new clients: they live below it.
+      app.touched.push_back(app.firstNewVertex);
+      return app;
+    }
+    case DeltaKind::SubtreeDetach: {
+      const std::span<const VertexId> clients =
+          tree.isClient(delta.node)
+              ? std::span<const VertexId>(&delta.node, 1)
+              : tree.clientsInSubtree(delta.node);
+      for (const VertexId c : clients) {
+        if (instance.requests[static_cast<std::size_t>(c)] == 0) continue;
+        instance.requests[static_cast<std::size_t>(c)] = 0;
+        app.touched.push_back(c);
+      }
+      return app;
+    }
+  }
+  TREEPLACE_REQUIRE(false, "unknown delta kind");
+  return app;
+}
+
+}  // namespace treeplace

@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// Kinds of live-instance mutations the online layer understands. Vertex ids
+/// are stable across every mutation: structural changes append vertices at
+/// the end of the id range (Tree::fromParents uses index == id), and removal
+/// is logical — a leaving client keeps its vertex with a zero request rate.
+enum class DeltaKind : std::uint8_t {
+  RateChange,      ///< client request rate r_i changes
+  ClientJoin,      ///< a new client leaf attaches under an internal node
+  ClientLeave,     ///< a client's rate drops to zero (vertex stays)
+  CapacityChange,  ///< one node's W_j (node != kNoVertex) or every node's W
+  SubtreeAttach,   ///< a pod (one internal + clients) attaches under a node
+  SubtreeDetach,   ///< every client in subtree(node) goes quiet (rates to 0)
+};
+
+/// One mutation of a live ProblemInstance. Only the fields of the matching
+/// kind are read; the rest are ignored.
+struct InstanceDelta {
+  DeltaKind kind = DeltaKind::RateChange;
+
+  /// RateChange/ClientLeave: the client. CapacityChange: the internal node,
+  /// or kNoVertex for a homogeneous change of every internal node.
+  /// ClientJoin/SubtreeAttach: the internal node to attach under.
+  /// SubtreeDetach: the subtree root.
+  VertexId node = kNoVertex;
+
+  Requests rate = 0;      ///< RateChange/ClientJoin: the (new) request rate
+  Requests capacity = 0;  ///< CapacityChange: the new W; SubtreeAttach: pod W
+  double qos = kNoQos;    ///< ClientJoin: QoS bound of the new client
+  double commTime = 1.0;  ///< ClientJoin/SubtreeAttach: uplink comm of new vertices
+  double storageCost = 1.0;        ///< SubtreeAttach: pod internal node s_j
+  std::vector<Requests> podRates;  ///< SubtreeAttach: one client per entry
+};
+
+/// What applying a delta did, in terms every incremental consumer needs for
+/// invalidation. `touched` lists the vertices whose own subtree DP state
+/// changed (consumers dirty them plus their root paths); `structural` says
+/// the Tree object was rebuilt (vertices appended, ids stable); `global`
+/// says every cached subtree result is stale (homogeneous capacity change —
+/// W appears in every place step).
+struct DeltaApplication {
+  DeltaKind kind = DeltaKind::RateChange;
+  std::vector<VertexId> touched;
+  bool structural = false;
+  bool global = false;
+  VertexId firstNewVertex = kNoVertex;  ///< structural only: old vertexCount
+};
+
+/// Apply `delta` to `instance` in place. Structural deltas rebuild the Tree
+/// from an extended parent array (O(n), ids stable); value deltas edit the
+/// per-vertex arrays directly. Throws PreconditionError on malformed deltas
+/// (client field naming an internal vertex, attach under a client, ...).
+DeltaApplication applyDelta(ProblemInstance& instance, const InstanceDelta& delta);
+
+/// Epoch-based dirty-subtree tracker shared by the incremental caches.
+/// Every applied delta bumps the mutation epoch and stamps the touched
+/// vertices plus all their ancestors (walking up stops at an already-current
+/// stamp, so a mark costs O(depth) amortised). The dirty set is therefore
+/// closed under parents: a clean vertex implies a clean subtree, which is
+/// exactly the invariant the per-subtree frontier caches need.
+class DirtyTracker {
+ public:
+  explicit DirtyTracker(std::size_t vertexCount)
+      : lastDirty_(vertexCount, 1) {}
+
+  std::uint64_t epoch() const { return epoch_; }
+
+  /// Everything computed before or at this epoch is stale everywhere.
+  std::uint64_t globalEpoch() const { return globalDirty_; }
+
+  /// A vertex's cache entry is valid iff its computed epoch >= this.
+  std::uint64_t dirtySince(VertexId v) const {
+    const std::uint64_t local = lastDirty_[static_cast<std::size_t>(v)];
+    return local > globalDirty_ ? local : globalDirty_;
+  }
+
+  /// Record one applied delta: new vertices (structural growth) start dirty,
+  /// touched vertices and their root paths are stamped with the new epoch.
+  /// Returns the number of vertices stamped (invalidation telemetry).
+  /// `stampedOut`, when given, receives every vertex this call dirtied
+  /// (structural newcomers included) — consumers that keep a pending dirty
+  /// list accumulate these so a re-solve can visit just the stamped vertices
+  /// instead of scanning the whole tree. Global invalidations append nothing;
+  /// the caller must treat them as everything-dirty.
+  std::size_t note(const Tree& tree, const DeltaApplication& app,
+                   std::vector<VertexId>* stampedOut = nullptr) {
+    ++epoch_;
+    const std::size_t oldSize = lastDirty_.size();
+    lastDirty_.resize(tree.vertexCount(), epoch_);
+    if (stampedOut)
+      for (std::size_t v = oldSize; v < lastDirty_.size(); ++v)
+        stampedOut->push_back(static_cast<VertexId>(v));
+    if (app.global) {
+      globalDirty_ = epoch_;
+      return tree.vertexCount();
+    }
+    std::size_t stamped = 0;
+    for (const VertexId t : app.touched) {
+      // The touched vertex itself may already carry the current epoch — new
+      // vertices are born dirty at this epoch by the resize above — but its
+      // ancestors still need stamping, so the already-stamped short-circuit
+      // only applies from the parent upward.
+      bool first = true;
+      for (VertexId v = t; v != kNoVertex; v = tree.parent(v), first = false) {
+        auto& mark = lastDirty_[static_cast<std::size_t>(v)];
+        if (mark == epoch_) {
+          if (!first) break;  // the rest of the path is already stamped
+          continue;
+        }
+        mark = epoch_;
+        if (stampedOut) stampedOut->push_back(v);
+        ++stamped;
+      }
+    }
+    return stamped;
+  }
+
+ private:
+  std::uint64_t epoch_ = 1;        ///< bumped per applied delta
+  std::uint64_t globalDirty_ = 1;  ///< set to epoch_ on global invalidation
+  std::vector<std::uint64_t> lastDirty_;  ///< per-vertex last dirty epoch
+};
+
+}  // namespace treeplace

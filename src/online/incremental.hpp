@@ -1,0 +1,244 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "core/frontier.hpp"
+#include "core/placement.hpp"
+#include "online/delta.hpp"
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// The homogeneous exact solvers the incremental engine can mirror. Policy
+/// (core/policy) names the paper's access policies; this names concrete DP
+/// *solvers* — Closest+QoS is the same access policy as Closest with the
+/// 3-D QoS frontier DP underneath, hence its own entry.
+enum class OnlinePolicy : std::uint8_t {
+  Closest,     ///< exact/closest_homogeneous frontier DP
+  Multiple,    ///< exact/multiple_homogeneous frontier DP
+  ClosestQos,  ///< exact/closest_qos 3-D frontier DP
+};
+
+constexpr std::string_view toString(OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::Closest: return "Closest";
+    case OnlinePolicy::Multiple: return "Multiple";
+    case OnlinePolicy::ClosestQos: return "ClosestQos";
+  }
+  return "?";
+}
+
+/// Telemetry of a memoized frontier cache (see experiments/report for
+/// rendering). hits/misses count per-vertex subtree results across all
+/// resolves; invalidations count dirty stamps applied by mutations.
+struct FrontierCacheStats {
+  std::size_t trackedVertices = 0;   ///< vertices under cache management
+  std::size_t hits = 0;              ///< clean subtree frontiers reused
+  std::size_t misses = 0;            ///< subtree frontiers recomputed
+  std::size_t invalidations = 0;     ///< per-vertex dirty stamps applied
+  std::size_t globalInvalidations = 0;  ///< whole-cache flushes (capacity W)
+  std::size_t compactions = 0;       ///< arena copy-compaction passes
+  std::size_t arenaEntries = 0;      ///< slab entries after the last resolve
+  std::size_t arenaBytes = 0;        ///< slab footprint, bytes
+
+  double hitRate() const {
+    const std::size_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+namespace detail {
+
+/// Per-vertex memoized frontier state of one policy: node frontiers, the
+/// per-(node, child-prefix) convolution frontiers the backpointer walk
+/// needs, and the epoch stamps that validate them. Entries live in one
+/// persistent arena; spans are indices, so they survive arena growth, and a
+/// copy-compaction pass recycles the slab once dead generations dominate.
+template <typename Entry>
+struct FrontierCacheState {
+  BasicFrontierArena<Entry> arena;
+  std::vector<FrontierSpan> frontier;      ///< per vertex
+  std::vector<FrontierSpan> comboSpans;    ///< flat, comboOffset-indexed
+  /// Child convolved into each combo slot when the chain was built. Prefix
+  /// reuse compares this against the current merge order, so a structural
+  /// delta that reshuffles a vertex's merge order (subtree sizes shifted)
+  /// silently falls back to re-convolving from the first divergence.
+  std::vector<VertexId> comboChild;
+  std::vector<std::int32_t> comboOffset;   ///< per vertex
+  std::vector<std::int32_t> comboCount;    ///< children count at layout time
+  std::vector<std::uint64_t> computedEpoch;  ///< 0 = never computed
+  /// Count cap the vertex's combo chain was built with (-1: chain invalid).
+  /// A dirty vertex whose cap is unchanged reuses the prefix combos of its
+  /// clean children and re-convolves only from the first changed child on —
+  /// the recompute then costs O(changed suffix), not O(degree).
+  std::vector<std::int32_t> comboCap;
+  /// Reconstruction memo: the entry index the last backpointer walk chose at
+  /// this vertex, the mutation epoch of that walk, and the resulting replica
+  /// bit. A walk that reaches a vertex with the same entry index and no
+  /// mutation in its subtree since (chosenEpoch >= dirtySince) skips the
+  /// whole subtree — its bits are still exact.
+  std::vector<std::int32_t> chosenEntry;
+  std::vector<std::uint64_t> chosenEpoch;
+  std::vector<char> replicaBit;
+  std::size_t liveEntries = 0;  ///< live-span entries at the last compaction
+  /// Arena size below which the compaction live-scan is skipped entirely;
+  /// bumped after every scan so the O(n) walk amortizes over arena growth
+  /// instead of running on every resolve.
+  std::size_t nextCompactCheck = 0;
+
+  void init(const Tree& tree, bool withCombos);
+  /// Structural growth: extend per-vertex tables, remap the flat combo table
+  /// onto the new tree's layout (old vertices keep their spans; the attach
+  /// target is dirty anyway).
+  void grow(const Tree& tree, bool withCombos);
+};
+
+}  // namespace detail
+
+/// Incremental re-optimization engine for the polynomial homogeneous solvers
+/// (Closest, Multiple via the frontier DP, Closest+QoS).
+///
+/// The solver memoizes every subtree's Pareto frontier (and the prefix
+/// convolutions the reconstruction walk needs) in a persistent arena, keyed
+/// by epoch counters: a mutation stamps only the touched vertices and their
+/// root paths (DirtyTracker), so a re-solve recomputes O(depth) frontiers
+/// instead of O(s) and reuses everything else. Recomputation runs the exact
+/// solvers' own merge code (FrontierConvolver / QosFrontierSweep), so the
+/// incremental placement is bit-identical to a from-scratch solve after
+/// every step — the equivalence tests pin this down per policy.
+///
+/// The instance is shared with the caller (scratch comparisons and the
+/// mutation driver read it); it must outlive the solver and mutate only
+/// through apply().
+class IncrementalSolver {
+ public:
+  IncrementalSolver(ProblemInstance& instance, OnlinePolicy policy);
+
+  OnlinePolicy policy() const { return policy_; }
+  std::uint64_t epoch() const { return tracker_.epoch(); }
+
+  /// Apply one mutation to the shared instance and invalidate the affected
+  /// subtree caches (touched vertices + root paths, O(depth) stamps).
+  DeltaApplication apply(const InstanceDelta& delta);
+
+  /// TEST HOOK: apply the instance edit but skip cache invalidation. This
+  /// deliberately breaks the dirty-closure invariant — the cache-poisoning
+  /// test uses it to prove a too-small dirty set yields a stale answer.
+  /// Structural deltas are invalidated normally (the grown tables need their
+  /// stamps to stay in bounds); only value deltas skip the stamps.
+  DeltaApplication applyWithoutInvalidation(const InstanceDelta& delta);
+
+  /// Re-solve from the caches: recompute dirty subtree frontiers bottom-up,
+  /// reuse clean ones, reconstruct the placement through the cached
+  /// backpointers. nullopt when the mutated instance is infeasible.
+  std::optional<Placement> resolve();
+
+  const FrontierCacheStats& cacheStats() const { return stats_; }
+
+ private:
+  void noteDelta(const DeltaApplication& app);
+  std::optional<Placement> resolve2d();
+  std::optional<Placement> resolveQos();
+  template <typename Entry>
+  void maybeCompact(detail::FrontierCacheState<Entry>& cache);
+  /// Sort the pending dirty list into postorder processing position and drop
+  /// duplicates (the same vertex stamped across several epochs).
+  void orderPendingDirty();
+  void rebuildPositions();
+  template <typename Entry>
+  void reconstruct(detail::FrontierCacheState<Entry>& cache,
+                   std::int32_t rootEntryIndex);
+  /// Persistent-assignment maintenance after a feasible reconstruct: either a
+  /// full rebuild (first solve, structural growth, Multiple after a global W
+  /// change) or an O(changed region) repair driven by the replica-bit flips
+  /// the walk collected plus the clients whose rates mutated.
+  void refreshClosestAssignment(const std::vector<char>& replicaBit);
+  void refreshMultipleAssignment(const std::vector<char>& replicaBit);
+  void repairClosestAssignment(const std::vector<char>& replicaBit);
+  void repairMultipleAssignment(const std::vector<char>& replicaBit);
+
+  ProblemInstance* instance_;
+  OnlinePolicy policy_;
+  DirtyTracker tracker_;
+  FrontierCacheStats stats_;
+  detail::FrontierCacheState<FrontierEntry> cache2d_;    ///< Closest/Multiple
+  detail::FrontierCacheState<QosFrontierEntry> cacheQos_;  ///< Closest + QoS
+
+  /// Vertices stamped dirty since the last resolve (DirtyTracker::note
+  /// out-list). A resolve visits exactly these, sorted into postorder, so the
+  /// DP sweep costs O(dirty log dirty) instead of an O(s) epoch scan; a
+  /// global invalidation (or the first solve) falls back to the full sweep.
+  std::vector<VertexId> pendingDirty_;
+  bool pendingGlobal_ = true;
+  /// Clients whose request rate changed since the last *successful* repair
+  /// (infeasible steps leave the incumbent assignment untouched, so their
+  /// changes carry forward until a feasible step consumes them).
+  std::vector<VertexId> pendingChangedClients_;
+  std::vector<VertexId> flips_;  ///< replica bits flipped by the last walk
+
+  /// The incumbent assignment, repaired in place step over step. resolve()
+  /// hands out copies; the incumbent itself never leaves the solver.
+  std::optional<Placement> placement_;
+  bool assignRebuildNeeded_ = true;
+  /// Per-server absorption lists of the incumbent Multiple assignment
+  /// ((client, amount) per share, unordered): the undo side of the
+  /// undo/replay repair. Maintained only for OnlinePolicy::Multiple.
+  std::vector<std::vector<std::pair<VertexId, Requests>>> serverTakes_;
+  /// Closest/Qos: clients currently served by each replica, sorted by their
+  /// position in tree.clients(). A replica flip then touches exactly the
+  /// clients whose nearest replica moved — the removed server's own list, or
+  /// the subtree slice of the strict ancestors' lists — instead of every
+  /// client under the flipped vertex.
+  std::vector<std::vector<VertexId>> serverClients_;
+
+  std::vector<std::int32_t> postPos_;      ///< postorder position per vertex
+  std::vector<std::int32_t> clientIndex_;  ///< index in tree.clients(), -1 else
+  std::vector<Requests> remainingScratch_;  ///< valid only for tracked clients
+  std::vector<std::uint64_t> pathMark_;    ///< root-path walk dedup stamps
+  std::vector<std::uint64_t> clientMark_;  ///< tracked-client dedup stamps
+  std::uint64_t markGen_ = 0;
+};
+
+/// Incremental twin of core/bounds' FrontierSubtreeRelaxation: the per-subtree
+/// relaxation frontiers (place absorbs min(flow, W_v) — valid for every
+/// policy) are memoized with the same epoch scheme as IncrementalSolver,
+/// while the cheap derived passes (ancestor capacities, per-subtree replica
+/// floors R_v, the additive decomposition bound) are recomputed per refresh.
+/// Feeds knownLowerBound into the warm ILP re-solve path.
+class IncrementalBounds {
+ public:
+  explicit IncrementalBounds(ProblemInstance& instance);
+
+  /// Invalidate after a delta someone else already applied to the instance.
+  void noteDelta(const DeltaApplication& app);
+
+  /// Convenience for standalone use: applyDelta + noteDelta.
+  DeltaApplication apply(const InstanceDelta& delta);
+
+  /// Recompute dirty relaxation frontiers and the derived floors/bound.
+  void refresh();
+
+  bool feasible() const { return feasible_; }
+  double decompositionBound() const { return decompositionBound_; }
+  std::int32_t minReplicasIn(VertexId v) const {
+    return minReplicas_[static_cast<std::size_t>(v)];
+  }
+  std::int32_t minTotalReplicas() const {
+    return minReplicasIn(instance_->tree.root());
+  }
+  const FrontierCacheStats& cacheStats() const { return stats_; }
+
+ private:
+  ProblemInstance* instance_;
+  DirtyTracker tracker_;
+  FrontierCacheStats stats_;
+  detail::FrontierCacheState<FrontierEntry> cache_;
+  std::vector<std::int32_t> minReplicas_;
+  double decompositionBound_ = 0.0;
+  bool feasible_ = true;
+};
+
+}  // namespace treeplace

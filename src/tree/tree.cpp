@@ -88,6 +88,20 @@ Tree Tree::fromParents(std::vector<VertexId> parents, std::vector<VertexKind> ki
   TREEPLACE_REQUIRE(t.preorder_.size() == static_cast<std::size_t>(n),
                     "graph is not a tree (cycle or disconnected vertex)");
 
+  // Canonical merge order: per vertex, children ascending by subtree size
+  // (ties by id, so the order is deterministic). Shares childStart_ offsets.
+  t.mergeList_ = t.childList_;
+  for (VertexId v = 0; v < n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    auto* begin = t.mergeList_.data() + t.childStart_[vi];
+    auto* end = t.mergeList_.data() + t.childStart_[vi + 1];
+    std::sort(begin, end, [&t](VertexId a, VertexId b) {
+      const std::size_t sa = t.subtreeSize(a);
+      const std::size_t sb = t.subtreeSize(b);
+      return sa != sb ? sa < sb : a < b;
+    });
+  }
+
   // Kind/shape constraints and client/internal lists in preorder order.
   for (const VertexId v : t.preorder_) {
     if (t.isClient(v)) {
@@ -106,6 +120,13 @@ std::span<const VertexId> Tree::children(VertexId v) const {
   const auto begin = static_cast<std::size_t>(childStart_[i]);
   const auto end = static_cast<std::size_t>(childStart_[i + 1]);
   return {childList_.data() + begin, end - begin};
+}
+
+std::span<const VertexId> Tree::mergeChildren(VertexId v) const {
+  const auto i = static_cast<std::size_t>(checked(v));
+  const auto begin = static_cast<std::size_t>(childStart_[i]);
+  const auto end = static_cast<std::size_t>(childStart_[i + 1]);
+  return {mergeList_.data() + begin, end - begin};
 }
 
 bool Tree::isAncestor(VertexId a, VertexId d) const {

@@ -46,6 +46,14 @@ class Tree {
   std::span<const VertexId> children(VertexId v) const;
   bool isLeaf(VertexId v) const { return children(v).empty(); }
 
+  /// The children of v in canonical merge order: ascending subtree size,
+  /// ties by id. Every frontier DP (scratch and incremental) convolves child
+  /// frontiers in this order. Small subtrees first keeps intermediate
+  /// frontiers narrow, and the heavy child — the one a random mutation most
+  /// likely lands in — sits last, so an incremental re-solve that reuses the
+  /// clean prefix of the chain usually redoes a single convolution.
+  std::span<const VertexId> mergeChildren(VertexId v) const;
+
   /// Hop depth; 0 for the root.
   int depth(VertexId v) const {
     return depths_[static_cast<std::size_t>(checked(v))];
@@ -92,6 +100,7 @@ class Tree {
   std::vector<VertexKind> kinds_;
   std::vector<std::int32_t> childStart_;  // CSR offsets into childList_
   std::vector<VertexId> childList_;
+  std::vector<VertexId> mergeList_;  // childList_ resorted per mergeChildren()
   std::vector<int> depths_;
   std::vector<std::int32_t> preIndex_;    // position in preorder
   std::vector<std::int32_t> subtreeEnd_;  // preorder interval [preIndex, subtreeEnd)

@@ -121,6 +121,44 @@ TEST(FrontierStream, MultipleTinyWidthCapStaysAchievable) {
   }
 }
 
+// Cap telemetry soundness: a run is non-exact iff some merge was capped,
+// capped merges drop points and accumulate a positive gap bound, and on the
+// 2-D policies that bound certifies a bracket around the true optimum:
+// replicasFloor() <= exact optimum <= replicas. Uncapped runs must report a
+// zero gap and a floor equal to the answer itself.
+TEST(FrontierStream, CapGapBoundBracketsOptimum) {
+  FrontierStreamOptions tiny;
+  tiny.widthCap = 3;
+  int cappedFeasible = 0;
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    const ProblemInstance inst = randomHomogeneous(seed * 1181, 0.55);
+    for (int policy = 0; policy < 2; ++policy) {
+      const auto exact = policy == 0 ? solveClosestHomogeneous(inst)
+                                     : solveMultipleHomogeneousDP(inst);
+      const StreamCountResult stream =
+          policy == 0 ? countClosestHomogeneousStreaming(inst, tiny)
+                      : countMultipleHomogeneousStreaming(inst, tiny);
+      ASSERT_EQ(stream.stats.exact, stream.stats.cappedMerges == 0) << seed;
+      if (stream.stats.exact) {
+        EXPECT_EQ(stream.stats.droppedPoints, 0u) << seed;
+        EXPECT_EQ(stream.stats.capGapBound, 0) << seed;
+        EXPECT_EQ(stream.replicasFloor(), stream.replicas) << seed;
+      } else {
+        EXPECT_GT(stream.stats.droppedPoints, 0u) << seed;
+        EXPECT_GE(stream.stats.capGapBound, 1) << seed;
+        EXPECT_LE(stream.replicasFloor(), stream.replicas) << seed;
+      }
+      if (exact && stream.feasible) {
+        const auto opt = static_cast<std::int32_t>(exact->replicaCount());
+        EXPECT_GE(opt, stream.replicasFloor()) << seed << " policy " << policy;
+        EXPECT_LE(opt, stream.replicas) << seed << " policy " << policy;
+        if (!stream.stats.exact) ++cappedFeasible;
+      }
+    }
+  }
+  EXPECT_GE(cappedFeasible, 10);  // the bracket claim was actually exercised
+}
+
 // The streamer's memory bound is the whole point: peak slab entries stay
 // within widthCap * (tree depth + 1) even when the exact arena would be far
 // wider.

@@ -1,0 +1,361 @@
+#include "online/incremental.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "core/bounds.hpp"
+#include "exact/closest_homogeneous.hpp"
+#include "exact/closest_qos.hpp"
+#include "exact/exact_ilp.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "experiments/mutation_driver.hpp"
+#include "lp/branch_bound.hpp"
+#include "online/delta.hpp"
+#include "online/warm_ilp.hpp"
+#include "support/prng.hpp"
+#include "test_util.hpp"
+#include "tree/builder.hpp"
+
+namespace treeplace {
+namespace {
+
+ProblemInstance smallHomogeneous(std::uint64_t seed, double qosFraction = 0.0) {
+  GeneratorConfig config;
+  config.minSize = 8;
+  config.maxSize = 20;
+  config.clientFraction = 0.55;
+  config.maxRequests = 8;
+  config.lambda = 0.55;
+  config.unitCosts = true;
+  config.qosFraction = qosFraction;
+  Prng rng(seed);
+  return generateInstance(config, rng);
+}
+
+std::optional<Placement> scratch(const ProblemInstance& instance,
+                                 OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::Closest: return solveClosestHomogeneous(instance);
+    case OnlinePolicy::Multiple: return solveMultipleHomogeneousDP(instance);
+    case OnlinePolicy::ClosestQos: return solveClosestHomogeneousQos(instance);
+  }
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized equivalence: after EVERY step of 100+ random mutation sequences
+// per policy, the incremental re-solve must produce the same feasibility
+// verdict, cost and (bit-identical) placement as the from-scratch exact
+// solver it mirrors. The mutation driver performs the comparison per step.
+// ---------------------------------------------------------------------------
+
+class IncrementalEquivalence : public ::testing::TestWithParam<OnlinePolicy> {};
+
+TEST_P(IncrementalEquivalence, MatchesScratchAfterEveryStep) {
+  const OnlinePolicy policy = GetParam();
+  const double qosFraction = policy == OnlinePolicy::ClosestQos ? 0.6 : 0.0;
+  int verifiedSteps = 0;
+  for (std::uint64_t seed = 1; seed <= 110; ++seed) {
+    ProblemInstance instance = smallHomogeneous(seed, qosFraction);
+    MutationWorkloadConfig config;
+    config.policy = policy;
+    config.steps = 8;
+    config.seed = seed * 7919;
+    config.structural = true;
+    const MutationRunResult run = runMutationWorkload(instance, config);
+    ASSERT_EQ(run.steps.size(), 8u) << "seed=" << seed;
+    for (std::size_t k = 0; k < run.steps.size(); ++k)
+      EXPECT_TRUE(run.steps[k].match)
+          << toString(policy) << " seed=" << seed << " step=" << k << " kind="
+          << static_cast<int>(run.steps[k].kind);
+    EXPECT_TRUE(run.allMatch) << "seed=" << seed;
+    verifiedSteps += static_cast<int>(run.steps.size());
+  }
+  EXPECT_GE(verifiedSteps, 800);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, IncrementalEquivalence,
+                         ::testing::Values(OnlinePolicy::Closest,
+                                           OnlinePolicy::Multiple,
+                                           OnlinePolicy::ClosestQos),
+                         [](const auto& info) {
+                           return std::string(toString(info.param));
+                         });
+
+// Value mutations must hit the cache on untouched subtrees: a one-client
+// change on a two-branch tree recomputes only the client's root path.
+TEST(IncrementalSolver, CacheHitsOnUntouchedSubtrees) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(10);
+  const VertexId left = b.addInternal(root, 10);
+  const VertexId right = b.addInternal(root, 10);
+  const VertexId c0 = b.addClient(left, 3);
+  b.addClient(left, 2);
+  b.addClient(right, 4);
+  b.addClient(right, 1);
+  b.useUnitCosts();
+  ProblemInstance instance = b.build();
+
+  IncrementalSolver solver(instance, OnlinePolicy::Multiple);
+  ASSERT_TRUE(solver.resolve().has_value());
+  const FrontierCacheStats before = solver.cacheStats();
+
+  InstanceDelta delta;
+  delta.kind = DeltaKind::RateChange;
+  delta.node = c0;
+  delta.rate = 5;
+  solver.apply(delta);
+  ASSERT_TRUE(solver.resolve().has_value());
+  const FrontierCacheStats after = solver.cacheStats();
+
+  // Recomputed: c0, left, root. Reused: the right branch and left's other
+  // client — at least 4 of the 7 vertices must be cache hits.
+  EXPECT_EQ(after.misses - before.misses, 3u);
+  EXPECT_GE(after.hits - before.hits, 4u);
+  EXPECT_GT(after.hitRate(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Cache poisoning: dirtying too little MUST yield a stale answer. The test
+// hook applies a rate drop without invalidation — the epoch checks then see
+// every subtree as clean and reproduce the pre-mutation optimum, which no
+// longer matches scratch. A full apply() of the same delta heals the cache.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalSolver, PoisonedCacheServesStaleAnswer) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(5);
+  const VertexId mid = b.addInternal(root, 5);
+  const VertexId c0 = b.addClient(mid, 4);
+  b.addClient(mid, 4);
+  b.useUnitCosts();
+  ProblemInstance instance = b.build();
+
+  IncrementalSolver solver(instance, OnlinePolicy::Multiple);
+  const auto initial = solver.resolve();
+  ASSERT_TRUE(initial.has_value());
+  EXPECT_EQ(initial->replicaCount(), 2u);  // 8 requests over W = 5
+
+  // Drop c0 to 1 (total 5, one replica suffices) WITHOUT invalidating.
+  InstanceDelta delta;
+  delta.kind = DeltaKind::RateChange;
+  delta.node = c0;
+  delta.rate = 1;
+  solver.applyWithoutInvalidation(delta);
+
+  const auto stale = solver.resolve();
+  const auto fresh = solveMultipleHomogeneousDP(instance);
+  ASSERT_TRUE(stale.has_value());
+  ASSERT_TRUE(fresh.has_value());
+  EXPECT_EQ(stale->replicaCount(), 2u) << "poisoned cache should be stale";
+  EXPECT_EQ(fresh->replicaCount(), 1u);
+  EXPECT_FALSE(*stale == *fresh);
+
+  // Proper invalidation of the same instance state heals the cache.
+  solver.apply(delta);
+  const auto healed = solver.resolve();
+  ASSERT_TRUE(healed.has_value());
+  EXPECT_TRUE(*healed == *fresh);
+}
+
+// ---------------------------------------------------------------------------
+// IncrementalBounds: after any mutation, the memoized relaxation must agree
+// with a from-scratch FrontierSubtreeRelaxation on the mutated instance.
+// ---------------------------------------------------------------------------
+
+TEST(IncrementalBounds, MatchesScratchRelaxationUnderMutations) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    ProblemInstance instance = smallHomogeneous(seed);
+    IncrementalBounds bounds(instance);
+    Prng rng(seed * 31337);
+    MutationWorkloadConfig config;
+    for (int step = 0; step < 6; ++step) {
+      const InstanceDelta delta = drawMutation(instance, config, rng);
+      bounds.apply(delta);
+      bounds.refresh();
+      const FrontierSubtreeRelaxation reference(instance);
+      ASSERT_EQ(bounds.feasible(), reference.feasible())
+          << "seed=" << seed << " step=" << step;
+      if (!reference.feasible()) continue;
+      EXPECT_EQ(bounds.minTotalReplicas(), reference.minTotalReplicas())
+          << "seed=" << seed << " step=" << step;
+      EXPECT_DOUBLE_EQ(bounds.decompositionBound(), reference.decompositionBound())
+          << "seed=" << seed << " step=" << step;
+      for (const VertexId v : instance.tree.internals())
+        ASSERT_EQ(bounds.minReplicasIn(v), reference.minReplicasIn(v))
+            << "seed=" << seed << " step=" << step << " v=" << v;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm ILP session: the patched-in-place, incumbent-seeded, basis-reusing
+// re-solve must stay cost-equal to a cold exact ILP after every mutation.
+// ---------------------------------------------------------------------------
+
+ExactIlpResult coldExact(const ProblemInstance& instance) {
+  ExactIlpOptions options;
+  options.enforceBandwidth = false;
+  return solveExactViaIlp(instance, Policy::Multiple, options);
+}
+
+TEST(WarmIlpSession, MatchesColdExactUnderMutationStream) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    ProblemInstance instance = smallHomogeneous(seed);
+    WarmIlpSession session(instance);
+    MutationWorkloadConfig config;
+    Prng rng(seed * 104729);
+    for (int step = 0; step < 6; ++step) {
+      const InstanceDelta delta = drawMutation(instance, config, rng);
+      session.apply(delta);
+      const ExactIlpResult warm = session.resolve();
+      const ExactIlpResult cold = coldExact(instance);
+      ASSERT_EQ(warm.feasible(), cold.feasible())
+          << "seed=" << seed << " step=" << step;
+      if (!cold.feasible()) continue;
+      EXPECT_NEAR(warm.cost, cold.cost, 1e-6)
+          << "seed=" << seed << " step=" << step;
+      EXPECT_TRUE(testutil::placementValid(instance, *warm.placement,
+                                           Policy::Multiple));
+    }
+    const WarmIlpStats& stats = session.stats();
+    EXPECT_GT(stats.patches + stats.rebuilds, 0u);
+  }
+}
+
+TEST(WarmIlpSession, HeterogeneousCapacityPatchAndRebuild) {
+  TreeBuilder b;
+  const VertexId root = b.addRoot(6);
+  const VertexId mid = b.addInternal(root, 4);
+  b.addClient(mid, 3);
+  b.addClient(root, 2);
+  b.useUnitCosts();
+  ProblemInstance instance = b.build();
+
+  WarmIlpSession session(instance);
+  ASSERT_TRUE(session.resolve().feasible());
+
+  // Shrink below the build-time M_j: pure box patch.
+  InstanceDelta shrink;
+  shrink.kind = DeltaKind::CapacityChange;
+  shrink.node = mid;
+  shrink.capacity = 2;
+  session.apply(shrink);
+  EXPECT_EQ(session.stats().patches, 1u);
+  {
+    const ExactIlpResult warm = session.resolve();
+    const ExactIlpResult cold = coldExact(instance);
+    ASSERT_EQ(warm.feasible(), cold.feasible());
+    EXPECT_NEAR(warm.cost, cold.cost, 1e-6);
+  }
+
+  // Grow above M_j: the capx coefficient is stale — must rebuild.
+  InstanceDelta grow;
+  grow.kind = DeltaKind::CapacityChange;
+  grow.node = mid;
+  grow.capacity = 9;
+  session.apply(grow);
+  {
+    const ExactIlpResult warm = session.resolve();
+    const ExactIlpResult cold = coldExact(instance);
+    ASSERT_EQ(warm.feasible(), cold.feasible());
+    EXPECT_NEAR(warm.cost, cold.cost, 1e-6);
+  }
+  EXPECT_GE(session.stats().rebuilds, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level seams the session is built on.
+// ---------------------------------------------------------------------------
+
+TEST(MipEngine, InitialIncumbentSeedsUpperBound) {
+  // min x0 + x1  s.t.  x0 + x1 >= 1, x binary. Seed the suboptimal (1, 1):
+  // the search must still return the optimum, not the seed.
+  lp::Model model;
+  const int x0 = model.addVariable(0.0, 1.0, 1.0, lp::VarType::Integer, "x0");
+  const int x1 = model.addVariable(0.0, 1.0, 1.0, lp::VarType::Integer, "x1");
+  const lp::Term terms[2] = {{x0, 1.0}, {x1, 1.0}};
+  model.addConstraint(lp::Sense::GreaterEqual, 1.0, terms, "cover");
+
+  lp::MipOptions options;
+  options.initialIncumbent = {1.0, 1.0};
+  const lp::MipResult result = lp::solveMip(model, options);
+  ASSERT_EQ(result.status, lp::SolveStatus::Optimal);
+  EXPECT_TRUE(result.proven);
+  EXPECT_NEAR(result.objective, 1.0, 1e-9);
+}
+
+TEST(MipEngine, InitialIncumbentReturnedWhenAlreadyOptimal) {
+  // With knownLowerBound equal to the seed's objective the search can stop
+  // at the root and must hand back the seeded point itself.
+  lp::Model model;
+  const int x0 = model.addVariable(0.0, 1.0, 2.0, lp::VarType::Integer, "x0");
+  const lp::Term term[1] = {{x0, 1.0}};
+  model.addConstraint(lp::Sense::GreaterEqual, 1.0, term, "force");
+
+  lp::MipOptions options;
+  options.initialIncumbent = {1.0};
+  options.knownLowerBound = 2.0;
+  const lp::MipResult result = lp::solveMip(model, options);
+  ASSERT_TRUE(result.hasIncumbent());
+  EXPECT_NEAR(result.objective, 2.0, 1e-9);
+  EXPECT_NEAR(result.values[0], 1.0, 1e-9);
+}
+
+TEST(MipEngine, ExternalWorkspaceSurvivesRhsAndBoundPatches) {
+  // Same standard form solved three times through one persistent workspace
+  // with rhs/box patches in between; answers must match fresh cold solves.
+  lp::Model model;
+  const int x = model.addVariable(0.0, 1.0, 3.0, lp::VarType::Integer, "x");
+  const int y = model.addVariable(0.0, 4.0, 1.0, lp::VarType::Continuous, "y");
+  const lp::Term cover[2] = {{x, 2.0}, {y, 1.0}};
+  const int row = model.addConstraint(lp::Sense::GreaterEqual, 2.0, cover, "cover");
+
+  lp::MipOptions warm;
+  lp::LpWorkspace workspace(model, warm.lp);
+  warm.workspace = &workspace;
+
+  for (const double rhs : {2.0, 4.0, 3.0}) {
+    model.setRowRhs(row, rhs);
+    const lp::MipResult viaWorkspace = lp::solveMip(model, warm);
+    const lp::MipResult cold = lp::solveMip(model, lp::MipOptions{});
+    ASSERT_EQ(viaWorkspace.status, cold.status) << "rhs=" << rhs;
+    EXPECT_NEAR(viaWorkspace.objective, cold.objective, 1e-9) << "rhs=" << rhs;
+  }
+
+  // And a box patch: cap y at 1, forcing x into the cover.
+  model.setBounds(y, 0.0, 1.0);
+  const lp::MipResult viaWorkspace = lp::solveMip(model, warm);
+  const lp::MipResult cold = lp::solveMip(model, lp::MipOptions{});
+  ASSERT_EQ(viaWorkspace.status, cold.status);
+  EXPECT_NEAR(viaWorkspace.objective, cold.objective, 1e-9);
+}
+
+// keepZeroRateClients + elasticCapacity must not change the optimum.
+TEST(Formulation, PatchableVariantPreservesOptimum) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const ProblemInstance instance = smallHomogeneous(seed);
+    FormulationOptions patchable;
+    patchable.enforceBandwidth = false;
+    patchable.keepZeroRateClients = true;
+    patchable.elasticCapacity = true;
+    IlpFormulation warm(instance, Policy::Multiple, patchable);
+    FormulationOptions classic;
+    classic.enforceBandwidth = false;
+    IlpFormulation cold(instance, Policy::Multiple, classic);
+
+    const lp::MipResult warmResult = lp::solveMip(warm.model());
+    const lp::MipResult coldResult = lp::solveMip(cold.model());
+    ASSERT_EQ(warmResult.status, coldResult.status) << "seed=" << seed;
+    if (warmResult.status != lp::SolveStatus::Optimal) continue;
+    EXPECT_NEAR(warmResult.objective, coldResult.objective, 1e-6)
+        << "seed=" << seed;
+    const Placement decoded = warm.decode(warmResult.values);
+    EXPECT_TRUE(testutil::placementValid(instance, decoded, Policy::Multiple))
+        << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace treeplace
