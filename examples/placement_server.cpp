@@ -1,0 +1,334 @@
+// Placement-as-a-service: a long-lived ResilientSession serving mutation +
+// solve requests under a per-request deadline, with a watchdog thread that
+// cancels overrunning solves and a retry-with-fresh-budget path for cancelled
+// requests. Demonstrates — and *enforces*, exiting nonzero on violation — the
+// resilience invariant: a budget trip, malformed delta, or injected fault may
+// cost optimality or latency, never correctness.
+//
+//   $ ./placement_server [--size=2000] [--requests=200] [--deadline=25]
+//                        [--policy=multiple|closest|qos] [--seed=1]
+//                        [--faults=alloc,stall,pivot,delta,cancel|all]
+//                        [--fault-period=64] [--watchdog=4] [--verify]
+//
+// --verify cross-checks every outcome against an unbudgeted scratch solve
+// (slow; meant for small sizes). --faults arms the deterministic injection
+// harness inside the serving loop, exactly as the CI fault job does via
+// TREEPLACE_FAULT.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/validate.hpp"
+#include "exact/closest_homogeneous.hpp"
+#include "exact/closest_qos.hpp"
+#include "exact/multiple_homogeneous.hpp"
+#include "experiments/mutation_driver.hpp"
+#include "online/resilient.hpp"
+#include "support/cli.hpp"
+#include "support/fault_injection.hpp"
+#include "support/prng.hpp"
+#include "support/table.hpp"
+#include "tree/generator.hpp"
+
+using namespace treeplace;
+using SteadyClock = std::chrono::steady_clock;
+
+namespace {
+
+OnlinePolicy parsePolicy(const std::string& name) {
+  if (name == "closest") return OnlinePolicy::Closest;
+  if (name == "qos") return OnlinePolicy::ClosestQos;
+  return OnlinePolicy::Multiple;
+}
+
+std::optional<fault::Plan> parseFaultPlan(const std::string& tokens,
+                                          std::uint64_t seed,
+                                          std::uint64_t period) {
+  if (tokens.empty()) return std::nullopt;
+  fault::Plan plan;
+  plan.seed = seed;
+  std::stringstream in(tokens);
+  std::string tok;
+  bool any = false;
+  while (std::getline(in, tok, ',')) {
+    const bool all = tok == "all";
+    if (all || tok == "alloc") plan.armSite(fault::Site::Allocation, period), any = true;
+    if (all || tok == "stall") plan.armSite(fault::Site::WorkerStall, period), any = true;
+    if (all || tok == "pivot" || tok == "simplex")
+      plan.armSite(fault::Site::SimplexPivot, period), any = true;
+    if (all || tok == "delta") plan.armSite(fault::Site::MalformedDelta, period), any = true;
+    if (all || tok == "cancel") plan.armSite(fault::Site::MidSolveCancel, period), any = true;
+  }
+  if (!any) return std::nullopt;
+  return plan;
+}
+
+/// Deterministically corrupt a drawn delta into one of the rejection classes
+/// validateDelta must catch — the server's admission layer has to bounce it
+/// with the instance untouched.
+InstanceDelta corruptDelta(InstanceDelta delta, const ProblemInstance& instance,
+                           Prng& rng) {
+  switch (rng.uniformInt(0, 3)) {
+    case 0:
+      delta.node = static_cast<VertexId>(instance.tree.vertexCount()) + 7;
+      break;
+    case 1:
+      delta.kind = DeltaKind::RateChange;
+      delta.node = instance.tree.root();  // internal vertex: NotAClient
+      break;
+    case 2:
+      delta.kind = DeltaKind::RateChange;
+      delta.rate = -5;
+      break;
+    default:
+      delta.kind = DeltaKind::CapacityChange;
+      delta.node = kNoVertex;
+      delta.capacity = 0;
+      break;
+  }
+  return delta;
+}
+
+std::optional<Placement> scratchExact(const ProblemInstance& instance,
+                                      OnlinePolicy policy) {
+  switch (policy) {
+    case OnlinePolicy::Closest: return solveClosestHomogeneous(instance);
+    case OnlinePolicy::Multiple: return solveMultipleHomogeneousDP(instance);
+    case OnlinePolicy::ClosestQos: return solveClosestHomogeneousQos(instance);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options options(argc, argv);
+  const int size = static_cast<int>(options.getIntOr("size", 2000));
+  const int requests = static_cast<int>(options.getIntOr("requests", 200));
+  const double deadlineMs = options.getDoubleOr("deadline", 25.0);
+  const double watchdogMult = options.getDoubleOr("watchdog", 4.0);
+  const bool verify = options.hasFlag("verify");
+  const OnlinePolicy policy = parsePolicy(options.getOr("policy", "multiple"));
+  const auto seed = static_cast<std::uint64_t>(options.getIntOr("seed", 1));
+
+  // Same feasible-under-all-policies profile as the bench's resilience
+  // section: unit requests, edge-heavy clients, light load — so the serving
+  // loop exercises the whole ladder instead of answering Infeasible all day.
+  GeneratorConfig gc;
+  gc.minSize = size;
+  gc.maxSize = size;
+  gc.heterogeneous = false;  // the online DP engines are homogeneous-W
+  gc.unitCosts = true;
+  gc.clientFraction = 0.8;
+  gc.leafClientBias = 1.0;
+  gc.minRequests = gc.maxRequests = 1;
+  gc.lambda = 0.2;
+  if (policy == OnlinePolicy::ClosestQos) {
+    gc.qosFraction = 0.3;
+    gc.qosMinHops = 6;
+    gc.qosMaxHops = 12;
+  }
+  Prng rng(seed);
+  ProblemInstance instance = generateInstance(gc, rng);
+  std::cout << "placement_server: s=" << instance.tree.vertexCount()
+            << " policy=" << toString(policy) << " deadline=" << deadlineMs
+            << "ms watchdog=" << watchdogMult << "x\n";
+
+  std::optional<ResilientSession> session;
+  session.emplace(instance, policy);
+
+  // The session is the system under test; it boots before the harness arms,
+  // the same way the CI fault job's env plan only bites once serving starts.
+  const std::optional<fault::Plan> faultPlan = parseFaultPlan(
+      options.getOr("faults", ""), seed,
+      static_cast<std::uint64_t>(options.getIntOr("fault-period", 64)));
+  std::optional<fault::ScopedPlan> armed;
+  long bankedFires = 0;
+  std::uint64_t faultWindow = 0;
+  // arm() resets the harness counters, so bank them across every disarmed
+  // window (verification, session rebuilds) to keep the summary truthful —
+  // and rotate the seed per window, else every re-arm replays the same
+  // first few probes of the stream and the plan goes silent.
+  const auto disarmFaults = [&] {
+    if (armed) {
+      bankedFires += fault::totalFires();
+      armed.reset();
+    }
+  };
+  const auto rearmFaults = [&] {
+    if (faultPlan && !armed) {
+      fault::Plan plan = *faultPlan;
+      plan.seed = faultPlan->seed + ++faultWindow;
+      armed.emplace(plan);
+    }
+  };
+  if (faultPlan) {
+    armed.emplace(*faultPlan);
+    std::cout << "fault harness armed (seed=" << faultPlan->seed << ")\n";
+  }
+  MutationWorkloadConfig mc;
+  mc.policy = policy;
+  mc.seed = seed;
+  mc.rateCap = 0.25;
+
+  ValidationOptions vo;
+  vo.checkQos = policy == OnlinePolicy::ClosestQos;
+  vo.checkBandwidth = false;
+  const Policy core =
+      policy == OnlinePolicy::Multiple ? Policy::Multiple : Policy::Closest;
+
+  std::vector<long> statusCount(6, 0);
+  std::vector<long> levelCount(5, 0);
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(requests));
+  long rejectedDeltas = 0, retries = 0, watchdogFires = 0, rebuilds = 0;
+  double worstOvershootMs = 0.0;
+
+  const auto fail = [&](int request, const std::string& what) {
+    std::cerr << "INVARIANT VIOLATION at request " << request << ": " << what
+              << "\n";
+    return 2;
+  };
+
+  for (int r = 0; r < requests; ++r) {
+    // Admission: draw a mutation; some are deliberately corrupted (or the
+    // MalformedDelta fault site corrupts them) and must bounce cleanly.
+    InstanceDelta delta = drawMutation(instance, mc, rng);
+    if (fault::fire(fault::Site::MalformedDelta) || r % 31 == 17)
+      delta = corruptDelta(delta, instance, rng);
+    const std::size_t beforeVertices = instance.tree.vertexCount();
+    const Requests beforeTotal = instance.totalRequests();
+    try {
+      session->apply(delta);
+    } catch (const DeltaError& e) {
+      ++rejectedDeltas;
+      if (instance.tree.vertexCount() != beforeVertices ||
+          instance.totalRequests() != beforeTotal)
+        return fail(r, std::string("rejected delta (") + std::string(toString(e.code())) +
+                           ") mutated the instance");
+    } catch (const std::exception&) {
+      // An injected infrastructure fault (e.g. allocation failure) mid-apply
+      // can leave the incremental caches half-built. The operator's move:
+      // rebuild the session from the live instance and keep serving. The
+      // rebuild runs disarmed so the recovery path cannot be re-faulted into
+      // a crash loop.
+      ++rebuilds;
+      disarmFaults();
+      session.emplace(instance, policy);
+      rearmFaults();
+    }
+
+    // Serve under the deadline; a watchdog hard-cancels at watchdogMult x.
+    const auto serveOne = [&](double wallMs) {
+      CancelToken token;
+      std::atomic<bool> done{false};
+      std::thread watchdog([&] {
+        const auto until =
+            SteadyClock::now() +
+            std::chrono::duration_cast<SteadyClock::duration>(
+                std::chrono::duration<double, std::milli>(wallMs * watchdogMult));
+        while (!done.load(std::memory_order_relaxed) && SteadyClock::now() < until)
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        if (!done.load(std::memory_order_relaxed)) token.cancel();
+      });
+      SolveBudget budget;
+      budget.wallMs = wallMs;
+      budget.cancel = &token;
+      SolveOutcome out;
+      try {
+        out = session->solve(budget);
+      } catch (const std::exception& e) {
+        // The pipeline absorbs faults internally; anything that still gets
+        // out is reported as a structured Error, never a dead server.
+        out.status = OutcomeStatus::Error;
+        out.level = DegradationLevel::None;
+        out.message = e.what();
+      }
+      done.store(true, std::memory_order_relaxed);
+      watchdog.join();
+      if (token.cancelled()) ++watchdogFires;
+      return out;
+    };
+
+    SolveOutcome out = serveOne(deadlineMs);
+    if (out.status == OutcomeStatus::Cancelled ||
+        out.status == OutcomeStatus::Error) {
+      // Retry once with a fresh budget: rung A resumes from the caches the
+      // first attempt warmed, so the retry usually lands a degraded answer.
+      ++retries;
+      out = serveOne(deadlineMs);
+    }
+
+    ++statusCount[static_cast<std::size_t>(out.status)];
+    ++levelCount[static_cast<std::size_t>(out.level)];
+    latencies.push_back(out.elapsedMs);
+    worstOvershootMs = std::max(worstOvershootMs, out.elapsedMs - 2.0 * deadlineMs);
+
+    // --- The invariant, enforced. The checker runs disarmed: a faulted
+    // validator or oracle proves nothing about the pipeline. ---
+    disarmFaults();
+    if (out.hasPlacement()) {
+      if (!isValidPlacement(instance, *out.placement, core, vo))
+        return fail(r, std::string(toString(out.status)) + "/" +
+                           std::string(toString(out.level)) +
+                           " returned an invalid placement");
+      if (out.lowerBound > out.cost + 1e-9)
+        return fail(r, "bracket inverted: lowerBound > cost");
+    }
+    if (verify) {
+      const std::optional<Placement> truth = scratchExact(instance, policy);
+      if (out.status == OutcomeStatus::Optimal) {
+        if (!truth || truth->replicaCount() != out.placement->replicaCount())
+          return fail(r, "Optimal outcome disagrees with scratch solve");
+      } else if (out.status == OutcomeStatus::Infeasible) {
+        if (truth) return fail(r, "Infeasible outcome but scratch found a placement");
+      } else if (out.bracketed() && truth) {
+        const auto opt = static_cast<double>(truth->replicaCount());
+        if (opt < out.lowerBound - 1e-9 || opt > out.cost + 1e-9)
+          return fail(r, "certified bracket excludes the true optimum");
+      }
+    }
+    rearmFaults();
+  }
+  disarmFaults();  // bank the last window's fires for the summary
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto pct = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const auto i = static_cast<std::size_t>(p * static_cast<double>(latencies.size() - 1));
+    return latencies[i];
+  };
+
+  TextTable t;
+  t.setHeader({"metric", "value"});
+  for (std::size_t s = 0; s < statusCount.size(); ++s)
+    if (statusCount[s] > 0)
+      t.addRow({std::string(toString(static_cast<OutcomeStatus>(s))),
+                std::to_string(statusCount[s])});
+  t.addSeparator();
+  for (std::size_t l = 0; l < levelCount.size(); ++l)
+    if (levelCount[l] > 0)
+      t.addRow({std::string("rung ") + std::string(toString(static_cast<DegradationLevel>(l))),
+                std::to_string(levelCount[l])});
+  t.addSeparator();
+  t.addRow({"rejected deltas", std::to_string(rejectedDeltas)});
+  t.addRow({"retries", std::to_string(retries)});
+  t.addRow({"watchdog cancels", std::to_string(watchdogFires)});
+  t.addRow({"session rebuilds", std::to_string(rebuilds)});
+  t.addRow({"p50 latency (ms)", formatDouble(pct(0.50), 2)});
+  t.addRow({"p99 latency (ms)", formatDouble(pct(0.99), 2)});
+  t.addRow({"worst overshoot past 2x deadline (ms)",
+            formatDouble(std::max(0.0, worstOvershootMs), 2)});
+  if (faultPlan) t.addRow({"faults fired", std::to_string(bankedFires)});
+  std::cout << "\n" << t.render();
+  std::cout << "\nall " << requests << " requests honored the resilience invariant\n";
+  return 0;
+}

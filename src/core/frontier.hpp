@@ -2,10 +2,12 @@
 
 #include <cstdint>
 #include <functional>
+#include <new>
 #include <span>
 #include <vector>
 
 #include "core/frontier_fwd.hpp"
+#include "support/fault_injection.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -83,7 +85,14 @@ class BasicFrontierArena {
   }
 
   /// Append one entry to the span currently being built (see beginSpan).
-  void push(const Entry& entry) { slab_.push_back(entry); }
+  /// Slab growth is an Allocation fault site: when armed, a growing push may
+  /// throw std::bad_alloc exactly as a memory-starved host would — consumers
+  /// (the incremental solver, the resilient pipeline) must unwind cleanly.
+  void push(const Entry& entry) {
+    if (slab_.size() == slab_.capacity() && fault::fire(fault::Site::Allocation))
+      throw std::bad_alloc();
+    slab_.push_back(entry);
+  }
 
   /// Start a new span at the current top of the slab.
   std::uint32_t beginSpan() const { return static_cast<std::uint32_t>(slab_.size()); }

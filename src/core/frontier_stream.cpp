@@ -173,6 +173,7 @@ void QosFrontierStreamer::noteStack() {
                             slacks_.capacity() * sizeof(double) +
                             buckets_.capacity() * sizeof(std::vector<Step>);
   stats_.peakBytes = std::max(stats_.peakBytes, bytes);
+  if (options_.guard != nullptr) options_.guard->noteMemory(bytes);
 }
 
 std::size_t QosFrontierStreamer::pushUnit() {

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "support/budget.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -16,6 +17,10 @@ struct FrontierStreamOptions {
   /// an O(widthCap^2) per-merge time bound. Every surviving point stays
   /// achievable, so capped results are valid upper bounds.
   std::int32_t widthCap = 512;
+  /// Optional shared budget: the driving postorder walk ticks it per visit
+  /// (throwing SolveInterrupted on a trip) and the streamer charges its slab
+  /// high-water against the memory budget. Non-owning; must outlive the run.
+  BudgetGuard* guard = nullptr;
 };
 
 /// Telemetry of one streaming DP run.
@@ -148,6 +153,7 @@ class FrontierStreamer {
         outCounts_.capacity() * sizeof(std::int32_t) +
         outFlows_.capacity() * sizeof(Requests);
     stats_.peakBytes = std::max(stats_.peakBytes, bytes);
+    if (options_.guard != nullptr) options_.guard->noteMemory(bytes);
   }
   /// Sweep bucketFlow_ (count range [minSum, minSum + range)) into the Pareto
   /// survivors, cap to widthCap, and write the result at accBegin.

@@ -1,0 +1,28 @@
+#include "core/outcome.hpp"
+
+namespace treeplace {
+
+std::string_view toString(OutcomeStatus status) {
+  switch (status) {
+    case OutcomeStatus::Optimal: return "Optimal";
+    case OutcomeStatus::FeasibleDegraded: return "FeasibleDegraded";
+    case OutcomeStatus::TimedOutWithIncumbent: return "TimedOutWithIncumbent";
+    case OutcomeStatus::Cancelled: return "Cancelled";
+    case OutcomeStatus::Infeasible: return "Infeasible";
+    case OutcomeStatus::Error: return "Error";
+  }
+  return "?";
+}
+
+std::string_view toString(DegradationLevel level) {
+  switch (level) {
+    case DegradationLevel::Exact: return "Exact";
+    case DegradationLevel::WarmIncumbent: return "WarmIncumbent";
+    case DegradationLevel::StreamCapped: return "StreamCapped";
+    case DegradationLevel::LastKnownGood: return "LastKnownGood";
+    case DegradationLevel::None: return "None";
+  }
+  return "?";
+}
+
+}  // namespace treeplace

@@ -19,7 +19,8 @@ std::int32_t widthCap(std::size_t clients, std::size_t internals) {
 }  // namespace
 
 std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance,
-                                                 FrontierStats* stats) {
+                                                 FrontierStats* stats,
+                                                 BudgetGuard* guard) {
   instance.validate();
   const Requests W = instance.homogeneousCapacity();
   TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
@@ -39,6 +40,7 @@ std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance
   };
 
   for (const VertexId v : tree.postorder()) {
+    if (guard != nullptr) guard->checkpoint();
     const auto vi = static_cast<std::size_t>(v);
     if (tree.isClient(v)) {
       dp.seedClient(v, instance.requests[vi]);
@@ -159,6 +161,7 @@ StreamCountResult countClosestHomogeneousStreaming(
 
   open(root);
   while (!stack.empty()) {
+    if (options.guard != nullptr) options.guard->checkpoint();
     Frame& f = stack.back();  // open() reallocates: never touch f after it
     const auto kids = tree.children(f.v);
     if (f.nextChild < kids.size()) {

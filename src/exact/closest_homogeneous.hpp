@@ -27,8 +27,13 @@ namespace treeplace {
 /// Returns the optimal placement (with each client assigned to the first
 /// replica on its root path), or std::nullopt when no Closest solution
 /// exists. Requires a homogeneous instance.
+///
+/// `guard`, when non-null, is ticked once per postorder visit and throws
+/// SolveInterrupted (checkpoint form) on a trip — the DP has no partial
+/// placement to salvage, so budgeted callers catch and degrade.
 std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance,
-                                                 FrontierStats* stats = nullptr);
+                                                 FrontierStats* stats = nullptr,
+                                                 BudgetGuard* guard = nullptr);
 
 /// Width-capped streaming variant of the Closest DP (count only, no
 /// placement): the same recurrence runs through a FrontierStreamer stack

@@ -13,7 +13,8 @@ constexpr double kInfiniteSlack = std::numeric_limits<double>::infinity();
 }  // namespace
 
 std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance,
-                                                    FrontierStats* stats) {
+                                                    FrontierStats* stats,
+                                                    BudgetGuard* guard) {
   instance.validate();
   const Requests W = instance.homogeneousCapacity();
   TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
@@ -33,6 +34,7 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
   };
 
   for (const VertexId v : tree.postorder()) {
+    if (guard != nullptr) guard->checkpoint();
     const auto vi = static_cast<std::size_t>(v);
     if (tree.isClient(v)) {
       // Slack measured at the client itself; its uplink comm is charged when
@@ -167,6 +169,7 @@ StreamCountResult countClosestQosStreaming(const ProblemInstance& instance,
   bool dead = false;
   open(root);
   while (!stack.empty() && !dead) {
+    if (options.guard != nullptr) options.guard->checkpoint();
     Frame& f = stack.back();  // open() reallocates: never touch f after it
     const auto kids = tree.children(f.v);
     if (f.nextChild < kids.size()) {

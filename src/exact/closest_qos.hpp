@@ -34,9 +34,12 @@ namespace treeplace {
 /// per-solve frontier telemetry is written there.
 ///
 /// Returns the optimal placement or std::nullopt when no Closest solution
-/// satisfies capacities and QoS. Requires a homogeneous instance.
+/// satisfies capacities and QoS. Requires a homogeneous instance. `guard`,
+/// when non-null, is ticked once per postorder visit and throws
+/// SolveInterrupted on a trip (see solveClosestHomogeneous).
 std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& instance,
-                                                    FrontierStats* stats = nullptr);
+                                                    FrontierStats* stats = nullptr,
+                                                    BudgetGuard* guard = nullptr);
 
 /// Width-capped streaming variant of the QoS DP (count only, no placement):
 /// the same recurrence through a QosFrontierStreamer stack machine, memory

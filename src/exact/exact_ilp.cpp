@@ -44,6 +44,7 @@ ExactIlpResult solveExactViaIlp(const ProblemInstance& instance, Policy policy,
       // Even the per-subtree relaxation cannot serve every request; QoS or
       // bandwidth only restrict further, so the ILP is infeasible.
       result.proven = true;
+      result.lowerBound = lp::kInfinity;
       return result;
     }
     formulation.addFrontierCuts(*relaxation);
@@ -59,6 +60,8 @@ ExactIlpResult solveExactViaIlp(const ProblemInstance& instance, Policy policy,
   result.proven = mip.proven;
   result.warm = mip.warm;
   result.lpMillis = mip.lpMillis;
+  result.lowerBound = mip.lowerBound;
+  result.stopReason = mip.stopReason;
   if (mip.hasIncumbent()) {
     result.placement = formulation.decode(mip.values);
     result.cost = result.placement->storageCost(instance);

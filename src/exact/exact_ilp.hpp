@@ -36,6 +36,14 @@ struct ExactIlpResult {
   std::optional<Placement> placement;
   lp::WarmStartStats warm;  ///< node LP re-solve telemetry
   double lpMillis = 0.0;    ///< wall time spent inside node LP solves
+  /// Certified global dual bound on the optimal cost — valid even when the
+  /// search was truncated by the node cap or a budget trip, so a truncated
+  /// run still reports the bracket [lowerBound, cost]. On a proven
+  /// infeasibility it is +infinity.
+  double lowerBound = 0.0;
+  /// Why the search stopped early (Ok = ran to its natural end or only hit
+  /// the classic maxNodes cap); mirrors MipResult::stopReason.
+  BudgetVerdict stopReason = BudgetVerdict::Ok;
 
   bool feasible() const { return placement.has_value(); }
   double resolveMillisPerNode() const {

@@ -188,7 +188,8 @@ std::optional<Placement> solveMultipleHomogeneous(const ProblemInstance& instanc
 }
 
 std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& instance,
-                                                    FrontierStats* stats) {
+                                                    FrontierStats* stats,
+                                                    BudgetGuard* guard) {
   instance.validate();
   const Requests W = instance.homogeneousCapacity();
   TREEPLACE_REQUIRE(W > 0, "capacity must be positive");
@@ -202,6 +203,7 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
 
   std::vector<FrontierEntry> options;
   for (const VertexId v : tree.postorder()) {
+    if (guard != nullptr) guard->checkpoint();
     const auto vi = static_cast<std::size_t>(v);
     if (tree.isClient(v)) {
       dp.seedClient(v, instance.requests[vi]);
@@ -308,6 +310,7 @@ StreamCountResult countMultipleHomogeneousStreaming(
 
   open(root);
   while (!stack.empty()) {
+    if (options.guard != nullptr) options.guard->checkpoint();
     Frame& f = stack.back();  // open() reallocates: never touch f after it
     const auto kids = tree.children(f.v);
     if (f.nextChild < kids.size()) {

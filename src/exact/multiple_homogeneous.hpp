@@ -35,9 +35,12 @@ std::optional<Placement> solveMultipleHomogeneous(
 /// replica at a node absorbs min(flow, W). Same optimal replica count as the
 /// 3-pass algorithm — kept as a cross-check of both the greedy and the
 /// frontier machinery, and as the template for frontier-based extensions.
-/// Pass `stats` to collect per-solve frontier telemetry.
+/// Pass `stats` to collect per-solve frontier telemetry. `guard`, when
+/// non-null, is ticked once per postorder visit and throws SolveInterrupted
+/// on a trip (see solveClosestHomogeneous).
 std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& instance,
-                                                    FrontierStats* stats = nullptr);
+                                                    FrontierStats* stats = nullptr,
+                                                    BudgetGuard* guard = nullptr);
 
 /// Minimal number of replicas, or nullopt if infeasible — convenience wrapper.
 std::optional<std::size_t> optimalMultipleReplicaCount(const ProblemInstance& instance);

@@ -134,7 +134,8 @@ class Search {
     }
     dfs(0, 0.0, 0);
     result.steps = steps_;
-    result.proven = steps_ < options_.maxSteps;
+    result.proven = steps_ < options_.maxSteps && !interrupted_;
+    if (interrupted_) result.stopReason = options_.guard->verdict();
     if (bestCost_ < std::numeric_limits<double>::infinity())
       result.placement = buildPlacement();
     return result;
@@ -201,7 +202,12 @@ class Search {
   }
 
   void dfs(std::size_t k, double cost, Requests openResidual) {
-    if (steps_ >= options_.maxSteps) return;
+    if (steps_ >= options_.maxSteps || interrupted_) return;
+    if (options_.guard != nullptr &&
+        options_.guard->tick() != BudgetVerdict::Ok) {
+      interrupted_ = true;  // unwind; the incumbent found so far stands
+      return;
+    }
     ++steps_;
     if (k == clients_.size()) {
       if (cost < bestCost_ - 1e-9) {
@@ -321,7 +327,7 @@ class Search {
         --openedCount_;
         if (trackAux_) noteOpened(j, -1);
       }
-      if (steps_ >= options_.maxSteps) return;
+      if (steps_ >= options_.maxSteps || interrupted_) return;
     }
   }
 
@@ -356,6 +362,7 @@ class Search {
   Requests maxCapacity_ = 0;
   double bestCost_ = std::numeric_limits<double>::infinity();
   long steps_ = 0;
+  bool interrupted_ = false;  ///< shared budget tripped mid-search
   int openedCount_ = 0;
   std::int32_t minTotalServers_ = 0;
   double costFloor_ = 0.0;

@@ -4,6 +4,7 @@
 
 #include "core/frontier_fwd.hpp"
 #include "core/placement.hpp"
+#include "support/budget.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -32,12 +33,19 @@ struct UpwardsExactOptions {
   /// Optional shared arena for the frontier pre-pass; benches that bound
   /// many related instances reuse one allocation across calls.
   FrontierArena* boundsArena = nullptr;
+  /// Optional shared budget: one tick per DFS step. On a trip the search
+  /// stops like an exhausted step budget — the best incumbent so far is
+  /// returned, proven turns false, stopReason records why. Non-owning.
+  BudgetGuard* guard = nullptr;
 };
 
 struct UpwardsExactResult {
   bool proven = false;  ///< the search space was exhausted within the budget
   long steps = 0;
   std::optional<Placement> placement;  ///< best placement found (min cost)
+  /// Why the search stopped early (Ok = natural end or the classic maxSteps
+  /// cap). The incumbent, when present, is valid regardless.
+  BudgetVerdict stopReason = BudgetVerdict::Ok;
 
   bool feasible() const { return placement.has_value(); }
 };

@@ -7,6 +7,7 @@
 #include "exact/closest_homogeneous.hpp"
 #include "exact/closest_qos.hpp"
 #include "exact/multiple_homogeneous.hpp"
+#include "support/fault_injection.hpp"
 #include "support/require.hpp"
 #include "support/stats.hpp"
 
@@ -101,6 +102,8 @@ InstanceDelta drawMutation(const ProblemInstance& instance,
   delta.kind = DeltaKind::SubtreeDetach;
   delta.node = rng.bernoulli(0.5) ? randomClient(instance, rng)
                                   : randomInternal(instance, rng);
+  if (delta.node == instance.tree.root())
+    delta.node = randomClient(instance, rng);  // detach-of-root is rejected
   return delta;
 }
 
@@ -119,8 +122,46 @@ MutationRunResult runMutationWorkload(ProblemInstance& instance,
   scratchMs.reserve(static_cast<std::size_t>(config.steps));
 
   for (int step = 0; step < config.steps; ++step) {
-    const InstanceDelta delta = drawMutation(instance, config, rng);
-    solver.apply(delta);
+    InstanceDelta delta = drawMutation(instance, config, rng);
+
+    // MalformedDelta fault: corrupt the drawn delta in one of the ways the
+    // validation layer must reject. The apply below has to throw DeltaError
+    // BEFORE any mutation; the step then verifies the solver still matches a
+    // scratch solve of the (untouched) instance.
+    bool corrupted = false;
+    if (fault::fire(fault::Site::MalformedDelta)) {
+      corrupted = true;
+      switch (fault::fireCount(fault::Site::MalformedDelta) % 3) {
+        case 0:
+          delta.node = static_cast<VertexId>(instance.tree.vertexCount()) + 17;
+          break;
+        case 1:
+          delta.kind = DeltaKind::SubtreeDetach;
+          delta.node = instance.tree.root();
+          break;
+        default:
+          delta.kind = DeltaKind::RateChange;
+          delta.node = randomClient(instance, rng);
+          delta.rate = -1;
+          break;
+      }
+    }
+
+    if (corrupted) {
+      bool rejected = false;
+      try {
+        solver.apply(delta);
+      } catch (const DeltaError&) {
+        rejected = true;
+      }
+      if (!rejected) {
+        // A corrupted delta slipped through validation: fail the workload
+        // loudly — the drivers exit nonzero on !allMatch.
+        result.allMatch = false;
+      }
+    } else {
+      solver.apply(delta);
+    }
 
     const auto t0 = std::chrono::steady_clock::now();
     const std::optional<Placement> incremental = solver.resolve();

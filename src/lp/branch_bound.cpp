@@ -97,6 +97,14 @@ MipResult solveMipWarm(const Model& model, const MipOptions& options,
       hitNodeLimit = true;
       break;
     }
+    if (options.guard != nullptr &&
+        options.guard->tick() != BudgetVerdict::Ok) {
+      // Shared budget tripped: stop like the node cap — incumbent and global
+      // dual bound stay valid, the result just loses its optimality proof.
+      hitNodeLimit = true;
+      result.stopReason = options.guard->verdict();
+      break;
+    }
     const long id = open.pop().second;
     const double inheritedBound = nodes[static_cast<std::size_t>(id)].bound;
     ++result.nodesExplored;
@@ -248,6 +256,12 @@ MipResult solveMipCold(const Model& model, const MipOptions& options,
       hitNodeLimit = true;
       break;
     }
+    if (options.guard != nullptr &&
+        options.guard->tick() != BudgetVerdict::Ok) {
+      hitNodeLimit = true;
+      result.stopReason = options.guard->verdict();
+      break;
+    }
     Node node = open.top();
     open.pop();
     ++result.nodesExplored;
@@ -344,7 +358,13 @@ MipResult solveMipCold(const Model& model, const MipOptions& options,
 
 }  // namespace
 
-MipResult solveMip(const Model& model, const MipOptions& options) {
+MipResult solveMip(const Model& model, const MipOptions& optionsIn) {
+  // Thread a caller-supplied budget down into the node LPs too, so pivots
+  // and node pops charge the same shared guard.
+  MipOptions options = optionsIn;
+  if (options.guard != nullptr && options.lp.guard == nullptr)
+    options.lp.guard = options.guard;
+
   const std::vector<int> integers = model.integerVariables();
   bool warmEligible = options.warmStart || options.workers >= 1;
   for (const int j : integers) {

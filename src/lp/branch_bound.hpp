@@ -4,6 +4,7 @@
 
 #include "lp/simplex.hpp"
 #include "lp/workspace.hpp"
+#include "support/budget.hpp"
 
 namespace treeplace::lp {
 
@@ -60,6 +61,12 @@ struct MipOptions {
   /// pool engine needs a warm-eligible model (every integer variable
   /// non-free); otherwise the serial fallback selected by `warmStart` runs.
   int workers = 0;
+  /// Optional shared budget: every node pop ticks it (and, unless
+  /// options.lp.guard is already set, node LP pivots tick the same guard).
+  /// On a trip the search stops exactly like the node budget — the incumbent
+  /// and the global dual bound stay valid, proven turns false, and
+  /// MipResult::stopReason records why. Non-owning; must outlive the solve.
+  BudgetGuard* guard = nullptr;
 };
 
 /// Outcome of a branch-and-bound run. `lowerBound` is a valid global dual
@@ -77,6 +84,10 @@ struct MipResult {
   long nodesExplored = 0;
   WarmStartStats warm;            ///< LP re-solve telemetry (lp/workspace)
   double lpMillis = 0.0;          ///< wall time spent inside node LP solves
+  /// Why the search stopped early (Ok = it ran to its natural end or only
+  /// hit the classic maxNodes cap). The [lowerBound, objective] bracket is
+  /// certified regardless of the verdict.
+  BudgetVerdict stopReason = BudgetVerdict::Ok;
 
   bool hasIncumbent() const { return !values.empty(); }
   /// Average LP re-solve cost per explored node, in milliseconds.

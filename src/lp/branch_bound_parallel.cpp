@@ -204,6 +204,14 @@ void workerLoop(SharedState& shared, WorkerState& worker, int self) {
 
   for (;;) {
     if (shared.abortUnbounded.load()) return;
+    if (options.guard != nullptr &&
+        options.guard->tick() != BudgetVerdict::Ok) {
+      // Shared budget tripped: flag the truncation (keeps `proven` false and
+      // wakes parked peers) and bail. The claimed-nodes accounting is intact —
+      // this worker holds no claim here.
+      shared.budgetExhausted.store(true);
+      return;
+    }
 
     // Epoch before the scan: a push that lands after this read bumps the
     // epoch, so a failed scan followed by an epoch-equality park cannot miss
@@ -440,7 +448,11 @@ MipResult solveMipParallel(const Model& model, const MipOptions& options,
     remaining += static_cast<long>(shard->pool.size());
     openMin = std::min(openMin, shard->pool.drainMinBound());
   }
-  const bool hitNodeLimit = shared.budgetExhausted.load() && remaining > 0;
+  const bool budgetStop =
+      options.guard != nullptr && options.guard->exceeded();
+  if (budgetStop) result.stopReason = options.guard->verdict();
+  const bool hitNodeLimit =
+      (shared.budgetExhausted.load() && remaining > 0) || budgetStop;
   const bool sawIterationLimit = shared.sawIterationLimit.load();
 
   double bound = std::min(minClosedBound, openMin);

@@ -5,6 +5,10 @@
 
 #include "lp/model.hpp"
 
+namespace treeplace {
+class BudgetGuard;
+}
+
 namespace treeplace::lp {
 
 enum class SolveStatus {
@@ -40,6 +44,11 @@ struct SimplexOptions {
   /// multiple of the current LU fill (guards against dense spike columns
   /// bloating every subsequent ftran/btran).
   double refactorGrowthLimit = 3.0;
+  /// Optional shared budget: every pivot loop ticks it and bails out with
+  /// SolveStatus::IterationLimit when it trips, which callers already treat
+  /// as a sound "stop without a proof" signal (B&B keeps the inherited bound
+  /// and marks the node unproven). Non-owning; must outlive the solve.
+  BudgetGuard* guard = nullptr;
 };
 
 struct LpSolution {

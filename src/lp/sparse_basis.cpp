@@ -5,11 +5,18 @@
 
 #include "lp/tolerances.hpp"
 #include "lp/workspace.hpp"
+#include "support/budget.hpp"
 #include "support/require.hpp"
 
 namespace treeplace::lp {
 
 namespace {
+
+/// Pivot-loop safepoint (mirrors the dense engine): one budget tick per
+/// pivot, bail out as IterationLimit when the shared budget trips.
+inline bool budgetTripped(BudgetGuard* guard) {
+  return guard != nullptr && guard->tick() != BudgetVerdict::Ok;
+}
 
 /// Threshold for partial pivoting: any row within this factor of the largest
 /// eliminable entry is admissible, and the sparsest admissible row wins — the
@@ -337,6 +344,7 @@ SolveStatus SparseSimplex::primalIterate(std::span<const double> phaseCost,
   long sinceImprovement = 0;
   double lastObjective = objectiveOf(phaseCost);
   for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    if (budgetTripped(options_.guard)) return SolveStatus::IterationLimit;
     // Price every nonbasic column: y = B^-T c_B, d_j = c_j - y a_j. An
     // at-lower column may only rise (profitable when d < 0), an at-upper one
     // only fall (profitable when d > 0). Artificials never re-enter.
@@ -533,6 +541,7 @@ SolveStatus SparseSimplex::solveDual(std::span<const double> rhs,
   long sinceImprovement = 0;
   double lastViolation = kInfinity;
   for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    if (budgetTripped(options_.guard)) return SolveStatus::IterationLimit;
     // Leaving position: largest box violation (Bland: first violating).
     int leaving = -1;
     bool aboveUpper = false;

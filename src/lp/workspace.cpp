@@ -5,9 +5,22 @@
 #include <limits>
 
 #include "lp/tolerances.hpp"
+#include "support/budget.hpp"
+#include "support/fault_injection.hpp"
 #include "support/require.hpp"
 
 namespace treeplace::lp {
+
+namespace {
+
+/// Pivot-loop safepoint: charge one step against the shared budget and stop
+/// with IterationLimit when it trips — indistinguishable from the iteration
+/// cap to every caller, which is exactly the sound bail-out they handle.
+inline bool budgetTripped(BudgetGuard* guard) {
+  return guard != nullptr && guard->tick() != BudgetVerdict::Ok;
+}
+
+}  // namespace
 
 LpWorkspace::LpWorkspace(const Model& model, const SimplexOptions& options)
     : options_(options) {
@@ -314,6 +327,7 @@ SolveStatus LpWorkspace::primalIterate() {
   long sinceImprovement = 0;
   double lastObjective = -cost_[static_cast<std::size_t>(nCols_)];
   for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    if (budgetTripped(options_.guard)) return SolveStatus::IterationLimit;
     // Entering column: an at-lower nonbasic may only rise (profitable when
     // its reduced cost is negative), an at-upper one may only fall
     // (profitable when positive). Basic columns have reduced cost zero and
@@ -603,6 +617,10 @@ SolveStatus LpWorkspace::solveDual() {
   long sinceImprovement = 0;
   double lastViolation = kInfinity;
   for (long iter = 0; iter < options_.maxIterations; ++iter) {
+    if (budgetTripped(options_.guard)) {
+      basisValid_ = false;
+      return SolveStatus::IterationLimit;
+    }
     // Leaving row: largest box violation — a basic below zero or beyond its
     // width (Bland: first violating row).
     int leaving = -1;
@@ -725,7 +743,10 @@ SolveStatus LpWorkspace::solveDual() {
 }
 
 SolveStatus LpWorkspace::solve() {
-  if (warmReady()) {
+  // SimplexPivot fault: pretend the warm dual re-solve hit numerical trouble
+  // so the cold fallback path runs. Costs latency (a full two-phase solve),
+  // never correctness — the cold solve is the independent oracle.
+  if (warmReady() && !fault::fire(fault::Site::SimplexPivot)) {
     const SolveStatus st = solveDual();
     if (st != SolveStatus::IterationLimit) return st;
     ++stats_.dualFallbacks;

@@ -1,5 +1,6 @@
 #include "online/delta.hpp"
 
+#include <sstream>
 #include <utility>
 
 #include "support/require.hpp"
@@ -36,29 +37,122 @@ void appendVertices(ProblemInstance& instance,
   instance.compTime.resize(grown, 0.0);
 }
 
+[[noreturn]] void reject(DeltaErrorCode code, const InstanceDelta& delta,
+                         const char* what) {
+  std::ostringstream os;
+  os << "rejected delta (" << toString(code) << "): " << what << " [kind="
+     << static_cast<int>(delta.kind) << ", node=" << delta.node << "]";
+  throw DeltaError(code, os.str());
+}
+
+bool knownVertex(const Tree& tree, VertexId v) {
+  return v >= 0 && static_cast<std::size_t>(v) < tree.vertexCount();
+}
+
 }  // namespace
 
+std::string_view toString(DeltaErrorCode code) {
+  switch (code) {
+    case DeltaErrorCode::UnknownVertex: return "UnknownVertex";
+    case DeltaErrorCode::NotAClient: return "NotAClient";
+    case DeltaErrorCode::NotAnInternal: return "NotAnInternal";
+    case DeltaErrorCode::DetachRoot: return "DetachRoot";
+    case DeltaErrorCode::NegativeRate: return "NegativeRate";
+    case DeltaErrorCode::NonPositiveCapacity: return "NonPositiveCapacity";
+    case DeltaErrorCode::EmptyPod: return "EmptyPod";
+  }
+  return "?";
+}
+
+void validateDelta(const ProblemInstance& instance, const InstanceDelta& delta) {
+  const Tree& tree = instance.tree;
+  switch (delta.kind) {
+    case DeltaKind::RateChange:
+      if (!knownVertex(tree, delta.node))
+        reject(DeltaErrorCode::UnknownVertex, delta, "RateChange of unknown vertex");
+      if (!tree.isClient(delta.node))
+        reject(DeltaErrorCode::NotAClient, delta, "RateChange needs a client");
+      if (delta.rate < 0)
+        reject(DeltaErrorCode::NegativeRate, delta, "request rate must be non-negative");
+      return;
+    case DeltaKind::ClientLeave:
+      if (!knownVertex(tree, delta.node))
+        reject(DeltaErrorCode::UnknownVertex, delta, "ClientLeave of unknown vertex");
+      if (!tree.isClient(delta.node))
+        reject(DeltaErrorCode::NotAClient, delta, "ClientLeave needs a client");
+      return;
+    case DeltaKind::CapacityChange:
+      if (delta.capacity <= 0)
+        reject(DeltaErrorCode::NonPositiveCapacity, delta,
+               "capacity must stay positive");
+      if (delta.node != kNoVertex) {
+        if (!knownVertex(tree, delta.node))
+          reject(DeltaErrorCode::UnknownVertex, delta,
+                 "CapacityChange of unknown vertex");
+        if (!tree.isInternal(delta.node))
+          reject(DeltaErrorCode::NotAnInternal, delta,
+                 "per-node CapacityChange needs an internal node");
+      }
+      return;
+    case DeltaKind::ClientJoin:
+      if (!knownVertex(tree, delta.node))
+        reject(DeltaErrorCode::UnknownVertex, delta, "ClientJoin under unknown vertex");
+      if (!tree.isInternal(delta.node))
+        reject(DeltaErrorCode::NotAnInternal, delta,
+               "ClientJoin attaches under an internal node");
+      if (delta.rate < 0)
+        reject(DeltaErrorCode::NegativeRate, delta, "request rate must be non-negative");
+      return;
+    case DeltaKind::SubtreeAttach:
+      if (!knownVertex(tree, delta.node))
+        reject(DeltaErrorCode::UnknownVertex, delta,
+               "SubtreeAttach under unknown vertex");
+      if (!tree.isInternal(delta.node))
+        reject(DeltaErrorCode::NotAnInternal, delta,
+               "SubtreeAttach attaches under an internal node");
+      if (delta.podRates.empty())
+        reject(DeltaErrorCode::EmptyPod, delta, "a pod needs at least one client");
+      if (delta.capacity <= 0)
+        reject(DeltaErrorCode::NonPositiveCapacity, delta,
+               "pod capacity must be positive");
+      for (const Requests r : delta.podRates)
+        if (r < 0)
+          reject(DeltaErrorCode::NegativeRate, delta,
+                 "pod request rates must be non-negative");
+      return;
+    case DeltaKind::SubtreeDetach:
+      if (!knownVertex(tree, delta.node))
+        reject(DeltaErrorCode::UnknownVertex, delta,
+               "SubtreeDetach of unknown vertex");
+      if (delta.node == tree.root())
+        reject(DeltaErrorCode::DetachRoot, delta,
+               "SubtreeDetach of the root would silence every client");
+      return;
+  }
+  reject(DeltaErrorCode::UnknownVertex, delta, "unknown delta kind");
+}
+
 DeltaApplication applyDelta(ProblemInstance& instance, const InstanceDelta& delta) {
+  // Validate everything first: a DeltaError never leaves a partial mutation
+  // behind (the application below cannot fail on a validated delta).
+  validateDelta(instance, delta);
+
   const Tree& tree = instance.tree;
   DeltaApplication app;
   app.kind = delta.kind;
 
   switch (delta.kind) {
     case DeltaKind::RateChange: {
-      TREEPLACE_REQUIRE(tree.isClient(delta.node), "RateChange needs a client");
-      TREEPLACE_REQUIRE(delta.rate >= 0, "request rate must be non-negative");
       instance.requests[static_cast<std::size_t>(delta.node)] = delta.rate;
       app.touched.push_back(delta.node);
       return app;
     }
     case DeltaKind::ClientLeave: {
-      TREEPLACE_REQUIRE(tree.isClient(delta.node), "ClientLeave needs a client");
       instance.requests[static_cast<std::size_t>(delta.node)] = 0;
       app.touched.push_back(delta.node);
       return app;
     }
     case DeltaKind::CapacityChange: {
-      TREEPLACE_REQUIRE(delta.capacity > 0, "capacity must stay positive");
       if (delta.node == kNoVertex) {
         // Homogeneous capacity shift: W appears in every place step, so no
         // subtree result survives.
@@ -66,16 +160,12 @@ DeltaApplication applyDelta(ProblemInstance& instance, const InstanceDelta& delt
           instance.capacity[static_cast<std::size_t>(j)] = delta.capacity;
         app.global = true;
       } else {
-        TREEPLACE_REQUIRE(tree.isInternal(delta.node),
-                          "per-node CapacityChange needs an internal node");
         instance.capacity[static_cast<std::size_t>(delta.node)] = delta.capacity;
         app.touched.push_back(delta.node);
       }
       return app;
     }
     case DeltaKind::ClientJoin: {
-      TREEPLACE_REQUIRE(tree.isInternal(delta.node), "ClientJoin attaches under an internal node");
-      TREEPLACE_REQUIRE(delta.rate >= 0, "request rate must be non-negative");
       app.structural = true;
       app.firstNewVertex = static_cast<VertexId>(tree.vertexCount());
       appendVertices(instance, {delta.node}, {VertexKind::Client});
@@ -87,10 +177,6 @@ DeltaApplication applyDelta(ProblemInstance& instance, const InstanceDelta& delt
       return app;
     }
     case DeltaKind::SubtreeAttach: {
-      TREEPLACE_REQUIRE(tree.isInternal(delta.node),
-                        "SubtreeAttach attaches under an internal node");
-      TREEPLACE_REQUIRE(!delta.podRates.empty(), "a pod needs at least one client");
-      TREEPLACE_REQUIRE(delta.capacity > 0, "pod capacity must be positive");
       app.structural = true;
       app.firstNewVertex = static_cast<VertexId>(tree.vertexCount());
       std::vector<VertexId> parents{delta.node};
@@ -105,7 +191,6 @@ DeltaApplication applyDelta(ProblemInstance& instance, const InstanceDelta& delt
       instance.storageCost[pod] = delta.storageCost;
       instance.commTime[pod] = delta.commTime;
       for (std::size_t k = 0; k < delta.podRates.size(); ++k) {
-        TREEPLACE_REQUIRE(delta.podRates[k] >= 0, "request rate must be non-negative");
         instance.requests[pod + 1 + k] = delta.podRates[k];
         instance.commTime[pod + 1 + k] = delta.commTime;
       }

@@ -1,6 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "tree/problem.hpp"
@@ -39,6 +42,35 @@ struct InstanceDelta {
   std::vector<Requests> podRates;  ///< SubtreeAttach: one client per entry
 };
 
+/// Why applyDelta rejected a delta.
+enum class DeltaErrorCode : std::uint8_t {
+  UnknownVertex,        ///< node id outside [0, vertexCount) (and not the
+                        ///< kNoVertex wildcard where that is allowed)
+  NotAClient,           ///< RateChange/ClientLeave naming an internal vertex
+  NotAnInternal,        ///< attach/per-node capacity naming a client vertex
+  DetachRoot,           ///< SubtreeDetach of the tree root (would silence
+                        ///< every client; an operator error, not a mutation)
+  NegativeRate,         ///< request rate below zero (delta.rate or a pod rate)
+  NonPositiveCapacity,  ///< capacity change / pod capacity <= 0
+  EmptyPod,             ///< SubtreeAttach with no pod clients
+};
+
+std::string_view toString(DeltaErrorCode code);
+
+/// Thrown by applyDelta when a delta is malformed. Raised by a validation
+/// pass that runs BEFORE any mutation, so the instance is untouched when it
+/// escapes (strong exception guarantee) — a live solver can log the rejected
+/// delta and keep serving from its current state.
+class DeltaError : public std::invalid_argument {
+ public:
+  DeltaError(DeltaErrorCode code, const std::string& message)
+      : std::invalid_argument(message), code_(code) {}
+  DeltaErrorCode code() const noexcept { return code_; }
+
+ private:
+  DeltaErrorCode code_;
+};
+
 /// What applying a delta did, in terms every incremental consumer needs for
 /// invalidation. `touched` lists the vertices whose own subtree DP state
 /// changed (consumers dirty them plus their root paths); `structural` says
@@ -55,9 +87,16 @@ struct DeltaApplication {
 
 /// Apply `delta` to `instance` in place. Structural deltas rebuild the Tree
 /// from an extended parent array (O(n), ids stable); value deltas edit the
-/// per-vertex arrays directly. Throws PreconditionError on malformed deltas
-/// (client field naming an internal vertex, attach under a client, ...).
+/// per-vertex arrays directly. Malformed deltas — out-of-range or wrong-kind
+/// vertex ids, detach of the root, negative rates, non-positive capacities,
+/// empty pods — throw DeltaError from a validation pass that precedes every
+/// mutation, so a rejected delta leaves the instance bit-identical.
 DeltaApplication applyDelta(ProblemInstance& instance, const InstanceDelta& delta);
+
+/// The validation pass of applyDelta on its own: throws DeltaError exactly
+/// when applyDelta would, mutates nothing. Request admission layers call
+/// this to vet untrusted deltas before queueing them.
+void validateDelta(const ProblemInstance& instance, const InstanceDelta& delta);
 
 /// Epoch-based dirty-subtree tracker shared by the incremental caches.
 /// Every applied delta bumps the mutation epoch and stamps the touched

@@ -246,8 +246,44 @@ DeltaApplication IncrementalSolver::applyWithoutInvalidation(
   return app;
 }
 
-std::optional<Placement> IncrementalSolver::resolve() {
-  return policy_ == OnlinePolicy::ClosestQos ? resolveQos() : resolve2d();
+std::optional<Placement> IncrementalSolver::resolve(BudgetGuard* guard) {
+  try {
+    return policy_ == OnlinePolicy::ClosestQos ? resolveQos(guard) : resolve2d(guard);
+  } catch (const SolveInterrupted&) {
+    // Budget trips are clean by construction (the checkpoint precedes the
+    // vertex stamp): caches and dirty set are exact, so the verdict goes
+    // straight to the caller and a later resolve continues where this one
+    // stopped.
+    throw;
+  } catch (...) {
+    // Anything else — an injected bad_alloc inside arena growth, a repair
+    // invariant trip — may have left a stamped-but-garbage frontier or a
+    // half-repaired incumbent behind. Self-check is by reconstruction: drop
+    // everything, re-solve the same instance from scratch once.
+    ++stats_.scratchFallbacks;
+    invalidateCaches();
+    try {
+      return policy_ == OnlinePolicy::ClosestQos ? resolveQos(guard)
+                                                 : resolve2d(guard);
+    } catch (...) {
+      invalidateCaches();  // leave a coherent (empty) state for the next call
+      throw;
+    }
+  }
+}
+
+void IncrementalSolver::invalidateCaches() {
+  if (policy_ == OnlinePolicy::ClosestQos)
+    cacheQos_.init(instance_->tree, true);
+  else
+    cache2d_.init(instance_->tree, true);
+  rebuildPositions();
+  pendingDirty_.clear();
+  pendingGlobal_ = true;
+  pendingChangedClients_.clear();
+  flips_.clear();
+  placement_.reset();
+  assignRebuildNeeded_ = true;
 }
 
 template <typename Entry>
@@ -320,7 +356,7 @@ void IncrementalSolver::reconstruct(detail::FrontierCacheState<Entry>& cache,
 // through the very same FrontierConvolver, every recomputed frontier is
 // bit-identical to what a scratch solve would build — the incremental
 // placement therefore *equals* the scratch placement, not merely its cost.
-std::optional<Placement> IncrementalSolver::resolve2d() {
+std::optional<Placement> IncrementalSolver::resolve2d(BudgetGuard* guard) {
   const ProblemInstance& instance = *instance_;
   const Tree& tree = instance.tree;
   const std::size_t n = tree.vertexCount();
@@ -335,6 +371,9 @@ std::optional<Placement> IncrementalSolver::resolve2d() {
   std::vector<FrontierEntry> options;
   std::size_t misses = 0;
   const auto recompute = [&](VertexId v) {
+    // Safepoint BEFORE the epoch stamp: an interrupted resolve leaves this
+    // vertex dirty and everything already recomputed exact.
+    if (guard != nullptr) guard->checkpoint();
     const auto vi = static_cast<std::size_t>(v);
     ++misses;
     const std::uint64_t prevEpoch = cache.computedEpoch[vi];
@@ -475,7 +514,7 @@ std::optional<Placement> IncrementalSolver::resolve2d() {
 // ancestor accumulator, so the root frontier ends without a zero-flow entry
 // and the verdict (infeasible) is identical, but the cache stays coherent for
 // the next mutation.
-std::optional<Placement> IncrementalSolver::resolveQos() {
+std::optional<Placement> IncrementalSolver::resolveQos(BudgetGuard* guard) {
   const ProblemInstance& instance = *instance_;
   const Tree& tree = instance.tree;
   const std::size_t n = tree.vertexCount();
@@ -489,6 +528,7 @@ std::optional<Placement> IncrementalSolver::resolveQos() {
 
   std::size_t misses = 0;
   const auto recompute = [&](VertexId v) {
+    if (guard != nullptr) guard->checkpoint();  // before the stamp, as in resolve2d
     const auto vi = static_cast<std::size_t>(v);
     ++misses;
     const std::uint64_t prevEpoch = cache.computedEpoch[vi];

@@ -8,6 +8,7 @@
 #include "core/frontier.hpp"
 #include "core/placement.hpp"
 #include "online/delta.hpp"
+#include "support/budget.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -43,6 +44,10 @@ struct FrontierCacheStats {
   std::size_t compactions = 0;       ///< arena copy-compaction passes
   std::size_t arenaEntries = 0;      ///< slab entries after the last resolve
   std::size_t arenaBytes = 0;        ///< slab footprint, bytes
+  /// Resolves that failed mid-flight (allocation fault, repair invariant
+  /// trip), dropped every cache, and re-solved from scratch — the resilience
+  /// fallback, not a steady-state event.
+  std::size_t scratchFallbacks = 0;
 
   double hitRate() const {
     const std::size_t total = hits + misses;
@@ -134,14 +139,31 @@ class IncrementalSolver {
   /// Re-solve from the caches: recompute dirty subtree frontiers bottom-up,
   /// reuse clean ones, reconstruct the placement through the cached
   /// backpointers. nullopt when the mutated instance is infeasible.
-  std::optional<Placement> resolve();
+  ///
+  /// `guard`, when non-null, is ticked once per recomputed vertex and throws
+  /// SolveInterrupted on a trip. The checkpoint fires BEFORE a vertex is
+  /// stamped, so an interrupted resolve leaves every cache exact and the
+  /// pending dirty set intact — a later resolve (with or without budget)
+  /// simply continues from where the interrupted one stopped.
+  ///
+  /// Any other mid-resolve failure (an allocation fault inside arena growth,
+  /// a repair invariant trip on a poisoned cache) is self-healing: the solver
+  /// drops every cache and the incumbent assignment, re-solves the same
+  /// instance from scratch once (counted in cacheStats().scratchFallbacks),
+  /// and only rethrows if the scratch pass fails too — a fault costs latency,
+  /// never a wrong placement.
+  std::optional<Placement> resolve(BudgetGuard* guard = nullptr);
 
   const FrontierCacheStats& cacheStats() const { return stats_; }
 
  private:
   void noteDelta(const DeltaApplication& app);
-  std::optional<Placement> resolve2d();
-  std::optional<Placement> resolveQos();
+  std::optional<Placement> resolve2d(BudgetGuard* guard);
+  std::optional<Placement> resolveQos(BudgetGuard* guard);
+  /// Drop every cache, the pending dirty bookkeeping, and the incumbent
+  /// assignment — back to the just-constructed state against the current
+  /// instance. The scratch-fallback path of resolve().
+  void invalidateCaches();
   template <typename Entry>
   void maybeCompact(detail::FrontierCacheState<Entry>& cache);
   /// Sort the pending dirty list into postorder processing position and drop

@@ -1,0 +1,16 @@
+#include "support/budget.hpp"
+
+namespace treeplace {
+
+std::string_view toString(BudgetVerdict verdict) {
+  switch (verdict) {
+    case BudgetVerdict::Ok: return "Ok";
+    case BudgetVerdict::Deadline: return "Deadline";
+    case BudgetVerdict::StepLimit: return "StepLimit";
+    case BudgetVerdict::MemoryLimit: return "MemoryLimit";
+    case BudgetVerdict::Cancelled: return "Cancelled";
+  }
+  return "?";
+}
+
+}  // namespace treeplace

@@ -1,0 +1,195 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+
+#include "support/fault_injection.hpp"
+
+namespace treeplace {
+
+/// Cooperative cancellation flag shared between a requester (e.g. a watchdog
+/// or a request loop that lost interest in the answer) and a running solve.
+/// The solver polls it at its safepoints; cancel() is async-safe from any
+/// thread and never interrupts a solver mid-invariant — the solve unwinds at
+/// the next safepoint with its state intact.
+class CancelToken {
+ public:
+  void cancel() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept { return flag_.load(std::memory_order_relaxed); }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Resource envelope of one solve: wall-clock deadline, step budget, peak
+/// memory budget, cooperative cancel. Zero/negative/null fields are
+/// unlimited, so a default-constructed budget never trips — existing callers
+/// pay one branch per safepoint and nothing else.
+///
+/// "Steps" are the solver-natural units counted at the safepoints: simplex
+/// pivots, branch-and-bound node pops, DFS steps, per-vertex DP visits. One
+/// budget is shared across the layers of a solve (the B&B charges its node
+/// pops and its node LPs' pivots against the same counter), so the step
+/// budget bounds total work, not work per layer.
+struct SolveBudget {
+  double wallMs = 0.0;             ///< deadline from arming, ms; <= 0 unlimited
+  long maxSteps = 0;               ///< total safepoint steps; <= 0 unlimited
+  std::size_t maxMemoryBytes = 0;  ///< peak tracked working set; 0 unlimited
+  const CancelToken* cancel = nullptr;  ///< non-owning; null = not cancellable
+
+  bool limited() const {
+    return wallMs > 0.0 || maxSteps > 0 || maxMemoryBytes > 0 || cancel != nullptr;
+  }
+};
+
+/// Why a budgeted solve stopped early (Ok = it did not).
+enum class BudgetVerdict : std::uint8_t {
+  Ok,
+  Deadline,     ///< wall-clock deadline passed
+  StepLimit,    ///< step budget exhausted
+  MemoryLimit,  ///< tracked working set exceeded the byte budget
+  Cancelled,    ///< CancelToken fired
+};
+
+std::string_view toString(BudgetVerdict verdict);
+
+/// Thrown by deep solver code (recursive DPs, streaming folds) when its
+/// BudgetGuard trips and the function has no partial-result channel of its
+/// own. Public entry points — the resilient pipeline, the budgeted wrappers —
+/// catch it and turn it into a structured SolveOutcome; it never escapes to
+/// callers that did not arm a budget.
+class SolveInterrupted : public std::runtime_error {
+ public:
+  explicit SolveInterrupted(BudgetVerdict verdict)
+      : std::runtime_error("solve interrupted"), verdict_(verdict) {}
+  BudgetVerdict verdict() const noexcept { return verdict_; }
+
+ private:
+  BudgetVerdict verdict_;
+};
+
+/// Armed instance of a SolveBudget, shared by every layer of one solve
+/// (thread-safe: the parallel branch-and-bound workers tick one guard).
+///
+/// tick() is the safepoint: it charges steps, polls the cancel token, and
+/// re-reads the clock only every checkStride() charged steps, so a safepoint
+/// inside a simplex pivot loop costs an atomic add and a compare. Once a
+/// verdict is reached it is sticky — every later tick() reports it, which
+/// lets outer layers (a B&B pop loop above an LP that already tripped)
+/// observe the stop without plumbing a side channel.
+///
+/// An unlimited guard (default-constructed budget) short-circuits to Ok
+/// without touching the atomics.
+class BudgetGuard {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  BudgetGuard() : BudgetGuard(SolveBudget{}) {}
+  explicit BudgetGuard(const SolveBudget& budget)
+      : budget_(budget), limited_(budget.limited()), start_(Clock::now()) {
+    if (budget_.wallMs > 0.0)
+      deadline_ = start_ + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(budget_.wallMs));
+  }
+
+  // One armed guard is shared by reference across solver layers; copying it
+  // would fork the step counter and break the shared-budget contract.
+  BudgetGuard(const BudgetGuard&) = delete;
+  BudgetGuard& operator=(const BudgetGuard&) = delete;
+
+  /// Charge `steps` safepoint steps and report the (sticky) verdict. The
+  /// clock is polled every checkStride() charged steps and on the first tick,
+  /// so deadline overshoot is bounded by the cost of checkStride() steps of
+  /// the innermost loop.
+  BudgetVerdict tick(long steps = 1) {
+    if (!limited_) return BudgetVerdict::Ok;
+    const auto sticky = static_cast<BudgetVerdict>(
+        verdict_.load(std::memory_order_relaxed));
+    if (sticky != BudgetVerdict::Ok) return sticky;
+    const long used = steps_.fetch_add(steps, std::memory_order_relaxed) + steps;
+    if (budget_.maxSteps > 0 && used > budget_.maxSteps)
+      return trip(BudgetVerdict::StepLimit);
+    if (budget_.cancel != nullptr && budget_.cancel->cancelled())
+      return trip(BudgetVerdict::Cancelled);
+    const long last = lastClockCheck_.load(std::memory_order_relaxed);
+    if (used - last >= checkStride_ || last == 0) {
+      lastClockCheck_.store(used, std::memory_order_relaxed);
+      // MidSolveCancel fault: a budgeted solve is cancelled at a deterministic
+      // safepoint stride — exactly what an impatient caller's watchdog does.
+      if (fault::fire(fault::Site::MidSolveCancel))
+        return trip(BudgetVerdict::Cancelled);
+      if (budget_.wallMs > 0.0 && Clock::now() >= deadline_)
+        return trip(BudgetVerdict::Deadline);
+    }
+    return BudgetVerdict::Ok;
+  }
+
+  /// tick() that throws SolveInterrupted instead of returning the verdict —
+  /// the safepoint form for code without a partial-result return channel.
+  void checkpoint(long steps = 1) {
+    const BudgetVerdict v = tick(steps);
+    if (v != BudgetVerdict::Ok) throw SolveInterrupted(v);
+  }
+
+  /// Account a tracked working-set high-water mark (arena slabs, tableau
+  /// rows). Monotone per call site is fine: the guard keeps the max.
+  BudgetVerdict noteMemory(std::size_t bytes) {
+    if (!limited_ || budget_.maxMemoryBytes == 0) return verdict();
+    std::size_t seen = memoryPeak_.load(std::memory_order_relaxed);
+    while (bytes > seen &&
+           !memoryPeak_.compare_exchange_weak(seen, bytes, std::memory_order_relaxed)) {
+    }
+    if (std::max(bytes, seen) > budget_.maxMemoryBytes)
+      return trip(BudgetVerdict::MemoryLimit);
+    return verdict();
+  }
+
+  BudgetVerdict verdict() const {
+    if (!limited_) return BudgetVerdict::Ok;
+    return static_cast<BudgetVerdict>(verdict_.load(std::memory_order_relaxed));
+  }
+  bool exceeded() const { return verdict() != BudgetVerdict::Ok; }
+
+  long stepsUsed() const { return steps_.load(std::memory_order_relaxed); }
+  std::size_t memoryPeak() const { return memoryPeak_.load(std::memory_order_relaxed); }
+  double elapsedMs() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+  double remainingMs() const {
+    if (budget_.wallMs <= 0.0) return 0.0;
+    const double left = budget_.wallMs - elapsedMs();
+    return left > 0.0 ? left : 0.0;
+  }
+  const SolveBudget& budget() const { return budget_; }
+
+  /// Steps between clock reads. The default keeps the deadline overshoot at
+  /// the cost of 64 inner-loop steps — microseconds on every solver path —
+  /// while leaving the common tick() at two relaxed atomic ops.
+  long checkStride() const { return checkStride_; }
+  void setCheckStride(long stride) { checkStride_ = stride > 0 ? stride : 1; }
+
+ private:
+  BudgetVerdict trip(BudgetVerdict verdict) {
+    auto expected = static_cast<std::uint8_t>(BudgetVerdict::Ok);
+    verdict_.compare_exchange_strong(expected, static_cast<std::uint8_t>(verdict),
+                                     std::memory_order_relaxed);
+    return static_cast<BudgetVerdict>(verdict_.load(std::memory_order_relaxed));
+  }
+
+  SolveBudget budget_;
+  bool limited_ = false;
+  long checkStride_ = 64;
+  Clock::time_point start_;
+  Clock::time_point deadline_{};
+  std::atomic<long> steps_{0};
+  std::atomic<long> lastClockCheck_{0};
+  std::atomic<std::size_t> memoryPeak_{0};
+  std::atomic<std::uint8_t> verdict_{static_cast<std::uint8_t>(BudgetVerdict::Ok)};
+};
+
+}  // namespace treeplace

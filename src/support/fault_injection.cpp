@@ -1,0 +1,162 @@
+#include "support/fault_injection.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <string>
+
+namespace treeplace::fault {
+namespace {
+
+struct SiteState {
+  std::atomic<long> probes{0};
+  std::atomic<long> fires{0};
+};
+
+// The registry is process-global because the probes live in deep library
+// code (arena growth, simplex loops) that cannot thread a handle. `enabled`
+// is the one flag every probe reads; the rest is only touched when armed.
+std::atomic<bool> enabled{false};
+std::atomic<bool> envChecked{false};
+std::mutex planMutex;
+Plan activePlan;
+SiteState states[kSiteCount];
+
+/// splitmix64: the standard 64-bit finalizer — every (seed, site, probe)
+/// triple maps to an independent-looking decision, reproducible across runs.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Site parseSiteToken(const std::string& token, bool& all) {
+  if (token == "all") {
+    all = true;
+    return Site::kCount;
+  }
+  if (token == "alloc" || token == "allocation") return Site::Allocation;
+  if (token == "stall") return Site::WorkerStall;
+  if (token == "pivot" || token == "simplex") return Site::SimplexPivot;
+  if (token == "delta") return Site::MalformedDelta;
+  if (token == "cancel") return Site::MidSolveCancel;
+  return Site::kCount;
+}
+
+}  // namespace
+
+std::string_view toString(Site site) {
+  switch (site) {
+    case Site::Allocation: return "Allocation";
+    case Site::WorkerStall: return "WorkerStall";
+    case Site::SimplexPivot: return "SimplexPivot";
+    case Site::MalformedDelta: return "MalformedDelta";
+    case Site::MidSolveCancel: return "MidSolveCancel";
+    case Site::kCount: break;
+  }
+  return "?";
+}
+
+void arm(const Plan& plan) {
+  const std::lock_guard<std::mutex> lock(planMutex);
+  activePlan = plan;
+  for (auto& state : states) {
+    state.probes.store(0, std::memory_order_relaxed);
+    state.fires.store(0, std::memory_order_relaxed);
+  }
+  bool any = false;
+  for (const SiteConfig& cfg : plan.sites) any = any || cfg.armed;
+  enabled.store(any, std::memory_order_release);
+}
+
+void disarm() {
+  const std::lock_guard<std::mutex> lock(planMutex);
+  for (SiteConfig& cfg : activePlan.sites) cfg.armed = false;
+  enabled.store(false, std::memory_order_release);
+}
+
+bool armed() { return enabled.load(std::memory_order_acquire); }
+
+bool fire(Site site) {
+  if (!envChecked.exchange(true, std::memory_order_acq_rel)) armFromEnvironment();
+  if (!enabled.load(std::memory_order_acquire)) return false;
+  const auto si = static_cast<std::size_t>(site);
+  // Read the site rule without the lock: arming while solves run is a test
+  // ordering bug, not something the registry needs to serialize against.
+  SiteConfig cfg;
+  std::uint64_t seed;
+  {
+    const std::lock_guard<std::mutex> lock(planMutex);
+    cfg = activePlan.sites[si];
+    seed = activePlan.seed;
+  }
+  if (!cfg.armed) return false;
+  const long probe = states[si].probes.fetch_add(1, std::memory_order_relaxed);
+  if (cfg.maxFires > 0 &&
+      states[si].fires.load(std::memory_order_relaxed) >= cfg.maxFires)
+    return false;
+  const std::uint64_t h =
+      mix(seed ^ (static_cast<std::uint64_t>(si) << 56) ^
+          static_cast<std::uint64_t>(probe));
+  if (h % cfg.period != 0) return false;
+  states[si].fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+long probeCount(Site site) {
+  return states[static_cast<std::size_t>(site)].probes.load(std::memory_order_relaxed);
+}
+
+long fireCount(Site site) {
+  return states[static_cast<std::size_t>(site)].fires.load(std::memory_order_relaxed);
+}
+
+long totalFires() {
+  long total = 0;
+  for (const auto& state : states) total += state.fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+void resetCounters() {
+  for (auto& state : states) {
+    state.probes.store(0, std::memory_order_relaxed);
+    state.fires.store(0, std::memory_order_relaxed);
+  }
+}
+
+bool armFromEnvironment() {
+  const char* sitesEnv = std::getenv("TREEPLACE_FAULT");
+  if (sitesEnv == nullptr || *sitesEnv == '\0') return false;
+  Plan plan;
+  if (const char* seedEnv = std::getenv("TREEPLACE_FAULT_SEED"))
+    plan.seed = static_cast<std::uint64_t>(std::strtoull(seedEnv, nullptr, 10));
+  std::uint64_t period = 16;
+  if (const char* periodEnv = std::getenv("TREEPLACE_FAULT_PERIOD")) {
+    period = static_cast<std::uint64_t>(std::strtoull(periodEnv, nullptr, 10));
+    if (period == 0) period = 16;
+  }
+  std::string spec(sitesEnv);
+  bool any = false;
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(',', begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string token = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (token.empty()) continue;
+    bool all = false;
+    const Site site = parseSiteToken(token, all);
+    if (all) {
+      for (std::size_t s = 0; s < kSiteCount; ++s)
+        plan.armSite(static_cast<Site>(s), period);
+      any = true;
+    } else if (site != Site::kCount) {
+      plan.armSite(site, period);
+      any = true;
+    }
+  }
+  if (any) arm(plan);
+  return any;
+}
+
+}  // namespace treeplace::fault

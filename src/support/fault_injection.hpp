@@ -1,0 +1,97 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace treeplace::fault {
+
+/// Named injection points of the deterministic fault harness. Each site is a
+/// place in production code where a TREEPLACE_FAULT_POINT-style check asks
+/// the registry "should this call fail?". Sites are compiled in permanently;
+/// with nothing armed the check is one relaxed atomic load of a global flag.
+enum class Site : std::uint8_t {
+  Allocation,     ///< arena / workspace slab growth throws std::bad_alloc
+  WorkerStall,    ///< a pool worker sleeps a few ms before its task
+  SimplexPivot,   ///< a warm dual re-solve reports numerical failure
+                  ///< (forcing the cold-fallback path), and every Nth cold
+                  ///< solve reports IterationLimit
+  MalformedDelta, ///< the mutation driver corrupts a drawn InstanceDelta
+  MidSolveCancel, ///< a budgeted solve's guard trips Cancelled at a safepoint
+                  ///< stride (probed from BudgetGuard::tick's slow path)
+  kCount,
+};
+
+constexpr std::size_t kSiteCount = static_cast<std::size_t>(Site::kCount);
+
+std::string_view toString(Site site);
+
+/// Deterministic per-site firing rule: the site's Nth probe fires iff
+/// mix(seed, site, N) % period == 0, where mix is a splitmix64 hash — so a
+/// plan is reproducible from (seed, period) alone, independent of wall time,
+/// and different seeds exercise different probe subsets. maxFires caps the
+/// total fires of the site (0 = unlimited).
+struct SiteConfig {
+  bool armed = false;
+  std::uint64_t period = 16;  ///< expected one fire per `period` probes
+  long maxFires = 0;          ///< 0 = unlimited
+};
+
+/// A full plan: one seed, one rule per site. Arm with arm(plan); disarm()
+/// restores the all-quiet default. Arming is process-global (the sites live
+/// in deep library code), so tests serialize plans with ScopedPlan.
+struct Plan {
+  std::uint64_t seed = 1;
+  std::array<SiteConfig, kSiteCount> sites{};
+
+  Plan& armSite(Site site, std::uint64_t period = 16, long maxFires = 0) {
+    auto& cfg = sites[static_cast<std::size_t>(site)];
+    cfg.armed = true;
+    cfg.period = period > 0 ? period : 1;
+    cfg.maxFires = maxFires;
+    return *this;
+  }
+};
+
+/// Install `plan` and zero the probe/fire counters.
+void arm(const Plan& plan);
+
+/// Back to all-quiet; counters keep their values for inspection.
+void disarm();
+
+/// True when any site is armed (the global fast-path flag).
+bool armed();
+
+/// The production-code probe: count one probe at `site` and decide, from the
+/// armed plan's deterministic rule, whether the fault fires here. Always
+/// false when nothing is armed. Thread-safe; under concurrency the firing
+/// pattern depends on probe interleaving, but the per-seed decision function
+/// itself stays deterministic.
+bool fire(Site site);
+
+/// Counters for assertions and telemetry.
+long probeCount(Site site);
+long fireCount(Site site);
+long totalFires();
+void resetCounters();
+
+/// Arm from the environment: TREEPLACE_FAULT names sites (comma-separated
+/// tokens: alloc, stall, pivot, delta, cancel, or "all"), TREEPLACE_FAULT_SEED
+/// and TREEPLACE_FAULT_PERIOD tune the plan (defaults 1 and 16). Called once
+/// from the first probe, so a fault-armed CI job needs no code changes in any
+/// binary. Returns true when the environment armed anything.
+bool armFromEnvironment();
+
+/// RAII plan for tests: arms on construction, disarms (and restores quiet)
+/// on destruction.
+class ScopedPlan {
+ public:
+  explicit ScopedPlan(const Plan& plan) { arm(plan); }
+  ~ScopedPlan() { disarm(); }
+  ScopedPlan(const ScopedPlan&) = delete;
+  ScopedPlan& operator=(const ScopedPlan&) = delete;
+};
+
+}  // namespace treeplace::fault

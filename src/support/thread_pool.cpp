@@ -1,8 +1,10 @@
 #include "support/thread_pool.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "support/fault_injection.hpp"
 #include "support/require.hpp"
 
 namespace treeplace {
@@ -59,6 +61,12 @@ bool ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return inFlight_ == 0; });
+  if (taskError_) {
+    std::exception_ptr error;
+    std::swap(error, taskError_);  // one rethrow per failure; pool stays usable
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
@@ -123,7 +131,16 @@ void ThreadPool::workerLoop(std::size_t index) {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    // WorkerStall fault: the worker hiccups before its task — a scheduling
+    // stall, never a correctness event. Keeps latency-tolerant callers honest.
+    if (fault::fire(fault::Site::WorkerStall))
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    try {
+      task();
+    } catch (...) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!taskError_) taskError_ = std::current_exception();
+    }
     {
       const std::lock_guard<std::mutex> lock(mutex_);
       --inFlight_;

@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -43,7 +44,11 @@ class ThreadPool {
   /// stop gracefully. Pair accepted tasks with waitIdle().
   [[nodiscard]] bool submit(std::function<void()> task);
 
-  /// Block until every accepted task has finished.
+  /// Block until every accepted task has finished. If any task submitted
+  /// since the last drain threw, the FIRST such exception is rethrown here —
+  /// to the submitter, not std::terminate on a worker thread. Later
+  /// exceptions of the same drain are dropped; the pool itself stays usable.
+  /// (parallelFor catches per-lane and is unaffected.)
   void waitIdle();
 
   /// Deterministic drain: stop accepting new tasks, run every task accepted
@@ -68,6 +73,7 @@ class ThreadPool {
   std::size_t inFlight_ = 0;
   bool stopping_ = false;
   bool joined_ = false;
+  std::exception_ptr taskError_;  ///< first uncaught task exception; see waitIdle
 };
 
 }  // namespace treeplace

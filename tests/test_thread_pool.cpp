@@ -120,6 +120,38 @@ TEST(ThreadPool, DefaultsToHardwareConcurrency) {
   EXPECT_GE(pool.threadCount(), 1u);
 }
 
+// An exception escaping a submitted task must reach the submitter at the
+// next waitIdle() instead of being swallowed — a silently-dropped worker
+// failure turns into a hung or wrong result downstream.
+TEST(ThreadPool, WaitIdlePropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.submit([] { throw std::runtime_error("task boom"); }));
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  // The pool stays usable after the rethrow, and a clean drain is quiet.
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+  pool.waitIdle();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPool, WaitIdleReportsFirstFailureOnce) {
+  ThreadPool pool(2);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_TRUE(pool.submit([] { throw std::runtime_error("boom"); }));
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  pool.waitIdle();  // the other failures of the same drain were dropped
+}
+
+TEST(ThreadPool, TaskExceptionDoesNotKillWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.submit([] { throw std::logic_error("first"); }));
+  for (int i = 0; i < 64; ++i)
+    EXPECT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+  EXPECT_THROW(pool.waitIdle(), std::logic_error);
+  EXPECT_EQ(ran.load(), 64);  // every healthy task still executed
+}
+
 TEST(ThreadPool, SequentialParallelForCalls) {
   ThreadPool pool(3);
   std::atomic<int> total{0};
