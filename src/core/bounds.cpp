@@ -79,22 +79,25 @@ void FrontierSubtreeRelaxation::build(const ProblemInstance& instance,
   FrontierConvolver conv(arena);
   std::vector<FrontierSpan> frontier(n);
 
-  // Bottom-up frontier pass; place at v absorbs min(flow, W_v) — the
-  // heterogeneous generalisation of the Multiple DP's place step, still a
-  // relaxation of every real assignment.
+  // Bottom-up frontier pass over the merge-bag schedule; place at a bag's
+  // anchor absorbs min(flow, W_v) — the heterogeneous generalisation of the
+  // Multiple DP's place step, still a relaxation of every real assignment.
+  // The fold runs over the *raw* child order (no reconstruction, no replay:
+  // canonical merge order buys nothing here and raw order is the historical
+  // layout the equivalence suites pin down).
+  const TreeDecomposition decomp(tree);
   std::vector<FrontierEntry> options;
-  for (const VertexId v : tree.postorder()) {
-    const auto vi = static_cast<std::size_t>(v);
-    if (tree.isClient(v)) {
+  for (const BagId v : decomp.schedule()) {
+    const auto vi = static_cast<std::size_t>(decomp.anchor(v));
+    if (decomp.anchorIsClient(v)) {
       const std::uint32_t begin = arena.beginSpan();
       arena.push({0, instance.requests[vi], -1, -1});
       frontier[vi] = arena.endSpan(begin);
       continue;
     }
-    const auto internalsBelow = static_cast<std::int32_t>(
-        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+    const auto internalsBelow = static_cast<std::int32_t>(decomp.internalsInCone(v));
     FrontierSpan acc = conv.unit();
-    for (const VertexId child : tree.children(v))
+    for (const BagId child : decomp.children(v))
       acc = conv.convolve(acc, frontier[static_cast<std::size_t>(child)],
                           internalsBelow);
     options.clear();

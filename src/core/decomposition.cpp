@@ -1,0 +1,15 @@
+#include "core/decomposition.hpp"
+
+#include <numeric>
+
+namespace treeplace {
+
+std::span<const VertexId> TreeDecomposition::introduced(BagId b) const {
+  if (identity_.empty()) {
+    identity_.resize(tree_->vertexCount());
+    std::iota(identity_.begin(), identity_.end(), VertexId{0});
+  }
+  return {identity_.data() + static_cast<std::size_t>(b), 1};
+}
+
+}  // namespace treeplace

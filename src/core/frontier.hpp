@@ -6,6 +6,7 @@
 #include <span>
 #include <vector>
 
+#include "core/decomposition.hpp"
 #include "core/frontier_fwd.hpp"
 #include "support/fault_injection.hpp"
 #include "tree/problem.hpp"
@@ -216,64 +217,70 @@ class QosFrontierSweep {
   std::vector<Step> skyline_;  ///< emit()'s running lower-count staircase
 };
 
-/// Shared scaffolding of the subtree DPs: one frontier span per vertex, one
-/// span per (node, child-prefix) convolution for the backpointer walk, and
+/// Shared scaffolding of the merge-bag DPs: one frontier span per bag, one
+/// span per (bag, child-prefix) convolution for the backpointer walk, and
 /// the top-down reconstruction itself. Solvers only differ in how they build
-/// a node's frontier from the final prefix (`place/skip` step), so that part
+/// a bag's frontier from the final prefix (`place/skip` step), so that part
 /// stays with them; the bookkeeping and the walk live here once. Templated on
 /// the entry type (FrontierEntry / QosFrontierEntry): reconstruction only
-/// needs the two backpointer fields both provide.
+/// needs the two backpointer fields both provide. Runs over any
+/// TreeDecomposition-shaped schedule; the rooted-tree case is the width-1
+/// adapter, where bags coincide with vertices.
 template <typename Entry>
 class BasicFrontierDp {
  public:
-  BasicFrontierDp(const Tree& tree, BasicFrontierArena<Entry>& arena)
-      : tree_(tree), arena_(arena), frontier_(tree.vertexCount()),
-        comboOffset_(tree.vertexCount(), 0) {
+  BasicFrontierDp(const TreeDecomposition& decomp,
+                  BasicFrontierArena<Entry>& arena)
+      : decomp_(decomp), arena_(arena), frontier_(decomp.bagCount()),
+        comboOffset_(decomp.bagCount(), 0) {
     std::int32_t running = 0;
-    for (const VertexId v : tree.postorder()) {
-      comboOffset_[static_cast<std::size_t>(v)] = running;
-      running += static_cast<std::int32_t>(tree.children(v).size());
+    for (const BagId b : decomp_.schedule()) {
+      comboOffset_[static_cast<std::size_t>(b)] = running;
+      running += static_cast<std::int32_t>(decomp_.mergeChildren(b).size());
     }
     comboSpans_.resize(static_cast<std::size_t>(running));
   }
 
-  FrontierSpan frontier(VertexId v) const {
-    return frontier_[static_cast<std::size_t>(v)];
+  BasicFrontierDp(const Tree& tree, BasicFrontierArena<Entry>& arena)
+      : BasicFrontierDp(TreeDecomposition(tree), arena) {}
+
+  FrontierSpan frontier(BagId b) const {
+    return frontier_[static_cast<std::size_t>(b)];
   }
-  void setFrontier(VertexId v, FrontierSpan span) {
-    frontier_[static_cast<std::size_t>(v)] = span;
+  void setFrontier(BagId b, FrontierSpan span) {
+    frontier_[static_cast<std::size_t>(b)] = span;
   }
 
-  /// Record the prefix frontier covering children[0..childIndex] of v.
-  void setCombo(VertexId v, std::size_t childIndex, FrontierSpan span) {
-    comboSpans_[comboBase(v) + childIndex] = span;
+  /// Record the prefix frontier covering mergeChildren[0..childIndex] of b.
+  void setCombo(BagId b, std::size_t childIndex, FrontierSpan span) {
+    comboSpans_[comboBase(b) + childIndex] = span;
   }
 
-  /// Seed a client leaf with a single frontier point.
-  void seedClient(VertexId v, const Entry& entry) {
+  /// Seed a client bag with a single frontier point.
+  void seedClient(BagId b, const Entry& entry) {
     const std::uint32_t begin = arena_.beginSpan();
     arena_.push(entry);
-    setFrontier(v, arena_.endSpan(begin));
+    setFrontier(b, arena_.endSpan(begin));
   }
 
-  /// Walk the backpointers top-down from the root frontier entry at
-  /// `rootEntryIndex`, invoking onReplica(node) for every node whose chosen
+  /// Walk the backpointers top-down from the root-bag frontier entry at
+  /// `rootEntryIndex`, invoking onReplica(anchor) for every bag whose chosen
   /// entry places a replica (entry.child == 1).
   void reconstruct(std::int32_t rootEntryIndex,
                    const std::function<void(VertexId)>& onReplica) const {
     struct Todo {
-      VertexId node;
+      BagId node;
       std::int32_t entryIndex;
     };
-    std::vector<Todo> stack{{tree_.root(), rootEntryIndex}};
+    std::vector<Todo> stack{{decomp_.rootBag(), rootEntryIndex}};
     while (!stack.empty()) {
       const Todo todo = stack.back();
       stack.pop_back();
-      if (tree_.isClient(todo.node)) continue;
+      if (decomp_.anchorIsClient(todo.node)) continue;
       const Entry& entry = arena_.at(
           frontier(todo.node), static_cast<std::size_t>(todo.entryIndex));
-      if (entry.child == 1) onReplica(todo.node);
-      const std::span<const VertexId> children = tree_.mergeChildren(todo.node);
+      if (entry.child == 1) onReplica(decomp_.anchor(todo.node));
+      const std::span<const BagId> children = decomp_.mergeChildren(todo.node);
       std::int32_t combIdx = entry.prev;
       for (std::size_t ci = children.size(); ci-- > 0;) {
         const Entry& comb = arena_.at(
@@ -284,12 +291,14 @@ class BasicFrontierDp {
     }
   }
 
+  const TreeDecomposition& decomposition() const { return decomp_; }
+
  private:
-  std::size_t comboBase(VertexId v) const {
-    return static_cast<std::size_t>(comboOffset_[static_cast<std::size_t>(v)]);
+  std::size_t comboBase(BagId b) const {
+    return static_cast<std::size_t>(comboOffset_[static_cast<std::size_t>(b)]);
   }
 
-  const Tree& tree_;
+  TreeDecomposition decomp_;
   BasicFrontierArena<Entry>& arena_;
   std::vector<FrontierSpan> frontier_;
   std::vector<FrontierSpan> comboSpans_;

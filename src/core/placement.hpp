@@ -189,4 +189,17 @@ VertexId firstReplicaAbove(const Tree& tree, const Placement& placement,
 /// Closest assignment).
 void assignClientsToClosest(const ProblemInstance& instance, Placement& placement);
 
+/// A solved multitree placement (see tree/multitree.hpp and
+/// exact/multitree_closest.hpp): the replica set in *global* ids, sorted
+/// ascending — under the lexico-minimum solver this vector is itself the
+/// lexicographic certificate — plus one fully-assigned per-member-tree
+/// Placement in local ids, so the single-tree validator runs on each member
+/// unchanged.
+struct MultitreePlacement {
+  std::vector<VertexId> replicas;
+  std::vector<Placement> perTree;
+
+  std::size_t replicaCount() const { return replicas.size(); }
+};
+
 }  // namespace treeplace

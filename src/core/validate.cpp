@@ -18,6 +18,7 @@ std::string_view toString(ViolationKind kind) {
     case ViolationKind::QosViolated: return "QosViolated";
     case ViolationKind::BandwidthExceeded: return "BandwidthExceeded";
     case ViolationKind::ReplicaOnClient: return "ReplicaOnClient";
+    case ViolationKind::OverlayInconsistent: return "OverlayInconsistent";
   }
   return "?";
 }
@@ -170,6 +171,79 @@ ValidationResult validatePlacement(const ProblemInstance& instance,
 bool isValidPlacement(const ProblemInstance& instance, const Placement& placement,
                       Policy policy, const ValidationOptions& options) {
   return validatePlacement(instance, placement, policy, options).ok();
+}
+
+ValidationResult validateMultitreePlacement(const MultitreeInstance& instance,
+                                            const MultitreePlacement& placement,
+                                            Policy policy,
+                                            const ValidationOptions& options) {
+  ValidationResult result;
+  const auto add = [&result](ViolationKind kind, VertexId where, std::string detail) {
+    result.violations.push_back({kind, where, std::move(detail)});
+  };
+  if (placement.perTree.size() != instance.treeCount()) {
+    add(ViolationKind::OverlayInconsistent, kNoVertex,
+        "placement has " + std::to_string(placement.perTree.size()) +
+            " member placements for " + std::to_string(instance.treeCount()) +
+            " member trees");
+    return result;
+  }
+
+  // The global replica vector: sorted, duplicate-free, internal everywhere.
+  std::vector<char> isGlobalReplica(
+      static_cast<std::size_t>(instance.globalVertexCount), 0);
+  for (std::size_t i = 0; i < placement.replicas.size(); ++i) {
+    const VertexId r = placement.replicas[i];
+    if (r < 0 || r >= instance.globalVertexCount) {
+      add(ViolationKind::OverlayInconsistent, r, "replica id outside the global space");
+      continue;
+    }
+    if (i > 0 && placement.replicas[i - 1] >= r)
+      add(ViolationKind::OverlayInconsistent, r,
+          "global replica list not strictly ascending");
+    isGlobalReplica[static_cast<std::size_t>(r)] = 1;
+    for (const std::size_t t : instance.treesOf(r)) {
+      if (instance.trees[t].tree.isClient(instance.localId(t, r)))
+        add(ViolationKind::ReplicaOnClient, r,
+            "global replica is a client in tree " + std::to_string(t));
+    }
+  }
+
+  for (std::size_t t = 0; t < instance.treeCount(); ++t) {
+    const ProblemInstance& member = instance.trees[t];
+    const Placement& local = placement.perTree[t];
+
+    // Per-member service invariants (coverage, own-tree root path, capacity,
+    // policy rules) via the single-tree checker; remap ids for reporting.
+    ValidationResult sub = validatePlacement(member, local, policy, options);
+    for (Violation& violation : sub.violations) {
+      if (violation.where >= 0 &&
+          static_cast<std::size_t>(violation.where) < member.tree.vertexCount())
+        violation.where = instance.globalId(t, violation.where);
+      violation.detail = "tree " + std::to_string(t) + ": " + violation.detail;
+      result.violations.push_back(std::move(violation));
+    }
+
+    // Overlay consistency: the member's replica set must be exactly the
+    // trace of the global set on this tree.
+    for (std::size_t v = 0; v < member.tree.vertexCount(); ++v) {
+      const auto local_v = static_cast<VertexId>(v);
+      const VertexId global_v = instance.globalId(t, local_v);
+      const bool have = local.hasReplica(local_v);
+      const bool want = isGlobalReplica[static_cast<std::size_t>(global_v)] != 0;
+      if (have == want) continue;
+      add(ViolationKind::OverlayInconsistent, global_v,
+          have ? "tree " + std::to_string(t) + " hosts a replica absent from the global set"
+               : "global replica not provisioned in member tree " + std::to_string(t));
+    }
+  }
+  return result;
+}
+
+bool isValidMultitreePlacement(const MultitreeInstance& instance,
+                               const MultitreePlacement& placement, Policy policy,
+                               const ValidationOptions& options) {
+  return validateMultitreePlacement(instance, placement, policy, options).ok();
 }
 
 }  // namespace treeplace

@@ -5,6 +5,7 @@
 
 #include "core/placement.hpp"
 #include "core/policy.hpp"
+#include "tree/multitree.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -20,6 +21,7 @@ enum class ViolationKind {
   QosViolated,           ///< distance(client, server) > q_i
   BandwidthExceeded,     ///< flow through a link above BW_l
   ReplicaOnClient,       ///< replica placed on a client vertex
+  OverlayInconsistent,   ///< multitree: global/per-tree replica sets disagree
 };
 
 std::string_view toString(ViolationKind kind);
@@ -54,5 +56,24 @@ ValidationResult validatePlacement(const ProblemInstance& instance,
 /// Convenience wrapper: true iff validatePlacement(...).ok().
 bool isValidPlacement(const ProblemInstance& instance, const Placement& placement,
                       Policy policy, const ValidationOptions& options = {});
+
+/// Multitree service invariants. Every member tree runs through the full
+/// single-tree checker (so each client is served on its *own tree's* root
+/// path, within capacity, under the per-policy rules — a shared gateway
+/// cannot smuggle a client's traffic into a foreign overlay), with violation
+/// ids remapped to global ids and the member index recorded in the detail.
+/// On top of that the overlay itself is checked: the sorted global replica
+/// set and the per-tree placements must agree exactly — a gateway replica is
+/// provisioned in every member tree containing it, and no member tree hosts
+/// a replica absent from the global set.
+ValidationResult validateMultitreePlacement(const MultitreeInstance& instance,
+                                            const MultitreePlacement& placement,
+                                            Policy policy,
+                                            const ValidationOptions& options = {});
+
+/// Convenience wrapper: true iff validateMultitreePlacement(...).ok().
+bool isValidMultitreePlacement(const MultitreeInstance& instance,
+                               const MultitreePlacement& placement, Policy policy,
+                               const ValidationOptions& options = {});
 
 }  // namespace treeplace

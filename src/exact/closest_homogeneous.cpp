@@ -30,7 +30,8 @@ std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance
   FrontierArena arena;
   arena.reset(4 * n);
   FrontierConvolver conv(arena);
-  FrontierDp dp(tree, arena);
+  const TreeDecomposition decomp(tree);
+  FrontierDp dp(decomp, arena);
 
   const auto publishStats = [&] {
     if (stats != nullptr) {
@@ -39,23 +40,24 @@ std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance
     }
   };
 
-  for (const VertexId v : tree.postorder()) {
+  for (const BagId v : decomp.schedule()) {
     if (guard != nullptr) guard->checkpoint();
-    const auto vi = static_cast<std::size_t>(v);
-    if (tree.isClient(v)) {
+    const auto vi = static_cast<std::size_t>(decomp.anchor(v));
+    if (decomp.anchorIsClient(v)) {
       dp.seedClient(v, instance.requests[vi]);
       continue;
     }
 
-    const std::size_t clientsBelow = tree.clientsInSubtree(v).size();
-    const std::size_t internalsBelow = tree.subtreeSize(v) - clientsBelow;
-    // The children forest excludes v itself; placing at v adds one more.
+    const std::size_t clientsBelow = decomp.clientsInCone(v);
+    const std::size_t internalsBelow = decomp.internalsInCone(v);
+    // The bag's child forest excludes the anchor itself; placing there adds
+    // one more.
     const std::int32_t forestCap = widthCap(clientsBelow, internalsBelow - 1);
 
-    // Convolve children frontiers: counts add, flows add. Each prefix result
+    // Convolve child-bag frontiers: counts add, flows add. Each prefix result
     // is already pruned; keep its span for the backpointer walk.
     FrontierSpan acc = conv.unit();
-    const auto children = tree.mergeChildren(v);
+    const auto children = decomp.mergeChildren(v);
     for (std::size_t ci = 0; ci < children.size(); ++ci) {
       acc = conv.convolve(acc, dp.frontier(children[ci]), forestCap);
       dp.setCombo(v, ci, acc);
@@ -93,7 +95,7 @@ std::optional<Placement> solveClosestHomogeneous(const ProblemInstance& instance
 
   // Flows decrease strictly and never go negative, so a zero-flow entry is
   // unique and last; it is also the minimum-count zero-flow state.
-  const FrontierSpan rootSpan = dp.frontier(tree.root());
+  const FrontierSpan rootSpan = dp.frontier(decomp.rootBag());
   if (rootSpan.empty() || arena.at(rootSpan, rootSpan.size - 1).flow != 0)
     return std::nullopt;
 
@@ -114,18 +116,19 @@ StreamCountResult countClosestHomogeneousStreaming(
   const Tree& tree = instance.tree;
 
   StreamCountResult result;
-  const VertexId root = tree.root();
-  if (tree.isClient(root)) {
+  const TreeDecomposition decomp(tree);
+  const BagId root = decomp.rootBag();
+  if (decomp.anchorIsClient(root)) {
     // Degenerate single-vertex tree: feasible only with nothing to serve.
     result.feasible = instance.requests[static_cast<std::size_t>(root)] == 0;
     return result;
   }
 
   FrontierStreamer streamer(options);
-  // Iterative postorder: one frame (and one live accumulator on the slab)
-  // per internal node of the current root path.
+  // Iterative bag schedule: one frame (and one live accumulator on the slab)
+  // per internal bag of the current root path.
   struct Frame {
-    VertexId v;
+    BagId v;
     std::uint32_t nextChild;
     std::size_t accBegin;
     std::int32_t forestCap;
@@ -133,9 +136,9 @@ StreamCountResult countClosestHomogeneousStreaming(
   std::vector<Frame> stack;
   stack.reserve(64);
 
-  const auto open = [&](VertexId v) {
-    const std::size_t clientsBelow = tree.clientsInSubtree(v).size();
-    const std::size_t internalsBelow = tree.subtreeSize(v) - clientsBelow;
+  const auto open = [&](BagId v) {
+    const std::size_t clientsBelow = decomp.clientsInCone(v);
+    const std::size_t internalsBelow = decomp.internalsInCone(v);
     stack.push_back({v, 0, streamer.pushUnit(),
                      widthCap(clientsBelow, internalsBelow - 1)});
   };
@@ -163,12 +166,13 @@ StreamCountResult countClosestHomogeneousStreaming(
   while (!stack.empty()) {
     if (options.guard != nullptr) options.guard->checkpoint();
     Frame& f = stack.back();  // open() reallocates: never touch f after it
-    const auto kids = tree.children(f.v);
+    const auto kids = decomp.children(f.v);
     if (f.nextChild < kids.size()) {
-      const VertexId c = kids[f.nextChild++];
-      if (tree.isClient(c)) {
+      const BagId c = kids[f.nextChild++];
+      if (decomp.anchorIsClient(c)) {
         const std::size_t childBegin = streamer.top();
-        streamer.pushEntry(0, instance.requests[static_cast<std::size_t>(c)]);
+        streamer.pushEntry(
+            0, instance.requests[static_cast<std::size_t>(decomp.anchor(c))]);
         streamer.foldChild(f.accBegin, childBegin, f.forestCap);
       } else {
         open(c);

@@ -24,7 +24,8 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
   QosFrontierArena arena;
   arena.reset(4 * n);
   QosFrontierSweep sweep(arena);
-  BasicFrontierDp<QosFrontierEntry> dp(tree, arena);
+  const TreeDecomposition decomp(tree);
+  BasicFrontierDp<QosFrontierEntry> dp(decomp, arena);
 
   const auto publishStats = [&] {
     if (stats != nullptr) {
@@ -33,10 +34,10 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
     }
   };
 
-  for (const VertexId v : tree.postorder()) {
+  for (const BagId v : decomp.schedule()) {
     if (guard != nullptr) guard->checkpoint();
-    const auto vi = static_cast<std::size_t>(v);
-    if (tree.isClient(v)) {
+    const auto vi = static_cast<std::size_t>(decomp.anchor(v));
+    if (decomp.anchorIsClient(v)) {
       // Slack measured at the client itself; its uplink comm is charged when
       // the entry moves into the parent below.
       const Requests r = instance.requests[vi];
@@ -44,21 +45,21 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
       continue;
     }
 
-    // Replica counts in subtree(v) never exceed its internal-node count, so
-    // that bounds every bucket batch at this node.
-    const auto countCap = static_cast<std::int32_t>(
-        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+    // Replica counts in the bag's cone never exceed its internal-node count,
+    // so that bounds every bucket batch at this node.
+    const auto countCap = static_cast<std::int32_t>(decomp.internalsInCone(v));
 
-    // Convolve children: each child's frontier first pays its uplink comm.
+    // Convolve child bags: each child's frontier first pays its uplink comm.
     // Candidates go straight into the count-bucketed sweep — no temporary
     // cross-product vector, no sort.
     std::uint32_t accBegin = arena.beginSpan();
     arena.push({0, 0, kInfiniteSlack, -1, -1});
     FrontierSpan acc = arena.endSpan(accBegin);
-    const auto children = tree.mergeChildren(v);
+    const auto children = decomp.mergeChildren(v);
     for (std::size_t ci = 0; ci < children.size(); ++ci) {
-      const VertexId child = children[ci];
-      const double uplink = instance.commTime[static_cast<std::size_t>(child)];
+      const BagId child = children[ci];
+      const double uplink =
+          instance.commTime[static_cast<std::size_t>(decomp.anchor(child))];
       const FrontierSpan childFrontier = dp.frontier(child);
       sweep.begin(countCap);
       for (std::size_t p = 0; p < acc.size; ++p) {
@@ -100,7 +101,7 @@ std::optional<Placement> solveClosestHomogeneousQos(const ProblemInstance& insta
 
   // The pruned frontier holds at most one zero-flow entry (two would dominate
   // one another through their infinite slack), and it is the cheapest one.
-  const FrontierSpan rootSpan = dp.frontier(tree.root());
+  const FrontierSpan rootSpan = dp.frontier(decomp.rootBag());
   std::int32_t bestIdx = -1;
   for (std::size_t k = 0; k < rootSpan.size; ++k) {
     if (arena.at(rootSpan, k).flow == 0) {
@@ -126,30 +127,31 @@ StreamCountResult countClosestQosStreaming(const ProblemInstance& instance,
   const Tree& tree = instance.tree;
 
   StreamCountResult result;
-  const VertexId root = tree.root();
-  if (tree.isClient(root)) {
+  const TreeDecomposition decomp(tree);
+  const BagId root = decomp.rootBag();
+  if (decomp.anchorIsClient(root)) {
     result.feasible = instance.requests[static_cast<std::size_t>(root)] == 0;
     return result;
   }
 
   QosFrontierStreamer streamer(options);
   struct Frame {
-    VertexId v;
+    BagId v;
     std::uint32_t nextChild;
     std::size_t accBegin;
-    std::int32_t countCap;  ///< internal-node count of subtree(v)
+    std::int32_t countCap;  ///< internal-node count of the bag's cone
   };
   std::vector<Frame> stack;
   stack.reserve(64);
 
-  const auto open = [&](VertexId v) {
-    const auto countCap = static_cast<std::int32_t>(
-        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+  const auto open = [&](BagId v) {
+    const auto countCap = static_cast<std::int32_t>(decomp.internalsInCone(v));
     stack.push_back({v, 0, streamer.pushUnit(), countCap});
   };
 
-  const auto placeSkip = [&](std::size_t begin, VertexId v, std::int32_t countCap) {
-    const double comp = instance.compTime[static_cast<std::size_t>(v)];
+  const auto placeSkip = [&](std::size_t begin, BagId v, std::int32_t countCap) {
+    const double comp =
+        instance.compTime[static_cast<std::size_t>(decomp.anchor(v))];
     streamer.clearCandidates();
     const std::size_t size = streamer.top() - begin;
     for (std::size_t k = 0; k < size; ++k) {
@@ -171,12 +173,13 @@ StreamCountResult countClosestQosStreaming(const ProblemInstance& instance,
   while (!stack.empty() && !dead) {
     if (options.guard != nullptr) options.guard->checkpoint();
     Frame& f = stack.back();  // open() reallocates: never touch f after it
-    const auto kids = tree.children(f.v);
+    const auto kids = decomp.children(f.v);
     if (f.nextChild < kids.size()) {
-      const VertexId c = kids[f.nextChild++];
-      const double uplink = instance.commTime[static_cast<std::size_t>(c)];
-      if (tree.isClient(c)) {
-        const auto ci = static_cast<std::size_t>(c);
+      const BagId c = kids[f.nextChild++];
+      const double uplink =
+          instance.commTime[static_cast<std::size_t>(decomp.anchor(c))];
+      if (decomp.anchorIsClient(c)) {
+        const auto ci = static_cast<std::size_t>(decomp.anchor(c));
         const Requests r = instance.requests[ci];
         const std::size_t childBegin = streamer.top();
         streamer.pushEntry(
@@ -195,7 +198,7 @@ StreamCountResult countClosestQosStreaming(const ProblemInstance& instance,
     if (!stack.empty()) {
       Frame& parent = stack.back();
       const double uplink = instance.commTime[static_cast<std::size_t>(
-          tree.children(parent.v)[parent.nextChild - 1])];
+          decomp.anchor(decomp.children(parent.v)[parent.nextChild - 1]))];
       streamer.foldChild(parent.accBegin, childBegin, parent.countCap, uplink);
       dead = streamer.top() == parent.accBegin;
     }

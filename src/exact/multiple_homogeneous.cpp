@@ -199,13 +199,14 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
   FrontierArena arena;
   arena.reset(4 * n);
   FrontierConvolver conv(arena);
-  FrontierDp dp(tree, arena);
+  const TreeDecomposition decomp(tree);
+  FrontierDp dp(decomp, arena);
 
   std::vector<FrontierEntry> options;
-  for (const VertexId v : tree.postorder()) {
+  for (const BagId v : decomp.schedule()) {
     if (guard != nullptr) guard->checkpoint();
-    const auto vi = static_cast<std::size_t>(v);
-    if (tree.isClient(v)) {
+    const auto vi = static_cast<std::size_t>(decomp.anchor(v));
+    if (decomp.anchorIsClient(v)) {
       dp.seedClient(v, instance.requests[vi]);
       continue;
     }
@@ -213,12 +214,11 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
     // Replicas sit on distinct internal nodes and a replica absorbing
     // nothing is dominated, so Pareto counts never exceed the internal-node
     // count of the covered forest.
-    const std::size_t internalsBelow =
-        tree.subtreeSize(v) - tree.clientsInSubtree(v).size();
+    const std::size_t internalsBelow = decomp.internalsInCone(v);
     const auto forestCap = static_cast<std::int32_t>(internalsBelow - 1);
 
     FrontierSpan acc = conv.unit();
-    const auto children = tree.mergeChildren(v);
+    const auto children = decomp.mergeChildren(v);
     for (std::size_t ci = 0; ci < children.size(); ++ci) {
       acc = conv.convolve(acc, dp.frontier(children[ci]), forestCap);
       dp.setCombo(v, ci, acc);
@@ -243,7 +243,7 @@ std::optional<Placement> solveMultipleHomogeneousDP(const ProblemInstance& insta
     *stats = conv.stats();
   }
 
-  const FrontierSpan rootSpan = dp.frontier(tree.root());
+  const FrontierSpan rootSpan = dp.frontier(decomp.rootBag());
   if (rootSpan.empty() || arena.at(rootSpan, rootSpan.size - 1).flow != 0)
     return std::nullopt;
 
@@ -270,15 +270,16 @@ StreamCountResult countMultipleHomogeneousStreaming(
   const Tree& tree = instance.tree;
 
   StreamCountResult result;
-  const VertexId root = tree.root();
-  if (tree.isClient(root)) {
+  const TreeDecomposition decomp(tree);
+  const BagId root = decomp.rootBag();
+  if (decomp.anchorIsClient(root)) {
     result.feasible = instance.requests[static_cast<std::size_t>(root)] == 0;
     return result;
   }
 
   FrontierStreamer streamer(options);
   struct Frame {
-    VertexId v;
+    BagId v;
     std::uint32_t nextChild;
     std::size_t accBegin;
     std::int32_t forestCap;  ///< children-forest count bound (excludes v)
@@ -287,9 +288,8 @@ StreamCountResult countMultipleHomogeneousStreaming(
   std::vector<Frame> stack;
   stack.reserve(64);
 
-  const auto open = [&](VertexId v) {
-    const auto internalsBelow = static_cast<std::int32_t>(
-        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+  const auto open = [&](BagId v) {
+    const auto internalsBelow = static_cast<std::int32_t>(decomp.internalsInCone(v));
     stack.push_back({v, 0, streamer.pushUnit(), internalsBelow - 1, internalsBelow});
   };
 
@@ -312,12 +312,13 @@ StreamCountResult countMultipleHomogeneousStreaming(
   while (!stack.empty()) {
     if (options.guard != nullptr) options.guard->checkpoint();
     Frame& f = stack.back();  // open() reallocates: never touch f after it
-    const auto kids = tree.children(f.v);
+    const auto kids = decomp.children(f.v);
     if (f.nextChild < kids.size()) {
-      const VertexId c = kids[f.nextChild++];
-      if (tree.isClient(c)) {
+      const BagId c = kids[f.nextChild++];
+      if (decomp.anchorIsClient(c)) {
         const std::size_t childBegin = streamer.top();
-        streamer.pushEntry(0, instance.requests[static_cast<std::size_t>(c)]);
+        streamer.pushEntry(
+            0, instance.requests[static_cast<std::size_t>(decomp.anchor(c))]);
         streamer.foldChild(f.accBegin, childBegin, f.forestCap);
       } else {
         open(c);

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/placement.hpp"
+#include "tree/multitree.hpp"
+
+namespace treeplace {
+
+// MultitreePlacement lives in core/placement.hpp (pulled in above) so the
+// validator can depend on it without reaching into exact/.
+
+struct MultitreeSolveOptions {
+  /// Safety valve on the gateway branch-and-bound: abort (exhausted = true in
+  /// the stats) once this many DFS nodes have been expanded. The default
+  /// covers every practical gateway count (2^g leaves for g gateways).
+  std::size_t maxDfsNodes = 1u << 22;
+  /// Skip the lexicographic refinement and return only the optimum size
+  /// (placement still produced, from the first optimal DFS leaf).
+  bool lexico = true;
+};
+
+struct MultitreeSolveStats {
+  std::size_t dfsNodes = 0;      ///< branch-and-bound nodes expanded
+  std::size_t dpResolves = 0;    ///< per-tree constrained-DP resolves
+  std::size_t dirtyRecomputes = 0;  ///< vertex frontiers recomputed lazily
+  std::size_t fullRebuilds = 0;  ///< arena compactions (full DP rebuilds)
+  std::size_t lexicoTests = 0;   ///< conditional-minimum probes in the scan
+  bool exhausted = false;        ///< maxDfsNodes tripped; result not proven
+};
+
+struct MultitreeSolveResult {
+  bool feasible = false;
+  std::optional<MultitreePlacement> placement;
+  MultitreeSolveStats stats;
+
+  std::size_t replicaCount() const {
+    return placement ? placement->replicaCount() : 0;
+  }
+};
+
+/// Replica Counting on a multitree under the Closest policy, minimising the
+/// number of distinct replicas (a shared gateway is counted once however many
+/// member trees it serves) and, among all minimum-size solutions, returning
+/// the lexicographically smallest sorted global-id vector.
+///
+/// Feasibility decouples per member tree — a replica set R is feasible iff
+/// its trace R ∩ V_t is Closest-feasible in every tree t (each tree has its
+/// own homogeneous capacity W_t; a gateway replica provisions W_t in each
+/// overlay) — but the *objective* couples the trees through the shared
+/// gateways. The solver runs branch-and-bound over gateway in/out decisions:
+/// for a fixed decision vector each tree contributes its private optimum via
+/// a constrained frontier DP (forced gateways place at cost 0, forbidden
+/// ones may not place), and undecided gateways relax to optional cost-0
+/// placements, which lower-bounds every completion. The lexicographic
+/// refinement then re-uses the same machinery as an ascending-global-id
+/// greedy scan: accept id v iff forcing it (cost 0 shared / cost 1 private)
+/// keeps the conditional optimum at m*. Rejections are monotone — a
+/// rejected id can never re-enter any optimum extending the accepted set —
+/// so the scan's accepted set IS the final replica set; no reconstruction.
+///
+/// Requires per-tree homogeneous capacities. Storage costs, QoS and
+/// bandwidth are ignored (pure Replica Counting, as in the paper's Table 1).
+MultitreeSolveResult solveMultitreeClosest(const MultitreeInstance& instance,
+                                           const MultitreeSolveOptions& options = {});
+
+/// Result of the exponential test oracle.
+struct MultitreeBruteForceResult {
+  bool solved = false;    ///< false when the internal count exceeds the cap
+  bool feasible = false;  ///< meaningful only when solved
+  std::vector<VertexId> replicas;  ///< sorted global ids when feasible
+};
+
+/// Exponential oracle for tests: enumerate every subset of global internal
+/// ids (refusing instances with more than `maxInternals` of them), check
+/// per-member-tree Closest feasibility by direct simulation — every client
+/// is served by the nearest root-path replica of its own tree, per-server
+/// per-tree load at most W_t — and return the minimum-size,
+/// lexicographically smallest replica set.
+MultitreeBruteForceResult solveMultitreeClosestBruteForce(
+    const MultitreeInstance& instance, std::size_t maxInternals = 22);
+
+}  // namespace treeplace

@@ -11,8 +11,9 @@ namespace treeplace {
 namespace detail {
 
 template <typename Entry>
-void FrontierCacheState<Entry>::init(const Tree& tree, bool withCombos) {
-  const std::size_t n = tree.vertexCount();
+void FrontierCacheState<Entry>::init(const TreeDecomposition& decomp,
+                                     bool withCombos) {
+  const std::size_t n = decomp.bagCount();
   // Reserve past the 16n compaction gate (compactIfBloated): the slab then
   // reaches the compaction decision before its first doubling reallocation,
   // so steady-state pushes never pay a multi-MiB slab copy inside a timed
@@ -35,10 +36,10 @@ void FrontierCacheState<Entry>::init(const Tree& tree, bool withCombos) {
   comboOffset.assign(n, 0);
   comboCount.assign(n, 0);
   std::int32_t running = 0;
-  for (const VertexId v : tree.postorder()) {
+  for (const BagId v : decomp.schedule()) {
     const auto vi = static_cast<std::size_t>(v);
     comboOffset[vi] = running;
-    comboCount[vi] = static_cast<std::int32_t>(tree.children(v).size());
+    comboCount[vi] = static_cast<std::int32_t>(decomp.mergeChildren(v).size());
     running += comboCount[vi];
   }
   comboSpans.assign(static_cast<std::size_t>(running), FrontierSpan{});
@@ -46,8 +47,9 @@ void FrontierCacheState<Entry>::init(const Tree& tree, bool withCombos) {
 }
 
 template <typename Entry>
-void FrontierCacheState<Entry>::grow(const Tree& tree, bool withCombos) {
-  const std::size_t n = tree.vertexCount();
+void FrontierCacheState<Entry>::grow(const TreeDecomposition& decomp,
+                                     bool withCombos) {
+  const std::size_t n = decomp.bagCount();
   const std::size_t oldN = frontier.size();
   frontier.resize(n);
   computedEpoch.resize(n, 0);
@@ -59,10 +61,10 @@ void FrontierCacheState<Entry>::grow(const Tree& tree, bool withCombos) {
   std::vector<std::int32_t> newOffset(n, 0);
   std::vector<std::int32_t> newCount(n, 0);
   std::int32_t running = 0;
-  for (const VertexId v : tree.postorder()) {
+  for (const BagId v : decomp.schedule()) {
     const auto vi = static_cast<std::size_t>(v);
     newOffset[vi] = running;
-    newCount[vi] = static_cast<std::int32_t>(tree.children(v).size());
+    newCount[vi] = static_cast<std::int32_t>(decomp.mergeChildren(v).size());
     running += newCount[vi];
   }
   std::vector<FrontierSpan> newSpans(static_cast<std::size_t>(running));
@@ -171,10 +173,11 @@ IncrementalSolver::IncrementalSolver(ProblemInstance& instance, OnlinePolicy pol
       tracker_(instance.tree.vertexCount()) {
   instance.validate();
   stats_.trackedVertices = instance.tree.vertexCount();
+  const TreeDecomposition decomp(instance.tree);
   if (policy_ == OnlinePolicy::ClosestQos)
-    cacheQos_.init(instance.tree, true);
+    cacheQos_.init(decomp, true);
   else
-    cache2d_.init(instance.tree, true);
+    cache2d_.init(decomp, true);
   rebuildPositions();
 }
 
@@ -201,10 +204,11 @@ void IncrementalSolver::rebuildPositions() {
 
 void IncrementalSolver::noteDelta(const DeltaApplication& app) {
   if (app.structural) {
+    const TreeDecomposition decomp(instance_->tree);
     if (policy_ == OnlinePolicy::ClosestQos)
-      cacheQos_.grow(instance_->tree, true);
+      cacheQos_.grow(decomp, true);
     else
-      cache2d_.grow(instance_->tree, true);
+      cache2d_.grow(decomp, true);
     stats_.trackedVertices = instance_->tree.vertexCount();
     rebuildPositions();
     // The incumbent assignment is sized for the old vertex range; the next
@@ -273,10 +277,11 @@ std::optional<Placement> IncrementalSolver::resolve(BudgetGuard* guard) {
 }
 
 void IncrementalSolver::invalidateCaches() {
+  const TreeDecomposition decomp(instance_->tree);
   if (policy_ == OnlinePolicy::ClosestQos)
-    cacheQos_.init(instance_->tree, true);
+    cacheQos_.init(decomp, true);
   else
-    cache2d_.init(instance_->tree, true);
+    cache2d_.init(decomp, true);
   rebuildPositions();
   pendingDirty_.clear();
   pendingGlobal_ = true;
@@ -312,13 +317,13 @@ void IncrementalSolver::orderPendingDirty() {
 template <typename Entry>
 void IncrementalSolver::reconstruct(detail::FrontierCacheState<Entry>& cache,
                                     std::int32_t rootEntryIndex) {
-  const Tree& tree = instance_->tree;
+  const TreeDecomposition decomp(instance_->tree);
   const std::uint64_t epoch = tracker_.epoch();
   struct Todo {
-    VertexId node;
+    BagId node;
     std::int32_t entryIndex;
   };
-  std::vector<Todo> stack{{tree.root(), rootEntryIndex}};
+  std::vector<Todo> stack{{decomp.rootBag(), rootEntryIndex}};
   while (!stack.empty()) {
     const Todo todo = stack.back();
     stack.pop_back();
@@ -330,15 +335,15 @@ void IncrementalSolver::reconstruct(detail::FrontierCacheState<Entry>& cache,
     }
     cache.chosenEntry[ni] = todo.entryIndex;
     cache.chosenEpoch[ni] = epoch;
-    if (tree.isClient(todo.node)) continue;
+    if (decomp.anchorIsClient(todo.node)) continue;
     const Entry& entry =
         cache.arena.at(cache.frontier[ni], static_cast<std::size_t>(todo.entryIndex));
     const char newBit = entry.child == 1 ? 1 : 0;
     if (cache.replicaBit[ni] != newBit) {
       cache.replicaBit[ni] = newBit;
-      flips_.push_back(todo.node);
+      flips_.push_back(decomp.anchor(todo.node));
     }
-    const std::span<const VertexId> children = tree.mergeChildren(todo.node);
+    const std::span<const BagId> children = decomp.mergeChildren(todo.node);
     const auto base = static_cast<std::size_t>(cache.comboOffset[ni]);
     std::int32_t combIdx = entry.prev;
     for (std::size_t ci = children.size(); ci-- > 0;) {
@@ -367,29 +372,32 @@ std::optional<Placement> IncrementalSolver::resolve2d(BudgetGuard* guard) {
   maybeCompact(cache);
   auto& arena = cache.arena;
   FrontierConvolver conv(arena);
+  const TreeDecomposition decomp(tree);
 
   std::vector<FrontierEntry> options;
   std::size_t misses = 0;
-  const auto recompute = [&](VertexId v) {
+  const auto recompute = [&](BagId v) {
     // Safepoint BEFORE the epoch stamp: an interrupted resolve leaves this
-    // vertex dirty and everything already recomputed exact.
+    // bag dirty and everything already recomputed exact.
     if (guard != nullptr) guard->checkpoint();
     const auto vi = static_cast<std::size_t>(v);
     ++misses;
     const std::uint64_t prevEpoch = cache.computedEpoch[vi];
     cache.computedEpoch[vi] = tracker_.epoch();
 
-    if (tree.isClient(v)) {
+    if (decomp.anchorIsClient(v)) {
       const std::uint32_t begin = arena.beginSpan();
-      arena.push({0, instance.requests[vi], -1, -1});
+      arena.push(
+          {0, instance.requests[static_cast<std::size_t>(decomp.anchor(v))], -1,
+           -1});
       cache.frontier[vi] = arena.endSpan(begin);
       return;
     }
 
-    const std::size_t clientsBelow = tree.clientsInSubtree(v).size();
-    const std::size_t internalsBelow = tree.subtreeSize(v) - clientsBelow;
+    const std::size_t clientsBelow = decomp.clientsInCone(v);
+    const std::size_t internalsBelow = decomp.internalsInCone(v);
     const auto comboBase = static_cast<std::size_t>(cache.comboOffset[vi]);
-    const std::span<const VertexId> children = tree.mergeChildren(v);
+    const std::span<const BagId> children = decomp.mergeChildren(v);
 
     // Prefix reuse: the cached combo chain is still exact up to the first
     // slot whose recorded child diverges from the current merge order or
@@ -470,10 +478,10 @@ std::optional<Placement> IncrementalSolver::resolve2d(BudgetGuard* guard) {
   };
 
   // A global invalidation (or the first solve) sweeps everything; otherwise
-  // exactly the stamped vertices, in postorder, are recomputed — the clean
+  // exactly the stamped bags, in schedule order, are recomputed — the clean
   // rest of the tree is never even looked at.
   if (pendingGlobal_) {
-    for (const VertexId v : tree.postorder()) {
+    for (const BagId v : decomp.schedule()) {
       if (cache.computedEpoch[static_cast<std::size_t>(v)] >= tracker_.dirtySince(v))
         continue;
       recompute(v);
@@ -494,7 +502,8 @@ std::optional<Placement> IncrementalSolver::resolve2d(BudgetGuard* guard) {
   stats_.arenaEntries = arena.entryCount();
   stats_.arenaBytes = arena.bytes();
 
-  const FrontierSpan rootSpan = cache.frontier[static_cast<std::size_t>(tree.root())];
+  const FrontierSpan rootSpan =
+      cache.frontier[static_cast<std::size_t>(decomp.rootBag())];
   if (rootSpan.empty() || arena.at(rootSpan, rootSpan.size - 1).flow != 0)
     return std::nullopt;
 
@@ -525,27 +534,28 @@ std::optional<Placement> IncrementalSolver::resolveQos(BudgetGuard* guard) {
   maybeCompact(cache);
   auto& arena = cache.arena;
   QosFrontierSweep sweep(arena);
+  const TreeDecomposition decomp(tree);
 
   std::size_t misses = 0;
-  const auto recompute = [&](VertexId v) {
+  const auto recompute = [&](BagId v) {
     if (guard != nullptr) guard->checkpoint();  // before the stamp, as in resolve2d
     const auto vi = static_cast<std::size_t>(v);
     ++misses;
     const std::uint64_t prevEpoch = cache.computedEpoch[vi];
     cache.computedEpoch[vi] = tracker_.epoch();
 
-    if (tree.isClient(v)) {
-      const Requests r = instance.requests[vi];
+    if (decomp.anchorIsClient(v)) {
+      const auto ai = static_cast<std::size_t>(decomp.anchor(v));
+      const Requests r = instance.requests[ai];
       const std::uint32_t begin = arena.beginSpan();
-      arena.push({0, r, r > 0 ? instance.qos[vi] : kInfiniteSlack, -1, -1});
+      arena.push({0, r, r > 0 ? instance.qos[ai] : kInfiniteSlack, -1, -1});
       cache.frontier[vi] = arena.endSpan(begin);
       return;
     }
 
-    const auto countCap = static_cast<std::int32_t>(
-        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+    const auto countCap = static_cast<std::int32_t>(decomp.internalsInCone(v));
     const auto comboBase = static_cast<std::size_t>(cache.comboOffset[vi]);
-    const std::span<const VertexId> children = tree.mergeChildren(v);
+    const std::span<const BagId> children = decomp.mergeChildren(v);
 
     // Prefix reuse, as in resolve2d: uplinks are immutable and W/compTime
     // enter only the fold, so the cached chain is exact up to the first
@@ -567,8 +577,9 @@ std::optional<Placement> IncrementalSolver::resolveQos(BudgetGuard* guard) {
       acc = cache.comboSpans[comboBase + f - 1];
     }
     for (std::size_t ci = f; ci < children.size(); ++ci) {
-      const VertexId child = children[ci];
-      const double uplink = instance.commTime[static_cast<std::size_t>(child)];
+      const BagId child = children[ci];
+      const double uplink =
+          instance.commTime[static_cast<std::size_t>(decomp.anchor(child))];
       const FrontierSpan childFrontier =
           cache.frontier[static_cast<std::size_t>(child)];
       sweep.begin(countCap);
@@ -593,7 +604,8 @@ std::optional<Placement> IncrementalSolver::resolveQos(BudgetGuard* guard) {
     if (!children.empty()) acc = cache.comboSpans[comboBase + children.size() - 1];
     cache.comboCap[vi] = countCap;
 
-    const double comp = instance.compTime[vi];
+    const double comp =
+        instance.compTime[static_cast<std::size_t>(decomp.anchor(v))];
     sweep.begin(countCap);
     for (std::size_t k = 0; k < acc.size; ++k) {
       const QosFrontierEntry e = arena.at(acc, k);
@@ -605,7 +617,7 @@ std::optional<Placement> IncrementalSolver::resolveQos(BudgetGuard* guard) {
   };
 
   if (pendingGlobal_) {
-    for (const VertexId v : tree.postorder()) {
+    for (const BagId v : decomp.schedule()) {
       if (cache.computedEpoch[static_cast<std::size_t>(v)] >= tracker_.dirtySince(v))
         continue;
       recompute(v);
@@ -627,7 +639,8 @@ std::optional<Placement> IncrementalSolver::resolveQos(BudgetGuard* guard) {
   stats_.arenaBytes = arena.bytes();
 
   // The cheapest zero-flow entry is the first one (cf. solveClosestHomogeneousQos).
-  const FrontierSpan rootSpan = cache.frontier[static_cast<std::size_t>(tree.root())];
+  const FrontierSpan rootSpan =
+      cache.frontier[static_cast<std::size_t>(decomp.rootBag())];
   std::int32_t bestIdx = -1;
   for (std::size_t k = 0; k < rootSpan.size; ++k) {
     if (arena.at(rootSpan, k).flow == 0) {
@@ -925,13 +938,13 @@ void IncrementalSolver::repairMultipleAssignment(
 IncrementalBounds::IncrementalBounds(ProblemInstance& instance)
     : instance_(&instance), tracker_(instance.tree.vertexCount()) {
   stats_.trackedVertices = instance.tree.vertexCount();
-  cache_.init(instance.tree, false);
+  cache_.init(TreeDecomposition(instance.tree), false);
   refresh();
 }
 
 void IncrementalBounds::noteDelta(const DeltaApplication& app) {
   if (app.structural) {
-    cache_.grow(instance_->tree, false);
+    cache_.grow(TreeDecomposition(instance_->tree), false);
     stats_.trackedVertices = instance_->tree.vertexCount();
   }
   stats_.invalidations += tracker_.note(instance_->tree, app);
@@ -957,9 +970,12 @@ void IncrementalBounds::refresh() {
   compactIfBloated(cache_, tree, tracker_, stats_);
   auto& arena = cache_.arena;
   FrontierConvolver conv(arena);
+  const TreeDecomposition decomp(tree);
 
+  // Raw child order, matching FrontierSubtreeRelaxation::build — no replay,
+  // no reconstruction, so canonical merge order buys nothing here.
   std::vector<FrontierEntry> options;
-  for (const VertexId v : tree.postorder()) {
+  for (const BagId v : decomp.schedule()) {
     const auto vi = static_cast<std::size_t>(v);
     if (cache_.computedEpoch[vi] >= tracker_.dirtySince(v)) {
       ++stats_.hits;
@@ -968,16 +984,17 @@ void IncrementalBounds::refresh() {
     ++stats_.misses;
     cache_.computedEpoch[vi] = tracker_.epoch();
 
-    if (tree.isClient(v)) {
+    if (decomp.anchorIsClient(v)) {
       const std::uint32_t begin = arena.beginSpan();
-      arena.push({0, instance.requests[vi], -1, -1});
+      arena.push(
+          {0, instance.requests[static_cast<std::size_t>(decomp.anchor(v))], -1,
+           -1});
       cache_.frontier[vi] = arena.endSpan(begin);
       continue;
     }
-    const auto internalsBelow = static_cast<std::int32_t>(
-        tree.subtreeSize(v) - tree.clientsInSubtree(v).size());
+    const auto internalsBelow = static_cast<std::int32_t>(decomp.internalsInCone(v));
     FrontierSpan acc = conv.unit();
-    for (const VertexId child : tree.children(v))
+    for (const BagId child : decomp.children(v))
       acc = conv.convolve(acc, cache_.frontier[static_cast<std::size_t>(child)],
                           internalsBelow);
     options.clear();

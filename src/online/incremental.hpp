@@ -94,11 +94,11 @@ struct FrontierCacheState {
   /// instead of running on every resolve.
   std::size_t nextCompactCheck = 0;
 
-  void init(const Tree& tree, bool withCombos);
-  /// Structural growth: extend per-vertex tables, remap the flat combo table
-  /// onto the new tree's layout (old vertices keep their spans; the attach
+  void init(const TreeDecomposition& decomp, bool withCombos);
+  /// Structural growth: extend per-bag tables, remap the flat combo table
+  /// onto the new schedule's layout (old bags keep their spans; the attach
   /// target is dirty anyway).
-  void grow(const Tree& tree, bool withCombos);
+  void grow(const TreeDecomposition& decomp, bool withCombos);
 };
 
 }  // namespace detail

@@ -62,9 +62,14 @@ TreeBuilder& TreeBuilder::useUnitCosts() {
   return *this;
 }
 
+TreeBuilder& TreeBuilder::allowBareInternals() {
+  buildOptions_.allowBareInternals = true;
+  return *this;
+}
+
 ProblemInstance TreeBuilder::build() const {
   ProblemInstance instance;
-  instance.tree = Tree::fromParents(parents_, kinds_);
+  instance.tree = Tree::fromParents(parents_, kinds_, buildOptions_);
   instance.requests = requests_;
   instance.capacity = capacity_;
   instance.storageCost = storageCost_;

@@ -35,6 +35,10 @@ class TreeBuilder {
   /// Set every internal node's storage cost to 1 (Replica Counting).
   TreeBuilder& useUnitCosts();
 
+  /// Permit internal vertices without children (multitree member trees; see
+  /// TreeBuildOptions::allowBareInternals).
+  TreeBuilder& allowBareInternals();
+
   /// Validate and assemble the instance. The builder may be reused afterwards
   /// (build() does not mutate state).
   ProblemInstance build() const;
@@ -52,6 +56,7 @@ class TreeBuilder {
   std::vector<double> qos_;
   std::vector<double> compTime_;
   bool unitCosts_ = false;
+  TreeBuildOptions buildOptions_;
 };
 
 }  // namespace treeplace

@@ -154,4 +154,161 @@ ProblemInstance generateInstance(const GeneratorConfig& config, std::uint64_t se
   return generateInstance(config, rng);
 }
 
+MultitreeInstance generateMultitreeInstance(const MultitreeConfig& config, Prng& rng) {
+  const GeneratorConfig& base = config.base;
+  TREEPLACE_REQUIRE(config.trees >= 1, "need at least one member tree");
+  TREEPLACE_REQUIRE(config.sharedInternals >= 1, "need at least one shared gateway");
+  TREEPLACE_REQUIRE(!base.heterogeneous,
+                    "multitree capacities are homogeneous per tree");
+  TREEPLACE_REQUIRE(base.minSize >= 3, "need at least root + node/client pair");
+  TREEPLACE_REQUIRE(base.maxSize >= base.minSize, "maxSize < minSize");
+  TREEPLACE_REQUIRE(base.clientFraction > 0.0 && base.clientFraction < 1.0,
+                    "clientFraction must be in (0,1)");
+  TREEPLACE_REQUIRE(base.lambda > 0.0, "lambda must be positive");
+  TREEPLACE_REQUIRE(base.minRequests >= 1 && base.maxRequests >= base.minRequests,
+                    "invalid request range");
+
+  const int g = config.sharedInternals;
+  MultitreeInstance mt;
+  mt.sharedCount = static_cast<VertexId>(g);
+  VertexId nextGlobal = static_cast<VertexId>(g);
+
+  for (int t = 0; t < config.trees; ++t) {
+    Prng treeRng = rng.split(static_cast<std::uint64_t>(t) + 1);
+
+    // Internal skeleton: the private root, the g gateways spliced at random
+    // construction slots, and the remaining private internals; every internal
+    // i > 0 attaches to a uniform earlier internal (fanout-capped via the
+    // same swap-removed pool as drawShape).
+    const auto size = static_cast<int>(
+        treeRng.uniformInt(base.minSize, base.maxSize));
+    int privateInternals = static_cast<int>(
+        std::lround(static_cast<double>(size) * (1.0 - base.clientFraction)));
+    privateInternals = std::clamp(privateInternals, 1, size - 1);
+    const int clientCount = size - privateInternals;
+    const int m = privateInternals + g;
+
+    std::vector<int> parentOf(static_cast<std::size_t>(m), -1);
+    std::vector<int> internalKids(static_cast<std::size_t>(m), 0);
+    {
+      std::vector<int> open;
+      open.reserve(static_cast<std::size_t>(m));
+      open.push_back(0);
+      for (int i = 1; i < m; ++i) {
+        const auto pick = static_cast<std::size_t>(
+            treeRng.uniformInt(0, static_cast<std::int64_t>(open.size()) - 1));
+        const int parent = open[pick];
+        ++internalKids[static_cast<std::size_t>(parent)];
+        if (base.maxChildren > 0 &&
+            internalKids[static_cast<std::size_t>(parent)] >= base.maxChildren) {
+          open[pick] = open.back();
+          open.pop_back();
+        }
+        parentOf[static_cast<std::size_t>(i)] = parent;
+        open.push_back(i);
+      }
+    }
+
+    // Which construction slots are gateways, and which gateway sits where.
+    // gatewayAt[slot] == global gateway id, or -1 for private internals.
+    std::vector<int> gatewayAt(static_cast<std::size_t>(m), -1);
+    {
+      std::vector<int> slots;
+      slots.reserve(static_cast<std::size_t>(m - 1));
+      for (int i = 1; i < m; ++i) slots.push_back(i);
+      treeRng.shuffle(slots);
+      for (int j = 0; j < g; ++j)
+        gatewayAt[static_cast<std::size_t>(slots[static_cast<std::size_t>(j)])] = j;
+    }
+
+    // Clients: each childless *private* internal must host one (the shape
+    // stays a sensible distribution tree); a childless gateway keeps its
+    // bare-internal freedom and only draws a client with gatewayClientBias.
+    std::vector<int> clientHost;
+    std::vector<int> edgeNodes;
+    for (int i = 0; i < m; ++i) {
+      if (internalKids[static_cast<std::size_t>(i)] > 0) continue;
+      edgeNodes.push_back(i);
+      if (gatewayAt[static_cast<std::size_t>(i)] < 0)
+        clientHost.push_back(i);
+      else if (treeRng.bernoulli(config.gatewayClientBias))
+        clientHost.push_back(i);
+    }
+    std::vector<int> hostLoad(static_cast<std::size_t>(m), 0);
+    for (const int host : clientHost) ++hostLoad[static_cast<std::size_t>(host)];
+    while (static_cast<int>(clientHost.size()) < clientCount) {
+      int host;
+      if (!edgeNodes.empty() && treeRng.bernoulli(base.leafClientBias)) {
+        // Balanced two-choice draw among edge nodes, as in drawShape: spreads
+        // demand so no single edge subtree concentrates an unservable pocket.
+        const auto limit = static_cast<std::int64_t>(edgeNodes.size()) - 1;
+        const int a =
+            edgeNodes[static_cast<std::size_t>(treeRng.uniformInt(0, limit))];
+        const int b =
+            edgeNodes[static_cast<std::size_t>(treeRng.uniformInt(0, limit))];
+        host = hostLoad[static_cast<std::size_t>(a)] <=
+                       hostLoad[static_cast<std::size_t>(b)]
+                   ? a
+                   : b;
+      } else {
+        host = static_cast<int>(treeRng.uniformInt(0, m - 1));
+      }
+      ++hostLoad[static_cast<std::size_t>(host)];
+      clientHost.push_back(host);
+    }
+    treeRng.shuffle(clientHost);
+
+    std::vector<Requests> clientRequests;
+    clientRequests.reserve(clientHost.size());
+    Requests totalRequests = 0;
+    for (std::size_t c = 0; c < clientHost.size(); ++c) {
+      clientRequests.push_back(
+          treeRng.uniformInt(base.minRequests, base.maxRequests));
+      totalRequests += clientRequests.back();
+    }
+
+    const auto capacity = std::max<Requests>(
+        1, static_cast<Requests>(std::llround(
+               static_cast<double>(totalRequests) /
+               (base.lambda * static_cast<double>(m)))));
+
+    TreeBuilder builder;
+    builder.allowBareInternals();
+    builder.addRoot(capacity);
+    for (int i = 1; i < m; ++i)
+      builder.addInternal(static_cast<VertexId>(parentOf[static_cast<std::size_t>(i)]),
+                          capacity);
+    for (std::size_t c = 0; c < clientHost.size(); ++c)
+      builder.addClient(static_cast<VertexId>(clientHost[c]), clientRequests[c]);
+    if (base.unitCosts) builder.useUnitCosts();
+    mt.trees.push_back(builder.build());
+
+    // Global ids: gateways keep their reserved slot [0, g); everything
+    // private (internals and clients alike) numbers on from there.
+    const std::size_t localCount = mt.trees.back().tree.vertexCount();
+    std::vector<VertexId>& globalOf = mt.toGlobal.emplace_back(localCount, kNoVertex);
+    for (std::size_t v = 0; v < localCount; ++v) {
+      const int gw = v < static_cast<std::size_t>(m) ? gatewayAt[v] : -1;
+      globalOf[v] = gw >= 0 ? static_cast<VertexId>(gw) : nextGlobal++;
+    }
+  }
+
+  mt.globalVertexCount = nextGlobal;
+  for (int t = 0; t < config.trees; ++t) {
+    std::vector<VertexId>& local = mt.toLocal.emplace_back(
+        static_cast<std::size_t>(mt.globalVertexCount), kNoVertex);
+    const std::vector<VertexId>& globalOf = mt.toGlobal[static_cast<std::size_t>(t)];
+    for (std::size_t v = 0; v < globalOf.size(); ++v)
+      local[static_cast<std::size_t>(globalOf[v])] = static_cast<VertexId>(v);
+  }
+  mt.validate();
+  return mt;
+}
+
+MultitreeInstance generateMultitreeInstance(const MultitreeConfig& config,
+                                            std::uint64_t seed, std::uint64_t index) {
+  Prng rng = Prng(seed).split(index);
+  return generateMultitreeInstance(config, rng);
+}
+
 }  // namespace treeplace

@@ -1,6 +1,7 @@
 #pragma once
 
 #include "support/prng.hpp"
+#include "tree/multitree.hpp"
 #include "tree/problem.hpp"
 
 namespace treeplace {
@@ -38,5 +39,28 @@ ProblemInstance generateInstance(const GeneratorConfig& config, Prng& rng);
 /// Convenience: instance number `index` of a reproducible family.
 ProblemInstance generateInstance(const GeneratorConfig& config, std::uint64_t seed,
                                  std::uint64_t index);
+
+/// Parameters of the multitree generator: k member trees drawn from the same
+/// shape family as generateInstance, overlaid on `sharedInternals` common
+/// gateways. Gateways receive the lowest global ids (0..g-1) and are spliced
+/// into each member tree at random internal positions; a gateway left
+/// childless in some tree stays a bare internal there (the member trees are
+/// built with allowBareInternals). Capacities are homogeneous *per tree*
+/// (W_t from base.lambda); base.heterogeneous must be false.
+struct MultitreeConfig {
+  int trees = 2;            ///< k member trees
+  int sharedInternals = 6;  ///< g shared gateways
+  /// Probability that a gateway with no internal children in a member tree
+  /// receives a client there (otherwise it stays bare in that tree).
+  double gatewayClientBias = 0.5;
+  GeneratorConfig base;     ///< per-tree shape/load knobs
+};
+
+/// Draw one multitree instance; deterministic in `rng`.
+MultitreeInstance generateMultitreeInstance(const MultitreeConfig& config, Prng& rng);
+
+/// Convenience: multitree number `index` of a reproducible family.
+MultitreeInstance generateMultitreeInstance(const MultitreeConfig& config,
+                                            std::uint64_t seed, std::uint64_t index);
 
 }  // namespace treeplace

@@ -1,0 +1,84 @@
+#include "tree/multitree.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "support/require.hpp"
+
+namespace treeplace {
+
+std::vector<std::size_t> MultitreeInstance::treesOf(VertexId global) const {
+  std::vector<std::size_t> out;
+  for (std::size_t t = 0; t < trees.size(); ++t)
+    if (contains(t, global)) out.push_back(t);
+  return out;
+}
+
+std::vector<VertexId> MultitreeInstance::globalInternals() const {
+  std::vector<VertexId> out;
+  std::vector<bool> seen(static_cast<std::size_t>(globalVertexCount), false);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    for (const VertexId local : trees[t].tree.internals()) {
+      const VertexId g = globalId(t, local);
+      if (!seen[static_cast<std::size_t>(g)]) {
+        seen[static_cast<std::size_t>(g)] = true;
+        out.push_back(g);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MultitreeInstance::validate() const {
+  TREEPLACE_REQUIRE(!trees.empty(), "multitree must have at least one member tree");
+  TREEPLACE_REQUIRE(sharedCount >= 0 && sharedCount <= globalVertexCount,
+                    "sharedCount out of range");
+  TREEPLACE_REQUIRE(toGlobal.size() == trees.size(), "toGlobal size mismatch");
+  TREEPLACE_REQUIRE(toLocal.size() == trees.size(), "toLocal size mismatch");
+
+  const auto n = static_cast<std::size_t>(globalVertexCount);
+  std::vector<int> owners(n, 0);
+  for (std::size_t t = 0; t < trees.size(); ++t) {
+    const ProblemInstance& instance = trees[t];
+    instance.validate();
+    const std::size_t local = instance.tree.vertexCount();
+    TREEPLACE_REQUIRE(toGlobal[t].size() == local,
+                      "toGlobal[" + std::to_string(t) + "] size mismatch");
+    TREEPLACE_REQUIRE(toLocal[t].size() == n,
+                      "toLocal[" + std::to_string(t) + "] size mismatch");
+    for (std::size_t v = 0; v < local; ++v) {
+      const VertexId g = toGlobal[t][v];
+      TREEPLACE_REQUIRE(g >= 0 && g < globalVertexCount,
+                        "global id out of range in tree " + std::to_string(t));
+      TREEPLACE_REQUIRE(toLocal[t][static_cast<std::size_t>(g)] ==
+                            static_cast<VertexId>(v),
+                        "toGlobal/toLocal not inverse in tree " + std::to_string(t));
+      if (g < sharedCount) {
+        TREEPLACE_REQUIRE(instance.tree.isInternal(static_cast<VertexId>(v)),
+                          "shared vertex " + std::to_string(g) +
+                              " is not internal in tree " + std::to_string(t));
+      } else {
+        ++owners[static_cast<std::size_t>(g)];
+      }
+    }
+    for (std::size_t g = 0; g < n; ++g) {
+      const VertexId local = toLocal[t][g];
+      if (local == kNoVertex) continue;
+      TREEPLACE_REQUIRE(local >= 0 &&
+                            static_cast<std::size_t>(local) < instance.tree.vertexCount() &&
+                            toGlobal[t][static_cast<std::size_t>(local)] ==
+                                static_cast<VertexId>(g),
+                        "toLocal points outside toGlobal in tree " + std::to_string(t));
+    }
+  }
+  for (VertexId g = 0; g < sharedCount; ++g)
+    TREEPLACE_REQUIRE(!treesOf(g).empty(),
+                      "shared vertex " + std::to_string(g) + " appears in no tree");
+  for (std::size_t g = static_cast<std::size_t>(sharedCount); g < n; ++g)
+    TREEPLACE_REQUIRE(owners[g] == 1, "private vertex " + std::to_string(g) +
+                                          " appears in " + std::to_string(owners[g]) +
+                                          " trees");
+}
+
+}  // namespace treeplace

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tree/problem.hpp"
+
+namespace treeplace {
+
+/// A multitree instance: k rooted distribution trees overlaid on a shared
+/// vertex population. A prefix of the *global* id space — ids
+/// [0, sharedCount) — names shared internal "gateways" that may appear in
+/// several member trees; every other global id (client or private internal)
+/// belongs to exactly one tree. Each member tree is stored as an ordinary
+/// ProblemInstance over its own compact *local* id space, with the
+/// local<->global maps kept alongside, so every single-tree algorithm in the
+/// repository (solvers, validators, bounds) runs on a member unchanged.
+///
+/// Replica model (exact/multitree_closest): placing a replica on a shared
+/// gateway provisions it in *every* member tree containing it — the gateway
+/// serves each overlay with that tree's capacity, and the replica is counted
+/// once globally. A gateway may be childless in some member tree (it carries
+/// subtrees elsewhere); member trees are therefore built with
+/// TreeBuildOptions::allowBareInternals, and client detection inside them
+/// must go through Tree::isClient, never leaf-ness.
+struct MultitreeInstance {
+  /// Shared gateways occupy global ids [0, sharedCount). Keeping them at the
+  /// bottom of the id space is load-bearing for the lexico-minimum solver:
+  /// the ascending-id greedy scan settles all cross-tree coupling first.
+  VertexId sharedCount = 0;
+
+  /// Total number of distinct global vertices (shared counted once).
+  VertexId globalVertexCount = 0;
+
+  /// Member trees over local ids; per tree homogeneous capacities.
+  std::vector<ProblemInstance> trees;
+
+  /// toGlobal[t][local] -> global id.
+  std::vector<std::vector<VertexId>> toGlobal;
+
+  /// toLocal[t][global] -> local id in tree t, or kNoVertex when tree t does
+  /// not contain the vertex. Dense (globalVertexCount wide) per tree.
+  std::vector<std::vector<VertexId>> toLocal;
+
+  std::size_t treeCount() const { return trees.size(); }
+
+  bool isShared(VertexId global) const {
+    return global >= 0 && global < sharedCount;
+  }
+
+  bool contains(std::size_t tree, VertexId global) const {
+    return toLocal[tree][static_cast<std::size_t>(global)] != kNoVertex;
+  }
+
+  VertexId localId(std::size_t tree, VertexId global) const {
+    return toLocal[tree][static_cast<std::size_t>(global)];
+  }
+
+  VertexId globalId(std::size_t tree, VertexId local) const {
+    return toGlobal[tree][static_cast<std::size_t>(local)];
+  }
+
+  /// Member trees containing the vertex (every tree for a root-private id
+  /// returns one entry; shared gateways usually several).
+  std::vector<std::size_t> treesOf(VertexId global) const;
+
+  /// Global ids of all internal vertices (shared gateways first, then the
+  /// private internals per tree), ascending.
+  std::vector<VertexId> globalInternals() const;
+
+  /// Structural invariants: maps are mutually inverse, shared ids are
+  /// internal everywhere they appear and occur in at least one tree, private
+  /// ids occur in exactly one tree, and every member instance validates.
+  /// Throws PreconditionError on violation.
+  void validate() const;
+};
+
+}  // namespace treeplace

@@ -7,7 +7,8 @@
 
 namespace treeplace {
 
-Tree Tree::fromParents(std::vector<VertexId> parents, std::vector<VertexKind> kinds) {
+Tree Tree::fromParents(std::vector<VertexId> parents, std::vector<VertexKind> kinds,
+                       const TreeBuildOptions& options) {
   TREEPLACE_REQUIRE(parents.size() == kinds.size(), "parents/kinds size mismatch");
   TREEPLACE_REQUIRE(!parents.empty(), "tree must have at least one vertex");
   const auto n = static_cast<VertexId>(parents.size());
@@ -107,7 +108,7 @@ Tree Tree::fromParents(std::vector<VertexId> parents, std::vector<VertexKind> ki
     if (t.isClient(v)) {
       t.clients_.push_back(v);
     } else {
-      TREEPLACE_REQUIRE(!t.children(v).empty(),
+      TREEPLACE_REQUIRE(options.allowBareInternals || !t.children(v).empty(),
                         "internal node " + std::to_string(v) + " has no children");
       t.internals_.push_back(v);
     }

@@ -17,17 +17,30 @@ enum class VertexKind : std::uint8_t {
   Client,    ///< leaf issuing requests (set C in the paper)
 };
 
+/// Shape options for Tree::fromParents.
+struct TreeBuildOptions {
+  /// Accept internal vertices without children. A standalone paper tree never
+  /// has them (an internal leaf is a modelling bug there, and the default
+  /// rejects it), but the member trees of a Multitree overlay do: a shared
+  /// internal vertex can carry a whole subtree in one tree and sit childless
+  /// at the edge of another while still being a valid replica host for it.
+  bool allowBareInternals = false;
+};
+
 /// Immutable rooted tree with two vertex kinds. Clients are leaves; every
-/// internal node has at least one child. Construction validates the shape and
-/// precomputes depths, preorder intervals (for O(1) ancestry tests) and the
-/// list of clients per subtree (contiguous in preorder).
+/// internal node has at least one child (unless allowBareInternals).
+/// Construction validates the shape and precomputes depths, preorder
+/// intervals (for O(1) ancestry tests) and the list of clients per subtree
+/// (contiguous in preorder).
 class Tree {
  public:
   /// Build from a parent array. parents[v] == kNoVertex exactly for the root.
   /// Throws PreconditionError on malformed input (several roots, cycles,
-  /// client with children, internal leaf, parent being a client).
+  /// client with children, internal leaf unless options allow it, parent
+  /// being a client).
   static Tree fromParents(std::vector<VertexId> parents,
-                          std::vector<VertexKind> kinds);
+                          std::vector<VertexKind> kinds,
+                          const TreeBuildOptions& options = {});
 
   std::size_t vertexCount() const { return parents_.size(); }
   VertexId root() const { return root_; }
@@ -35,6 +48,12 @@ class Tree {
   VertexKind kind(VertexId v) const {
     return kinds_[static_cast<std::size_t>(checked(v))];
   }
+  /// THE audited client test: every consumer that needs "is this a demand
+  /// leaf?" must go through the vertex *kind*, never through isLeaf() /
+  /// children().empty(). The two coincide on standalone paper trees, but a
+  /// multitree member tree may contain bare internal vertices (a shared
+  /// vertex childless in this tree yet carrying subtrees in others), so
+  /// "no children" does not imply "client" there.
   bool isClient(VertexId v) const { return kind(v) == VertexKind::Client; }
   bool isInternal(VertexId v) const { return kind(v) == VertexKind::Internal; }
 
@@ -44,6 +63,11 @@ class Tree {
   }
 
   std::span<const VertexId> children(VertexId v) const;
+
+  /// Structural test only: v has no children *in this tree*. NOT a client
+  /// test — with allowBareInternals an internal vertex can be a leaf here
+  /// while hosting replicas (and subtrees in other member trees of a
+  /// Multitree). Use isClient() for demand detection.
   bool isLeaf(VertexId v) const { return children(v).empty(); }
 
   /// The children of v in canonical merge order: ascending subtree size,
@@ -52,6 +76,13 @@ class Tree {
   /// frontiers narrow, and the heavy child — the one a random mutation most
   /// likely lands in — sits last, so an incremental re-solve that reuses the
   /// clean prefix of the chain usually redoes a single convolution.
+  ///
+  /// INVARIANT (load-bearing, regression-tested): the order is a pure
+  /// function of (subtree sizes, vertex ids) — deterministic across rebuilds
+  /// of equal shape, independent of construction history. The incremental
+  /// engine's combo-chain prefix reuse compares cached chains against this
+  /// order slot by slot; a nondeterministic tie-break would silently poison
+  /// bit-identical replay.
   std::span<const VertexId> mergeChildren(VertexId v) const;
 
   /// Hop depth; 0 for the root.

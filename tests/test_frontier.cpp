@@ -266,6 +266,88 @@ TEST(FrontierSolverEquivalence, MultipleDPMatchesGreedyOn100RandomInstances) {
   }
 }
 
+// Drive the exact Closest recurrence through a caller-constructed FrontierDp
+// (mirroring exact/closest_homogeneous.cpp) and return the replica list.
+// Used to pin the merge-bag interface: a DP built from the Tree delegating
+// constructor and one built from an explicit TreeDecomposition value must
+// walk the same schedule, fold the same merge order and reconstruct the same
+// placement, entry for entry.
+std::optional<std::vector<VertexId>> driveClosestDp(const ProblemInstance& instance,
+                                                    FrontierDp& dp,
+                                                    FrontierArena& arena) {
+  const TreeDecomposition& decomp = dp.decomposition();
+  const Requests W = instance.homogeneousCapacity();
+  FrontierConvolver conv(arena);
+  for (const BagId v : decomp.schedule()) {
+    const auto vi = static_cast<std::size_t>(decomp.anchor(v));
+    if (decomp.anchorIsClient(v)) {
+      dp.seedClient(v, instance.requests[vi]);
+      continue;
+    }
+    const auto forestCap = static_cast<std::int32_t>(
+        std::min(decomp.clientsInCone(v), decomp.internalsInCone(v) - 1));
+    FrontierSpan acc = conv.unit();
+    const auto children = decomp.mergeChildren(v);
+    for (std::size_t ci = 0; ci < children.size(); ++ci) {
+      acc = conv.convolve(acc, dp.frontier(children[ci]), forestCap);
+      dp.setCombo(v, ci, acc);
+    }
+    std::size_t k0 = acc.size;
+    for (std::size_t k = 0; k < acc.size; ++k)
+      if (arena.at(acc, k).flow <= W) {
+        k0 = k;
+        break;
+      }
+    const std::uint32_t begin = arena.beginSpan();
+    for (std::size_t k = 0; k < std::min(k0 + 1, static_cast<std::size_t>(acc.size));
+         ++k) {
+      const FrontierEntry e = arena.at(acc, k);
+      arena.push({e.count, e.flow, static_cast<std::int32_t>(k), 0});
+    }
+    if (k0 < acc.size) {
+      const FrontierEntry e = arena.at(acc, k0);
+      if (e.flow > 0) arena.push({e.count + 1, 0, static_cast<std::int32_t>(k0), 1});
+    }
+    dp.setFrontier(v, arena.endSpan(begin));
+  }
+  const FrontierSpan rootSpan = dp.frontier(decomp.rootBag());
+  if (rootSpan.empty() || arena.at(rootSpan, rootSpan.size - 1).flow != 0)
+    return std::nullopt;
+  std::vector<VertexId> replicas;
+  dp.reconstruct(static_cast<std::int32_t>(rootSpan.size - 1),
+                 [&replicas](VertexId node) { replicas.push_back(node); });
+  std::sort(replicas.begin(), replicas.end());
+  return replicas;
+}
+
+TEST(FrontierSolverEquivalence, BagInterfaceMatchesTreeInterfaceBitExactly) {
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    const ProblemInstance inst = testutil::smallRandomInstance(
+        seed * 733 + 5, 0.2 + 0.07 * static_cast<double>(seed % 10),
+        /*hetero=*/false, /*unit=*/true, /*minSize=*/6, /*maxSize=*/40);
+
+    FrontierArena treeArena;
+    treeArena.reset(4 * inst.tree.vertexCount());
+    FrontierDp viaTree(inst.tree, treeArena);
+    const auto treeReplicas = driveClosestDp(inst, viaTree, treeArena);
+
+    FrontierArena bagArena;
+    bagArena.reset(4 * inst.tree.vertexCount());
+    const TreeDecomposition decomp(inst.tree);
+    FrontierDp viaBags(decomp, bagArena);
+    const auto bagReplicas = driveClosestDp(inst, viaBags, bagArena);
+
+    ASSERT_EQ(treeReplicas.has_value(), bagReplicas.has_value()) << "seed " << seed;
+    if (!treeReplicas) continue;
+    EXPECT_EQ(*treeReplicas, *bagReplicas) << "seed " << seed;
+
+    // Both must also agree with the production solver's replica set.
+    const auto solver = solveClosestHomogeneous(inst);
+    ASSERT_TRUE(solver.has_value()) << "seed " << seed;
+    EXPECT_EQ(solver->replicaList(), *treeReplicas) << "seed " << seed;
+  }
+}
+
 TEST(FrontierSolverEquivalence, ClosestStatsRespectWidthBound) {
   const ProblemInstance inst = testutil::smallRandomInstance(
       42, 0.5, /*hetero=*/false, /*unit=*/true, /*minSize=*/30, /*maxSize=*/60);

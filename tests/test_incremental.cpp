@@ -83,6 +83,53 @@ INSTANTIATE_TEST_SUITE_P(AllPolicies, IncrementalEquivalence,
                            return std::string(toString(info.param));
                          });
 
+// The cache layout is keyed by the TreeDecomposition bag schedule, a pure
+// function of tree shape. Two solvers over the same shape — one on the
+// original tree, one on a rebuild from its parent array — must resolve to
+// bit-identical placements, both at the initial solve and after replaying
+// the same mutation on each side. Any schedule or merge-order drift between
+// the two constructions would surface here as a placement mismatch.
+TEST(IncrementalSolver, BagScheduleStableAcrossTreeRebuild) {
+  for (const OnlinePolicy policy :
+       {OnlinePolicy::Closest, OnlinePolicy::Multiple, OnlinePolicy::ClosestQos}) {
+    const double qosFraction = policy == OnlinePolicy::ClosestQos ? 0.6 : 0.0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      ProblemInstance original = smallHomogeneous(seed, qosFraction);
+      ProblemInstance rebuilt = original;
+      std::vector<VertexId> parents(original.tree.vertexCount());
+      std::vector<VertexKind> kinds(original.tree.vertexCount());
+      for (std::size_t v = 0; v < original.tree.vertexCount(); ++v) {
+        parents[v] = original.tree.parent(static_cast<VertexId>(v));
+        kinds[v] = original.tree.kind(static_cast<VertexId>(v));
+      }
+      rebuilt.tree = Tree::fromParents(parents, kinds);
+
+      IncrementalSolver a(original, policy);
+      IncrementalSolver b(rebuilt, policy);
+      const auto first = a.resolve();
+      const auto second = b.resolve();
+      ASSERT_EQ(first.has_value(), second.has_value())
+          << toString(policy) << " seed=" << seed;
+      if (first) EXPECT_EQ(*first, *second) << toString(policy) << " seed=" << seed;
+
+      // Replay one identical value mutation on both sides.
+      const auto clients = original.tree.clients();
+      InstanceDelta delta;
+      delta.kind = DeltaKind::RateChange;
+      delta.node = clients[clients.size() / 2];
+      delta.rate = original.requests[static_cast<std::size_t>(delta.node)] + 2;
+      a.apply(delta);
+      b.apply(delta);
+      const auto firstAfter = a.resolve();
+      const auto secondAfter = b.resolve();
+      ASSERT_EQ(firstAfter.has_value(), secondAfter.has_value())
+          << toString(policy) << " seed=" << seed;
+      if (firstAfter)
+        EXPECT_EQ(*firstAfter, *secondAfter) << toString(policy) << " seed=" << seed;
+    }
+  }
+}
+
 // Value mutations must hit the cache on untouched subtrees: a one-client
 // change on a two-branch tree recomputes only the client's root path.
 TEST(IncrementalSolver, CacheHitsOnUntouchedSubtrees) {

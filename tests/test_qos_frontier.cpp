@@ -289,6 +289,47 @@ TEST(QosSolverEquivalence, ByteIdenticalReplicaSetsOn100RandomInstances) {
   EXPECT_GE(feasible, 30);
 }
 
+// The ported solver walks the bag schedule of a TreeDecomposition, not the
+// tree directly. The schedule (and the canonical merge order inside each
+// bag) is a pure function of the tree shape, so rebuilding the same shape
+// from its parent array must reproduce byte-identical placements — the
+// bag-interface counterpart of the merge-order determinism test in
+// test_tree.cpp, here exercised through the 3-D QoS sweep.
+TEST(QosSolverEquivalence, BagScheduleStableAcrossTreeRebuild) {
+  int feasible = 0;
+  for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+    GeneratorConfig config;
+    config.minSize = 10;
+    config.maxSize = 48;
+    config.clientFraction = 0.55;
+    config.maxRequests = 6;
+    config.lambda = 0.25 + 0.05 * static_cast<double>(seed % 8);
+    config.unitCosts = true;
+    config.qosFraction = 0.5;
+    config.qosMinHops = 1;
+    config.qosMaxHops = 4;
+    const ProblemInstance inst = generateInstance(config, 31337, seed);
+
+    ProblemInstance rebuilt = inst;
+    std::vector<VertexId> parents(inst.tree.vertexCount());
+    std::vector<VertexKind> kinds(inst.tree.vertexCount());
+    for (std::size_t v = 0; v < inst.tree.vertexCount(); ++v) {
+      parents[v] = inst.tree.parent(static_cast<VertexId>(v));
+      kinds[v] = inst.tree.kind(static_cast<VertexId>(v));
+    }
+    rebuilt.tree = Tree::fromParents(parents, kinds);
+
+    const auto a = solveClosestHomogeneousQos(inst);
+    const auto b = solveClosestHomogeneousQos(rebuilt);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "seed " << seed;
+    if (!a) continue;
+    ++feasible;
+    EXPECT_EQ(a->replicaList(), b->replicaList()) << "seed " << seed;
+    EXPECT_EQ(*a, *b) << "seed " << seed;
+  }
+  EXPECT_GE(feasible, 8);
+}
+
 TEST(QosSolverEquivalence, PublishesFrontierTelemetry) {
   const ProblemInstance inst = testutil::smallRandomInstance(
       77, 0.5, /*hetero=*/false, /*unit=*/true, 20, 40);

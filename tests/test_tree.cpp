@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "support/require.hpp"
+#include "tree/generator.hpp"
 
 namespace treeplace {
 namespace {
@@ -165,6 +166,43 @@ TEST(Tree, RejectsOutOfRangeQueries) {
   const Tree t = sampleTree();
   EXPECT_THROW(t.parent(-2), PreconditionError);
   EXPECT_THROW(t.kind(6), PreconditionError);
+}
+
+// Regression for the canonical merge order invariant (see tree.hpp): the
+// order is exactly ascending (subtree size, id) — a pure function of the
+// shape — and a rebuild of the same shape reproduces it slot for slot. The
+// incremental engine's combo-chain prefix reuse replays against this order;
+// any drift would silently break bit-identical replay.
+TEST(Tree, MergeChildrenCanonicalOrderIsDeterministic) {
+  for (std::uint64_t index = 0; index < 5; ++index) {
+    GeneratorConfig config;
+    config.minSize = 40;
+    config.maxSize = 120;
+    const ProblemInstance instance = generateInstance(config, 99, index);
+    const Tree& tree = instance.tree;
+
+    std::vector<VertexId> parents(tree.vertexCount());
+    std::vector<VertexKind> kinds(tree.vertexCount());
+    for (std::size_t v = 0; v < tree.vertexCount(); ++v) {
+      parents[v] = tree.parent(static_cast<VertexId>(v));
+      kinds[v] = tree.kind(static_cast<VertexId>(v));
+    }
+    const Tree rebuilt = Tree::fromParents(parents, kinds);
+
+    for (std::size_t v = 0; v < tree.vertexCount(); ++v) {
+      const auto merge = tree.mergeChildren(static_cast<VertexId>(v));
+      for (std::size_t i = 1; i < merge.size(); ++i) {
+        const std::size_t sa = tree.subtreeSize(merge[i - 1]);
+        const std::size_t sb = tree.subtreeSize(merge[i]);
+        EXPECT_TRUE(sa < sb || (sa == sb && merge[i - 1] < merge[i]))
+            << "non-canonical merge order under vertex " << v;
+      }
+      const auto again = rebuilt.mergeChildren(static_cast<VertexId>(v));
+      ASSERT_EQ(merge.size(), again.size());
+      for (std::size_t i = 0; i < merge.size(); ++i)
+        EXPECT_EQ(merge[i], again[i]) << "rebuild drifted under vertex " << v;
+    }
+  }
 }
 
 }  // namespace
