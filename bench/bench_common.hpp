@@ -5,34 +5,18 @@
 #include <iostream>
 #include <string>
 
-#if defined(__unix__) || defined(__APPLE__)
-#include <sys/resource.h>
-#endif
-
 #include "experiments/report.hpp"
 #include "experiments/runner.hpp"
 #include "support/cli.hpp"
+#include "support/rss.hpp"
 #include "support/thread_pool.hpp"
 
 namespace treeplace::bench {
 
-/// Process-lifetime peak resident set size in bytes (getrusage high-water
-/// mark, so it never decreases). Linux reports ru_maxrss in KiB, Darwin in
-/// bytes; returns 0 on platforms without getrusage. Benches sample this after
-/// each section so BENCH_table1.json tracks where the footprint grows.
-inline std::size_t peakRssBytes() {
-#if defined(__unix__) || defined(__APPLE__)
-  struct rusage usage{};
-  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
-#if defined(__APPLE__)
-  return static_cast<std::size_t>(usage.ru_maxrss);
-#else
-  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
-#endif
-#else
-  return 0;
-#endif
-}
+/// Peak RSS in bytes, unit-normalized per platform. Lives in support/rss so
+/// tests can link it; benches sample this after each section so
+/// BENCH_table1.json tracks where the footprint grows.
+inline std::size_t peakRssBytes() { return ::treeplace::peakRssBytes(); }
 
 /// Experiment scale. Defaults are sized for a single-core CI box; set
 /// TREEPLACE_FULL=1 (or --full) to run the paper's full plan

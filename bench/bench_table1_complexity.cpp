@@ -15,6 +15,9 @@
 //                               [--repeats=5] [--threads=0] [--json[=path]]
 //                               [--mutate-sizes=1000,10000,100000]
 //                               [--mutate-steps=100]
+//                               [--service-sessions=6] [--service-requests=180]
+//                               [--service-size=1000] [--service-ilp-size=48]
+//                               [--service-ilp-steps=10]
 //
 // Part (a)'s per-instance generation and evaluation run through the batch
 // driver (--threads=0 picks the hardware concurrency); the timed solves then
@@ -48,7 +51,9 @@
 #include "heuristics/heuristic.hpp"
 #include "lp/workspace.hpp"
 #include "core/validate.hpp"
+#include "online/delta.hpp"
 #include "online/resilient.hpp"
+#include "online/service.hpp"
 #include "support/cli.hpp"
 #include "support/json.hpp"
 #include "support/prng.hpp"
@@ -179,6 +184,36 @@ struct MultitreeRow {
   std::size_t replicas = 0;
   MultitreeSolveStats stats;
   bool valid = true;  ///< returned placement (if any) validated
+};
+
+/// One row of part (k): the concurrent PlacementService soak at a worker
+/// count — request latency percentiles, throughput, and whether every
+/// response matched the serial per-session replay bit-identically.
+struct ServiceSoakRow {
+  std::size_t workers = 0;
+  double p50Ms = 0.0;
+  double p99Ms = 0.0;
+  double wallMs = 0.0;
+  double throughput = 0.0;  ///< requests per second
+  bool allMatch = true;
+};
+
+/// Part (k)'s warm-ILP sub-result: B&B nodes of the service's incumbent-seeded
+/// re-solves against from-scratch cold solves on the same mutation stream.
+struct ServiceWarmIlpResult {
+  int size = 0;
+  int steps = 0;
+  long warmNodes = 0;
+  long coldNodes = 0;
+  std::size_t seededSolves = 0;
+  double warmMs = 0.0;
+  double coldMs = 0.0;
+  bool allMatch = true;  ///< warm cost equals the cold proven optimum per step
+  double nodeSavings() const {
+    return coldNodes > 0
+               ? 1.0 - static_cast<double>(warmNodes) / static_cast<double>(coldNodes)
+               : 0.0;
+  }
 };
 
 /// One row of part (g): warm dual re-solves, sparse LU engine vs the dense
@@ -916,6 +951,211 @@ int main(int argc, char** argv) {
   }
   const std::size_t rssMultitree = bench::peakRssBytes();
 
+  const int serviceSessions =
+      std::max(1, static_cast<int>(options.getIntOr("service-sessions", 6)));
+  const int serviceRequests =
+      std::max(serviceSessions,
+               static_cast<int>(options.getIntOr("service-requests", 180)));
+  const int serviceSize = static_cast<int>(options.getIntOr("service-size", 1000));
+  const int serviceIlpSize =
+      static_cast<int>(options.getIntOr("service-ilp-size", 48));
+  const int serviceIlpSteps =
+      std::max(1, static_cast<int>(options.getIntOr("service-ilp-steps", 10)));
+  std::cout << "\n(k) Concurrent placement service — " << serviceSessions
+            << " sessions, " << serviceRequests
+            << " requests total, s=" << serviceSize
+            << ", step budgets (deterministic)\n";
+  std::vector<ServiceSoakRow> serviceRows;
+  ServiceWarmIlpResult serviceWarm;
+  {
+    // Same feasible-under-all-policies profile as parts (f)/(i).
+    GeneratorConfig config;
+    config.minSize = config.maxSize = serviceSize;
+    config.clientFraction = 0.8;
+    config.leafClientBias = 1.0;
+    config.minRequests = config.maxRequests = 1;
+    config.lambda = 0.2;
+    config.unitCosts = true;
+    config.qosFraction = 0.3;
+    config.qosMinHops = 6;
+    config.qosMaxHops = 12;
+
+    // Step-only budget: rung selection cannot depend on service-side timing,
+    // which is what makes "bit-identical to the serial replay" a fair gate.
+    SolveBudget budget;
+    budget.maxSteps = 20'000'000;
+
+    const int stepsPer = serviceRequests / serviceSessions;
+    std::vector<ProblemInstance> originals;
+    std::vector<OnlinePolicy> policies;
+    std::vector<std::vector<InstanceDelta>> streams;
+    std::vector<std::vector<SolveOutcome>> expected;
+    for (int s = 0; s < serviceSessions; ++s) {
+      const OnlinePolicy policy =
+          s % 3 == 0 ? OnlinePolicy::Closest
+                     : (s % 3 == 1 ? OnlinePolicy::Multiple
+                                   : OnlinePolicy::ClosestQos);
+      policies.push_back(policy);
+      originals.push_back(
+          generateInstance(config, 67, 1000 + static_cast<std::uint64_t>(s)));
+      // Deltas are pre-drawn against a lockstep shadow so every worker count
+      // replays the identical per-session request sequence.
+      MutationWorkloadConfig mc;
+      mc.policy = policy;
+      mc.seed = 5000 + static_cast<std::uint64_t>(s);
+      mc.rateCap = 0.25;
+      ProblemInstance shadow = originals.back();
+      Prng rng(mc.seed);
+      std::vector<InstanceDelta> stream;
+      for (int k = 0; k < stepsPer; ++k) {
+        InstanceDelta delta = drawMutation(shadow, mc, rng);
+        applyDelta(shadow, delta);
+        stream.push_back(std::move(delta));
+      }
+      streams.push_back(std::move(stream));
+      // The single-threaded oracle: a fresh session, same deltas, same budget.
+      ProblemInstance replayInstance = originals.back();
+      ResilientSession replay(replayInstance, policy);
+      std::vector<SolveOutcome> outcomes;
+      for (const InstanceDelta& delta : streams.back()) {
+        replay.apply(delta);
+        outcomes.push_back(replay.solve(budget));
+      }
+      expected.push_back(std::move(outcomes));
+    }
+
+    TextTable t;
+    t.setHeader({"workers", "requests", "p50 (ms)", "p99 (ms)", "wall (ms)",
+                 "req/s", "all match"});
+    for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      ServiceSoakRow row;
+      row.workers = workers;
+      PlacementService service({.workers = workers});
+      std::vector<PlacementService::SessionId> ids;
+      for (int s = 0; s < serviceSessions; ++s)
+        ids.push_back(service.openSession(originals[static_cast<std::size_t>(s)],
+                                          policies[static_cast<std::size_t>(s)]));
+      std::vector<std::vector<std::future<ServiceResponse>>> futures(
+          static_cast<std::size_t>(serviceSessions));
+      const auto t0 = std::chrono::steady_clock::now();
+      // Step-major interleave: step k of every session submits before step
+      // k+1 of any — the adversarial schedule for cross-session isolation.
+      for (int k = 0; k < stepsPer; ++k) {
+        for (int s = 0; s < serviceSessions; ++s) {
+          const auto si = static_cast<std::size_t>(s);
+          ServiceRequest request;
+          request.delta = streams[si][static_cast<std::size_t>(k)];
+          request.budget = budget;
+          futures[si].push_back(service.submit(ids[si], request));
+        }
+      }
+      std::vector<double> latencies;
+      for (int s = 0; s < serviceSessions; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        for (int k = 0; k < stepsPer; ++k) {
+          ServiceResponse response = futures[si][static_cast<std::size_t>(k)].get();
+          latencies.push_back(response.serveMs);
+          const SolveOutcome& got = response.outcome;
+          const SolveOutcome& want = expected[si][static_cast<std::size_t>(k)];
+          const bool match =
+              response.deltaStatus == DeltaStatus::Applied &&
+              got.status == want.status && got.level == want.level &&
+              got.hasPlacement() == want.hasPlacement() &&
+              (!got.hasPlacement() || (got.cost == want.cost &&
+                                       *got.placement == *want.placement));
+          if (!match) row.allMatch = false;
+        }
+      }
+      row.wallMs = millis(t0);
+      std::sort(latencies.begin(), latencies.end());
+      const auto pct = [&](double p) {
+        return latencies.empty()
+                   ? 0.0
+                   : latencies[static_cast<std::size_t>(
+                         p * static_cast<double>(latencies.size() - 1))];
+      };
+      row.p50Ms = pct(0.50);
+      row.p99Ms = pct(0.99);
+      row.throughput = row.wallMs > 0.0
+                           ? 1000.0 * static_cast<double>(latencies.size()) / row.wallMs
+                           : 0.0;
+      t.addRow({std::to_string(workers), std::to_string(latencies.size()),
+                formatDouble(row.p50Ms, 3), formatDouble(row.p99Ms, 3),
+                formatDouble(row.wallMs, 1), formatDouble(row.throughput, 0),
+                row.allMatch ? "yes" : "NO"});
+      serviceRows.push_back(row);
+    }
+    std::cout << t.render();
+    std::cout << "  expectation: every response at every worker count is "
+                 "bit-identical to the session's serial replay (the strand "
+                 "model hides the concurrency), and wall time shrinks as "
+                 "workers grow\n";
+
+    // Warm-ILP seeding: the service's ILP session re-solves a mutation
+    // stream with the previous placement repaired into a B&B incumbent;
+    // the cold twin starts every solve from nothing.
+    std::cout << "\n    warm-ILP seeding vs cold re-solves (s="
+              << serviceIlpSize << ", " << serviceIlpSteps << " steps)\n";
+    {
+      GeneratorConfig ic;
+      ic.minSize = ic.maxSize = serviceIlpSize;
+      ic.clientFraction = 0.55;
+      ic.maxRequests = 8;
+      ic.lambda = 0.55;
+      ic.unitCosts = true;
+      const ProblemInstance original = generateInstance(ic, 97, 11);
+      serviceWarm.size = serviceIlpSize;
+      serviceWarm.steps = serviceIlpSteps;
+
+      MutationWorkloadConfig mc;
+      mc.policy = OnlinePolicy::Multiple;
+      mc.seed = 131;
+      mc.rateCap = 0.5;
+      ProblemInstance shadow = original;
+      Prng rng(mc.seed);
+      std::vector<InstanceDelta> stream;
+      for (int k = 0; k < serviceIlpSteps; ++k) {
+        InstanceDelta delta = drawMutation(shadow, mc, rng);
+        applyDelta(shadow, delta);
+        stream.push_back(std::move(delta));
+      }
+
+      PlacementService service({.workers = 1});
+      const auto id = service.openIlpSession(original);
+      ProblemInstance cold = original;
+      for (int k = 0; k < serviceIlpSteps; ++k) {
+        ServiceRequest request;
+        request.delta = stream[static_cast<std::size_t>(k)];
+        request.budget.maxSteps = 200'000'000;
+        const auto tw = std::chrono::steady_clock::now();
+        ServiceResponse response = service.submit(id, request).get();
+        serviceWarm.warmMs += millis(tw);
+        if (response.ilpNodes >= 0) serviceWarm.warmNodes += response.ilpNodes;
+        applyDelta(cold, stream[static_cast<std::size_t>(k)]);
+        const auto tc = std::chrono::steady_clock::now();
+        const ExactIlpResult coldResult = solveExactViaIlp(cold, Policy::Multiple, {});
+        serviceWarm.coldMs += millis(tc);
+        serviceWarm.coldNodes += coldResult.nodesExplored;
+        const bool warmPlaced = response.outcome.hasPlacement();
+        if (warmPlaced != coldResult.placement.has_value() ||
+            (warmPlaced && response.outcome.cost != coldResult.cost))
+          serviceWarm.allMatch = false;
+      }
+      serviceWarm.seededSolves = service.ilpStats(id).seededSolves;
+      std::cout << "    warm nodes=" << serviceWarm.warmNodes << " ("
+                << formatDouble(serviceWarm.warmMs, 1) << " ms, "
+                << serviceWarm.seededSolves << "/" << serviceIlpSteps
+                << " seeded)  cold nodes=" << serviceWarm.coldNodes << " ("
+                << formatDouble(serviceWarm.coldMs, 1) << " ms)  node savings="
+                << formatDouble(100.0 * serviceWarm.nodeSavings(), 1) << "%  costs "
+                << (serviceWarm.allMatch ? "match" : "DIFFER") << "\n";
+      std::cout << "  expectation: every warm re-solve lands the cold "
+                 "optimum, and the repaired incumbent prunes >= 20% of the "
+                 "cold search's B&B nodes across the stream\n";
+    }
+  }
+  const std::size_t rssService = bench::peakRssBytes();
+
   // Per-step / per-outcome verification is a hard gate: a bench that prints
   // "NO" in a match column must not exit 0, or CI green means nothing.
   bool verificationFailed = false;
@@ -925,6 +1165,9 @@ int main(int argc, char** argv) {
     if (!row.valid) verificationFailed = true;
   for (const MultitreeRow& row : multitreeRows)
     if (!row.valid) verificationFailed = true;
+  for (const ServiceSoakRow& row : serviceRows)
+    if (!row.allMatch) verificationFailed = true;
+  if (!serviceWarm.allMatch) verificationFailed = true;
 
   const std::string file = bench::jsonPath(argc, argv, "BENCH_table1.json");
   if (!file.empty()) {
@@ -1142,6 +1385,35 @@ int main(int argc, char** argv) {
     }
     json.endArray();
     json.endObject();
+    json.key("service").beginObject();
+    json.key("sessions").value(serviceSessions);
+    json.key("requests").value(serviceRequests);
+    json.key("s").value(serviceSize);
+    json.key("soak").beginArray();
+    for (const ServiceSoakRow& row : serviceRows) {
+      json.beginObject();
+      json.key("workers").value(static_cast<std::int64_t>(row.workers));
+      json.key("p50_ms").value(row.p50Ms);
+      json.key("p99_ms").value(row.p99Ms);
+      json.key("wall_ms").value(row.wallMs);
+      json.key("throughput_rps").value(row.throughput);
+      json.key("all_match").value(row.allMatch);
+      json.endObject();
+    }
+    json.endArray();
+    json.key("warm_ilp").beginObject();
+    json.key("s").value(serviceWarm.size);
+    json.key("steps").value(serviceWarm.steps);
+    json.key("warm_nodes").value(static_cast<std::int64_t>(serviceWarm.warmNodes));
+    json.key("cold_nodes").value(static_cast<std::int64_t>(serviceWarm.coldNodes));
+    json.key("seeded_solves")
+        .value(static_cast<std::int64_t>(serviceWarm.seededSolves));
+    json.key("node_savings").value(serviceWarm.nodeSavings());
+    json.key("warm_ms").value(serviceWarm.warmMs);
+    json.key("cold_ms").value(serviceWarm.coldMs);
+    json.key("all_match").value(serviceWarm.allMatch);
+    json.endObject();
+    json.endObject();
     // One peak-RSS sample per section (the getrusage high-water mark is
     // monotone, so each value shows where the footprint last grew).
     json.key("peak_rss_bytes").beginObject();
@@ -1155,6 +1427,7 @@ int main(int argc, char** argv) {
     json.key("incremental").value(static_cast<std::int64_t>(rssIncremental));
     json.key("resilience").value(static_cast<std::int64_t>(rssResilience));
     json.key("multitree").value(static_cast<std::int64_t>(rssMultitree));
+    json.key("service").value(static_cast<std::int64_t>(rssService));
     json.key("final").value(static_cast<std::int64_t>(bench::peakRssBytes()));
     json.endObject();
     json.endObject();

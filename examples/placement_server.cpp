@@ -1,11 +1,13 @@
-// Placement-as-a-service: a long-lived ResilientSession serving mutation +
-// solve requests under a per-request deadline, with a watchdog thread that
-// cancels overrunning solves and a retry-with-fresh-budget path for cancelled
-// requests. Demonstrates — and *enforces*, exiting nonzero on violation — the
-// resilience invariant: a budget trip, malformed delta, or injected fault may
-// cost optimality or latency, never correctness.
+// Placement-as-a-service demo on the concurrent PlacementService: N
+// long-lived sessions serve interleaved mutation + solve requests from a
+// shared worker pool, each request under a per-request deadline with the
+// service's event-driven watchdog as cancellation backstop. Demonstrates —
+// and *enforces*, exiting nonzero on violation — the resilience invariant:
+// a budget trip, malformed delta, or injected fault may cost optimality or
+// latency, never correctness.
 //
 //   $ ./placement_server [--size=2000] [--requests=200] [--deadline=25]
+//                        [--sessions=4] [--workers=0]
 //                        [--policy=multiple|closest|qos] [--seed=1]
 //                        [--faults=alloc,stall,pivot,delta,cancel|all]
 //                        [--fault-period=64] [--watchdog=4] [--verify]
@@ -13,17 +15,16 @@
 // --verify cross-checks every outcome against an unbudgeted scratch solve
 // (slow; meant for small sizes). --faults arms the deterministic injection
 // harness inside the serving loop, exactly as the CI fault job does via
-// TREEPLACE_FAULT.
+// TREEPLACE_FAULT. --requests counts requests across ALL sessions.
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <future>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "core/validate.hpp"
@@ -31,7 +32,7 @@
 #include "exact/closest_qos.hpp"
 #include "exact/multiple_homogeneous.hpp"
 #include "experiments/mutation_driver.hpp"
-#include "online/resilient.hpp"
+#include "online/service.hpp"
 #include "support/cli.hpp"
 #include "support/fault_injection.hpp"
 #include "support/prng.hpp"
@@ -107,6 +108,19 @@ std::optional<Placement> scratchExact(const ProblemInstance& instance,
   return std::nullopt;
 }
 
+/// One serving stream: a service session plus the client-side state that
+/// drives it (mutation RNG, the single in-flight future, retry bookkeeping).
+struct Stream {
+  PlacementService::SessionId id = 0;
+  Prng rng{1};
+  MutationWorkloadConfig mc;
+  std::optional<std::future<ServiceResponse>> inflight;
+  bool isRetry = false;
+  std::size_t beforeVertices = 0;   ///< instance shape before the last delta
+  Requests beforeTotal = 0;         ///< (for the rejected-delta invariant)
+  bool lastWasCorrupted = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -115,6 +129,8 @@ int main(int argc, char** argv) {
   const int requests = static_cast<int>(options.getIntOr("requests", 200));
   const double deadlineMs = options.getDoubleOr("deadline", 25.0);
   const double watchdogMult = options.getDoubleOr("watchdog", 4.0);
+  const int sessionCount = static_cast<int>(options.getIntOr("sessions", 4));
+  const auto workers = static_cast<std::size_t>(options.getIntOr("workers", 0));
   const bool verify = options.hasFlag("verify");
   const OnlinePolicy policy = parsePolicy(options.getOr("policy", "multiple"));
   const auto seed = static_cast<std::uint64_t>(options.getIntOr("seed", 1));
@@ -136,16 +152,28 @@ int main(int argc, char** argv) {
     gc.qosMinHops = 6;
     gc.qosMaxHops = 12;
   }
-  Prng rng(seed);
-  ProblemInstance instance = generateInstance(gc, rng);
-  std::cout << "placement_server: s=" << instance.tree.vertexCount()
+
+  ServiceOptions so;
+  so.workers = workers;
+  so.watchdogMult = watchdogMult;
+  PlacementService service(so);
+
+  std::vector<Stream> streams(static_cast<std::size_t>(std::max(1, sessionCount)));
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    Prng gen(seed + 7919 * s);
+    const ProblemInstance instance = generateInstance(gc, gen);
+    streams[s].id = service.openSession(instance, policy);
+    streams[s].rng = Prng(seed + 104729 * (s + 1));
+    streams[s].mc.policy = policy;
+    streams[s].mc.seed = seed + s;
+    streams[s].mc.rateCap = 0.25;
+  }
+  std::cout << "placement_server: " << streams.size() << " sessions, s=" << size
             << " policy=" << toString(policy) << " deadline=" << deadlineMs
-            << "ms watchdog=" << watchdogMult << "x\n";
+            << "ms watchdog=" << watchdogMult << "x workers="
+            << service.threadCount() << "\n";
 
-  std::optional<ResilientSession> session;
-  session.emplace(instance, policy);
-
-  // The session is the system under test; it boots before the harness arms,
+  // The service is the system under test; it boots before the harness arms,
   // the same way the CI fault job's env plan only bites once serving starts.
   const std::optional<fault::Plan> faultPlan = parseFaultPlan(
       options.getOr("faults", ""), seed,
@@ -154,9 +182,9 @@ int main(int argc, char** argv) {
   long bankedFires = 0;
   std::uint64_t faultWindow = 0;
   // arm() resets the harness counters, so bank them across every disarmed
-  // window (verification, session rebuilds) to keep the summary truthful —
-  // and rotate the seed per window, else every re-arm replays the same
-  // first few probes of the stream and the plan goes silent.
+  // window (verification runs) to keep the summary truthful — and rotate the
+  // seed per window, else every re-arm replays the same first few probes of
+  // the stream and the plan goes silent.
   const auto disarmFaults = [&] {
     if (armed) {
       bankedFires += fault::totalFires();
@@ -174,10 +202,6 @@ int main(int argc, char** argv) {
     armed.emplace(*faultPlan);
     std::cout << "fault harness armed (seed=" << faultPlan->seed << ")\n";
   }
-  MutationWorkloadConfig mc;
-  mc.policy = policy;
-  mc.seed = seed;
-  mc.rateCap = 0.25;
 
   ValidationOptions vo;
   vo.checkQos = policy == OnlinePolicy::ClosestQos;
@@ -191,6 +215,7 @@ int main(int argc, char** argv) {
   latencies.reserve(static_cast<std::size_t>(requests));
   long rejectedDeltas = 0, retries = 0, watchdogFires = 0, rebuilds = 0;
   double worstOvershootMs = 0.0;
+  int submitted = 0, completed = 0;
 
   const auto fail = [&](int request, const std::string& what) {
     std::cerr << "INVARIANT VIOLATION at request " << request << ": " << what
@@ -198,83 +223,84 @@ int main(int argc, char** argv) {
     return 2;
   };
 
-  for (int r = 0; r < requests; ++r) {
-    // Admission: draw a mutation; some are deliberately corrupted (or the
-    // MalformedDelta fault site corrupts them) and must bounce cleanly.
-    InstanceDelta delta = drawMutation(instance, mc, rng);
-    if (fault::fire(fault::Site::MalformedDelta) || r % 31 == 17)
-      delta = corruptDelta(delta, instance, rng);
-    const std::size_t beforeVertices = instance.tree.vertexCount();
-    const Requests beforeTotal = instance.totalRequests();
-    try {
-      session->apply(delta);
-    } catch (const DeltaError& e) {
-      ++rejectedDeltas;
-      if (instance.tree.vertexCount() != beforeVertices ||
-          instance.totalRequests() != beforeTotal)
-        return fail(r, std::string("rejected delta (") + std::string(toString(e.code())) +
-                           ") mutated the instance");
-    } catch (const std::exception&) {
-      // An injected infrastructure fault (e.g. allocation failure) mid-apply
-      // can leave the incremental caches half-built. The operator's move:
-      // rebuild the session from the live instance and keep serving. The
-      // rebuild runs disarmed so the recovery path cannot be re-faulted into
-      // a crash loop.
-      ++rebuilds;
-      disarmFaults();
-      session.emplace(instance, policy);
-      rearmFaults();
+  // Admission + submission: draw a mutation against the session's live
+  // instance (safe: the session has no in-flight request, so its strand is
+  // idle and only this thread reads it); some are deliberately corrupted (or
+  // the MalformedDelta fault site corrupts them) and must bounce cleanly.
+  const auto submitNext = [&](Stream& st) {
+    if (submitted >= requests) return;
+    const ProblemInstance& instance = service.instance(st.id);
+    InstanceDelta delta = drawMutation(instance, st.mc, st.rng);
+    st.lastWasCorrupted = false;
+    if (fault::fire(fault::Site::MalformedDelta) || submitted % 31 == 17) {
+      delta = corruptDelta(delta, instance, st.rng);
+      st.lastWasCorrupted = true;
     }
+    st.beforeVertices = instance.tree.vertexCount();
+    st.beforeTotal = instance.totalRequests();
+    ServiceRequest request;
+    request.delta = std::move(delta);
+    request.budget.wallMs = deadlineMs;
+    request.deadlineMs = deadlineMs;
+    // Periodically attach a certified floor — the rung that exercises the
+    // per-worker shared arena sets (summary row "arena sets touched").
+    request.certifyFloor = submitted % 8 == 5;
+    st.inflight = service.submit(st.id, std::move(request));
+    st.isRetry = false;
+    ++submitted;
+  };
 
-    // Serve under the deadline; a watchdog hard-cancels at watchdogMult x.
-    const auto serveOne = [&](double wallMs) {
-      CancelToken token;
-      std::atomic<bool> done{false};
-      std::thread watchdog([&] {
-        const auto until =
-            SteadyClock::now() +
-            std::chrono::duration_cast<SteadyClock::duration>(
-                std::chrono::duration<double, std::milli>(wallMs * watchdogMult));
-        while (!done.load(std::memory_order_relaxed) && SteadyClock::now() < until)
-          std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        if (!done.load(std::memory_order_relaxed)) token.cancel();
-      });
-      SolveBudget budget;
-      budget.wallMs = wallMs;
-      budget.cancel = &token;
-      SolveOutcome out;
-      try {
-        out = session->solve(budget);
-      } catch (const std::exception& e) {
-        // The pipeline absorbs faults internally; anything that still gets
-        // out is reported as a structured Error, never a dead server.
-        out.status = OutcomeStatus::Error;
-        out.level = DegradationLevel::None;
-        out.message = e.what();
-      }
-      done.store(true, std::memory_order_relaxed);
-      watchdog.join();
-      if (token.cancelled()) ++watchdogFires;
-      return out;
-    };
+  const auto t0 = SteadyClock::now();
+  for (auto& st : streams) submitNext(st);
 
-    SolveOutcome out = serveOne(deadlineMs);
-    if (out.status == OutcomeStatus::Cancelled ||
-        out.status == OutcomeStatus::Error) {
-      // Retry once with a fresh budget: rung A resumes from the caches the
-      // first attempt warmed, so the retry usually lands a degraded answer.
+  std::size_t turn = 0;
+  while (completed < requests) {
+    Stream& st = streams[turn++ % streams.size()];
+    if (!st.inflight) {
+      submitNext(st);
+      if (!st.inflight) continue;  // all requests submitted; others draining
+    }
+    ServiceResponse response = st.inflight->get();
+    st.inflight.reset();
+    const int r = completed;
+
+    if (response.deltaStatus == DeltaStatus::Rejected) ++rejectedDeltas;
+    if (response.deltaStatus == DeltaStatus::Failed) ++rebuilds;
+    if (response.watchdogFired) ++watchdogFires;
+
+    SolveOutcome& out = response.outcome;
+    if (!st.isRetry && (out.status == OutcomeStatus::Cancelled ||
+                        out.status == OutcomeStatus::Error)) {
+      // Retry once with a fresh budget (no new delta): rung A resumes from
+      // the caches the first attempt warmed, so the retry usually lands a
+      // degraded answer.
       ++retries;
-      out = serveOne(deadlineMs);
+      ServiceRequest again;
+      again.budget.wallMs = deadlineMs;
+      again.deadlineMs = deadlineMs;
+      st.inflight = service.submit(st.id, std::move(again));
+      st.isRetry = true;
+      continue;  // the retry's response settles this logical request
     }
 
+    ++completed;
     ++statusCount[static_cast<std::size_t>(out.status)];
     ++levelCount[static_cast<std::size_t>(out.level)];
     latencies.push_back(out.elapsedMs);
     worstOvershootMs = std::max(worstOvershootMs, out.elapsedMs - 2.0 * deadlineMs);
 
-    // --- The invariant, enforced. The checker runs disarmed: a faulted
-    // validator or oracle proves nothing about the pipeline. ---
+    // --- The invariant, enforced per response. The checker runs disarmed: a
+    // faulted validator or oracle proves nothing about the pipeline. The
+    // session is idle (no in-flight request), so its instance is stable. ---
     disarmFaults();
+    const ProblemInstance& instance = service.instance(st.id);
+    if (response.deltaStatus == DeltaStatus::Rejected) {
+      if (instance.tree.vertexCount() != st.beforeVertices ||
+          instance.totalRequests() != st.beforeTotal)
+        return fail(r, "rejected delta mutated the instance");
+      if (!st.lastWasCorrupted && !st.isRetry)
+        return fail(r, "well-formed delta was rejected");
+    }
     if (out.hasPlacement()) {
       if (!isValidPlacement(instance, *out.placement, core, vo))
         return fail(r, std::string(toString(out.status)) + "/" +
@@ -282,6 +308,8 @@ int main(int argc, char** argv) {
                            " returned an invalid placement");
       if (out.lowerBound > out.cost + 1e-9)
         return fail(r, "bracket inverted: lowerBound > cost");
+      if (response.floorCertified && response.certifiedFloor > out.cost + 1e-9)
+        return fail(r, "certified floor exceeds the served cost");
     }
     if (verify) {
       const std::optional<Placement> truth = scratchExact(instance, policy);
@@ -295,9 +323,17 @@ int main(int argc, char** argv) {
         if (opt < out.lowerBound - 1e-9 || opt > out.cost + 1e-9)
           return fail(r, "certified bracket excludes the true optimum");
       }
+      if (response.floorCertified && truth &&
+          response.certifiedFloor > static_cast<double>(truth->replicaCount()) + 1e-9)
+        return fail(r, "certified floor exceeds the true optimum");
     }
     rearmFaults();
+    submitNext(st);
   }
+  service.drain();
+  const double wallMs = std::chrono::duration<double, std::milli>(
+                            SteadyClock::now() - t0)
+                            .count();
   disarmFaults();  // bank the last window's fires for the summary
 
   std::sort(latencies.begin(), latencies.end());
@@ -306,6 +342,7 @@ int main(int argc, char** argv) {
     const auto i = static_cast<std::size_t>(p * static_cast<double>(latencies.size() - 1));
     return latencies[i];
   };
+  const ServiceStats stats = service.stats();
 
   TextTable t;
   t.setHeader({"metric", "value"});
@@ -319,12 +356,18 @@ int main(int argc, char** argv) {
       t.addRow({std::string("rung ") + std::string(toString(static_cast<DegradationLevel>(l))),
                 std::to_string(levelCount[l])});
   t.addSeparator();
+  t.addRow({"sessions", std::to_string(streams.size())});
+  t.addRow({"pool workers", std::to_string(service.threadCount())});
   t.addRow({"rejected deltas", std::to_string(rejectedDeltas)});
   t.addRow({"retries", std::to_string(retries)});
   t.addRow({"watchdog cancels", std::to_string(watchdogFires)});
-  t.addRow({"session rebuilds", std::to_string(rebuilds)});
+  t.addRow({"session cache rebuilds", std::to_string(rebuilds)});
+  t.addRow({"arena sets touched", std::to_string(stats.arenaSets)});
+  t.addRow({"peak queue depth", std::to_string(stats.peakQueueDepth)});
   t.addRow({"p50 latency (ms)", formatDouble(pct(0.50), 2)});
   t.addRow({"p99 latency (ms)", formatDouble(pct(0.99), 2)});
+  t.addRow({"throughput (req/s)",
+            formatDouble(wallMs > 0.0 ? 1000.0 * requests / wallMs : 0.0, 1)});
   t.addRow({"worst overshoot past 2x deadline (ms)",
             formatDouble(std::max(0.0, worstOvershootMs), 2)});
   if (faultPlan) t.addRow({"faults fired", std::to_string(bankedFires)});

@@ -36,23 +36,12 @@ BatchRunStats runBatch(std::size_t jobCount, const BatchJob& job,
     stats.arenaSets = 1;
   } else {
     // One arena set per pool worker, plus a spare for the calling thread
-    // (parallelFor runs a lane inline when the pool is mid-shutdown). The
-    // slot is keyed by (pool, index), not index alone: a lane run inline on
-    // a worker of a DIFFERENT pool must take the spare, or its index could
-    // alias — and race — a real worker's arenas.
-    const std::size_t slots = pool->threadCount() + 1;
-    std::vector<BatchArenas> arenas(slots);
-    std::vector<std::atomic<bool>> touched(slots);
-    pool->parallelFor(0, jobCount, [&](std::size_t i) {
-      const int worker = ThreadPool::currentWorkerIndex();
-      const std::size_t slot = ThreadPool::currentPool() == pool && worker >= 0
-                                   ? static_cast<std::size_t>(worker)
-                                   : slots - 1;
-      touched[slot].store(true, std::memory_order_relaxed);
-      job(i, arenas[slot]);
-    });
-    for (const auto& flag : touched)
-      if (flag.load(std::memory_order_relaxed)) ++stats.arenaSets;
+    // (parallelFor runs a lane inline when the pool is mid-shutdown; that
+    // lane and the submitter never overlap, so the shared spare is safe).
+    WorkerArenaPool arenas(pool);
+    pool->parallelFor(0, jobCount,
+                      [&](std::size_t i) { job(i, arenas.forCaller()); });
+    stats.arenaSets = arenas.touchedSets();
   }
 
   stats.wallMs = std::chrono::duration<double, std::milli>(

@@ -10,6 +10,7 @@
 #include "exact/closest_homogeneous.hpp"
 #include "exact/closest_qos.hpp"
 #include "exact/multiple_homogeneous.hpp"
+#include "online/warm_ilp.hpp"
 
 namespace treeplace {
 namespace {
@@ -323,18 +324,21 @@ SolveOutcome solveResilient(const ProblemInstance& instance, OnlinePolicy policy
   return out;
 }
 
-SolveOutcome solveResilientIlp(const ProblemInstance& instance, Policy policy,
-                               const SolveBudget& budget,
-                               const ExactIlpOptions& ilpIn) {
+namespace {
+
+/// Shared budgeted-ILP driver: run `solve(guard)` under a fresh guard and
+/// convert the ExactIlpResult into the structured outcome contract both
+/// solveResilientIlp overloads document. `solve` is the only difference
+/// between the one-shot and the warm-session entry points.
+template <typename SolveFn>
+SolveOutcome runBudgetedIlp(const SolveBudget& budget, SolveFn&& solve) {
   const auto t0 = std::chrono::steady_clock::now();
   SolveOutcome out;
   BudgetGuard guard(budget);
-  ExactIlpOptions ilp = ilpIn;
-  ilp.mip.guard = &guard;
 
   ExactIlpResult r;
   try {
-    r = solveExactViaIlp(instance, policy, ilp);
+    r = solve(guard);
   } catch (const SolveInterrupted& e) {
     out.budget = e.verdict();
     out.status = e.verdict() == BudgetVerdict::Cancelled ? OutcomeStatus::Cancelled
@@ -381,6 +385,23 @@ SolveOutcome solveResilientIlp(const ProblemInstance& instance, Policy policy,
   }
   out.elapsedMs = msSince(t0);
   return out;
+}
+
+}  // namespace
+
+SolveOutcome solveResilientIlp(const ProblemInstance& instance, Policy policy,
+                               const SolveBudget& budget,
+                               const ExactIlpOptions& ilpIn) {
+  return runBudgetedIlp(budget, [&](BudgetGuard& guard) {
+    ExactIlpOptions ilp = ilpIn;
+    ilp.mip.guard = &guard;
+    return solveExactViaIlp(instance, policy, ilp);
+  });
+}
+
+SolveOutcome solveResilientIlp(WarmIlpSession& session, const SolveBudget& budget) {
+  return runBudgetedIlp(budget,
+                        [&](BudgetGuard& guard) { return session.resolve(&guard); });
 }
 
 ResilientSession::ResilientSession(ProblemInstance& instance, OnlinePolicy policy,

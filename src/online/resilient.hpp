@@ -54,6 +54,16 @@ SolveOutcome solveResilientIlp(const ProblemInstance& instance, Policy policy,
                                const SolveBudget& budget,
                                const ExactIlpOptions& ilp = {});
 
+class WarmIlpSession;
+
+/// Budgeted re-solve through a live WarmIlpSession (Multiple policy,
+/// storage-cost units): same outcome contract as the one-shot overload, but
+/// the search starts from the session's persistent workspace, the previous
+/// placement repaired as incumbent, and the memoized relaxation floor — the
+/// warm-ILP rung of the serving path. A truncated search leaves the session
+/// seeded for the next request.
+SolveOutcome solveResilientIlp(WarmIlpSession& session, const SolveBudget& budget);
+
 /// Long-lived deadline-aware serving session: an IncrementalSolver (exact,
 /// cache-backed) plus an IncrementalBounds relaxation (certified replica
 /// floors) plus a retained last-known-good placement, composed into the full

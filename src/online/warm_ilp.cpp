@@ -130,7 +130,8 @@ std::vector<double> WarmIlpSession::encodeIncumbent(const Placement& previous) c
   return values;
 }
 
-ExactIlpResult WarmIlpSession::resolve() {
+ExactIlpResult WarmIlpSession::resolve(BudgetGuard* guard) {
+  stats_.lastNodes = 0;  // stays 0 when the search dies before its first node
   bounds_.refresh();
   ExactIlpResult result;
   if (!bounds_.feasible()) {
@@ -147,6 +148,7 @@ ExactIlpResult WarmIlpSession::resolve() {
 
   lp::MipOptions mo = baseMip_;
   mo.workspace = &*workspace_;
+  if (guard != nullptr) mo.guard = guard;
   mo.knownLowerBound = std::max(mo.knownLowerBound, bounds_.decompositionBound());
   if (mo.objectiveGranularity == 0.0 && integralStorageCosts(*instance_))
     mo.objectiveGranularity = 1.0;
@@ -165,10 +167,14 @@ ExactIlpResult WarmIlpSession::resolve() {
   }
 
   const lp::MipResult mip = lp::solveMip(formulation_->model(), mo);
+  stats_.lastNodes = mip.nodesExplored;
+  stats_.totalNodes += mip.nodesExplored;
   result.nodesExplored = mip.nodesExplored;
   result.proven = mip.proven;
   result.warm = mip.warm;
   result.lpMillis = mip.lpMillis;
+  result.lowerBound = mip.lowerBound;
+  result.stopReason = mip.stopReason;
   if (mip.hasIncumbent()) {
     result.placement = formulation_->decode(mip.values);
     result.cost = result.placement->storageCost(*instance_);

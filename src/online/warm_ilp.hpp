@@ -19,6 +19,8 @@ struct WarmIlpStats {
   std::size_t patches = 0;       ///< deltas absorbed as box/rhs patches
   std::size_t rebuilds = 0;      ///< structural rebuilds after the first build
   std::size_t seededSolves = 0;  ///< solves that started from a repaired incumbent
+  long lastNodes = 0;            ///< B&B nodes of the most recent resolve
+  long totalNodes = 0;           ///< B&B nodes summed over every resolve
 };
 
 /// Incremental exact re-optimization for the *Multiple* policy through the
@@ -53,8 +55,11 @@ class WarmIlpSession {
   DeltaApplication apply(const InstanceDelta& delta);
 
   /// Re-solve the mutated instance to proven optimality. Same result contract
-  /// as solveExactViaIlp (no placement = infeasible).
-  ExactIlpResult resolve();
+  /// as solveExactViaIlp (no placement = infeasible). An optional guard bounds
+  /// the search (layered over any guard in the ctor's MipOptions); a truncated
+  /// run still reports the certified [lowerBound, cost] bracket and keeps the
+  /// incumbent as the seed of the next resolve.
+  ExactIlpResult resolve(BudgetGuard* guard = nullptr);
 
   const WarmIlpStats& stats() const { return stats_; }
   /// The memoized relaxation feeding knownLowerBound (and its cache stats).

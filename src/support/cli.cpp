@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <charconv>
+#include <cmath>
 #include <cstdlib>
+#include <stdexcept>
 
 #include "support/require.hpp"
 
@@ -49,13 +53,39 @@ std::string Options::getOr(const std::string& name, const std::string& fallback)
 std::int64_t Options::getIntOr(const std::string& name, std::int64_t fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  return std::stoll(*v);
+  return parseInt(name, *v);
 }
 
 double Options::getDoubleOr(const std::string& name, double fallback) const {
   const auto v = get(name);
   if (!v) return fallback;
-  return std::stod(*v);
+  return parseDouble(name, *v);
+}
+
+std::int64_t Options::parseInt(const std::string& name, const std::string& text) {
+  std::int64_t value = 0;
+  const char* first = text.data();
+  const char* last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range)
+    throw OptionError("option --" + name + "=" + text + ": integer out of range");
+  if (ec != std::errc{} || ptr != last || text.empty())
+    throw OptionError("option --" + name + "=" + text + ": not a valid integer");
+  return value;
+}
+
+double Options::parseDouble(const std::string& name, const std::string& text) {
+  // strtod, not from_chars<double>: libstdc++ shipped the latter late enough
+  // that some supported toolchains lack it. End-pointer + errno give the same
+  // full-consumption and range guarantees.
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end != text.c_str() + text.size())
+    throw OptionError("option --" + name + "=" + text + ": not a valid number");
+  if (errno == ERANGE || !std::isfinite(value))
+    throw OptionError("option --" + name + "=" + text + ": number out of range");
+  return value;
 }
 
 std::optional<std::string> Options::fromEnv(const std::string& name) const {

@@ -3,10 +3,19 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 namespace treeplace {
+
+/// Thrown by the numeric getters when an option value is malformed or out of
+/// range. The message names the option and the offending text so a service
+/// operator sees "--watchdog=4x: not a valid number", not a bare stod throw.
+class OptionError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// Tiny command-line/environment option reader used by examples and benches.
 /// Accepts --name=value and --flag forms; anything else is a positional.
@@ -20,12 +29,17 @@ class Options {
   bool hasFlag(const std::string& name) const;
   std::optional<std::string> get(const std::string& name) const;
   std::string getOr(const std::string& name, const std::string& fallback) const;
+  /// Strict numeric getters: the whole value must parse (trailing garbage like
+  /// "4x" is rejected, as are values outside the target type's range) or an
+  /// OptionError is thrown. Absent options return the fallback untouched.
   std::int64_t getIntOr(const std::string& name, std::int64_t fallback) const;
   double getDoubleOr(const std::string& name, double fallback) const;
 
   const std::vector<std::string>& positionals() const { return positionals_; }
 
  private:
+  static std::int64_t parseInt(const std::string& name, const std::string& text);
+  static double parseDouble(const std::string& name, const std::string& text);
   std::optional<std::string> fromEnv(const std::string& name) const;
 
   std::map<std::string, std::string> values_;

@@ -1,0 +1,25 @@
+#include "support/rss.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace treeplace {
+
+std::size_t peakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage{};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  // Darwin: ru_maxrss is already bytes.
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  // Linux (and the other unixes we build on): ru_maxrss is KiB.
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace treeplace

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <cstddef>
+
+namespace treeplace {
+
+/// Process-lifetime peak resident set size in bytes (getrusage high-water
+/// mark, so it never decreases). getrusage reports ru_maxrss in KiB on Linux
+/// but in bytes on Darwin — this helper normalizes per platform so the bench
+/// JSON's `peak_rss_bytes` and the CI RSS gate compare like units everywhere.
+/// Returns 0 on platforms without getrusage.
+std::size_t peakRssBytes();
+
+}  // namespace treeplace

@@ -58,6 +58,11 @@ bool ThreadPool::submit(std::function<void()> task) {
   return true;
 }
 
+std::size_t ThreadPool::droppedTaskErrors() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return droppedErrors_;
+}
+
 void ThreadPool::waitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_.wait(lock, [this] { return inFlight_ == 0; });
@@ -139,7 +144,10 @@ void ThreadPool::workerLoop(std::size_t index) {
       task();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mutex_);
-      if (!taskError_) taskError_ = std::current_exception();
+      if (!taskError_)
+        taskError_ = std::current_exception();
+      else
+        ++droppedErrors_;  // superseded, but visible via droppedTaskErrors()
     }
     {
       const std::lock_guard<std::mutex> lock(mutex_);

@@ -46,10 +46,17 @@ class ThreadPool {
 
   /// Block until every accepted task has finished. If any task submitted
   /// since the last drain threw, the FIRST such exception is rethrown here —
-  /// to the submitter, not std::terminate on a worker thread. Later
-  /// exceptions of the same drain are dropped; the pool itself stays usable.
+  /// to the submitter, not std::terminate on a worker thread — and the stored
+  /// pointer is cleared, so a later waitIdle() never re-throws a stale
+  /// failure. Later exceptions of the same drain are not re-thrown but they
+  /// are NOT silently lost either: droppedTaskErrors() counts them.
   /// (parallelFor catches per-lane and is unaffected.)
   void waitIdle();
+
+  /// Number of task exceptions that were superseded by an earlier failure in
+  /// the same drain and therefore never rethrown by waitIdle(). Monotonic for
+  /// the pool's lifetime; callers that care diff across a drain.
+  std::size_t droppedTaskErrors() const;
 
   /// Deterministic drain: stop accepting new tasks, run every task accepted
   /// so far to completion, and join the workers. Idempotent; the destructor
@@ -67,13 +74,14 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable wake_;
   std::condition_variable idle_;
   std::size_t inFlight_ = 0;
   bool stopping_ = false;
   bool joined_ = false;
   std::exception_ptr taskError_;  ///< first uncaught task exception; see waitIdle
+  std::size_t droppedErrors_ = 0;  ///< same-drain exceptions superseded by taskError_
 };
 
 }  // namespace treeplace

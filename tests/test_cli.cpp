@@ -58,5 +58,73 @@ TEST(Cli, CommandLineBeatsEnvironment) {
   ::unsetenv("TREEPLACE_TREES");
 }
 
+// Lenient parsers accepted "--watchdog=4x" as 4 — a typo'd deadline multiplier
+// silently changed service behaviour. The strict getters must reject anything
+// that is not entirely a number, with the option name in the message.
+TEST(Cli, RejectsTrailingGarbageInteger) {
+  const auto o = makeOptions({"--trees=12abc"});
+  try {
+    (void)o.getIntOr("trees", 0);
+    FAIL() << "trailing garbage accepted";
+  } catch (const OptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("trees"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("12abc"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsTrailingGarbageDouble) {
+  const auto o = makeOptions({"--watchdog=4x"});
+  EXPECT_THROW((void)o.getDoubleOr("watchdog", 1.0), OptionError);
+}
+
+TEST(Cli, RejectsNonNumeric) {
+  const auto o = makeOptions({"--trees=lots", "--lambda=fast"});
+  EXPECT_THROW((void)o.getIntOr("trees", 0), OptionError);
+  EXPECT_THROW((void)o.getDoubleOr("lambda", 0.5), OptionError);
+}
+
+TEST(Cli, RejectsEmptyNumericValue) {
+  const auto o = makeOptions({"--trees=", "--lambda="});
+  EXPECT_THROW((void)o.getIntOr("trees", 0), OptionError);
+  EXPECT_THROW((void)o.getDoubleOr("lambda", 0.5), OptionError);
+}
+
+TEST(Cli, RejectsOutOfRangeInteger) {
+  const auto o = makeOptions({"--trees=99999999999999999999999999"});
+  try {
+    (void)o.getIntOr("trees", 0);
+    FAIL() << "out-of-range integer accepted";
+  } catch (const OptionError& e) {
+    EXPECT_NE(std::string(e.what()).find("out of range"), std::string::npos);
+  }
+}
+
+TEST(Cli, RejectsOutOfRangeDouble) {
+  const auto o = makeOptions({"--lambda=1e5000"});
+  EXPECT_THROW((void)o.getDoubleOr("lambda", 0.5), OptionError);
+}
+
+TEST(Cli, RejectsFloatForInteger) {
+  const auto o = makeOptions({"--trees=3.5"});
+  EXPECT_THROW((void)o.getIntOr("trees", 0), OptionError);
+}
+
+TEST(Cli, StillAcceptsWellFormedNumbers) {
+  const auto o = makeOptions({"--a=-42", "--b=+7", "--c=2.5e-3", "--d=-0.125"});
+  EXPECT_EQ(o.getIntOr("a", 0), -42);
+  // from_chars does not take a leading '+': document that by rejecting it.
+  EXPECT_THROW((void)o.getIntOr("b", 0), OptionError);
+  EXPECT_DOUBLE_EQ(o.getDoubleOr("c", 0.0), 2.5e-3);
+  EXPECT_DOUBLE_EQ(o.getDoubleOr("d", 0.0), -0.125);
+}
+
+// Malformed environment values go through the same strict path.
+TEST(Cli, RejectsGarbageFromEnvironment) {
+  ::setenv("TREEPLACE_ENV_GARBAGE", "7seven", 1);
+  const auto o = makeOptions({});
+  EXPECT_THROW((void)o.getIntOr("env-garbage", 0), OptionError);
+  ::unsetenv("TREEPLACE_ENV_GARBAGE");
+}
+
 }  // namespace
 }  // namespace treeplace

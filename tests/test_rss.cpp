@@ -1,0 +1,35 @@
+#include "support/rss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace treeplace {
+namespace {
+
+// Unit-portability guard: ru_maxrss is KiB on Linux and bytes on Darwin. If
+// the normalization in peakRssBytes() regressed (e.g. forgot the *1024 on
+// Linux), a gtest process's peak RSS would read as a few thousand "bytes" —
+// far below any real process footprint. A running C++ process with gtest
+// linked in is comfortably above 1 MiB resident, so assert that floor.
+TEST(Rss, PeakRssHasSaneLowerBound) {
+  const std::size_t peak = peakRssBytes();
+  ASSERT_GT(peak, 0u) << "getrusage unavailable?";
+  EXPECT_GE(peak, 1u << 20) << "peak RSS below 1 MiB: unit normalization broken";
+  // And an upper sanity bound: a unit test process is nowhere near 1 TiB —
+  // catches an accidental double normalization (bytes * 1024).
+  EXPECT_LT(peak, std::size_t{1} << 40);
+}
+
+TEST(Rss, PeakRssIsMonotonic) {
+  const std::size_t before = peakRssBytes();
+  // Touch ~8 MiB so the high-water mark can only move up.
+  std::vector<char> block(8u << 20, 1);
+  for (std::size_t i = 0; i < block.size(); i += 4096) block[i] = char(i);
+  const std::size_t after = peakRssBytes();
+  EXPECT_GE(after, before);
+  EXPECT_GT(block[12345], char(-128));  // keep the block alive
+}
+
+}  // namespace
+}  // namespace treeplace

@@ -134,12 +134,50 @@ TEST(ThreadPool, WaitIdlePropagatesTaskException) {
   EXPECT_EQ(ran.load(), 1);
 }
 
+// Rethrow-once: one failure produces exactly one throwing waitIdle(). The
+// stored exception_ptr must be cleared by the rethrow — a stale pointer would
+// make the next (clean) drain throw a failure from a previous batch.
+TEST(ThreadPool, WaitIdleRethrowsOnceThenClears) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.submit([] { throw std::runtime_error("batch one"); }));
+  EXPECT_THROW(pool.waitIdle(), std::runtime_error);
+  EXPECT_NO_THROW(pool.waitIdle());  // same drain, error already consumed
+  // A later clean batch must not resurrect the old failure.
+  std::atomic<int> ran{0};
+  EXPECT_TRUE(pool.submit([&] { ran.fetch_add(1); }));
+  EXPECT_NO_THROW(pool.waitIdle());
+  EXPECT_EQ(ran.load(), 1);
+}
+
 TEST(ThreadPool, WaitIdleReportsFirstFailureOnce) {
   ThreadPool pool(2);
   for (int i = 0; i < 8; ++i)
     EXPECT_TRUE(pool.submit([] { throw std::runtime_error("boom"); }));
   EXPECT_THROW(pool.waitIdle(), std::runtime_error);
-  pool.waitIdle();  // the other failures of the same drain were dropped
+  pool.waitIdle();  // the other failures of the same drain were superseded...
+  EXPECT_EQ(pool.droppedTaskErrors(), 7u);  // ...but not silently lost
+}
+
+// Pool-reuse-after-throw: after a drain that threw, each NEW batch reports its
+// own failure — the sticky error really was cleared, and a fresh exception is
+// stored (not dropped) because taskError_ is empty again.
+TEST(ThreadPool, PoolReusableAfterThrowReportsNewFailures) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.submit([] { throw std::runtime_error("first batch"); }));
+  try {
+    pool.waitIdle();
+    FAIL() << "first batch failure not reported";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first batch");
+  }
+  EXPECT_TRUE(pool.submit([] { throw std::logic_error("second batch"); }));
+  try {
+    pool.waitIdle();
+    FAIL() << "second in-flight failure was silently dropped";
+  } catch (const std::logic_error& e) {
+    EXPECT_STREQ(e.what(), "second batch");
+  }
+  EXPECT_EQ(pool.droppedTaskErrors(), 0u);  // distinct drains: nothing dropped
 }
 
 TEST(ThreadPool, TaskExceptionDoesNotKillWorkers) {
